@@ -1,0 +1,71 @@
+// Ablation: Sec VI-B — "This transition from batch to stream processing
+// amortizes the cost of refining datasets over a long period of time".
+// Compares producing an always-current Silver dataset two ways:
+//   (a) batch: re-run the whole Bronze->Silver refinement every period
+//       over the ever-growing Bronze backlog (cost grows quadratically);
+//   (b) stream: refine each increment once as it arrives (linear).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "sql/agg.hpp"
+#include "telemetry/simulator.hpp"
+
+int main() {
+  using namespace oda;
+  bench::header("Ablation -- batch re-refinement vs incremental stream processing",
+                "Sec VI-B",
+                "cumulative batch cost grows quadratically with history length; streaming cost "
+                "grows linearly; crossover after a handful of periods");
+
+  // One facility-hour of Bronze, refined in 6 ten-minute periods.
+  stream::Broker scratch;
+  telemetry::SimulatorConfig cfg;
+  cfg.scheduler.arrival_rate_per_hour = 240.0;
+  cfg.scheduler.mean_duration_hours = 0.25;
+  telemetry::FacilitySimulator sim(telemetry::compass_spec(0.005), scratch, cfg);
+
+  constexpr int kPeriods = 6;
+  const common::Duration period = 10 * common::kMinute;
+  std::vector<sql::Table> increments;
+  for (int p = 0; p < kPeriods; ++p) {
+    increments.push_back(sim.sample_bronze(p * period, (p + 1) * period));
+  }
+
+  const std::vector<std::string> keys{"node_id", "sensor"};
+  const std::vector<sql::AggSpec> aggs{{"value", sql::AggKind::kMean, "mean_value"}};
+  auto refine = [&](const sql::Table& bronze) {
+    return sql::window_aggregate(bronze, "time", 15 * common::kSecond, keys, aggs);
+  };
+
+  std::printf("\n%8s %14s %14s %14s %14s\n", "period", "batch ms", "batch cum ms", "stream ms",
+              "stream cum ms");
+  double batch_cum = 0.0, stream_cum = 0.0;
+  sql::Table backlog;
+  for (int p = 0; p < kPeriods; ++p) {
+    if (backlog.num_columns() == 0) backlog = sql::Table(increments[p].schema());
+    backlog.append_table(increments[p]);
+
+    // (a) batch: refine the whole backlog again.
+    common::Stopwatch sw;
+    const auto full = refine(backlog);
+    const double batch_ms = sw.elapsed_ms();
+    batch_cum += batch_ms;
+
+    // (b) stream: refine only this period's increment.
+    sw.reset();
+    const auto inc = refine(increments[p]);
+    const double stream_ms = sw.elapsed_ms();
+    stream_cum += stream_ms;
+
+    std::printf("%8d %14.1f %14.1f %14.1f %14.1f\n", p + 1, batch_ms, batch_cum, stream_ms,
+                stream_cum);
+    (void)full;
+    (void)inc;
+  }
+  std::printf("\nafter %d periods the batch strategy has spent %.1fx the compute of streaming;\n"
+              "the gap keeps widening with history length — the paper's amortization argument.\n",
+              kPeriods, batch_cum / std::max(1e-9, stream_cum));
+  return 0;
+}

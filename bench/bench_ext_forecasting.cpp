@@ -1,0 +1,59 @@
+// Extension experiment (Sec VIII; refs [19][20]): forecasting the
+// facility's power draw — the "predictive or prescriptive analytics
+// through forecasting" the paper names as ML's role in ODA. Trains the
+// autoregressive MLP on LAKE history and evaluates walk-forward against
+// the persistence baseline across horizons.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ml/forecast.hpp"
+#include "storage/tsdb.hpp"
+
+int main() {
+  using namespace oda;
+  using common::kHour;
+  using common::kMinute;
+
+  bench::header("Extension -- system power forecasting vs persistence baseline",
+                "Sec VIII (forecasting/optimization); refs [19][20]",
+                "persistence is nearly unbeatable at 1-minute horizons (power is strongly "
+                "autocorrelated); the learned model wins once the horizon outruns the "
+                "workload's autocorrelation (~15+ min)");
+
+  bench::StandardRig rig(0.005, 300.0, 0.3);
+  std::printf("\nstreaming 6 facility-hours of telemetry...\n");
+  rig.fw.advance(6 * kHour);
+
+  // System power series at 1-minute resolution from the LAKE: sum of
+  // node power means per bucket.
+  storage::TsQuery q;
+  q.metric = "node_power_w";
+  q.step = kMinute;
+  const auto table = rig.fw.lake().query(q);
+  // Aggregate across nodes per bucket.
+  std::map<common::TimePoint, double> buckets;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    buckets[table.column("time").int_at(r)] += table.column("value").double_at(r);
+  }
+  std::vector<double> series;
+  series.reserve(buckets.size());
+  for (const auto& [_, v] : buckets) series.push_back(v / 1e3);  // kW
+  std::printf("series: %zu one-minute samples, last value %.1f kW\n", series.size(),
+              series.empty() ? 0.0 : series.back());
+
+  bench::section("walk-forward evaluation (train on first 70%)");
+  std::printf("%-18s %12s %16s %14s\n", "horizon", "model MAPE", "persistence MAPE",
+              "improvement");
+  for (const std::size_t horizon : {1u, 5u, 15u, 30u}) {
+    ml::ForecasterConfig cfg;
+    cfg.lags = 30;
+    cfg.horizon = horizon;
+    const auto ev = ml::evaluate_forecaster(cfg, series, 0.7, 1234);
+    std::printf("%4zu min          %11.2f%% %15.2f%% %13.1f%%\n", horizon, ev.model_mape,
+                ev.persistence_mape, 100.0 * ev.improvement());
+  }
+  std::printf("\n(persistence = 'power in H minutes equals power now'; the model earns its\n"
+              " keep once the horizon outruns the workload's autocorrelation)\n");
+  return 0;
+}

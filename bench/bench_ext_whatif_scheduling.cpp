@@ -1,0 +1,62 @@
+// Extension experiment (Sec VIII-C): the digital twin as a what-if
+// engine for "system optimizations" — here, GPU power capping. The
+// resource-allocator module replays the same workload at different caps;
+// the loss + cooling models price each scenario end to end (energy, PUE,
+// peak thermals) without touching the production machine.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "twin/allocator.hpp"
+#include "twin/replay.hpp"
+
+int main() {
+  using namespace oda;
+  using common::kHour;
+
+  bench::header("Extension -- twin what-if: GPU power capping",
+                "Sec VIII-C (ExaDigiT: 'what-if scenarios, system optimizations')",
+                "capping trims energy and peak cooling load at identical job throughput "
+                "(same schedule); savings flatten once caps bite below typical utilization");
+
+  const auto spec = telemetry::compass_spec(0.01);
+  std::printf("\nvirtual system: %zu nodes; identical 6-hour workload under each cap\n\n",
+              spec.total_nodes());
+  std::printf("%-10s %12s %12s %12s %10s %12s %12s\n", "cap", "jobs done", "node-hours",
+              "IT MWh", "mean PUE", "peak ret C", "energy vs 1.0");
+
+  double baseline_mwh = -1.0;
+  for (const double cap : {1.0, 0.9, 0.8, 0.7, 0.5}) {
+    twin::AllocatorSimConfig cfg;
+    cfg.scheduler.arrival_rate_per_hour = 400.0;
+    cfg.scheduler.mean_duration_hours = 0.4;
+    cfg.power_cap_util = cap;
+    twin::ResourceAllocatorSim sim(spec, cfg);
+    const auto workload = sim.simulate(6 * kHour);
+
+    twin::ReplayConfig rc;
+    rc.losses.rated_power_w = 1.2e3 * static_cast<double>(spec.total_nodes());
+    // Plant scaled to the simulated system size.
+    rc.cooling.primary_flow_kg_s = 6.0;
+    rc.cooling.secondary_flow_kg_s = 9.0;
+    rc.cooling.ua_coldplate = 4.0e4;
+    rc.cooling.ua_cdu_hx = 4.5e4;
+    rc.cooling.ua_tower = 3.5e4;
+    rc.cooling.coldplate_capacity = 8.0e5;
+    rc.cooling.secondary_capacity = 3.5e6;
+    rc.cooling.tower_capacity = 5.5e6;
+    rc.cooling.pump_power_w = 3.5e3;
+    rc.cooling.tower_fan_rated_w = 5.5e3;
+    const auto replay = twin::ReplayHarness(rc).replay(workload.power_trace);
+
+    if (baseline_mwh < 0) baseline_mwh = workload.total_energy_mwh;
+    std::printf("%-10.1f %12zu %12.1f %12.2f %10.3f %12.1f %11.1f%%\n", cap,
+                workload.jobs_completed, workload.node_hours_delivered,
+                workload.total_energy_mwh, replay.mean_pue, replay.max_return_c,
+                100.0 * (workload.total_energy_mwh / baseline_mwh - 1.0));
+  }
+
+  std::printf("\n(identical scheduler seed per scenario: the schedule and therefore delivered\n"
+              " node-hours are constant — the twin isolates the pure electrical/thermal effect\n"
+              " of the cap, which a production A/B experiment never could)\n");
+  return 0;
+}

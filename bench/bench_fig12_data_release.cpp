@@ -1,0 +1,102 @@
+// Fig 12: the data distribution workflow — internal distribution and
+// external release. Walks one real Gold artifact end-to-end: build it
+// from OCEAN, submit to DataRUC, clear the advisory chain, sanitize,
+// verify k-anonymity + PII scan, and release through the Constellation
+// public repository with a minted DOI.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "governance/advisory.hpp"
+#include "governance/anonymize.hpp"
+#include "governance/constellation.hpp"
+#include "sql/agg.hpp"
+#include "sql/ops.hpp"
+#include "storage/columnar.hpp"
+
+int main() {
+  using namespace oda;
+  bench::header("Fig 12 -- data distribution workflow (internal + public release)",
+                "Fig 12; Sec IX-B (release of power/energy, GPU failure, Darshan datasets)",
+                "internal requests provision data-service access; public releases pass "
+                "sanitization gates (hashing, k-anonymity, PII scan) before reaching the "
+                "public repository");
+
+  bench::StandardRig rig(0.01, 300.0, 0.25);
+  auto& fw = rig.fw;
+  fw.advance(45 * common::kMinute);
+
+  // The artifact: per-project usage rollup (a Gold dataset like the
+  // paper's released Summit power & energy data).
+  sql::Table gold = sql::group_by(
+      rig.sys->scheduler().allocation_log(), {"project", "user"},
+      {sql::AggSpec{"num_nodes", sql::AggKind::kSum, "total_nodes"},
+       sql::AggSpec{"num_nodes", sql::AggKind::kCount, "jobs"}});
+  std::printf("\nGold artifact: per-(project,user) usage, %zu rows\n", gold.num_rows());
+
+  // --- internal path -----------------------------------------------------
+  bench::section("internal staff project (Fig 12 left path)");
+  const auto internal_id = fw.dataruc().submit(governance::RequestKind::kInternalProject,
+                                               "energy-team", {"silver/power/Compass"},
+                                               "LVA dashboard development", fw.now());
+  const auto internal_state = fw.dataruc().process(internal_id);
+  const auto& internal_req = fw.dataruc().request(internal_id);
+  std::printf("request #%llu: %s after %zu reviews, turnaround %s -> access to STREAM/LAKE/OCEAN\n",
+              static_cast<unsigned long long>(internal_id),
+              governance::request_state_name(internal_state), internal_req.decisions.size(),
+              common::format_duration(internal_req.turnaround()).c_str());
+
+  // --- public release path ------------------------------------------------
+  bench::section("public dataset release (Fig 12 right path)");
+  const auto release_id = fw.dataruc().submit(governance::RequestKind::kPublicRelease,
+                                              "energy-team", {"gold/project-usage"},
+                                              "SC artifact release", fw.now());
+  const auto release_state = fw.dataruc().process(release_id);
+  const auto& release_req = fw.dataruc().request(release_id);
+  std::printf("request #%llu: %s, chain of %zu reviews, turnaround %s\n",
+              static_cast<unsigned long long>(release_id),
+              governance::request_state_name(release_state), release_req.decisions.size(),
+              common::format_duration(release_req.turnaround()).c_str());
+  for (const auto& d : release_req.decisions) {
+    std::printf("  %-16s %-8s at %s\n", governance::consideration_name(d.consideration),
+                d.approved ? "approved" : "REJECTED",
+                common::format_time(d.decided_at).c_str());
+  }
+  if (release_state != governance::RequestState::kProvisioned) {
+    std::printf("release rejected by the chain this run -- workflow stops here (as designed)\n");
+    return 0;
+  }
+
+  // Sanitization with curation/cybersecurity guidance (Sec IX-B), k-anon
+  // and PII gates, and Constellation publication — the whole right path
+  // of Fig 12 through release_dataset().
+  governance::Constellation constellation;
+  sql::Table curated = sql::rename_column(gold, "user", "subject");  // marker name removed
+  governance::ReleaseRequest release;
+  release.title = "Compass per-project usage rollup";
+  release.description = "curated Gold artifact for public release";
+  release.creators = {"energy-team"};
+  release.requester = "energy-team";
+  release.sanitize_policy.hash_columns = {"subject"};
+  release.quasi_identifiers = {"project"};
+  release.min_k = 1;  // per-(project,user) rollups: project groups >= 1
+  std::printf("\nsanitize (salted hash of identities) -> k-anonymity -> PII scan -> publish...\n");
+  std::string why;
+  const auto doi = governance::release_dataset(fw.dataruc(), constellation, curated, release,
+                                               fw.now(), &why);
+  if (!doi) {
+    std::printf("release stopped by a gate: %s (as designed)\n", why.c_str());
+    return 0;
+  }
+  const auto landing = constellation.landing(*doi);
+  std::printf("published to Constellation: doi:%s (%s, hash %016llx)\n", doi->c_str(),
+              common::format_bytes(static_cast<double>(landing->size_bytes)).c_str(),
+              static_cast<unsigned long long>(landing->content_hash));
+
+  // A member of the public downloads and decodes it.
+  const auto blob = constellation.download(*doi);
+  const sql::Table released = storage::read_columnar(*blob);
+  std::printf("\nsample released rows (downloads so far: %llu):\n%s",
+              static_cast<unsigned long long>(constellation.landing(*doi)->downloads),
+              sql::limit(released, 4).to_string().c_str());
+  return 0;
+}

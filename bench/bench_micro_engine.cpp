@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark) of the framework's hot paths:
+// broker produce/consume, Bronze decode, window aggregation, pivot,
+// join, and columnar encode/decode. These are the primitives every
+// figure-level result is built from.
+#include <benchmark/benchmark.h>
+
+#include "sql/agg.hpp"
+#include "sql/ops.hpp"
+#include "storage/codecs.hpp"
+#include "storage/columnar.hpp"
+#include "stream/broker.hpp"
+#include "telemetry/simulator.hpp"
+
+namespace {
+
+using namespace oda;
+
+/// Shared fixture data, generated once.
+const sql::Table& bronze_sample() {
+  static const sql::Table table = [] {
+    stream::Broker scratch;
+    telemetry::SimulatorConfig cfg;
+    cfg.scheduler.arrival_rate_per_hour = 240.0;
+    telemetry::FacilitySimulator sim(telemetry::compass_spec(0.005), scratch, cfg);
+    return sim.sample_bronze(0, 2 * common::kMinute);
+  }();
+  return table;
+}
+
+void BM_BrokerProduce(benchmark::State& state) {
+  stream::Broker broker;
+  broker.create_topic("t", {8, 4 << 20, {}});
+  stream::Record rec;
+  rec.payload.assign(static_cast<std::size_t>(state.range(0)), 'x');
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    rec.timestamp = i;
+    rec.key = "n" + std::to_string(i % 512);
+    benchmark::DoNotOptimize(broker.produce("t", rec));
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * rec.wire_size());
+}
+BENCHMARK(BM_BrokerProduce)->Arg(64)->Arg(512);
+
+void BM_BrokerConsume(benchmark::State& state) {
+  stream::Broker broker;
+  broker.create_topic("t", {8, 4 << 20, {}});
+  stream::Record rec;
+  rec.payload.assign(256, 'x');
+  for (int i = 0; i < 100000; ++i) {
+    rec.timestamp = i;
+    rec.key = "n" + std::to_string(i % 512);
+    broker.produce("t", rec);
+  }
+  for (auto _ : state) {
+    stream::Consumer c(broker, "g" + std::to_string(state.iterations()), "t");
+    std::size_t total = 0;
+    while (total < 100000) {
+      const auto batch = c.poll(8192);
+      if (batch.empty()) break;
+      total += batch.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_BrokerConsume);
+
+void BM_WindowAggregate(benchmark::State& state) {
+  const auto& bronze = bronze_sample();
+  const std::vector<std::string> keys{"node_id", "sensor"};
+  const std::vector<sql::AggSpec> aggs{{"value", sql::AggKind::kMean, "mean_value"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sql::window_aggregate(bronze, "time", 15 * common::kSecond, keys, aggs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bronze.num_rows()));
+}
+BENCHMARK(BM_WindowAggregate);
+
+void BM_PivotWider(benchmark::State& state) {
+  const auto& bronze = bronze_sample();
+  const std::vector<std::string> keys{"node_id", "sensor"};
+  const std::vector<sql::AggSpec> aggs{{"value", sql::AggKind::kMean, "mean_value"}};
+  const sql::Table silver =
+      sql::window_aggregate(bronze, "time", 15 * common::kSecond, keys, aggs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sql::pivot_wider(silver, {"window_start", "node_id"}, "sensor", "mean_value"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(silver.num_rows()));
+}
+BENCHMARK(BM_PivotWider);
+
+void BM_HashJoin(benchmark::State& state) {
+  const auto& bronze = bronze_sample();
+  // Right side: one row per node.
+  sql::Table nodes{sql::Schema{{"node_id", sql::DataType::kInt64},
+                               {"cabinet", sql::DataType::kInt64}}};
+  for (std::int64_t n = 0; n < 128; ++n) nodes.append_row({sql::Value(n), sql::Value(n / 64)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::hash_join(bronze, nodes, {"node_id"}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bronze.num_rows()));
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_ColumnarWrite(benchmark::State& state) {
+  const auto& bronze = bronze_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::write_columnar(bronze));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bronze.num_rows()));
+}
+BENCHMARK(BM_ColumnarWrite);
+
+void BM_ColumnarRead(benchmark::State& state) {
+  const auto blob = storage::write_columnar(bronze_sample());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::read_columnar(blob));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_ColumnarRead);
+
+void BM_ColumnarReadProjected(benchmark::State& state) {
+  const auto blob = storage::write_columnar(bronze_sample());
+  storage::ReadOptions opts;
+  opts.columns = {"time", "value"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::read_columnar(blob, opts));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_ColumnarReadProjected);
+
+void BM_LzCompress(benchmark::State& state) {
+  std::vector<std::uint8_t> data;
+  common::Rng rng(5);
+  for (int i = 0; i < 1 << 18; ++i) {
+    data.push_back(static_cast<std::uint8_t>(rng.bernoulli(0.7) ? 'A' + (i % 7) : rng.next() & 0xff));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::lz_compress(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_LzCompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Table II: considerations from the advisory chain. Walks a population
+// of data-usage requests of each kind through the chain and reports
+// per-consideration decisions, approval rates and turnaround times —
+// quantifying the paper's claim that a standard review process
+// "accelerates empowerment" rather than blocking it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "governance/advisory.hpp"
+
+int main() {
+  using namespace oda;
+  using governance::Consideration;
+  using governance::RequestKind;
+
+  bench::header("Table II -- the advisory chain",
+                "Table II + Sec IX-A",
+                "every request clears the chain serially; internal projects skip Legal/IRB and "
+                "clear fastest; public releases clear the full chain");
+
+  bench::section("the five considerations");
+  for (std::size_t i = 0; i < governance::kNumConsiderations; ++i) {
+    const auto c = static_cast<Consideration>(i);
+    std::printf("%-16s %s\n", governance::consideration_name(c),
+                governance::consideration_description(c));
+  }
+
+  governance::DataRuc ruc(governance::AdvisoryChainConfig{}, common::Rng(11));
+  const RequestKind kinds[] = {RequestKind::kInternalProject, RequestKind::kExternalCollaboration,
+                               RequestKind::kPublicRelease};
+  for (int i = 0; i < 120; ++i) {
+    const RequestKind kind = kinds[i % 3];
+    const auto id = ruc.submit(kind, "staff" + std::to_string(i % 9),
+                               {"silver/power/Compass"}, "energy efficiency study",
+                               static_cast<common::TimePoint>(i) * common::kHour);
+    ruc.process(id);
+  }
+
+  bench::section("request outcomes by kind");
+  std::printf("%-26s %10s %10s %14s\n", "kind", "resolved", "rejected", "mean turnaround");
+  for (const RequestKind kind : kinds) {
+    std::size_t provisioned = 0, rejected = 0;
+    for (const auto* r : ruc.all_requests()) {
+      if (r->kind != kind) continue;
+      if (r->state == governance::RequestState::kProvisioned) ++provisioned;
+      if (r->state == governance::RequestState::kRejected) ++rejected;
+    }
+    std::printf("%-26s %10zu %10zu %14s\n", governance::request_kind_name(kind), provisioned,
+                rejected, common::format_duration(ruc.mean_turnaround(kind)).c_str());
+  }
+
+  bench::section("per-consideration decisions across all requests");
+  std::size_t approved[governance::kNumConsiderations] = {};
+  std::size_t denied[governance::kNumConsiderations] = {};
+  for (const auto* r : ruc.all_requests()) {
+    for (const auto& d : r->decisions) {
+      const auto i = static_cast<std::size_t>(d.consideration);
+      if (d.approved) {
+        ++approved[i];
+      } else {
+        ++denied[i];
+      }
+    }
+  }
+  std::printf("%-16s %10s %10s\n", "consideration", "approved", "rejected");
+  for (std::size_t i = 0; i < governance::kNumConsiderations; ++i) {
+    std::printf("%-16s %10zu %10zu\n",
+                governance::consideration_name(static_cast<Consideration>(i)), approved[i],
+                denied[i]);
+  }
+  std::printf("\ntotals: %zu provisioned, %zu rejected (the chain approves the overwhelming "
+              "majority while catching policy risks early)\n",
+              ruc.approved_count(), ruc.rejected_count());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared helpers for the per-figure bench/report binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/framework.hpp"
+#include "telemetry/spec.hpp"
+
+namespace oda::bench {
+
+inline void header(const char* experiment, const char* paper_ref, const char* claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper: %s\n", paper_ref);
+  std::printf("  expected shape: %s\n", claim);
+  std::printf("==============================================================================\n");
+}
+
+inline void section(const char* title) { std::printf("\n--- %s ---\n", title); }
+
+/// A small standard facility: Compass at 1%% scale with busy scheduling,
+/// canonical pipelines registered. Callers advance() as needed.
+struct StandardRig {
+  core::OdaFramework fw;
+  telemetry::FacilitySimulator* sys = nullptr;
+
+  explicit StandardRig(double scale = 0.01, double jobs_per_hour = 240.0,
+                       double mean_job_hours = 0.25) {
+    telemetry::SimulatorConfig cfg;
+    cfg.scheduler.arrival_rate_per_hour = jobs_per_hour;
+    cfg.scheduler.mean_duration_hours = mean_job_hours;
+    sys = &fw.add_system(telemetry::compass_spec(scale), cfg);
+    fw.register_query(fw.make_bronze_to_silver_power("Compass"));
+    fw.register_query(fw.make_silver_to_lake("Compass", "node.power_w", "node_power_w"));
+  }
+};
+
+}  // namespace oda::bench

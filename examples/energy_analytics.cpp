@@ -1,0 +1,115 @@
+// Energy analytics scenario (Sec VII-B LVA + Sec VIII Fig 10): build the
+// Silver power dataset, query it interactively through LVA, then train
+// the neural job power-profile classifier and print the cluster map.
+//
+//   ./energy_analytics
+#include <cstdio>
+
+#include "apps/heatmap.hpp"
+#include "apps/lva.hpp"
+#include "apps/rats_report.hpp"
+#include "sql/ops.hpp"
+#include "common/stats.hpp"
+#include "core/campaign.hpp"
+#include "core/framework.hpp"
+#include "ml/profile_classifier.hpp"
+#include "telemetry/spec.hpp"
+
+int main() {
+  using namespace oda;
+
+  core::OdaFramework fw;
+  telemetry::SimulatorConfig cfg;
+  cfg.scheduler.arrival_rate_per_hour = 300.0;
+  cfg.scheduler.mean_duration_hours = 0.25;
+  auto& sys = fw.add_system(telemetry::compass_spec(0.01), cfg);
+
+  fw.register_query(fw.make_bronze_to_silver_power("Compass"));
+  fw.register_query(fw.make_silver_to_lake("Compass", "node.power_w", "node_power_w"));
+  fw.register_query(fw.make_bronze_archiver("Compass"));
+
+  std::printf("streaming 90 facility-minutes of telemetry...\n");
+  fw.advance(90 * common::kMinute);
+  // Flush buffered OCEAN objects so LVA sees the Silver dataset.
+  for (auto& q : fw.queries()) q->finalize();
+
+  // --- data exploration campaign over the frozen Bronze (Sec VI) --------
+  core::ExplorationCampaign campaign(fw.ocean());
+  const auto discovery = campaign.explore("bronze/power/Compass");
+  campaign.document(discovery, fw.dictionary());
+  std::printf("\n=== exploration campaign over bronze/power/Compass ===\n");
+  std::printf("scanned %zu rows in %zu objects; discovered %zu sensor streams\n",
+              discovery.rows_scanned, discovery.objects_scanned, discovery.streams.size());
+  std::printf("recommended Silver window: %s  (bronze %.0f rows/h -> silver %.0f rows/h, %.0fx)\n",
+              common::format_duration(discovery.recommended_window).c_str(),
+              discovery.bronze_rows_per_hour, discovery.silver_rows_per_hour,
+              discovery.row_reduction());
+  std::printf("data dictionary completeness after campaign: %.0f%% (SME/vendor loop still owed)\n",
+              100.0 * fw.dictionary().completeness("bronze/power/Compass"));
+
+  // --- LVA: interactive query over the Silver dataset -------------------
+  apps::Lva lva(fw.ocean(), "silver/power/Compass", "bronze/power/Compass");
+  apps::LvaQuery query;
+  query.t0 = 10 * common::kMinute;
+  query.t1 = 80 * common::kMinute;
+  query.bucket = 5 * common::kMinute;
+
+  common::Stopwatch sw;
+  const auto silver = lva.query_silver(query);
+  const double silver_ms = sw.elapsed_ms();
+  sw.reset();
+  const auto bronze = lva.query_bronze(query);
+  const double bronze_ms = sw.elapsed_ms();
+
+  std::printf("\n=== LVA interactive query (5-min buckets over 70 min) ===\n");
+  std::printf("silver path: %.1f ms (%zu objects, %s scanned)\n", silver_ms, silver.objects_read,
+              common::format_bytes(static_cast<double>(silver.bytes_scanned)).c_str());
+  std::printf("bronze path: %.1f ms (%zu objects, %s scanned)  -> %.1fx slower\n", bronze_ms,
+              bronze.objects_read, common::format_bytes(static_cast<double>(bronze.bytes_scanned)).c_str(),
+              bronze_ms / std::max(0.001, silver_ms));
+  std::printf("%s", sql::limit(silver.series, 6).to_string().c_str());
+
+  // --- system view (Fig 8 left panel): live power heatmap ---------------
+  apps::SystemHeatmap heatmap(sys.spec(), fw.lake());
+  apps::HeatmapOptions hopts;
+  hopts.columns = 16;  // 16 columns x 8 slots for the 128 nodes
+  std::printf("\n=== system view: node power heatmap (live) ===\n%s",
+              heatmap.render_ascii(hopts).c_str());
+  const std::string svg = heatmap.render_svg(hopts);
+  std::printf("(SVG artifact: %zu bytes; write it to a file to share the view)\n", svg.size());
+
+  // --- energy accounting per project (energy-efficiency thrust) ----------
+  apps::RatsReport rats(sys.scheduler().allocation_log());
+  const auto energy = rats.project_energy(fw.lake(), sys.scheduler().node_allocation_log());
+  std::printf("\n=== measured energy by project ===\n%s",
+              sql::limit(energy, 6).to_string().c_str());
+
+  // --- Fig 10: job power-profile classification --------------------------
+  const auto profiles = fw.extract_job_profiles("Compass", 8);
+  std::printf("\n=== job power-profile classification (%zu finished jobs) ===\n", profiles.size());
+  if (profiles.size() < 12) {
+    std::printf("not enough finished jobs for clustering; run longer\n");
+    return 0;
+  }
+  ml::ProfileClassifierConfig pc_cfg;
+  pc_cfg.clusters = 6;
+  ml::ProfileClassifier classifier(pc_cfg);
+  const double loss = classifier.fit(profiles, /*seed=*/2024);
+  std::printf("autoencoder reconstruction loss: %.4f, purity vs planted archetypes: %.2f\n", loss,
+              classifier.purity(profiles));
+  for (const auto& c : classifier.summarize(profiles)) {
+    if (c.population == 0) continue;
+    // Render the mean profile shape as a tiny sparkline.
+    std::string spark;
+    static const char* kBlocks[] = {" ", ".", ":", "-", "=", "#"};
+    for (std::size_t i = 0; i < c.mean_shape.size(); i += 8) {
+      const int level = std::min(5, static_cast<int>(c.mean_shape[i] * 6.0));
+      spark += kBlocks[level];
+    }
+    std::printf("cluster %zu: population %4zu  majority=%s (%.0f%%)  shape [%s]\n", c.cluster,
+                c.population,
+                telemetry::archetype_name(static_cast<telemetry::JobArchetype>(c.majority_archetype)),
+                100.0 * c.majority_fraction, spark.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "apps/copacetic.hpp"
+
+namespace oda::apps {
+
+using telemetry::LogEvent;
+using telemetry::Severity;
+
+bool Copacetic::matches(const SecurityRule& r, const LogEvent& ev) const {
+  if (static_cast<int>(ev.severity) < static_cast<int>(r.min_severity)) return false;
+  if (!r.subsystem.empty() && ev.subsystem != r.subsystem) return false;
+  return true;
+}
+
+std::vector<SecurityAlert> Copacetic::process(const std::vector<LogEvent>& events,
+                                              const telemetry::JobScheduler* scheduler) {
+  std::vector<SecurityAlert> alerts;
+  for (const auto& ev : events) {
+    ++events_seen_;
+    for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+      const SecurityRule& rule = rules_[ri];
+      if (!matches(rule, ev)) continue;
+
+      WindowState& ws = state_[{ri, ev.node_id}];
+      ws.hits.push_back(ev.timestamp);
+      while (!ws.hits.empty() && ws.hits.front() < ev.timestamp - rule.window) ws.hits.pop_front();
+
+      if (ws.hits.size() < rule.count_threshold) continue;
+      if (ev.timestamp < ws.suppressed_until) continue;
+
+      const telemetry::Job* job = nullptr;
+      if (rule.require_active_job) {
+        if (!scheduler) continue;
+        job = scheduler->job_on_node(ev.node_id, ev.timestamp);
+        if (!job) continue;
+      }
+
+      SecurityAlert a;
+      a.time = ev.timestamp;
+      a.rule = rule.name;
+      a.node_id = ev.node_id;
+      a.count = ws.hits.size();
+      a.job_id = job ? job->job_id : -1;
+      alerts.push_back(std::move(a));
+      ++alerts_fired_;
+      ws.suppressed_until = ev.timestamp + rule.window;  // cooldown to avoid alert storms
+    }
+  }
+  return alerts;
+}
+
+std::vector<SecurityAlert> Copacetic::process_table(const sql::Table& events,
+                                                    const telemetry::JobScheduler* scheduler) {
+  std::vector<LogEvent> evs;
+  evs.reserve(events.num_rows());
+  for (std::size_t r = 0; r < events.num_rows(); ++r) {
+    LogEvent ev;
+    ev.timestamp = events.column("time").int_at(r);
+    ev.node_id = static_cast<std::uint32_t>(events.column("node_id").int_at(r));
+    const std::string& sev = events.column("severity").str_at(r);
+    ev.severity = sev == "critical"  ? Severity::kCritical
+                  : sev == "error"   ? Severity::kError
+                  : sev == "warning" ? Severity::kWarning
+                                     : Severity::kInfo;
+    ev.subsystem = events.column("subsystem").str_at(r);
+    ev.message = events.column("message").str_at(r);
+    evs.push_back(std::move(ev));
+  }
+  return process(evs, scheduler);
+}
+
+}  // namespace oda::apps

@@ -1,0 +1,70 @@
+// Copacetic (Sec VII-B): in-house security analytics over the real-time
+// event feed. Rules detect "specific combinations of network
+// availability, system state, and user behavior" — here: sliding-window
+// counts of severity/subsystem patterns per node, plus cross-stream
+// rules that require a job to be active on the node.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sql/table.hpp"
+#include "telemetry/codec.hpp"
+#include "telemetry/job.hpp"
+
+namespace oda::apps {
+
+struct SecurityRule {
+  std::string name;
+  telemetry::Severity min_severity = telemetry::Severity::kError;
+  std::string subsystem;         ///< empty = any subsystem
+  std::size_t count_threshold = 5;
+  common::Duration window = 5 * common::kMinute;
+  bool require_active_job = false;  ///< only alert when a job occupies the node
+};
+
+struct SecurityAlert {
+  common::TimePoint time = 0;
+  std::string rule;
+  std::uint32_t node_id = 0;
+  std::size_t count = 0;
+  std::int64_t job_id = -1;  ///< active job, when relevant
+};
+
+class Copacetic {
+ public:
+  void add_rule(SecurityRule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<SecurityRule>& rules() const { return rules_; }
+
+  /// Feed a batch of events (time-ordered); returns alerts fired by this
+  /// batch. `scheduler` provides the job-context stream join (may be
+  /// null when no rule requires it).
+  std::vector<SecurityAlert> process(const std::vector<telemetry::LogEvent>& events,
+                                     const telemetry::JobScheduler* scheduler = nullptr);
+
+  /// Same, from a log_event_schema() table (pipeline integration).
+  std::vector<SecurityAlert> process_table(const sql::Table& events,
+                                           const telemetry::JobScheduler* scheduler = nullptr);
+
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t alerts_fired() const { return alerts_fired_; }
+
+ private:
+  struct WindowState {
+    std::deque<common::TimePoint> hits;
+    common::TimePoint suppressed_until = 0;  ///< per (rule,node) alert cooldown
+  };
+  bool matches(const SecurityRule& r, const telemetry::LogEvent& ev) const;
+
+  std::vector<SecurityRule> rules_;
+  /// (rule index, node) -> sliding window.
+  std::map<std::pair<std::size_t, std::uint32_t>, WindowState> state_;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t alerts_fired_ = 0;
+};
+
+}  // namespace oda::apps

@@ -1,0 +1,119 @@
+#include "apps/health_dashboard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace oda::apps {
+
+const char* health_status_name(HealthStatus s) {
+  switch (s) {
+    case HealthStatus::kOk: return "OK";
+    case HealthStatus::kWarning: return "WARN";
+    case HealthStatus::kCritical: return "CRIT";
+  }
+  return "?";
+}
+
+HealthDashboard::HealthDashboard(const storage::TimeSeriesDb& lake, HealthThresholds thresholds)
+    : lake_(lake), thresholds_(thresholds) {}
+
+HealthPanel HealthDashboard::metric_panel(const std::string& metric, const std::string& display,
+                                          const std::string& unit, double warn, double crit,
+                                          bool use_max) const {
+  HealthPanel panel;
+  panel.name = display;
+  panel.unit = unit;
+  const auto latest = lake_.latest(metric);
+  if (latest.num_rows() == 0) {
+    panel.detail = "no data";
+    return panel;
+  }
+  double worst = 0.0;
+  double sum = 0.0;
+  std::string worst_entity;
+  const std::size_t value_col = latest.col_index("value");
+  for (std::size_t r = 0; r < latest.num_rows(); ++r) {
+    const double v = latest.column(value_col).double_at(r);
+    sum += v;
+    if (v > worst) {
+      worst = v;
+      // First tag column (after time/metric) identifies the entity.
+      worst_entity = latest.num_columns() > 3 ? latest.column(2).get(r).to_string() : "";
+    }
+  }
+  panel.value = use_max ? worst : sum / static_cast<double>(latest.num_rows());
+  if (panel.value >= crit) {
+    panel.status = HealthStatus::kCritical;
+  } else if (panel.value >= warn) {
+    panel.status = HealthStatus::kWarning;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %.1f %s across %zu series%s%s",
+                use_max ? "worst" : "mean", panel.value, unit.c_str(),
+                static_cast<std::size_t>(latest.num_rows()),
+                worst_entity.empty() ? "" : ", hotspot: ", worst_entity.c_str());
+  panel.detail = buf;
+  return panel;
+}
+
+std::vector<HealthPanel> HealthDashboard::evaluate() const {
+  std::vector<HealthPanel> panels;
+  panels.push_back(metric_panel("node_power_w", "node power", "W", thresholds_.node_power_warn_w,
+                                thresholds_.node_power_crit_w, /*use_max=*/true));
+  panels.push_back(metric_panel("gpu_temp_c", "GPU thermals", "C", thresholds_.gpu_temp_warn_c,
+                                thresholds_.gpu_temp_crit_c, true));
+  panels.push_back(metric_panel("ost_latency_ms", "filesystem latency", "ms",
+                                thresholds_.ost_latency_warn_ms, thresholds_.ost_latency_crit_ms,
+                                true));
+  panels.push_back(metric_panel("switch_stall_pct", "fabric congestion", "%",
+                                thresholds_.switch_stall_warn_pct,
+                                thresholds_.switch_stall_crit_pct, true));
+
+  // Fleet power (sum over nodes) is informational: always OK.
+  const auto latest = lake_.latest("node_power_w");
+  HealthPanel fleet;
+  fleet.name = "fleet IT power";
+  fleet.unit = "kW";
+  if (latest.num_rows() > 0) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < latest.num_rows(); ++r) {
+      sum += latest.column("value").double_at(r);
+    }
+    fleet.value = sum / 1e3;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%zu nodes reporting", static_cast<std::size_t>(latest.num_rows()));
+    fleet.detail = buf;
+  } else {
+    fleet.detail = "no data";
+  }
+  panels.push_back(fleet);
+  return panels;
+}
+
+HealthStatus HealthDashboard::overall() const {
+  HealthStatus worst = HealthStatus::kOk;
+  for (const auto& p : evaluate()) {
+    if (static_cast<int>(p.status) > static_cast<int>(worst)) worst = p.status;
+  }
+  return worst;
+}
+
+std::string HealthDashboard::render() const {
+  std::ostringstream os;
+  const auto panels = evaluate();
+  HealthStatus worst = HealthStatus::kOk;
+  for (const auto& p : panels) {
+    if (static_cast<int>(p.status) > static_cast<int>(worst)) worst = p.status;
+  }
+  os << "SYSTEM HEALTH [" << health_status_name(worst) << "]\n";
+  for (const auto& p : panels) {
+    char line[192];
+    std::snprintf(line, sizeof(line), "  %-22s %-5s %10.1f %-4s  %s\n", p.name.c_str(),
+                  health_status_name(p.status), p.value, p.unit.c_str(), p.detail.c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace oda::apps

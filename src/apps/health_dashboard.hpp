@@ -1,0 +1,65 @@
+// System-health dashboard for the System Management area (Table I row 1:
+// "system performance, stability and reliability ensurance") — the
+// at-a-glance fleet state a console operator watches: power envelope,
+// thermal headroom, fabric congestion, filesystem pressure, node health,
+// with threshold-based status rollups.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sql/table.hpp"
+#include "storage/tsdb.hpp"
+
+namespace oda::apps {
+
+enum class HealthStatus { kOk, kWarning, kCritical };
+const char* health_status_name(HealthStatus s);
+
+struct HealthPanel {
+  std::string name;
+  HealthStatus status = HealthStatus::kOk;
+  double value = 0.0;
+  std::string unit;
+  std::string detail;
+};
+
+struct HealthThresholds {
+  double node_power_warn_w = 3500.0;
+  double node_power_crit_w = 4500.0;
+  double gpu_temp_warn_c = 75.0;
+  double gpu_temp_crit_c = 88.0;
+  double ost_latency_warn_ms = 20.0;
+  double ost_latency_crit_ms = 60.0;
+  double switch_stall_warn_pct = 30.0;
+  double switch_stall_crit_pct = 70.0;
+};
+
+/// Computes the dashboard from LAKE metrics. Metrics are the standard
+/// framework projections: node_power_w, gpu_temp_c (max projection),
+/// plus optional ost_latency_ms / switch_stall_pct when those pipelines
+/// are registered; absent metrics render as OK/no-data panels.
+class HealthDashboard {
+ public:
+  HealthDashboard(const storage::TimeSeriesDb& lake, HealthThresholds thresholds = {});
+
+  /// Evaluate all panels at the LAKE's current state.
+  std::vector<HealthPanel> evaluate() const;
+
+  /// Worst status across panels (the "top bar" light).
+  HealthStatus overall() const;
+
+  /// Render the dashboard as fixed-width text (console view).
+  std::string render() const;
+
+ private:
+  HealthPanel metric_panel(const std::string& metric, const std::string& display,
+                           const std::string& unit, double warn, double crit,
+                           bool use_max) const;
+
+  const storage::TimeSeriesDb& lake_;
+  HealthThresholds thresholds_;
+};
+
+}  // namespace oda::apps

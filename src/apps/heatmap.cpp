@@ -1,0 +1,124 @@
+#include "apps/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace oda::apps {
+
+SystemHeatmap::SystemHeatmap(const telemetry::SystemSpec& spec, const storage::TimeSeriesDb& lake)
+    : spec_(spec), lake_(lake) {}
+
+std::vector<double> SystemHeatmap::snapshot(const std::string& metric) const {
+  std::vector<double> values(spec_.total_nodes(), std::numeric_limits<double>::quiet_NaN());
+  const auto latest = lake_.latest(metric);
+  if (latest.num_rows() == 0 || !latest.schema().contains("node_id")) return values;
+  for (std::size_t r = 0; r < latest.num_rows(); ++r) {
+    if (latest.column("node_id").is_null(r)) continue;
+    // Tag values are stored as strings.
+    const std::string& id_str = latest.column("node_id").str_at(r);
+    char* end = nullptr;
+    const long id = std::strtol(id_str.c_str(), &end, 10);
+    if (end == id_str.c_str() || id < 0 || static_cast<std::size_t>(id) >= values.size()) continue;
+    values[static_cast<std::size_t>(id)] = latest.column("value").double_at(r);
+  }
+  return values;
+}
+
+SystemHeatmap::Grid SystemHeatmap::build(const HeatmapOptions& opts) const {
+  Grid g;
+  g.values = snapshot(opts.metric);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : g.values) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  g.lo = opts.scale_max > opts.scale_min ? opts.scale_min : lo;
+  g.hi = opts.scale_max > opts.scale_min ? opts.scale_max : std::max(hi, g.lo + 1e-9);
+  return g;
+}
+
+std::string SystemHeatmap::render_ascii(const HeatmapOptions& opts) const {
+  const Grid g = build(opts);
+  static const char* kRamp = " .:-=+*#%@";
+  const std::size_t cabinets =
+      opts.columns ? opts.columns : std::max<std::size_t>(1, spec_.cabinets);
+  const std::size_t per_cabinet = (g.values.size() + cabinets - 1) / cabinets;
+
+  std::ostringstream os;
+  os << opts.metric << " [" << g.lo << " .. " << g.hi << "]  (rows = cabinet slots)\n";
+  for (std::size_t slot = 0; slot < per_cabinet; ++slot) {
+    for (std::size_t cab = 0; cab < cabinets; ++cab) {
+      const std::size_t node = cab * per_cabinet + slot;
+      if (node >= g.values.size()) {
+        os << ' ';
+        continue;
+      }
+      const double v = g.values[node];
+      if (std::isnan(v)) {
+        os << '?';
+        continue;
+      }
+      const double frac = std::clamp((v - g.lo) / (g.hi - g.lo), 0.0, 1.0);
+      os << kRamp[static_cast<std::size_t>(frac * 9.0)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string SystemHeatmap::render_svg(const HeatmapOptions& opts) const {
+  const Grid g = build(opts);
+  const std::size_t cabinets =
+      opts.columns ? opts.columns : std::max<std::size_t>(1, spec_.cabinets);
+  const std::size_t per_cabinet = (g.values.size() + cabinets - 1) / cabinets;
+  constexpr int kCell = 10, kGap = 1, kMargin = 28;
+  const int width = kMargin * 2 + static_cast<int>(cabinets) * (kCell + kGap);
+  const int height = kMargin * 2 + static_cast<int>(per_cabinet) * (kCell + kGap);
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\"" << height
+     << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"#101418\"/>\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%d\" y=\"18\" fill=\"#d0d6dd\" font-family=\"monospace\" "
+                "font-size=\"12\">%s  [%.1f .. %.1f]</text>\n",
+                kMargin, opts.metric.c_str(), g.lo, g.hi);
+  os << buf;
+  for (std::size_t node = 0; node < g.values.size(); ++node) {
+    const std::size_t cab = node / per_cabinet;
+    const std::size_t slot = node % per_cabinet;
+    const int x = kMargin + static_cast<int>(cab) * (kCell + kGap);
+    const int y = kMargin + static_cast<int>(slot) * (kCell + kGap);
+    const double v = g.values[node];
+    if (std::isnan(v)) {
+      std::snprintf(buf, sizeof(buf),
+                    "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#333\"/>\n", x, y,
+                    kCell, kCell);
+      os << buf;
+      continue;
+    }
+    const double frac = std::clamp((v - g.lo) / (g.hi - g.lo), 0.0, 1.0);
+    // Blue (cool) -> red (hot) ramp.
+    const int red = static_cast<int>(40 + 215 * frac);
+    const int blue = static_cast<int>(255 - 215 * frac);
+    std::snprintf(buf, sizeof(buf),
+                  "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"rgb(%d,60,%d)\">"
+                  "<title>node %zu: %.1f</title></rect>\n",
+                  x, y, kCell, kCell, red, blue, node, v);
+    os << buf;
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace oda::apps

@@ -1,0 +1,49 @@
+// System-view heatmaps: the "system view" panel of LVA (Fig 8, left) and
+// the visual-model role of ExaDigiT's module (3), rendered without a GPU
+// stack — a cabinet/node grid colored by any LAKE metric, emitted as
+// ANSI terminal art or standalone SVG.
+#pragma once
+
+#include <string>
+
+#include "storage/tsdb.hpp"
+#include "telemetry/spec.hpp"
+
+namespace oda::apps {
+
+struct HeatmapOptions {
+  std::string metric = "node_power_w";
+  double scale_min = 0.0;   ///< value mapped to the coolest color
+  double scale_max = 0.0;   ///< 0 = auto from data
+  std::size_t columns = 0;  ///< grid width; 0 = one column per cabinet
+};
+
+/// Per-node snapshot of a metric arranged by the system's physical
+/// cabinet × slot layout.
+class SystemHeatmap {
+ public:
+  SystemHeatmap(const telemetry::SystemSpec& spec, const storage::TimeSeriesDb& lake);
+
+  /// Render the latest values as terminal art: one glyph per node,
+  /// cabinets as columns, intensity ramp " .:-=+*#%@".
+  std::string render_ascii(const HeatmapOptions& opts = {}) const;
+
+  /// Render as a standalone SVG document (one rect per node, a
+  /// blue→red ramp, legend with min/max) — the shareable artifact.
+  std::string render_svg(const HeatmapOptions& opts = {}) const;
+
+  /// The underlying snapshot: value per node id (NaN where missing).
+  std::vector<double> snapshot(const std::string& metric) const;
+
+ private:
+  struct Grid {
+    std::vector<double> values;  ///< indexed by node id
+    double lo = 0.0, hi = 1.0;
+  };
+  Grid build(const HeatmapOptions& opts) const;
+
+  telemetry::SystemSpec spec_;
+  const storage::TimeSeriesDb& lake_;
+};
+
+}  // namespace oda::apps

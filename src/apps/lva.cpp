@@ -1,0 +1,76 @@
+#include "apps/lva.hpp"
+
+#include "sql/agg.hpp"
+#include "sql/expr.hpp"
+#include "sql/ops.hpp"
+#include "storage/columnar.hpp"
+
+namespace oda::apps {
+
+using sql::AggKind;
+using sql::AggSpec;
+using sql::Table;
+using sql::Value;
+
+Lva::Lva(const storage::ObjectStore& ocean, std::string silver_dataset, std::string bronze_dataset)
+    : ocean_(ocean), silver_dataset_(std::move(silver_dataset)), bronze_dataset_(std::move(bronze_dataset)) {}
+
+LvaResult Lva::query_silver(const LvaQuery& q) const {
+  LvaResult res;
+  std::vector<Table> parts;
+  for (const auto& meta : ocean_.list(silver_dataset_)) {
+    auto blob = ocean_.get(meta.key);
+    if (!blob) continue;
+    storage::ReadOptions opts;
+    opts.columns = {"window_start", "sensor", "mean_value"};
+    opts.filter = storage::RowGroupFilter{"window_start", q.t0, q.t1 - 1};
+    Table t = storage::read_columnar(*blob, opts);
+    res.bytes_scanned += blob->size();
+    if (t.num_rows() == 0) {
+      ++res.objects_skipped;
+      continue;
+    }
+    ++res.objects_read;
+    parts.push_back(std::move(t));
+  }
+  if (parts.empty()) return res;
+  Table all = sql::concat(parts);
+  all = sql::filter(all, sql::col("window_start") >= sql::lit(Value(q.t0)) &&
+                             sql::col("window_start") < sql::lit(Value(q.t1)) &&
+                             sql::col("sensor") == sql::lit(Value("node.power_w")));
+  const std::vector<std::string> no_keys;
+  const std::vector<AggSpec> aggs{{"mean_value", AggKind::kMean, "mean_power_w"},
+                                  {"mean_value", AggKind::kMax, "max_power_w"}};
+  res.series = sql::sort_by(
+      sql::window_aggregate(all, "window_start", q.bucket, no_keys, aggs, "bucket"),
+      {{"bucket", true}});
+  return res;
+}
+
+LvaResult Lva::query_bronze(const LvaQuery& q) const {
+  LvaResult res;
+  std::vector<Table> parts;
+  for (const auto& meta : ocean_.list(bronze_dataset_)) {
+    auto blob = ocean_.get(meta.key);
+    if (!blob) continue;
+    res.bytes_scanned += blob->size();
+    // No projection, no pushdown: the raw path decodes everything.
+    Table t = storage::read_columnar(*blob);
+    ++res.objects_read;
+    parts.push_back(std::move(t));
+  }
+  if (parts.empty()) return res;
+  Table all = sql::concat(parts);
+  all = sql::filter(all, sql::col("time") >= sql::lit(Value(q.t0)) &&
+                             sql::col("time") < sql::lit(Value(q.t1)) &&
+                             sql::col("sensor") == sql::lit(Value("node.power_w")));
+  const std::vector<std::string> no_keys;
+  const std::vector<AggSpec> aggs{{"value", AggKind::kMean, "mean_power_w"},
+                                  {"value", AggKind::kMax, "max_power_w"}};
+  res.series =
+      sql::sort_by(sql::window_aggregate(all, "time", q.bucket, no_keys, aggs, "bucket"),
+                   {{"bucket", true}});
+  return res;
+}
+
+}  // namespace oda::apps

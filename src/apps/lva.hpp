@@ -1,0 +1,52 @@
+// Live Visual Analytics (Fig 8): near-real-time, low-latency interactive
+// queries over years of power/thermal profile data. The enabling trick
+// per the paper: "a specialized data refinement pipeline that delivers
+// contextualized job power profiles, which vastly reduces the amount of
+// processing required in interactive queries".
+//
+// Two query paths expose exactly that trade:
+//   - query_silver(): reads precomputed Silver aggregates from OCEAN with
+//     column projection + row-group timestamp pushdown (interactive).
+//   - query_bronze(): scans raw Bronze observations and aggregates on
+//     the fly (what the UI would have to do without the pipeline).
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+#include "sql/table.hpp"
+#include "storage/object_store.hpp"
+
+namespace oda::apps {
+
+struct LvaQuery {
+  common::TimePoint t0 = 0;
+  common::TimePoint t1 = INT64_MAX;
+  common::Duration bucket = 15 * common::kMinute;  ///< UI zoom level
+};
+
+struct LvaResult {
+  sql::Table series;          ///< (bucket, mean/max power)
+  std::size_t objects_read = 0;
+  std::size_t objects_skipped = 0;  ///< pruned by row-group stats
+  std::size_t bytes_scanned = 0;
+};
+
+class Lva {
+ public:
+  Lva(const storage::ObjectStore& ocean, std::string silver_dataset, std::string bronze_dataset);
+
+  /// Interactive path over Silver (expects columns window_start /
+  /// mean_value aggregated per node per window).
+  LvaResult query_silver(const LvaQuery& q) const;
+
+  /// Raw path over Bronze (time, node_id, sensor, value).
+  LvaResult query_bronze(const LvaQuery& q) const;
+
+ private:
+  const storage::ObjectStore& ocean_;
+  std::string silver_dataset_;
+  std::string bronze_dataset_;
+};
+
+}  // namespace oda::apps

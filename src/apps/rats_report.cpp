@@ -1,0 +1,152 @@
+#include "apps/rats_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sql/agg.hpp"
+#include "sql/expr.hpp"
+#include "sql/ops.hpp"
+
+namespace oda::apps {
+
+using sql::AggKind;
+using sql::AggSpec;
+using sql::DataType;
+using sql::Table;
+using sql::Value;
+
+RatsReport::RatsReport(Table allocation_log) : log_(std::move(allocation_log)) {}
+
+Table RatsReport::clipped_usage(common::TimePoint t0, common::TimePoint t1) const {
+  Table out{sql::Schema{{"project", DataType::kString},
+                        {"user", DataType::kString},
+                        {"archetype", DataType::kString},
+                        {"node_hours", DataType::kFloat64},
+                        {"gpu_node_hours", DataType::kFloat64},
+                        {"cpu_node_hours", DataType::kFloat64},
+                        {"wait_s", DataType::kFloat64},
+                        {"runtime_s", DataType::kFloat64}}};
+  for (std::size_t r = 0; r < log_.num_rows(); ++r) {
+    if (log_.column("start_time").is_null(r)) continue;  // never started
+    const std::int64_t start = log_.column("start_time").int_at(r);
+    const std::int64_t end = log_.column("end_time").int_at(r);
+    const std::int64_t lo = std::max<std::int64_t>(start, t0);
+    const std::int64_t hi = std::min<std::int64_t>(end, t1);
+    if (hi <= lo) continue;
+    const double hours = common::to_seconds(hi - lo) / 3600.0;
+    const double nh = hours * static_cast<double>(log_.column("num_nodes").int_at(r));
+    const bool gpu = log_.column("uses_gpu").bool_at(r);
+    const double wait_s = common::to_seconds(start - log_.column("submit_time").int_at(r));
+    out.append_row({log_.column("project").get(r), log_.column("user").get(r),
+                    log_.column("archetype").get(r), Value(nh), Value(gpu ? nh : 0.0),
+                    Value(gpu ? 0.0 : nh), Value(wait_s), Value(common::to_seconds(end - start))});
+  }
+  return out;
+}
+
+Table RatsReport::project_usage(common::TimePoint t0, common::TimePoint t1) const {
+  const Table usage = clipped_usage(t0, t1);
+  Table grouped = sql::group_by(usage, {"project"},
+                                {AggSpec{"node_hours", AggKind::kCount, "jobs"},
+                                 AggSpec{"node_hours", AggKind::kSum, "node_hours"},
+                                 AggSpec{"gpu_node_hours", AggKind::kSum, "gpu_node_hours"},
+                                 AggSpec{"cpu_node_hours", AggKind::kSum, "cpu_node_hours"}});
+  return sql::sort_by(grouped, {{"node_hours", false}});
+}
+
+Table RatsReport::burn_rate(const std::map<std::string, double>& allocations,
+                            common::TimePoint now) const {
+  const Table usage = project_usage(0, now);
+  Table out{sql::Schema{{"project", DataType::kString},
+                        {"allocation_nh", DataType::kFloat64},
+                        {"used_nh", DataType::kFloat64},
+                        {"burn_pct", DataType::kFloat64},
+                        {"projected_exhaustion_day", DataType::kFloat64}}};
+  const double elapsed_days = std::max(1e-9, common::to_seconds(now) / 86400.0);
+  for (const auto& [project, granted] : allocations) {
+    double used = 0.0;
+    for (std::size_t r = 0; r < usage.num_rows(); ++r) {
+      if (usage.column("project").str_at(r) == project) {
+        used = usage.column("node_hours").double_at(r);
+        break;
+      }
+    }
+    const double burn_pct = granted > 0 ? 100.0 * used / granted : 0.0;
+    const double rate_per_day = used / elapsed_days;
+    const double days_to_exhaust = rate_per_day > 1e-9 ? granted / rate_per_day : 1e9;
+    out.append_row({Value(project), Value(granted), Value(used), Value(burn_pct),
+                    Value(days_to_exhaust)});
+  }
+  return sql::sort_by(out, {{"burn_pct", false}});
+}
+
+Table RatsReport::user_activity() const {
+  const Table usage = clipped_usage(0, INT64_MAX);
+  Table grouped = sql::group_by(usage, {"user"},
+                                {AggSpec{"node_hours", AggKind::kCount, "jobs"},
+                                 AggSpec{"node_hours", AggKind::kSum, "node_hours"}});
+  return sql::sort_by(grouped, {{"node_hours", false}});
+}
+
+Table RatsReport::project_energy(const storage::TimeSeriesDb& lake, const Table& node_allocations,
+                                 const std::string& metric) const {
+  // job -> project from the allocation log.
+  std::map<std::int64_t, std::string> job_project;
+  for (std::size_t r = 0; r < log_.num_rows(); ++r) {
+    job_project[log_.column("job_id").int_at(r)] = log_.column("project").str_at(r);
+  }
+
+  struct Acc {
+    double joules = 0.0;
+    double watt_seconds_count = 0.0;  ///< total integration time
+    std::set<std::int64_t> jobs;
+  };
+  std::map<std::string, Acc> by_project;
+
+  for (std::size_t r = 0; r < node_allocations.num_rows(); ++r) {
+    const std::int64_t job_id = node_allocations.column("job_id").int_at(r);
+    const auto project_it = job_project.find(job_id);
+    if (project_it == job_project.end()) continue;
+    storage::TsQuery q;
+    q.metric = metric;
+    q.tag_filter = {{"node_id",
+                     std::to_string(node_allocations.column("node_id").int_at(r))}};
+    q.t0 = node_allocations.column("start_time").int_at(r);
+    q.t1 = node_allocations.column("end_time").int_at(r);
+    const Table series = lake.query(q);
+    if (series.num_rows() == 0) continue;
+
+    Acc& acc = by_project[project_it->second];
+    acc.jobs.insert(job_id);
+    // Trapezoid-free integration: each sample holds until the next one.
+    for (std::size_t i = 0; i + 1 < series.num_rows(); ++i) {
+      const double dt_s = common::to_seconds(series.column("time").int_at(i + 1) -
+                                             series.column("time").int_at(i));
+      acc.joules += series.column("value").double_at(i) * dt_s;
+      acc.watt_seconds_count += dt_s;
+    }
+  }
+
+  Table out{sql::Schema{{"project", DataType::kString},
+                        {"jobs", DataType::kInt64},
+                        {"energy_kwh", DataType::kFloat64},
+                        {"mean_power_w", DataType::kFloat64}}};
+  for (const auto& [project, acc] : by_project) {
+    out.append_row({Value(project), Value(static_cast<std::int64_t>(acc.jobs.size())),
+                    Value(acc.joules / 3.6e6),
+                    Value(acc.watt_seconds_count > 0 ? acc.joules / acc.watt_seconds_count : 0.0)});
+  }
+  return sql::sort_by(out, {{"energy_kwh", false}});
+}
+
+Table RatsReport::queue_stats() const {
+  const Table usage = clipped_usage(0, INT64_MAX);
+  Table grouped = sql::group_by(usage, {"archetype"},
+                                {AggSpec{"wait_s", AggKind::kCount, "jobs"},
+                                 AggSpec{"wait_s", AggKind::kMean, "mean_wait_s"},
+                                 AggSpec{"runtime_s", AggKind::kMean, "mean_runtime_s"}});
+  return sql::sort_by(grouped, {{"jobs", false}});
+}
+
+}  // namespace oda::apps

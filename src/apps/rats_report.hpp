@@ -1,0 +1,50 @@
+// RATS-Report (Fig 7): the central usage-reporting service — node-hours
+// by project/program, CPU vs GPU split, allocation burn rates, and user
+// activity, computed from the resource-manager dataset.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/time.hpp"
+#include "sql/table.hpp"
+#include "storage/tsdb.hpp"
+
+namespace oda::apps {
+
+class RatsReport {
+ public:
+  /// `allocation_log`: JobScheduler::allocation_log() schema.
+  explicit RatsReport(sql::Table allocation_log);
+
+  /// Per-project usage over [t0, t1): (project, jobs, node_hours,
+  /// gpu_node_hours, cpu_node_hours) sorted by node_hours desc — the
+  /// Fig 7 "project usage (CPU vs GPU) across an allocation program".
+  sql::Table project_usage(common::TimePoint t0, common::TimePoint t1) const;
+
+  /// Burn-rate rows: (project, allocation_nh, used_nh, burn_pct,
+  /// projected_exhaustion_day). `allocations` maps project -> granted
+  /// node-hours; `now` bounds accrual.
+  sql::Table burn_rate(const std::map<std::string, double>& allocations, common::TimePoint now) const;
+
+  /// (user, jobs, node_hours) activity rollup.
+  sql::Table user_activity() const;
+
+  /// Queue statistics: (archetype, jobs, mean_wait_s, mean_runtime_s).
+  sql::Table queue_stats() const;
+
+  /// Per-project measured energy (energy-efficiency thrust, Table I):
+  /// integrates the LAKE power series over each job's node allocations.
+  /// `node_allocations`: (job_id, node_id, start_time, end_time) rows.
+  /// Output: (project, jobs, energy_kwh, mean_power_w) sorted by energy.
+  sql::Table project_energy(const storage::TimeSeriesDb& lake, const sql::Table& node_allocations,
+                            const std::string& metric = "node_power_w") const;
+
+ private:
+  /// Clip a job's node-hours to [t0, t1).
+  sql::Table clipped_usage(common::TimePoint t0, common::TimePoint t1) const;
+
+  sql::Table log_;
+};
+
+}  // namespace oda::apps

@@ -1,0 +1,112 @@
+#include "apps/reliability.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "sql/agg.hpp"
+#include "sql/expr.hpp"
+#include "sql/ops.hpp"
+
+namespace oda::apps {
+
+using common::Duration;
+using common::TimePoint;
+using sql::AggKind;
+using sql::AggSpec;
+using sql::DataType;
+using sql::Table;
+using sql::Value;
+
+ReliabilityReport::ReliabilityReport(Table log_events) : events_(std::move(log_events)) {}
+
+Table ReliabilityReport::failures_by_subsystem() const {
+  Table counts{sql::Schema{{"subsystem", DataType::kString},
+                           {"warnings", DataType::kInt64},
+                           {"errors", DataType::kInt64},
+                           {"criticals", DataType::kInt64}}};
+  std::map<std::string, std::array<std::int64_t, 3>> acc;
+  for (std::size_t r = 0; r < events_.num_rows(); ++r) {
+    const std::string& sev = events_.column("severity").str_at(r);
+    auto& a = acc[events_.column("subsystem").str_at(r)];
+    if (sev == "warning") ++a[0];
+    if (sev == "error") ++a[1];
+    if (sev == "critical") ++a[2];
+  }
+  for (const auto& [subsystem, a] : acc) {
+    counts.append_row({Value(subsystem), Value(a[0]), Value(a[1]), Value(a[2])});
+  }
+  return sql::sort_by(counts, {{"criticals", false}, {"errors", false}});
+}
+
+Table ReliabilityReport::top_failing_nodes(std::size_t k) const {
+  const Table bad = sql::filter(events_, sql::col("severity") == sql::lit(Value("error")) ||
+                                             sql::col("severity") == sql::lit(Value("critical")));
+  Table grouped = sql::group_by(bad, {"node_id"}, {AggSpec{"", AggKind::kCount, "error_events"}});
+  return sql::limit(sql::sort_by(grouped, {{"error_events", false}}), k);
+}
+
+std::size_t ReliabilityReport::incident_count(TimePoint t0, TimePoint t1,
+                                              Duration incident_gap) const {
+  // Collect critical events per node, sorted by time; a new incident
+  // starts when the gap to the previous critical exceeds incident_gap.
+  std::map<std::int64_t, std::vector<TimePoint>> by_node;
+  for (std::size_t r = 0; r < events_.num_rows(); ++r) {
+    if (events_.column("severity").str_at(r) != "critical") continue;
+    const TimePoint t = events_.column("time").int_at(r);
+    if (t < t0 || t >= t1) continue;
+    by_node[events_.column("node_id").int_at(r)].push_back(t);
+  }
+  std::size_t incidents = 0;
+  for (auto& [_, times] : by_node) {
+    std::sort(times.begin(), times.end());
+    TimePoint last = INT64_MIN / 2;
+    for (TimePoint t : times) {
+      if (t - last > incident_gap) ++incidents;
+      last = t;
+    }
+  }
+  return incidents;
+}
+
+double ReliabilityReport::system_mtbf_hours(TimePoint t0, TimePoint t1, Duration incident_gap) const {
+  const std::size_t incidents = incident_count(t0, t1, incident_gap);
+  const double span_hours = common::to_seconds(t1 - t0) / 3600.0;
+  return incidents ? span_hours / static_cast<double>(incidents) : span_hours;
+}
+
+ReliabilityReport::PrecursorStats ReliabilityReport::thermal_precursor(
+    const storage::TimeSeriesDb& lake, const std::string& metric,
+    const std::vector<telemetry::FailureEvent>& failures, Duration lookback) const {
+  PrecursorStats stats;
+  double failing_sum = 0.0, fleet_sum = 0.0;
+  std::size_t failing_n = 0, fleet_n = 0;
+  for (const auto& f : failures) {
+    storage::TsQuery q;
+    q.metric = metric;
+    q.t0 = f.failure - lookback;
+    q.t1 = f.failure;
+
+    // Failing node's series.
+    q.tag_filter = {{"node_id", std::to_string(f.node_id)}};
+    const Table own = lake.query(q);
+    if (own.num_rows() == 0) continue;
+    ++stats.failures_observed;
+    for (std::size_t r = 0; r < own.num_rows(); ++r) {
+      failing_sum += own.column("value").double_at(r);
+      ++failing_n;
+    }
+    // Fleet over the same window.
+    q.tag_filter.clear();
+    const Table fleet = lake.query(q);
+    for (std::size_t r = 0; r < fleet.num_rows(); ++r) {
+      fleet_sum += fleet.column("value").double_at(r);
+      ++fleet_n;
+    }
+  }
+  if (failing_n) stats.failing_mean = failing_sum / static_cast<double>(failing_n);
+  if (fleet_n) stats.fleet_mean = fleet_sum / static_cast<double>(fleet_n);
+  return stats;
+}
+
+}  // namespace oda::apps

@@ -1,0 +1,54 @@
+// Reliability analytics (Table I, R&D: "Reliability projection and
+// prediction"; context of the released GPU-failure dataset): failure
+// rates by subsystem, node hot-spots, MTBF estimation from the event
+// stream, and the thermal-precursor analysis that motivates predictive
+// maintenance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sql/table.hpp"
+#include "storage/tsdb.hpp"
+#include "telemetry/failures.hpp"
+
+namespace oda::apps {
+
+class ReliabilityReport {
+ public:
+  /// `log_events`: telemetry::log_event_schema() rows.
+  explicit ReliabilityReport(sql::Table log_events);
+
+  /// (subsystem, warnings, errors, criticals) sorted by criticals desc.
+  sql::Table failures_by_subsystem() const;
+
+  /// (node_id, error_events) top-k — the "sick node" list UA watches.
+  sql::Table top_failing_nodes(std::size_t k) const;
+
+  /// MTBF over [t0, t1): distinct failure incidents are critical-event
+  /// clusters separated by > `incident_gap` on a node.
+  double system_mtbf_hours(common::TimePoint t0, common::TimePoint t1,
+                           common::Duration incident_gap = 10 * common::kMinute) const;
+  std::size_t incident_count(common::TimePoint t0, common::TimePoint t1,
+                             common::Duration incident_gap = 10 * common::kMinute) const;
+
+  /// Thermal-precursor check: mean of `metric` (e.g. "gpu0_temp_c") on
+  /// failing nodes during `lookback` before each failure, vs the fleet
+  /// mean over the same windows. A positive delta is the predictive-
+  /// maintenance signal.
+  struct PrecursorStats {
+    double failing_mean = 0.0;
+    double fleet_mean = 0.0;
+    std::size_t failures_observed = 0;
+    double delta() const { return failing_mean - fleet_mean; }
+  };
+  PrecursorStats thermal_precursor(const storage::TimeSeriesDb& lake, const std::string& metric,
+                                   const std::vector<telemetry::FailureEvent>& failures,
+                                   common::Duration lookback = 10 * common::kMinute) const;
+
+ private:
+  sql::Table events_;
+};
+
+}  // namespace oda::apps

@@ -1,0 +1,125 @@
+#include "apps/ua_dashboard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sql/agg.hpp"
+#include "sql/expr.hpp"
+#include "sql/ops.hpp"
+
+namespace oda::apps {
+
+using sql::col;
+using sql::lit;
+using sql::Table;
+using sql::Value;
+
+UaDashboard::UaDashboard(const storage::TimeSeriesDb& lake, Table allocation_log,
+                         Table node_allocations, Table log_events)
+    : lake_(lake),
+      allocation_log_(std::move(allocation_log)),
+      node_allocations_(std::move(node_allocations)),
+      log_events_(std::move(log_events)) {}
+
+Diagnosis UaDashboard::diagnose(std::int64_t job_id) const {
+  Diagnosis d;
+  d.job_info = sql::filter(allocation_log_, col("job_id") == lit(Value(job_id)));
+  if (d.job_info.num_rows() == 0) {
+    d.summary = "job " + std::to_string(job_id) + ": not found";
+    return d;
+  }
+  const std::int64_t start = d.job_info.column("start_time").is_null(0)
+                                 ? 0
+                                 : d.job_info.column("start_time").int_at(0);
+  const std::int64_t end =
+      d.job_info.column("end_time").is_null(0) ? INT64_MAX : d.job_info.column("end_time").int_at(0);
+
+  // Node set for the job.
+  const Table nodes = sql::filter(node_allocations_, col("job_id") == lit(Value(job_id)));
+
+  // Per-node power/temp series from the LAKE (indexed, downsampled).
+  Table power, temp;
+  for (std::size_t r = 0; r < nodes.num_rows(); ++r) {
+    const std::string node = std::to_string(nodes.column("node_id").int_at(r));
+    storage::TsQuery q;
+    q.metric = "node_power_w";
+    q.tag_filter = {{"node_id", node}};
+    q.t0 = start;
+    q.t1 = end;
+    q.step = 60 * common::kSecond;
+    Table p = lake_.query(q);
+    if (power.num_columns() == 0 && p.num_rows() > 0) power = Table(p.schema());
+    if (p.num_rows() > 0) power.append_table(p);
+    q.metric = "node_temp_c";
+    Table t = lake_.query(q);
+    if (temp.num_columns() == 0 && t.num_rows() > 0) temp = Table(t.schema());
+    if (t.num_rows() > 0) temp.append_table(t);
+  }
+  d.node_power = std::move(power);
+  d.node_temp = std::move(temp);
+
+  // Events on the job's nodes during the run, most recent first.
+  Table ev = sql::filter(log_events_, col("time") >= lit(Value(start)) && col("time") < lit(Value(end)));
+  // Semi-join with the node list (distinct to avoid row multiplication).
+  ev = sql::hash_join(ev, sql::project(nodes, {"node_id"}), {"node_id"});
+  ev = sql::sort_by(ev, {{"time", false}});
+  d.recent_events = std::move(ev);
+
+  for (std::size_t r = 0; r < d.recent_events.num_rows(); ++r) {
+    const std::string& sev = d.recent_events.column("severity").str_at(r);
+    if (sev == "error" || sev == "critical") ++d.error_events;
+  }
+  for (std::size_t r = 0; r < d.node_power.num_rows(); ++r) {
+    d.peak_node_power_w = std::max(d.peak_node_power_w, d.node_power.column("value").double_at(r));
+  }
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "job %lld: %zu nodes, %zu error events, peak node power %.0f W%s",
+                static_cast<long long>(job_id), static_cast<std::size_t>(nodes.num_rows()),
+                d.error_events, d.peak_node_power_w,
+                d.error_events > 10 ? " -- suspect node health" : "");
+  d.summary = buf;
+  return d;
+}
+
+Diagnosis UaDashboard::diagnose_manually(std::int64_t job_id, const Table& bronze_power) const {
+  Diagnosis d;
+  // "Check the scheduler" — full scan.
+  d.job_info = sql::filter(allocation_log_, col("job_id") == lit(Value(job_id)));
+  if (d.job_info.num_rows() == 0) {
+    d.summary = "job not found";
+    return d;
+  }
+  const std::int64_t start = d.job_info.column("start_time").is_null(0)
+                                 ? 0
+                                 : d.job_info.column("start_time").int_at(0);
+  const std::int64_t end =
+      d.job_info.column("end_time").is_null(0) ? INT64_MAX : d.job_info.column("end_time").int_at(0);
+  const Table nodes = sql::filter(node_allocations_, col("job_id") == lit(Value(job_id)));
+
+  // "Check the power tool" — scan the raw Bronze stream and aggregate by
+  // hand (no index, no precomputed Silver).
+  Table in_range = sql::filter(
+      bronze_power, col("time") >= lit(Value(start)) && col("time") < lit(Value(end)) &&
+                        col("sensor") == lit(Value("node.power_w")));
+  in_range = sql::hash_join(in_range, sql::project(nodes, {"node_id"}), {"node_id"});
+  const std::vector<std::string> keys{"node_id"};
+  const std::vector<sql::AggSpec> aggs{{"value", sql::AggKind::kMean, "value"}};
+  d.node_power = sql::window_aggregate(in_range, "time", 60 * common::kSecond, keys, aggs);
+
+  // "Check syslog" — full scan + manual correlation.
+  Table ev = sql::filter(log_events_, col("time") >= lit(Value(start)) && col("time") < lit(Value(end)));
+  ev = sql::hash_join(ev, sql::project(nodes, {"node_id"}), {"node_id"});
+  d.recent_events = sql::sort_by(ev, {{"time", false}});
+  for (std::size_t r = 0; r < d.recent_events.num_rows(); ++r) {
+    const std::string& sev = d.recent_events.column("severity").str_at(r);
+    if (sev == "error" || sev == "critical") ++d.error_events;
+  }
+  for (std::size_t r = 0; r < d.node_power.num_rows(); ++r) {
+    d.peak_node_power_w = std::max(d.peak_node_power_w, d.node_power.column("value").double_at(r));
+  }
+  d.summary = "manual diagnosis complete";
+  return d;
+}
+
+}  // namespace oda::apps

@@ -1,0 +1,48 @@
+// User Assistance dashboards (Fig 6): job-oriented compilation of
+// compute/storage/log data, replacing "manually checking different
+// systems or consulting with experts" with one joined view per ticket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sql/table.hpp"
+#include "storage/tsdb.hpp"
+
+namespace oda::apps {
+
+/// One ticket's diagnosis bundle.
+struct Diagnosis {
+  sql::Table job_info;       ///< one row: job metadata
+  sql::Table node_power;     ///< per-node power series over the job window
+  sql::Table node_temp;      ///< per-node temperature series
+  sql::Table recent_events;  ///< log events on the job's nodes during the run
+  std::size_t error_events = 0;
+  double peak_node_power_w = 0.0;
+  std::string summary;       ///< one-line triage hint
+};
+
+class UaDashboard {
+ public:
+  /// `allocation_log`: job metadata (allocation_log() schema).
+  /// `node_allocations`: (job_id, node_id, start_time, end_time).
+  /// `log_events`: log_event_schema() rows.
+  UaDashboard(const storage::TimeSeriesDb& lake, sql::Table allocation_log,
+              sql::Table node_allocations, sql::Table log_events);
+
+  /// The integrated view: everything a UA engineer needs for one ticket.
+  Diagnosis diagnose(std::int64_t job_id) const;
+
+  /// The paper's "old method": consult each system separately. Performs
+  /// the same lookups but scanning unindexed tables end-to-end; used by
+  /// bench_fig6 to quantify the dashboard speedup.
+  Diagnosis diagnose_manually(std::int64_t job_id, const sql::Table& bronze_power) const;
+
+ private:
+  const storage::TimeSeriesDb& lake_;
+  sql::Table allocation_log_;
+  sql::Table node_allocations_;
+  sql::Table log_events_;
+};
+
+}  // namespace oda::apps

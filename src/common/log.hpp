@@ -1,0 +1,52 @@
+// Minimal leveled logger. Quiet by default so tests and benches stay
+// readable; subsystems log through this instead of raw stderr.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace oda::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view msg) {
+    if (level < level_) return;
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard lk(mu_);
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", names[static_cast<int>(level)],
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+
+ private:
+  Logger() = default;
+  std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+inline void log_debug(std::string_view component, const std::string& msg) {
+  Logger::instance().log(LogLevel::kDebug, component, msg);
+}
+inline void log_info(std::string_view component, const std::string& msg) {
+  Logger::instance().log(LogLevel::kInfo, component, msg);
+}
+inline void log_warn(std::string_view component, const std::string& msg) {
+  Logger::instance().log(LogLevel::kWarn, component, msg);
+}
+inline void log_error(std::string_view component, const std::string& msg) {
+  Logger::instance().log(LogLevel::kError, component, msg);
+}
+
+}  // namespace oda::common

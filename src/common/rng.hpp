@@ -1,0 +1,103 @@
+// Deterministic, fast random number generation for the facility simulator.
+//
+// Every stochastic component (sensor noise, job arrivals, failure
+// injection) owns its own Rng seeded from a parent via split(), so runs
+// are reproducible regardless of thread scheduling.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace oda::common {
+
+/// splitmix64-seeded xoshiro256** — fast, high quality, trivially copyable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& si : s_) si = splitmix64(x);
+  }
+
+  /// Derive an independent child stream (stable for a given label).
+  Rng split(std::uint64_t label) {
+    return Rng(next() ^ (label * 0x9e3779b97f4a7c15ull) ^ 0xd1b54a32d192ed03ull);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple and adequate).
+  double normal() {
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given rate (events per unit).
+  double exponential(double rate) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Pareto (heavy tail) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) {
+    double u = 1.0 - uniform();
+    if (u < 1e-300) u = 1e-300;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Zipf-like rank selection over n items with exponent s (cheap approximation
+  /// via inverse CDF on the continuous Pareto; adequate for workload skew).
+  std::uint64_t zipf(std::uint64_t n, double s) {
+    const double x = pareto(1.0, s);
+    const auto r = static_cast<std::uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace oda::common

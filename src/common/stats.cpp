@@ -1,0 +1,37 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace oda::common {
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int u = 0;
+  double v = bytes;
+  while (v >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  return buf;
+}
+
+std::string format_count(double n) {
+  static const char* units[] = {"", "K", "M", "B", "T"};
+  int u = 0;
+  double v = n;
+  while (v >= 1000.0 && u < 4) {
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, units[u]);
+  }
+  return buf;
+}
+
+}  // namespace oda::common

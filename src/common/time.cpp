@@ -1,0 +1,46 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace oda::common {
+
+std::string format_time(TimePoint t) {
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  const std::int64_t total_ms = t / kMillisecond;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t total_s = total_ms / 1000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = (total_s / 3600) % 24;
+  const std::int64_t d = total_s / 86400;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%lld+%02lld:%02lld:%02lld.%03lld", neg ? "-" : "",
+                static_cast<long long>(d), static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s), static_cast<long long>(ms));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  const bool neg = d < 0;
+  const double abs_us = static_cast<double>(neg ? -d : d);
+  char buf[64];
+  const char* sign = neg ? "-" : "";
+  if (abs_us < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%s%.0fus", sign, abs_us);
+  } else if (abs_us < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fms", sign, abs_us / 1e3);
+  } else if (abs_us < 120e6) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fs", sign, abs_us / 1e6);
+  } else if (abs_us < 7200e6) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fmin", sign, abs_us / 60e6);
+  } else if (abs_us < 48.0 * 3600e6) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fh", sign, abs_us / 3600e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.1fd", sign, abs_us / 86400e6);
+  }
+  return buf;
+}
+
+}  // namespace oda::common

@@ -1,0 +1,55 @@
+#include "core/allocations.hpp"
+
+namespace oda::core {
+
+void AllocationManager::grant(const std::string& project, const ResourceGrant& add) {
+  auto& p = projects_[project];
+  p.granted.node_hours += add.node_hours;
+  p.granted.storage_gb += add.storage_gb;
+  p.granted.service_slots += add.service_slots;
+}
+
+bool AllocationManager::consume(const std::string& project, const ResourceGrant& amount) {
+  auto it = projects_.find(project);
+  if (it == projects_.end()) return false;
+  ProjectUsage& p = it->second;
+  if (p.used.node_hours + amount.node_hours > p.granted.node_hours) return false;
+  if (p.used.storage_gb + amount.storage_gb > p.granted.storage_gb) return false;
+  if (p.used.service_slots + amount.service_slots > p.granted.service_slots) return false;
+  p.used.node_hours += amount.node_hours;
+  p.used.storage_gb += amount.storage_gb;
+  p.used.service_slots += amount.service_slots;
+  return true;
+}
+
+std::optional<ProjectUsage> AllocationManager::usage(const std::string& project) const {
+  auto it = projects_.find(project);
+  if (it == projects_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> AllocationManager::projects() const {
+  std::vector<std::string> out;
+  out.reserve(projects_.size());
+  for (const auto& [name, _] : projects_) out.push_back(name);
+  return out;
+}
+
+ResourceGrant AllocationManager::aggregate_utilization() const {
+  ResourceGrant granted, used;
+  for (const auto& [_, p] : projects_) {
+    granted.node_hours += p.granted.node_hours;
+    granted.storage_gb += p.granted.storage_gb;
+    granted.service_slots += p.granted.service_slots;
+    used.node_hours += p.used.node_hours;
+    used.storage_gb += p.used.storage_gb;
+    used.service_slots += p.used.service_slots;
+  }
+  ResourceGrant util;
+  util.node_hours = granted.node_hours > 0 ? used.node_hours / granted.node_hours : 0.0;
+  util.storage_gb = granted.storage_gb > 0 ? used.storage_gb / granted.storage_gb : 0.0;
+  util.service_slots = granted.service_slots > 0 ? used.service_slots / granted.service_slots : 0.0;
+  return util;
+}
+
+}  // namespace oda::core

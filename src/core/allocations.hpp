@@ -1,0 +1,43 @@
+// Project-specific resource allocations (Sec V-C): the Slate/PaaS-style
+// coordination of compute, memory and storage across staff data projects,
+// "enabling higher utilization of physical resources".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oda::core {
+
+struct ResourceGrant {
+  double node_hours = 0.0;     ///< HPC batch allocation
+  double storage_gb = 0.0;     ///< OCEAN/project storage
+  double service_slots = 0.0;  ///< continuous-uptime app platform slots
+};
+
+struct ProjectUsage {
+  ResourceGrant granted;
+  ResourceGrant used;
+};
+
+class AllocationManager {
+ public:
+  /// Register or extend a project's grant.
+  void grant(const std::string& project, const ResourceGrant& add);
+
+  /// Attempt to consume resources; returns false (and consumes nothing)
+  /// if any dimension would exceed the grant.
+  bool consume(const std::string& project, const ResourceGrant& amount);
+
+  std::optional<ProjectUsage> usage(const std::string& project) const;
+  std::vector<std::string> projects() const;
+
+  /// Facility-wide utilization per dimension in [0,1] (used/granted).
+  ResourceGrant aggregate_utilization() const;
+
+ private:
+  std::map<std::string, ProjectUsage> projects_;
+};
+
+}  // namespace oda::core

@@ -1,0 +1,142 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "storage/columnar.hpp"
+
+namespace oda::core {
+
+using common::Duration;
+using common::TimePoint;
+
+namespace {
+
+/// Per-sensor accumulation during the scan.
+struct Acc {
+  std::size_t n = 0;
+  double sum = 0.0;
+  double mn = 0.0, mx = 0.0;
+  /// Per-node last timestamp and gap histogram (gap -> count).
+  std::map<std::int64_t, TimePoint> last_seen;
+  std::map<Duration, std::size_t> gaps;
+};
+
+std::string infer_unit(const std::string& sensor) {
+  if (sensor.size() >= 8 && sensor.compare(sensor.size() - 8, 8, ".power_w") == 0) return "W";
+  if (sensor.size() >= 7 && sensor.compare(sensor.size() - 7, 7, ".temp_c") == 0) return "C";
+  if (sensor.size() >= 9 && sensor.compare(sensor.size() - 9, 9, ".energy_j") == 0) return "J";
+  return "";
+}
+
+}  // namespace
+
+CampaignReport ExplorationCampaign::explore(const std::string& bronze_dataset) const {
+  CampaignReport report;
+  report.dataset = bronze_dataset;
+  report.t_min = INT64_MAX;
+  report.t_max = INT64_MIN;
+
+  std::map<std::string, Acc> accs;
+  for (const auto& meta : ocean_.list(bronze_dataset)) {
+    const auto blob = ocean_.get(meta.key);
+    if (!blob) continue;
+    ++report.objects_scanned;
+    const sql::Table t = storage::read_columnar(*blob);
+    if (!t.schema().contains("sensor") || !t.schema().contains("time")) continue;
+    const auto& times = t.column("time");
+    const auto& nodes = t.column("node_id");
+    const auto& sensors = t.column("sensor");
+    const auto& values = t.column("value");
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      ++report.rows_scanned;
+      const TimePoint time = times.int_at(r);
+      report.t_min = std::min(report.t_min, time);
+      report.t_max = std::max(report.t_max, time);
+      Acc& acc = accs[sensors.str_at(r)];
+      const double v = values.is_null(r) ? 0.0 : values.double_at(r);
+      if (acc.n == 0) {
+        acc.mn = acc.mx = v;
+      } else {
+        acc.mn = std::min(acc.mn, v);
+        acc.mx = std::max(acc.mx, v);
+      }
+      acc.sum += v;
+      ++acc.n;
+      const std::int64_t node = nodes.int_at(r);
+      const auto it = acc.last_seen.find(node);
+      if (it != acc.last_seen.end() && time > it->second) {
+        acc.gaps[time - it->second]++;
+      }
+      acc.last_seen[node] = time;
+    }
+  }
+  if (report.t_min == INT64_MAX) {
+    report.t_min = report.t_max = 0;
+    return report;
+  }
+
+  const double span_hours =
+      std::max(1e-9, common::to_seconds(report.t_max - report.t_min) / 3600.0);
+  Duration fastest_period = 0;
+  std::size_t total_nodes = 0;
+  for (auto& [sensor, acc] : accs) {
+    StreamProfile p;
+    p.sensor = sensor;
+    p.observations = acc.n;
+    p.nodes = acc.last_seen.size();
+    p.mean_value = acc.n ? acc.sum / static_cast<double>(acc.n) : 0.0;
+    p.min_value = acc.mn;
+    p.max_value = acc.mx;
+    p.inferred_unit = infer_unit(sensor);
+    // Modal gap = the stream's native cadence; larger gaps are drops.
+    Duration modal = 0;
+    std::size_t best = 0;
+    for (const auto& [gap, count] : acc.gaps) {
+      if (count > best) {
+        best = count;
+        modal = gap;
+      }
+    }
+    p.sample_period = modal;
+    if (modal > 0) {
+      const double expected =
+          static_cast<double>(p.nodes) * common::to_seconds(report.t_max - report.t_min) /
+          common::to_seconds(modal);
+      p.loss_rate = expected > 0 ? std::clamp(1.0 - static_cast<double>(acc.n) / expected, 0.0, 1.0)
+                                 : 0.0;
+      fastest_period = fastest_period == 0 ? modal : std::min(fastest_period, modal);
+    }
+    total_nodes = std::max(total_nodes, p.nodes);
+    report.streams.push_back(std::move(p));
+  }
+  std::sort(report.streams.begin(), report.streams.end(),
+            [](const StreamProfile& a, const StreamProfile& b) { return a.sensor < b.sensor; });
+
+  // Pipeline recommendation: window >= 10 native samples, floor 15 s
+  // (the paper's canonical interval).
+  report.recommended_window =
+      std::max<Duration>(15 * common::kSecond, fastest_period > 0 ? 10 * fastest_period : 0);
+  report.bronze_rows_per_hour = static_cast<double>(report.rows_scanned) / span_hours;
+  const double windows_per_hour = 3600.0 / common::to_seconds(report.recommended_window);
+  report.silver_rows_per_hour =
+      static_cast<double>(report.streams.size()) * static_cast<double>(total_nodes) *
+      windows_per_hour;
+  return report;
+}
+
+void ExplorationCampaign::document(const CampaignReport& report,
+                                   governance::DataDictionary& dictionary) const {
+  for (const auto& p : report.streams) {
+    governance::FieldEntry entry;
+    entry.name = p.sensor;
+    entry.units = p.inferred_unit;
+    entry.sample_period = p.sample_period;
+    entry.observed_loss_rate = p.loss_rate;
+    // Meaning and physical location need the SME/vendor loop (Sec VI-A);
+    // the campaign leaves them blank and vendor_verified = false.
+    dictionary.describe_field(report.dataset, std::move(entry));
+  }
+}
+
+}  // namespace oda::core

@@ -1,0 +1,67 @@
+// Data exploration campaigns (Sec VI): "path-finding activities
+// [that] concentrate resources to address various challenges once and
+// for all" — profile a pile of raw Bronze data, build the data
+// dictionary, and derive the upstream Silver pipeline that should be
+// stood up (window size, expected footprint), because "the primary
+// bottleneck in HPC operational intelligence lies within the initial
+// stage of large-scale stream exploration".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "governance/dictionary.hpp"
+#include "storage/object_store.hpp"
+
+namespace oda::core {
+
+/// What the campaign learns about one sensor stream inside a Bronze
+/// dataset — the quantitative half of a data-dictionary entry.
+struct StreamProfile {
+  std::string sensor;
+  std::size_t observations = 0;
+  std::size_t nodes = 0;
+  common::Duration sample_period = 0;  ///< modal inter-sample gap
+  double loss_rate = 0.0;              ///< fraction of expected samples missing
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double mean_value = 0.0;
+  /// Heuristic unit guess from the sensor naming convention.
+  std::string inferred_unit;
+};
+
+struct CampaignReport {
+  std::string dataset;
+  std::size_t objects_scanned = 0;
+  std::size_t rows_scanned = 0;
+  common::TimePoint t_min = 0;
+  common::TimePoint t_max = 0;
+  std::vector<StreamProfile> streams;
+
+  // The campaign's actionable output: the upstream Silver pipeline spec.
+  common::Duration recommended_window = 0;
+  double bronze_rows_per_hour = 0.0;
+  double silver_rows_per_hour = 0.0;
+  double row_reduction() const {
+    return silver_rows_per_hour > 0 ? bronze_rows_per_hour / silver_rows_per_hour : 0.0;
+  }
+};
+
+class ExplorationCampaign {
+ public:
+  explicit ExplorationCampaign(const storage::ObjectStore& ocean) : ocean_(ocean) {}
+
+  /// Scan every object of a Bronze dataset (schema: time, node_id,
+  /// sensor, value) and profile its streams.
+  CampaignReport explore(const std::string& bronze_dataset) const;
+
+  /// Fold the findings into the organization's data dictionary
+  /// (quantitative fields filled; meaning/location left for the SME).
+  void document(const CampaignReport& report, governance::DataDictionary& dictionary) const;
+
+ private:
+  const storage::ObjectStore& ocean_;
+};
+
+}  // namespace oda::core

@@ -1,0 +1,38 @@
+#include "core/control_loop.hpp"
+
+#include <stdexcept>
+
+namespace oda::core {
+
+using namespace common;
+
+const std::vector<ControlLoop>& standard_control_loops() {
+  static const std::vector<ControlLoop> kLoops = {
+      {"system health monitoring", "system administrators", 15 * kSecond, 30 * kSecond,
+       "Silver node telemetry (LAKE)"},
+      {"security response", "cyber security operations", kMinute, 2 * kMinute,
+       "real-time event feed (STREAM)"},
+      {"facility cooling operations", "facility engineers", 5 * kMinute, 5 * kMinute,
+       "plant telemetry + twin predictions"},
+      {"user ticket diagnosis", "user assistance", kHour, 15 * kMinute,
+       "job-context dashboards (LAKE+RM)"},
+      {"job scheduling policy", "operations + program mgmt", kDay, kHour,
+       "RATS usage/burn-rate reports"},
+      {"energy efficiency tuning", "R&D / energy efficiency", 7 * kDay, kDay,
+       "Gold job power profiles (OCEAN)"},
+      {"allocation program reporting", "program management", 30 * kDay, kDay,
+       "Gold usage rollups (OCEAN)"},
+      {"system design & procurement", "procurement / system design", 365 * kDay, 30 * kDay,
+       "multi-year telemetry archives (OCEAN+GLACIER)"},
+  };
+  return kLoops;
+}
+
+common::Duration latency_budget(const std::string& domain) {
+  for (const auto& loop : standard_control_loops()) {
+    if (loop.domain == domain) return loop.latency_budget;
+  }
+  throw std::out_of_range("unknown control loop domain: " + domain);
+}
+
+}  // namespace oda::core

@@ -1,0 +1,27 @@
+// The manual operational feedback control loops of Fig 1 / Fig 4-c.
+// Each operational domain closes its loop at a characteristic timescale,
+// which dictates the latency budget of the pipelines feeding it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace oda::core {
+
+struct ControlLoop {
+  std::string domain;            ///< e.g. "system health monitoring"
+  std::string actor;             ///< who closes the loop
+  common::Duration timescale;    ///< decision cadence
+  common::Duration latency_budget;  ///< max tolerable ingestion->insight delay
+  std::string consumes;          ///< data artifacts it runs on
+};
+
+/// The facility's standard loops, ordered fastest to slowest (Fig 4-c).
+const std::vector<ControlLoop>& standard_control_loops();
+
+/// Latency budget for a named domain; throws if unknown.
+common::Duration latency_budget(const std::string& domain);
+
+}  // namespace oda::core

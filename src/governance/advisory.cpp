@@ -1,0 +1,158 @@
+#include "governance/advisory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oda::governance {
+
+const char* consideration_name(Consideration c) {
+  switch (c) {
+    case Consideration::kDataOwner: return "Data Owner";
+    case Consideration::kCyberSecurity: return "Cyber Security";
+    case Consideration::kLegal: return "Legal";
+    case Consideration::kIrb: return "IRB";
+    case Consideration::kManagement: return "Management";
+  }
+  return "?";
+}
+
+const char* consideration_description(Consideration c) {
+  switch (c) {
+    case Consideration::kDataOwner:
+      return "Considers purpose and potential interpretation of the data that can harm ongoing operations";
+    case Consideration::kCyberSecurity:
+      return "Prevent leakage of PII data or information that can identify certain projects or users";
+    case Consideration::kLegal:
+      return "Guidance on contractual obligations and national regulatory concerns";
+    case Consideration::kIrb:
+      return "Oversees protection of human subjects in research";
+    case Consideration::kManagement:
+      return "Organizational approval reviewing alignment with the facility mission";
+  }
+  return "?";
+}
+
+const char* request_kind_name(RequestKind k) {
+  switch (k) {
+    case RequestKind::kInternalProject: return "internal-project";
+    case RequestKind::kExternalCollaboration: return "external-collaboration";
+    case RequestKind::kPublicRelease: return "public-release";
+  }
+  return "?";
+}
+
+const char* request_state_name(RequestState s) {
+  switch (s) {
+    case RequestState::kSubmitted: return "submitted";
+    case RequestState::kUnderReview: return "under-review";
+    case RequestState::kApproved: return "approved";
+    case RequestState::kSanitizing: return "sanitizing";
+    case RequestState::kProvisioned: return "provisioned";
+    case RequestState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+bool AdvisoryChainConfig::required(RequestKind kind, Consideration c) const {
+  switch (kind) {
+    case RequestKind::kInternalProject:
+      // Internal staff projects clear owner + security + management.
+      return c == Consideration::kDataOwner || c == Consideration::kCyberSecurity ||
+             c == Consideration::kManagement;
+    case RequestKind::kExternalCollaboration:
+      return c != Consideration::kIrb;  // IRB only when human subjects involved
+    case RequestKind::kPublicRelease:
+      return true;  // full chain
+  }
+  return true;
+}
+
+std::uint64_t DataRuc::submit(RequestKind kind, std::string requester, std::vector<std::string> datasets,
+                              std::string purpose, common::TimePoint now) {
+  DataRequest r;
+  r.request_id = next_id_++;
+  r.kind = kind;
+  r.requester = std::move(requester);
+  r.datasets = std::move(datasets);
+  r.purpose = std::move(purpose);
+  r.submitted_at = now;
+  r.state = RequestState::kSubmitted;
+  const std::uint64_t id = r.request_id;
+  requests_[id] = std::move(r);
+  return id;
+}
+
+RequestState DataRuc::process(std::uint64_t request_id) {
+  DataRequest& r = requests_.at(request_id);
+  if (r.state != RequestState::kSubmitted) return r.state;
+  r.state = RequestState::kUnderReview;
+
+  common::TimePoint clock = r.submitted_at;
+  for (std::size_t i = 0; i < kNumConsiderations; ++i) {
+    const auto c = static_cast<Consideration>(i);
+    if (!config_.required(r.kind, c)) continue;
+    // Reviews proceed serially through the chain (the paper's workflow),
+    // each taking a lognormally distributed latency.
+    const double mean_s = common::to_seconds(config_.mean_review_latency);
+    const double latency_s = rng_.lognormal(std::log(mean_s), 0.5);
+    clock += common::from_seconds(latency_s);
+
+    ReviewDecision d;
+    d.consideration = c;
+    d.decided_at = clock;
+    d.approved = !rng_.bernoulli(config_.reject_prob[i]);
+    d.note = d.approved ? "approved" : "rejected: revise and resubmit";
+    r.decisions.push_back(d);
+    if (!d.approved) {
+      r.state = RequestState::kRejected;
+      r.resolved_at = clock;
+      return r.state;
+    }
+  }
+  r.state = RequestState::kApproved;
+
+  // External and public paths require sanitization before provisioning.
+  if (r.kind != RequestKind::kInternalProject) {
+    r.state = RequestState::kSanitizing;
+    clock += common::from_seconds(
+        rng_.lognormal(std::log(common::to_seconds(12 * common::kHour)), 0.4));
+  }
+  r.state = RequestState::kProvisioned;
+  r.resolved_at = clock;
+  return r.state;
+}
+
+const DataRequest& DataRuc::request(std::uint64_t request_id) const { return requests_.at(request_id); }
+
+std::vector<const DataRequest*> DataRuc::all_requests() const {
+  std::vector<const DataRequest*> out;
+  out.reserve(requests_.size());
+  for (const auto& [_, r] : requests_) out.push_back(&r);
+  return out;
+}
+
+common::Duration DataRuc::mean_turnaround(RequestKind kind) const {
+  common::Duration total = 0;
+  std::size_t n = 0;
+  for (const auto& [_, r] : requests_) {
+    if (r.kind != kind || r.resolved_at == 0) continue;
+    total += r.turnaround();
+    ++n;
+  }
+  return n ? total / static_cast<common::Duration>(n) : 0;
+}
+
+std::size_t DataRuc::approved_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(requests_.begin(), requests_.end(),
+                    [](const auto& kv) { return kv.second.state == RequestState::kProvisioned; }));
+}
+
+std::size_t DataRuc::rejected_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(requests_.begin(), requests_.end(),
+                    [](const auto& kv) { return kv.second.state == RequestState::kRejected; }));
+}
+
+}  // namespace oda::governance

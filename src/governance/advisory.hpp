@@ -1,0 +1,108 @@
+// The data governance machinery of Sec IX: the advisory chain
+// (Table II) and the DataRUC request workflow (Fig 12), modelled as an
+// auditable state machine with simulated review latencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace oda::governance {
+
+/// Table II: the five considerations every data usage request clears.
+enum class Consideration : std::uint8_t {
+  kDataOwner = 0,
+  kCyberSecurity = 1,
+  kLegal = 2,
+  kIrb = 3,
+  kManagement = 4,
+};
+inline constexpr std::size_t kNumConsiderations = 5;
+const char* consideration_name(Consideration c);
+const char* consideration_description(Consideration c);
+
+enum class RequestKind : std::uint8_t {
+  kInternalProject = 0,     ///< staff project: access to STREAM/LAKE/OCEAN
+  kExternalCollaboration = 1,  ///< e.g. university collaboration
+  kPublicRelease = 2,       ///< dataset/publication release
+};
+const char* request_kind_name(RequestKind k);
+
+enum class RequestState : std::uint8_t {
+  kSubmitted = 0,
+  kUnderReview = 1,
+  kApproved = 2,
+  kSanitizing = 3,   ///< external/release paths only
+  kProvisioned = 4,  ///< access granted / artifact released
+  kRejected = 5,
+};
+const char* request_state_name(RequestState s);
+
+struct ReviewDecision {
+  Consideration consideration;
+  bool approved = false;
+  common::TimePoint decided_at = 0;
+  std::string note;
+};
+
+struct DataRequest {
+  std::uint64_t request_id = 0;
+  RequestKind kind = RequestKind::kInternalProject;
+  std::string requester;
+  std::vector<std::string> datasets;
+  std::string purpose;
+  common::TimePoint submitted_at = 0;
+  RequestState state = RequestState::kSubmitted;
+  std::vector<ReviewDecision> decisions;
+  common::TimePoint resolved_at = 0;
+
+  common::Duration turnaround() const {
+    return resolved_at > 0 ? resolved_at - submitted_at : 0;
+  }
+};
+
+struct AdvisoryChainConfig {
+  /// Mean review latency per consideration (lognormal around this).
+  common::Duration mean_review_latency = 2 * common::kDay;
+  /// Per-consideration rejection probabilities (strictness varies).
+  double reject_prob[kNumConsiderations] = {0.02, 0.05, 0.03, 0.04, 0.02};
+  /// Which considerations each request kind must clear.
+  /// Internal projects skip Legal/IRB; releases clear everything.
+  bool required(RequestKind kind, Consideration c) const;
+};
+
+/// DataRUC: the data resource usage committee front door (Fig 12).
+class DataRuc {
+ public:
+  explicit DataRuc(AdvisoryChainConfig config, common::Rng rng) : config_(config), rng_(rng) {}
+  DataRuc() : DataRuc(AdvisoryChainConfig{}, common::Rng(7)) {}
+
+  /// Submit a request at facility time `now`; returns its id.
+  std::uint64_t submit(RequestKind kind, std::string requester, std::vector<std::string> datasets,
+                       std::string purpose, common::TimePoint now);
+
+  /// Drive the request through the whole advisory chain, simulating
+  /// review latencies. Returns the final state.
+  RequestState process(std::uint64_t request_id);
+
+  const DataRequest& request(std::uint64_t request_id) const;
+  std::vector<const DataRequest*> all_requests() const;
+
+  /// Mean turnaround of resolved requests of a kind.
+  common::Duration mean_turnaround(RequestKind kind) const;
+  std::size_t approved_count() const;
+  std::size_t rejected_count() const;
+
+ private:
+  AdvisoryChainConfig config_;
+  common::Rng rng_;
+  std::map<std::uint64_t, DataRequest> requests_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace oda::governance

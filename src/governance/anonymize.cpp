@@ -1,0 +1,89 @@
+#include "governance/anonymize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "sql/ops.hpp"
+
+namespace oda::governance {
+
+using sql::DataType;
+using sql::Table;
+using sql::Value;
+
+sql::Table sanitize(const Table& t, const SanitizePolicy& policy) {
+  // Output schema: original minus dropped columns.
+  std::vector<std::string> keep;
+  for (const auto& f : t.schema().fields()) {
+    if (std::find(policy.drop_columns.begin(), policy.drop_columns.end(), f.name) ==
+        policy.drop_columns.end()) {
+      keep.push_back(f.name);
+    }
+  }
+  Table out = sql::project(t, keep);
+
+  // Hash identity columns in place (rebuild those columns).
+  for (const auto& name : policy.hash_columns) {
+    const std::size_t c = out.schema().index_of(name);
+    if (c == sql::Schema::npos) continue;
+    // Rebuild the table with the hashed column.
+    Table rebuilt{out.schema()};
+    rebuilt.reserve(out.num_rows());
+    std::vector<Value> row(out.num_columns());
+    for (std::size_t r = 0; r < out.num_rows(); ++r) {
+      for (std::size_t cc = 0; cc < out.num_columns(); ++cc) row[cc] = out.column(cc).get(r);
+      if (!row[c].is_null()) {
+        const std::uint64_t h = common::fnv1a(row[c].to_string(), policy.salt);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "anon_%016llx", static_cast<unsigned long long>(h));
+        row[c] = Value(std::string(buf));
+      }
+      rebuilt.append_row(row);
+    }
+    out = std::move(rebuilt);
+  }
+  return out;
+}
+
+std::size_t min_group_size(const Table& t, const std::vector<std::string>& quasi_identifiers) {
+  if (t.num_rows() == 0) return 0;
+  std::vector<std::size_t> cols;
+  cols.reserve(quasi_identifiers.size());
+  for (const auto& q : quasi_identifiers) cols.push_back(t.col_index(q));
+  std::unordered_map<std::string, std::size_t> counts;
+  std::string buf;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    sql::encode_key(t, cols, r, buf);
+    counts[buf]++;
+  }
+  std::size_t mn = t.num_rows();
+  for (const auto& [_, n] : counts) mn = std::min(mn, n);
+  return mn;
+}
+
+bool passes_pii_scan(const Table& t) {
+  static const char* kMarkers[] = {"user", "email", "ssn", "phone", "address"};
+  auto contains_marker = [](const std::string& s) {
+    std::string lower(s);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    for (const char* m : kMarkers) {
+      if (lower.find(m) != std::string::npos) return true;
+    }
+    return lower.find('@') != std::string::npos;
+  };
+  for (const auto& f : t.schema().fields()) {
+    if (contains_marker(f.name)) return false;
+  }
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    if (t.column(c).type() != DataType::kString) continue;
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      if (!t.column(c).is_null(r) && contains_marker(t.column(c).str_at(r))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace oda::governance

@@ -1,0 +1,31 @@
+// Sanitization/anonymization applied before external release (Sec IX-B):
+// salted hashing of identity columns, column dropping, and a simple
+// k-anonymity check over quasi-identifier groups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/table.hpp"
+
+namespace oda::governance {
+
+struct SanitizePolicy {
+  std::vector<std::string> hash_columns;  ///< identities → salted pseudonyms
+  std::vector<std::string> drop_columns;  ///< outright removal (PII)
+  std::uint64_t salt = 0x5eed5a17;        ///< per-release salt
+};
+
+/// Apply the policy; hashed values become "anon_<16hex>".
+sql::Table sanitize(const sql::Table& t, const SanitizePolicy& policy);
+
+/// Smallest group size over the given quasi-identifier columns; a
+/// release satisfies k-anonymity when this is >= k.
+std::size_t min_group_size(const sql::Table& t, const std::vector<std::string>& quasi_identifiers);
+
+/// True when no column name or string cell matches obvious PII markers
+/// ("user", "email", "@", ...). Heuristic gate used by the release path.
+bool passes_pii_scan(const sql::Table& t);
+
+}  // namespace oda::governance

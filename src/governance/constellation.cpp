@@ -1,0 +1,84 @@
+#include "governance/constellation.hpp"
+
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "storage/columnar.hpp"
+
+namespace oda::governance {
+
+std::string Constellation::publish(const std::string& title, const std::string& description,
+                                   std::vector<std::string> creators, std::vector<std::uint8_t> blob,
+                                   std::uint64_t request_id, common::TimePoint now) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "/%07llu", static_cast<unsigned long long>(next_id_++));
+  const std::string doi = prefix_ + suffix;
+
+  DatasetLanding landing;
+  landing.doi = doi;
+  landing.title = title;
+  landing.description = description;
+  landing.creators = std::move(creators);
+  landing.published = now;
+  landing.size_bytes = blob.size();
+  landing.content_hash = common::fnv1a(std::span<const std::uint8_t>(blob.data(), blob.size()));
+  landing.request_id = request_id;
+  landings_[doi] = std::move(landing);
+  blobs_[doi] = std::move(blob);
+  return doi;
+}
+
+std::optional<DatasetLanding> Constellation::landing(const std::string& doi) const {
+  auto it = landings_.find(doi);
+  if (it == landings_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::vector<std::uint8_t>> Constellation::download(const std::string& doi) {
+  auto it = blobs_.find(doi);
+  if (it == blobs_.end()) return std::nullopt;
+  landings_[doi].downloads++;
+  return it->second;
+}
+
+std::vector<DatasetLanding> Constellation::catalog() const {
+  std::vector<DatasetLanding> out;
+  out.reserve(landings_.size());
+  for (const auto& [_, l] : landings_) out.push_back(l);
+  return out;
+}
+
+std::optional<std::string> release_dataset(DataRuc& ruc, Constellation& repo,
+                                           const sql::Table& artifact, const ReleaseRequest& req,
+                                           common::TimePoint now, std::string* why) {
+  auto fail = [&](const std::string& reason) -> std::optional<std::string> {
+    if (why) *why = reason;
+    return std::nullopt;
+  };
+
+  // 1. Advisory chain (Table II) through the DataRUC.
+  const auto request_id =
+      ruc.submit(RequestKind::kPublicRelease, req.requester, {req.title}, req.description, now);
+  if (ruc.process(request_id) != RequestState::kProvisioned) {
+    return fail("advisory chain rejected the release");
+  }
+
+  // 2. Sanitization with curation guidance.
+  const sql::Table sanitized = sanitize(artifact, req.sanitize_policy);
+
+  // 3. Safety gates.
+  if (!req.quasi_identifiers.empty() &&
+      min_group_size(sanitized, req.quasi_identifiers) < req.min_k) {
+    return fail("k-anonymity gate failed (group smaller than k)");
+  }
+  if (!passes_pii_scan(sanitized)) {
+    return fail("PII scan found residual markers");
+  }
+
+  // 4. Curate into the public columnar format and publish.
+  const auto blob = storage::write_columnar(sanitized);
+  return repo.publish(req.title, req.description, req.creators,
+                      std::vector<std::uint8_t>(blob.begin(), blob.end()), request_id, now);
+}
+
+}  // namespace oda::governance

@@ -1,0 +1,71 @@
+// Constellation: the site-wide public data repository ([28][29]) that
+// approved, sanitized artifacts are released to (Fig 12's terminal node;
+// the channel behind the paper's released power/energy [48], GPU-failure
+// [49], Darshan [50][51] and HPL [52] datasets). Mints DOIs, stores
+// landing metadata + the curated blob, and tracks downloads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "governance/advisory.hpp"
+#include "governance/anonymize.hpp"
+#include "sql/table.hpp"
+
+namespace oda::governance {
+
+struct DatasetLanding {
+  std::string doi;            ///< e.g. "10.13139/SIM/0000042"
+  std::string title;
+  std::string description;
+  std::vector<std::string> creators;
+  common::TimePoint published = 0;
+  std::size_t size_bytes = 0;
+  std::uint64_t content_hash = 0;
+  std::uint64_t request_id = 0;  ///< the DataRUC approval backing the release
+  std::uint64_t downloads = 0;
+};
+
+class Constellation {
+ public:
+  explicit Constellation(std::string doi_prefix = "10.13139/SIM") : prefix_(std::move(doi_prefix)) {}
+
+  /// Publish a curated blob; returns the minted DOI.
+  std::string publish(const std::string& title, const std::string& description,
+                      std::vector<std::string> creators, std::vector<std::uint8_t> blob,
+                      std::uint64_t request_id, common::TimePoint now);
+
+  std::optional<DatasetLanding> landing(const std::string& doi) const;
+  /// Download the blob (bumps the landing counter).
+  std::optional<std::vector<std::uint8_t>> download(const std::string& doi);
+  std::vector<DatasetLanding> catalog() const;
+
+ private:
+  std::string prefix_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::string, DatasetLanding> landings_;
+  std::map<std::string, std::vector<std::uint8_t>> blobs_;
+};
+
+/// The full Fig 12 release path as one operation: DataRUC review →
+/// sanitize → k-anonymity + PII gates → Constellation publish. Returns
+/// the DOI on success, nullopt when any gate rejects (with `why` set).
+struct ReleaseRequest {
+  std::string title;
+  std::string description;
+  std::vector<std::string> creators;
+  std::string requester;
+  SanitizePolicy sanitize_policy;
+  std::vector<std::string> quasi_identifiers;  ///< for the k-anonymity gate
+  std::size_t min_k = 2;
+};
+
+std::optional<std::string> release_dataset(DataRuc& ruc, Constellation& repo,
+                                           const sql::Table& artifact, const ReleaseRequest& req,
+                                           common::TimePoint now, std::string* why = nullptr);
+
+}  // namespace oda::governance

@@ -1,0 +1,73 @@
+#include "governance/dictionary.hpp"
+
+namespace oda::governance {
+
+double FieldEntry::completeness() const {
+  int filled = 0, total = 5;
+  if (!units.empty()) ++filled;
+  if (!description.empty()) ++filled;
+  if (sample_period > 0) ++filled;
+  if (!physical_location.empty()) ++filled;
+  if (vendor_verified) ++filled;
+  return static_cast<double>(filled) / total;
+}
+
+void DataDictionary::register_dataset(DatasetEntry entry) {
+  entries_[entry.dataset] = std::move(entry);
+}
+
+const DatasetEntry* DataDictionary::find(const std::string& dataset) const {
+  auto it = entries_.find(dataset);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DataDictionary::datasets() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+void DataDictionary::describe_field(const std::string& dataset, FieldEntry field) {
+  auto& entry = entries_[dataset];
+  if (entry.dataset.empty()) entry.dataset = dataset;
+  for (auto& f : entry.fields) {
+    if (f.name == field.name) {
+      f = std::move(field);
+      return;
+    }
+  }
+  entry.fields.push_back(std::move(field));
+}
+
+double DataDictionary::completeness(const std::string& dataset) const {
+  const DatasetEntry* e = find(dataset);
+  if (!e || e->fields.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& f : e->fields) total += f.completeness();
+  return total / static_cast<double>(e->fields.size());
+}
+
+double DataDictionary::overall_completeness() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& [_, e] : entries_) {
+    for (const auto& f : e.fields) {
+      total += f.completeness();
+      ++n;
+    }
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+std::vector<std::string> DataDictionary::unverified_fields(const std::string& dataset) const {
+  std::vector<std::string> out;
+  const DatasetEntry* e = find(dataset);
+  if (!e) return out;
+  for (const auto& f : e->fields) {
+    if (!f.vendor_verified) out.push_back(f.name);
+  }
+  return out;
+}
+
+}  // namespace oda::governance

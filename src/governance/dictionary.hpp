@@ -1,0 +1,56 @@
+// Data dictionary built during "data exploration campaigns" (Sec VI-A):
+// qualitative knowledge about every stream — sample rate, failure rate,
+// sensor location, meaning — and a completeness metric that quantifies
+// the paper's "limited information during the data discovery phase".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace oda::governance {
+
+struct FieldEntry {
+  std::string name;
+  std::string units;
+  std::string description;
+  common::Duration sample_period = 0;
+  double observed_loss_rate = 0.0;
+  std::string physical_location;  ///< e.g. "node VRM", "CDU secondary loop"
+  bool vendor_verified = false;   ///< authoritative meaning confirmed (Sec VI-A)
+
+  /// Entry completeness in [0,1]: fraction of fields filled in.
+  double completeness() const;
+};
+
+struct DatasetEntry {
+  std::string dataset;
+  std::string owner_area;
+  std::string source_system;
+  std::vector<FieldEntry> fields;
+};
+
+class DataDictionary {
+ public:
+  void register_dataset(DatasetEntry entry);
+  const DatasetEntry* find(const std::string& dataset) const;
+  std::vector<std::string> datasets() const;
+
+  /// Add/overwrite a field description.
+  void describe_field(const std::string& dataset, FieldEntry field);
+
+  /// Mean completeness across all fields of a dataset (1.0 = fully
+  /// documented; low values flag the discovery bottleneck of Sec VI).
+  double completeness(const std::string& dataset) const;
+  double overall_completeness() const;
+  /// Fields whose meaning is not vendor-verified (the costly follow-ups).
+  std::vector<std::string> unverified_fields(const std::string& dataset) const;
+
+ private:
+  std::map<std::string, DatasetEntry> entries_;
+};
+
+}  // namespace oda::governance

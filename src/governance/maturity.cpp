@@ -1,0 +1,207 @@
+#include "governance/maturity.hpp"
+
+#include <stdexcept>
+
+namespace oda::governance {
+
+const char* maturity_name(Maturity m) {
+  switch (m) {
+    case Maturity::kL0_Identified: return "L0";
+    case Maturity::kL1_Collected: return "L1";
+    case Maturity::kL2_Explored: return "L2";
+    case Maturity::kL3_Refined: return "L3";
+    case Maturity::kL4_Integrated: return "L4";
+    case Maturity::kL5_Operational: return "L5";
+  }
+  return "?";
+}
+
+const char* area_name(UsageArea a) {
+  switch (a) {
+    case UsageArea::kSystemMgmt: return "System Mgmt";
+    case UsageArea::kUserAssist: return "User Assist";
+    case UsageArea::kFacilityMgmt: return "Facility Mgmt";
+    case UsageArea::kCyberSec: return "Cyber Sec";
+    case UsageArea::kApps: return "Apps";
+    case UsageArea::kProgramMgmt: return "Program Mgmt";
+    case UsageArea::kProcurement: return "Procurement";
+    case UsageArea::kRnD: return "R&D";
+  }
+  return "?";
+}
+
+const char* area_description(UsageArea a) {
+  switch (a) {
+    case UsageArea::kSystemMgmt:
+      return "System performance, stability and reliability ensurance: compute, interconnect, storage";
+    case UsageArea::kUserAssist:
+      return "Diagnostics for swift troubleshooting and solutions";
+    case UsageArea::kFacilityMgmt:
+      return "Reliable and energy efficient power and cooling supply system design and operations";
+    case UsageArea::kCyberSec:
+      return "Detection, diagnosis and prevention of security issues";
+    case UsageArea::kApps:
+      return "Runtime performance monitoring and optimization, tuning, energy efficiency";
+    case UsageArea::kProgramMgmt:
+      return "Resource allocation, coordination, and reporting to sponsors";
+    case UsageArea::kProcurement:
+      return "Technology integration, tuning, testing, and projection for future systems";
+    case UsageArea::kRnD:
+      return "Performance optimization, reliability projection, energy usage optimization";
+  }
+  return "?";
+}
+
+const char* source_name(DataSource s) {
+  switch (s) {
+    case DataSource::kComputePerfCounters: return "Compute: perf counters";
+    case DataSource::kComputeResourceUtil: return "Compute: resource util";
+    case DataSource::kComputePowerTemp: return "Compute: power & temp";
+    case DataSource::kComputeStorageClient: return "Compute: storage client";
+    case DataSource::kComputeInterconnectClient: return "Compute: interconnect client";
+    case DataSource::kStorageSystem: return "Storage system";
+    case DataSource::kInterconnect: return "Interconnect";
+    case DataSource::kSyslogEvents: return "Syslog & events";
+    case DataSource::kResourceManager: return "Resource manager";
+    case DataSource::kCrm: return "CRM";
+    case DataSource::kFacility: return "Facility";
+  }
+  return "?";
+}
+
+const MaturityCell& MaturityMatrix::cell(DataSource s, UsageArea a) const {
+  return cells_[static_cast<std::size_t>(s)][static_cast<std::size_t>(a)];
+}
+
+void MaturityMatrix::set(DataSource s, UsageArea a, std::optional<Maturity> mountain,
+                         std::optional<Maturity> compass, bool owner) {
+  auto& c = cells_[static_cast<std::size_t>(s)][static_cast<std::size_t>(a)];
+  c.mountain = mountain;
+  c.compass = compass;
+  c.owner = owner;
+}
+
+MaturityMatrix MaturityMatrix::paper_figure3() {
+  using S = DataSource;
+  using A = UsageArea;
+  auto L = [](int v) { return std::optional<Maturity>(static_cast<Maturity>(v)); };
+  MaturityMatrix m;
+  // Cells transcribed from Fig 3 (left value: Mountain, right: Compass).
+  m.set(S::kComputePerfCounters, A::kApps, L(0), L(0));
+  m.set(S::kComputePerfCounters, A::kProcurement, L(0), L(0));
+  m.set(S::kComputePerfCounters, A::kRnD, L(0), L(0));
+
+  m.set(S::kComputeResourceUtil, A::kUserAssist, L(0), L(0));
+  m.set(S::kComputeResourceUtil, A::kApps, L(0), L(1));
+  m.set(S::kComputeResourceUtil, A::kProgramMgmt, L(5), L(5));
+  m.set(S::kComputeResourceUtil, A::kProcurement, L(2), L(1));
+  m.set(S::kComputeResourceUtil, A::kRnD, L(0), L(1));
+
+  m.set(S::kComputePowerTemp, A::kSystemMgmt, L(1), L(1), /*owner=*/true);
+  m.set(S::kComputePowerTemp, A::kUserAssist, L(0), L(3));
+  m.set(S::kComputePowerTemp, A::kFacilityMgmt, L(4), L(4));
+  m.set(S::kComputePowerTemp, A::kApps, L(2), L(2));
+  m.set(S::kComputePowerTemp, A::kProcurement, L(1), L(1));
+  m.set(S::kComputePowerTemp, A::kRnD, L(5), L(3));
+
+  m.set(S::kComputeStorageClient, A::kSystemMgmt, L(1), L(1), true);
+  m.set(S::kComputeStorageClient, A::kUserAssist, L(5), L(5));
+  m.set(S::kComputeStorageClient, A::kApps, L(0), L(1));
+  m.set(S::kComputeStorageClient, A::kProcurement, L(2), L(1));
+  m.set(S::kComputeStorageClient, A::kRnD, L(5), L(1));
+
+  m.set(S::kComputeInterconnectClient, A::kSystemMgmt, L(1), L(1), true);
+  m.set(S::kComputeInterconnectClient, A::kUserAssist, L(5), L(5));
+  m.set(S::kComputeInterconnectClient, A::kApps, L(0), L(1));
+  m.set(S::kComputeInterconnectClient, A::kProcurement, L(2), L(0));
+  m.set(S::kComputeInterconnectClient, A::kRnD, L(0), L(1));
+
+  m.set(S::kStorageSystem, A::kSystemMgmt, L(4), L(2), true);
+  m.set(S::kStorageSystem, A::kProcurement, L(2), L(0));
+  m.set(S::kStorageSystem, A::kRnD, L(0), L(0));
+
+  m.set(S::kInterconnect, A::kSystemMgmt, L(0), L(0), true);
+  m.set(S::kInterconnect, A::kUserAssist, L(0), L(0));
+  m.set(S::kInterconnect, A::kProcurement, L(2), L(1));
+  m.set(S::kInterconnect, A::kRnD, L(0), L(0));
+
+  m.set(S::kSyslogEvents, A::kSystemMgmt, L(5), L(5), true);
+  m.set(S::kSyslogEvents, A::kUserAssist, L(5), L(5));
+  m.set(S::kSyslogEvents, A::kFacilityMgmt, L(4), L(1));
+  m.set(S::kSyslogEvents, A::kCyberSec, L(5), L(4));
+  m.set(S::kSyslogEvents, A::kProcurement, L(4), L(2));
+  m.set(S::kSyslogEvents, A::kRnD, L(4), L(1));
+
+  m.set(S::kResourceManager, A::kSystemMgmt, L(5), L(5), true);
+  m.set(S::kResourceManager, A::kUserAssist, L(5), L(5));
+  m.set(S::kResourceManager, A::kCyberSec, L(5), L(4));
+  m.set(S::kResourceManager, A::kProgramMgmt, L(5), L(5));
+  m.set(S::kResourceManager, A::kProcurement, L(5), L(4));
+  m.set(S::kResourceManager, A::kRnD, L(5), L(3));
+
+  m.set(S::kCrm, A::kUserAssist, L(5), L(5));
+  m.set(S::kCrm, A::kProgramMgmt, L(5), L(5), true);
+  m.set(S::kCrm, A::kProcurement, L(1), L(1));
+
+  m.set(S::kFacility, A::kFacilityMgmt, L(5), L(4), true);
+  m.set(S::kFacility, A::kProcurement, L(5), L(5));
+  m.set(S::kFacility, A::kRnD, L(4), L(3));
+  return m;
+}
+
+double MaturityMatrix::coverage(Maturity level, bool compass_generation) const {
+  std::size_t populated = 0, at_or_above = 0;
+  for (std::size_t s = 0; s < kNumSources; ++s) {
+    for (std::size_t a = 0; a < kNumAreas; ++a) {
+      const auto& v = compass_generation ? cells_[s][a].compass : cells_[s][a].mountain;
+      if (!v) continue;
+      ++populated;
+      if (*v >= level) ++at_or_above;
+    }
+  }
+  return populated ? static_cast<double>(at_or_above) / static_cast<double>(populated) : 0.0;
+}
+
+std::size_t MaturityMatrix::regressed_cells() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < kNumSources; ++s) {
+    for (std::size_t a = 0; a < kNumAreas; ++a) {
+      const auto& c = cells_[s][a];
+      if (c.mountain && c.compass && *c.compass < *c.mountain) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t MaturityMatrix::populated_cells() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < kNumSources; ++s) {
+    for (std::size_t a = 0; a < kNumAreas; ++a) {
+      if (cells_[s][a].mountain || cells_[s][a].compass) ++n;
+    }
+  }
+  return n;
+}
+
+sql::Table MaturityMatrix::to_table() const {
+  using sql::DataType;
+  using sql::Value;
+  sql::Table t{sql::Schema{{"source", DataType::kString},
+                           {"area", DataType::kString},
+                           {"mountain", DataType::kString},
+                           {"compass", DataType::kString},
+                           {"owner", DataType::kBool}}};
+  for (std::size_t s = 0; s < kNumSources; ++s) {
+    for (std::size_t a = 0; a < kNumAreas; ++a) {
+      const auto& c = cells_[s][a];
+      if (!c.mountain && !c.compass) continue;
+      t.append_row({Value(source_name(static_cast<DataSource>(s))),
+                    Value(area_name(static_cast<UsageArea>(a))),
+                    c.mountain ? Value(maturity_name(*c.mountain)) : Value::null(),
+                    c.compass ? Value(maturity_name(*c.compass)) : Value::null(), Value(c.owner)});
+    }
+  }
+  return t;
+}
+
+}  // namespace oda::governance

@@ -1,0 +1,90 @@
+// Data-stream maturity model (Fig 2) and the area × source readiness
+// matrix (Fig 3) for the two system generations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/table.hpp"
+
+namespace oda::governance {
+
+/// L0..L5 readiness stages from Fig 2's stream-establishment process.
+enum class Maturity : std::uint8_t {
+  kL0_Identified = 0,   ///< use case identified, no data yet
+  kL1_Collected = 1,    ///< raw stream lands somewhere
+  kL2_Explored = 2,     ///< data dictionary / quality understood
+  kL3_Refined = 3,      ///< Silver pipeline exists
+  kL4_Integrated = 4,   ///< feeding dashboards/reports
+  kL5_Operational = 5,  ///< relied on in day-to-day operations
+};
+const char* maturity_name(Maturity m);
+
+/// Operational areas of Table I (column axis of Fig 3).
+enum class UsageArea : std::uint8_t {
+  kSystemMgmt = 0,
+  kUserAssist = 1,
+  kFacilityMgmt = 2,
+  kCyberSec = 3,
+  kApps = 4,
+  kProgramMgmt = 5,
+  kProcurement = 6,
+  kRnD = 7,
+};
+inline constexpr std::size_t kNumAreas = 8;
+const char* area_name(UsageArea a);
+/// Table I description of what the area uses operational data for.
+const char* area_description(UsageArea a);
+
+/// Data sources (row axis of Fig 3).
+enum class DataSource : std::uint8_t {
+  kComputePerfCounters = 0,
+  kComputeResourceUtil = 1,
+  kComputePowerTemp = 2,
+  kComputeStorageClient = 3,
+  kComputeInterconnectClient = 4,
+  kStorageSystem = 5,
+  kInterconnect = 6,
+  kSyslogEvents = 7,
+  kResourceManager = 8,
+  kCrm = 9,
+  kFacility = 10,
+};
+inline constexpr std::size_t kNumSources = 11;
+const char* source_name(DataSource s);
+
+struct MaturityCell {
+  std::optional<Maturity> mountain;  ///< prior generation
+  std::optional<Maturity> compass;   ///< current generation
+  bool owner = false;                ///< this area produces the source
+};
+
+/// The full Fig 3 matrix, seeded from the paper's published cells.
+class MaturityMatrix {
+ public:
+  /// Empty matrix (all cells unset).
+  MaturityMatrix() = default;
+  /// Matrix populated with the paper's Fig 3 values.
+  static MaturityMatrix paper_figure3();
+
+  const MaturityCell& cell(DataSource s, UsageArea a) const;
+  void set(DataSource s, UsageArea a, std::optional<Maturity> mountain,
+           std::optional<Maturity> compass, bool owner = false);
+
+  /// Fraction of populated cells at or above `level` for a generation.
+  double coverage(Maturity level, bool compass_generation) const;
+  /// Cells where the newer generation lags the older (regression risk
+  /// the paper highlights: re-work on each new system).
+  std::size_t regressed_cells() const;
+  std::size_t populated_cells() const;
+
+  /// Render as a table: (source, area, mountain, compass, owner).
+  sql::Table to_table() const;
+
+ private:
+  MaturityCell cells_[kNumSources][kNumAreas];
+};
+
+}  // namespace oda::governance

@@ -1,0 +1,106 @@
+#include "ml/anomaly.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace oda::ml {
+
+AnomalyDetector::AnomalyDetector(AnomalyDetectorConfig config) : config_(config) {}
+
+double AnomalyDetector::fit(const FeatureMatrix& healthy, std::uint64_t seed) {
+  if (healthy.rows() < 8) throw std::invalid_argument("AnomalyDetector: too few healthy samples");
+  common::Rng rng(seed);
+  FeatureMatrix x = healthy;
+  scaler_.fit(x);
+  scaler_.transform(x);
+
+  ae_ = make_autoencoder(x.cols(), config_.bottleneck, config_.hidden, rng);
+  ae_.train(x, x, config_.train, rng);
+  fitted_ = true;
+
+  std::vector<double> scores(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto out = ae_.predict(x.row(r));
+    double err = 0.0;
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      const double d = out[c] - x.at(r, c);
+      err += d * d;
+    }
+    scores[r] = err / static_cast<double>(out.size());
+  }
+  std::sort(scores.begin(), scores.end());
+  const auto idx = static_cast<std::size_t>(config_.threshold_quantile *
+                                            static_cast<double>(scores.size() - 1));
+  // Floor plus headroom so a perfectly reconstructed training set does
+  // not produce a zero threshold.
+  threshold_ = std::max(1e-6, scores[idx] * 1.5);
+  return threshold_;
+}
+
+double AnomalyDetector::score(std::span<const double> x) const {
+  if (!fitted_) throw std::logic_error("AnomalyDetector: score before fit");
+  FeatureMatrix one(1, x.size());
+  std::copy(x.begin(), x.end(), one.row(0).begin());
+  scaler_.transform(one);
+  const auto out = ae_.predict(one.row(0));
+  double err = 0.0;
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    const double d = out[c] - one.at(0, c);
+    err += d * d;
+  }
+  return err / static_cast<double>(out.size());
+}
+
+bool AnomalyDetector::is_anomalous(std::span<const double> x) const { return score(x) > threshold_; }
+
+std::vector<std::uint8_t> AnomalyDetector::serialize() const {
+  common::ByteWriter w;
+  w.f64(threshold_);
+  w.varint(scaler_.means().size());
+  for (double m : scaler_.means()) w.f64(m);
+  for (double s : scaler_.stds()) w.f64(s);
+  const auto net = ae_.serialize();
+  w.varint(net.size());
+  w.raw(net.data(), net.size());
+  return w.take();
+}
+
+AnomalyDetector AnomalyDetector::deserialize(std::span<const std::uint8_t> data) {
+  common::ByteReader r(data);
+  AnomalyDetector d;
+  d.threshold_ = r.f64();
+  const std::uint64_t n = r.varint();
+  // Rebuild the scaler through fit on a 2-row synthetic matrix encoding
+  // mean/std exactly: row0 = mean - std, row1 = mean + std.
+  FeatureMatrix synth(2, n);
+  std::vector<double> means(n), stds(n);
+  for (auto& m : means) m = r.f64();
+  for (auto& s : stds) s = r.f64();
+  for (std::size_t c = 0; c < n; ++c) {
+    synth.at(0, c) = means[c] - stds[c];
+    synth.at(1, c) = means[c] + stds[c];
+  }
+  d.scaler_.fit(synth);
+  const std::uint64_t len = r.varint();
+  d.ae_ = Mlp::deserialize(r.raw(len));
+  d.fitted_ = true;
+  return d;
+}
+
+DetectionMetrics evaluate_detector(const AnomalyDetector& detector, const FeatureMatrix& x,
+                                   std::span<const bool> labels) {
+  DetectionMetrics m;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const bool flagged = detector.is_anomalous(x.row(r));
+    const bool truth = labels[r];
+    if (flagged && truth) ++m.true_positives;
+    if (flagged && !truth) ++m.false_positives;
+    if (!flagged && truth) ++m.false_negatives;
+    if (!flagged && !truth) ++m.true_negatives;
+  }
+  return m;
+}
+
+}  // namespace oda::ml

@@ -1,0 +1,81 @@
+// Semi-supervised anomaly detection on node telemetry (the use case of
+// refs [17][18]: "anomaly detection for monitoring power consumption in
+// HPC facilities"). An autoencoder learns the healthy manifold; the
+// reconstruction error of new samples scores their abnormality, with the
+// alert threshold calibrated as a quantile of healthy-period scores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/feature.hpp"
+#include "ml/nn.hpp"
+
+namespace oda::ml {
+
+struct AnomalyDetectorConfig {
+  std::size_t bottleneck = 3;
+  std::size_t hidden = 16;
+  double threshold_quantile = 0.995;  ///< of healthy-period scores
+  TrainConfig train;
+
+  AnomalyDetectorConfig() {
+    train.epochs = 80;
+    train.batch_size = 32;
+    train.learning_rate = 2e-3;
+  }
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyDetectorConfig config = {});
+
+  /// Train on healthy-period samples (rows = observations). Returns the
+  /// calibrated alert threshold.
+  double fit(const FeatureMatrix& healthy, std::uint64_t seed);
+
+  /// Reconstruction-error score of one observation (scaled space MSE).
+  double score(std::span<const double> x) const;
+  /// True when score exceeds the calibrated threshold.
+  bool is_anomalous(std::span<const double> x) const;
+
+  double threshold() const { return threshold_; }
+  const Mlp& autoencoder() const { return ae_; }
+
+  std::vector<std::uint8_t> serialize() const;
+  static AnomalyDetector deserialize(std::span<const std::uint8_t> data);
+
+ private:
+  AnomalyDetectorConfig config_;
+  StandardScaler scaler_;
+  Mlp ae_;
+  double threshold_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Scoring outcome over a labelled evaluation set.
+struct DetectionMetrics {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  std::size_t true_negatives = 0;
+
+  double precision() const {
+    const auto d = true_positives + false_positives;
+    return d ? static_cast<double>(true_positives) / static_cast<double>(d) : 0.0;
+  }
+  double recall() const {
+    const auto d = true_positives + false_negatives;
+    return d ? static_cast<double>(true_positives) / static_cast<double>(d) : 0.0;
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+  }
+};
+
+/// Evaluate a detector against labelled rows (true = anomalous).
+DetectionMetrics evaluate_detector(const AnomalyDetector& detector, const FeatureMatrix& x,
+                                   std::span<const bool> labels);
+
+}  // namespace oda::ml

@@ -1,0 +1,95 @@
+#include "ml/feature.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bytes.hpp"
+
+namespace oda::ml {
+
+std::uint64_t FeatureMatrix::content_hash() const {
+  std::uint64_t h = common::fnv1a(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data_.data()), data_.size() * sizeof(double)));
+  h = common::fnv1a(std::to_string(rows_) + "x" + std::to_string(cols_), h);
+  for (const auto& n : names_) h = common::fnv1a(n, h);
+  return h;
+}
+
+FeatureMatrix table_to_matrix(const sql::Table& t, const std::vector<std::string>& columns) {
+  std::vector<std::size_t> cols;
+  std::vector<std::string> names;
+  if (columns.empty()) {
+    for (std::size_t c = 0; c < t.num_columns(); ++c) {
+      const auto ty = t.column(c).type();
+      if (ty == sql::DataType::kFloat64 || ty == sql::DataType::kInt64) {
+        cols.push_back(c);
+        names.push_back(t.schema().field(c).name);
+      }
+    }
+  } else {
+    for (const auto& name : columns) {
+      cols.push_back(t.col_index(name));
+      names.push_back(name);
+    }
+  }
+  FeatureMatrix m(t.num_rows(), cols.size(), std::move(names));
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const auto& col = t.column(cols[c]);
+      m.at(r, c) = col.is_null(r) ? 0.0 : col.double_at(r);
+    }
+  }
+  return m;
+}
+
+void StandardScaler::fit(const FeatureMatrix& x) {
+  mean_.assign(x.cols(), 0.0);
+  std_.assign(x.cols(), 0.0);
+  if (x.rows() == 0) return;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) mean_[c] += x.at(r, c);
+  }
+  for (auto& m : mean_) m /= static_cast<double>(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = x.at(r, c) - mean_[c];
+      std_[c] += d * d;
+    }
+  }
+  for (auto& s : std_) {
+    s = std::sqrt(s / static_cast<double>(x.rows()));
+    if (s < 1e-12) s = 1.0;  // constant column: leave centered
+  }
+}
+
+void StandardScaler::transform(FeatureMatrix& x) const {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) x.at(r, c) = (x.at(r, c) - mean_[c]) / std_[c];
+  }
+}
+
+TrainTestSplit train_test_split(std::size_t n, double test_fraction, common::Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  // Fisher-Yates.
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  const auto n_test = static_cast<std::size_t>(test_fraction * static_cast<double>(n));
+  TrainTestSplit split;
+  split.test.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n_test));
+  split.train.assign(idx.begin() + static_cast<std::ptrdiff_t>(n_test), idx.end());
+  return split;
+}
+
+FeatureMatrix take_rows(const FeatureMatrix& x, std::span<const std::size_t> idx) {
+  FeatureMatrix out(idx.size(), x.cols(), x.names());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    const auto src = x.row(idx[r]);
+    std::memcpy(out.row(r).data(), src.data(), src.size() * sizeof(double));
+  }
+  return out;
+}
+
+}  // namespace oda::ml

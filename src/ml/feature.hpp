@@ -1,0 +1,77 @@
+// Feature engineering bridge between Silver tables and ML models:
+// dense matrices, scaling, splits, and Table conversion (the
+// "featurization — yielding Gold stage data artifacts" of Sec V-A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sql/table.hpp"
+
+namespace oda::ml {
+
+/// Row-major dense matrix with named columns.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  FeatureMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  FeatureMatrix(std::size_t rows, std::size_t cols, std::vector<std::string> names)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0), names_(std::move(names)) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Content hash for reproducibility manifests.
+  std::uint64_t content_hash() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+  std::vector<std::string> names_;
+};
+
+/// Extract numeric columns of a Table into a FeatureMatrix
+/// (nulls become 0; column subset optional — empty = all numeric).
+FeatureMatrix table_to_matrix(const sql::Table& t, const std::vector<std::string>& columns = {});
+
+/// Z-score scaler, fit on train, applied to any matrix.
+class StandardScaler {
+ public:
+  void fit(const FeatureMatrix& x);
+  void transform(FeatureMatrix& x) const;
+  FeatureMatrix fit_transform(FeatureMatrix x) {
+    fit(x);
+    transform(x);
+    return x;
+  }
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<double>& stds() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+struct TrainTestSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Deterministic shuffled split.
+TrainTestSplit train_test_split(std::size_t n, double test_fraction, common::Rng& rng);
+
+/// Gather a subset of rows.
+FeatureMatrix take_rows(const FeatureMatrix& x, std::span<const std::size_t> idx);
+
+}  // namespace oda::ml

@@ -1,0 +1,72 @@
+#include "ml/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace oda::ml {
+
+PowerForecaster::PowerForecaster(ForecasterConfig config) : config_(config) {}
+
+void PowerForecaster::fit(std::span<const double> series, std::uint64_t seed) {
+  const std::size_t need = config_.lags + config_.horizon + 1;
+  if (series.size() < need) throw std::invalid_argument("PowerForecaster: series too short");
+  common::Rng rng(seed);
+
+  // Normalize to [0, 1]-ish by range (robust enough for power series).
+  double mn = series[0], mx = series[0];
+  for (double v : series) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  offset_ = mn;
+  scale_ = std::max(1e-9, mx - mn);
+
+  const std::size_t n = series.size() - config_.lags - config_.horizon + 1;
+  FeatureMatrix x(n, config_.lags), y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < config_.lags; ++l) {
+      x.at(i, l) = (series[i + l] - offset_) / scale_;
+    }
+    y.at(i, 0) = (series[i + config_.lags + config_.horizon - 1] - offset_) / scale_;
+  }
+  net_ = Mlp(config_.lags, {{config_.hidden, Activation::kTanh}, {1, Activation::kIdentity}}, rng);
+  net_.train(x, y, config_.train, rng);
+  fitted_ = true;
+}
+
+double PowerForecaster::predict(std::span<const double> recent) const {
+  if (!fitted_) throw std::logic_error("PowerForecaster: predict before fit");
+  if (recent.size() < config_.lags) throw std::invalid_argument("PowerForecaster: window too short");
+  std::vector<double> in(config_.lags);
+  const std::size_t start = recent.size() - config_.lags;
+  for (std::size_t l = 0; l < config_.lags; ++l) in[l] = (recent[start + l] - offset_) / scale_;
+  return net_.predict(in)[0] * scale_ + offset_;
+}
+
+ForecastEvaluation evaluate_forecaster(const ForecasterConfig& config, std::span<const double> series,
+                                       double train_fraction, std::uint64_t seed) {
+  ForecastEvaluation ev;
+  const auto split = static_cast<std::size_t>(train_fraction * static_cast<double>(series.size()));
+  if (split < config.lags + config.horizon + 1 || split >= series.size()) return ev;
+
+  PowerForecaster model(config);
+  model.fit(series.subspan(0, split), seed);
+
+  std::vector<double> truth, pred, persist;
+  for (std::size_t t = split; t + config.horizon - 1 < series.size(); ++t) {
+    if (t < config.lags) continue;
+    const auto window = series.subspan(t - config.lags, config.lags);
+    truth.push_back(series[t + config.horizon - 1]);
+    pred.push_back(model.predict(window));
+    persist.push_back(series[t - 1]);  // baseline: last observed value
+  }
+  ev.samples = truth.size();
+  ev.model_mape = common::mape(truth, pred);
+  ev.persistence_mape = common::mape(truth, persist);
+  return ev;
+}
+
+}  // namespace oda::ml

@@ -1,0 +1,65 @@
+// Short-horizon power forecasting (the use case of refs [19][20]:
+// "forecasting power-efficiency related key performance indicators").
+// An autoregressive MLP over lagged samples, evaluated against the
+// persistence baseline every forecasting paper must beat.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/nn.hpp"
+
+namespace oda::ml {
+
+struct ForecasterConfig {
+  std::size_t lags = 24;     ///< input window length (samples)
+  std::size_t horizon = 4;   ///< steps ahead to predict
+  std::size_t hidden = 24;
+  TrainConfig train;
+
+  ForecasterConfig() {
+    train.epochs = 120;
+    train.batch_size = 32;
+    train.learning_rate = 2e-3;
+  }
+};
+
+class PowerForecaster {
+ public:
+  explicit PowerForecaster(ForecasterConfig config = {});
+
+  /// Train on a regularly sampled series. Requires
+  /// series.size() > lags + horizon. Deterministic per seed.
+  void fit(std::span<const double> series, std::uint64_t seed);
+
+  /// Predict the value `horizon` steps after the window's last sample.
+  /// `recent` must contain at least `lags` samples (uses the last lags).
+  double predict(std::span<const double> recent) const;
+
+  const ForecasterConfig& config() const { return config_; }
+
+ private:
+  ForecasterConfig config_;
+  Mlp net_;
+  double scale_ = 1.0;  ///< series normalization
+  double offset_ = 0.0;
+  bool fitted_ = false;
+};
+
+struct ForecastEvaluation {
+  double model_mape = 0.0;
+  double persistence_mape = 0.0;  ///< "tomorrow = today" baseline
+  std::size_t samples = 0;
+
+  double improvement() const {
+    return persistence_mape > 0 ? 1.0 - model_mape / persistence_mape : 0.0;
+  }
+};
+
+/// Walk-forward evaluation over the tail of a series: train on the first
+/// `train_fraction`, then roll through the rest comparing the model and
+/// the persistence baseline at the configured horizon.
+ForecastEvaluation evaluate_forecaster(const ForecasterConfig& config, std::span<const double> series,
+                                       double train_fraction, std::uint64_t seed);
+
+}  // namespace oda::ml

@@ -1,0 +1,120 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace oda::ml {
+
+namespace {
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i] - b[i];
+    d += x * x;
+  }
+  return d;
+}
+}  // namespace
+
+void KMeans::fit(const FeatureMatrix& x, common::Rng& rng) {
+  const std::size_t n = x.rows(), dim = x.cols();
+  const std::size_t k = std::min(config_.k, std::max<std::size_t>(1, n));
+  centroids_ = FeatureMatrix(k, dim);
+
+  // k-means++ seeding.
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  std::size_t first = rng.uniform_index(std::max<std::size_t>(1, n));
+  if (n > 0) std::memcpy(centroids_.row(0).data(), x.row(first).data(), dim * sizeof(double));
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i], sq_dist(x.row(i), centroids_.row(c - 1)));
+      total += min_d2[i];
+    }
+    double target = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= min_d2[i];
+      if (target <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    std::memcpy(centroids_.row(c).data(), x.row(chosen).data(), dim * sizeof(double));
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> assign(n, 0);
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (iters_ = 0; iters_ < config_.max_iters; ++iters_) {
+    inertia_ = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t bc = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_dist(x.row(i), centroids_.row(c));
+        if (d < best) {
+          best = d;
+          bc = c;
+        }
+      }
+      assign[i] = bc;
+      inertia_ += best;
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = x.row(i);
+      double* s = &sums[assign[i] * dim];
+      for (std::size_t d = 0; d < dim; ++d) s[d] += row[d];
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep previous centroid for empty cluster
+      auto cr = centroids_.row(c);
+      for (std::size_t d = 0; d < dim; ++d) cr[d] = sums[c * dim + d] / static_cast<double>(counts[c]);
+    }
+    if (prev_inertia - inertia_ <= config_.tol * std::max(1.0, prev_inertia)) break;
+    prev_inertia = inertia_;
+  }
+}
+
+std::size_t KMeans::predict_one(std::span<const double> row) const {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t bc = 0;
+  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+    const double d = sq_dist(row, centroids_.row(c));
+    if (d < best) {
+      best = d;
+      bc = c;
+    }
+  }
+  return bc;
+}
+
+std::vector<std::size_t> KMeans::predict(const FeatureMatrix& x) const {
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict_one(x.row(i));
+  return out;
+}
+
+double cluster_purity(std::span<const std::size_t> assignments, std::span<const std::size_t> labels,
+                      std::size_t k, std::size_t num_labels) {
+  if (assignments.empty()) return 0.0;
+  std::vector<std::size_t> table(k * num_labels, 0);
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    table[assignments[i] * num_labels + labels[i]]++;
+  }
+  std::size_t majority_sum = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    majority_sum += *std::max_element(table.begin() + static_cast<std::ptrdiff_t>(c * num_labels),
+                                      table.begin() + static_cast<std::ptrdiff_t>((c + 1) * num_labels));
+  }
+  return static_cast<double>(majority_sum) / static_cast<double>(assignments.size());
+}
+
+}  // namespace oda::ml

@@ -1,0 +1,47 @@
+// k-means with k-means++ seeding: the clustering half of the Fig 10 job
+// power-profile map (clusters over autoencoder embeddings).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/feature.hpp"
+
+namespace oda::ml {
+
+struct KMeansConfig {
+  std::size_t k = 8;
+  std::size_t max_iters = 100;
+  double tol = 1e-6;  ///< relative inertia improvement stop
+};
+
+class KMeans {
+ public:
+  explicit KMeans(KMeansConfig config) : config_(config) {}
+
+  /// Fit on x; deterministic for a given rng state.
+  void fit(const FeatureMatrix& x, common::Rng& rng);
+
+  /// Nearest-centroid assignment.
+  std::size_t predict_one(std::span<const double> row) const;
+  std::vector<std::size_t> predict(const FeatureMatrix& x) const;
+
+  double inertia() const { return inertia_; }
+  std::size_t iterations() const { return iters_; }
+  const FeatureMatrix& centroids() const { return centroids_; }
+  std::size_t k() const { return config_.k; }
+
+ private:
+  KMeansConfig config_;
+  FeatureMatrix centroids_;
+  double inertia_ = 0.0;
+  std::size_t iters_ = 0;
+};
+
+/// Cluster purity against ground-truth labels: sum over clusters of the
+/// majority-label count, divided by n. 1.0 = clusters align with labels.
+double cluster_purity(std::span<const std::size_t> assignments, std::span<const std::size_t> labels,
+                      std::size_t k, std::size_t num_labels);
+
+}  // namespace oda::ml

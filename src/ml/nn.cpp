@@ -1,0 +1,316 @@
+#include "ml/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace oda::ml {
+
+Mlp::Mlp(std::size_t input_dim, std::vector<LayerSpec> layers, common::Rng& rng) : input_dim_(input_dim) {
+  std::size_t in = input_dim;
+  layers_.reserve(layers.size());
+  for (const auto& spec : layers) {
+    Layer layer;
+    layer.in = in;
+    layer.units = spec.units;
+    layer.activation = spec.activation;
+    layer.w.resize(spec.units * in);
+    layer.b.assign(spec.units, 0.0);
+    // He/Xavier-ish init scaled by fan-in.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (auto& w : layer.w) w = scale * rng.normal();
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.b.size(), 0.0);
+    layer.vb.assign(layer.b.size(), 0.0);
+    layers_.push_back(std::move(layer));
+    in = spec.units;
+  }
+}
+
+void Mlp::apply_activation(Activation a, std::vector<double>& z) {
+  switch (a) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+      for (auto& v : z) v = std::max(0.0, v);
+      break;
+    case Activation::kTanh:
+      for (auto& v : z) v = std::tanh(v);
+      break;
+    case Activation::kSigmoid:
+      for (auto& v : z) v = 1.0 / (1.0 + std::exp(-v));
+      break;
+    case Activation::kSoftmax: {
+      const double mx = *std::max_element(z.begin(), z.end());
+      double sum = 0.0;
+      for (auto& v : z) {
+        v = std::exp(v - mx);
+        sum += v;
+      }
+      for (auto& v : z) v /= sum;
+      break;
+    }
+  }
+}
+
+void Mlp::activation_grad(Activation a, const std::vector<double>& out, std::vector<double>& delta) {
+  switch (a) {
+    case Activation::kIdentity:
+    case Activation::kSoftmax:  // combined with cross-entropy upstream
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        if (out[i] <= 0.0) delta[i] = 0.0;
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < delta.size(); ++i) delta[i] *= 1.0 - out[i] * out[i];
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < delta.size(); ++i) delta[i] *= out[i] * (1.0 - out[i]);
+      break;
+  }
+}
+
+void Mlp::forward(std::span<const double> x, std::vector<std::vector<double>>& acts) const {
+  acts.resize(layers_.size());
+  const double* in = x.data();
+  std::size_t in_size = x.size();
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& l = layers_[li];
+    auto& out = acts[li];
+    out.assign(l.units, 0.0);
+    for (std::size_t u = 0; u < l.units; ++u) {
+      const double* w = &l.w[u * l.in];
+      double acc = l.b[u];
+      for (std::size_t i = 0; i < in_size; ++i) acc += w[i] * in[i];
+      out[u] = acc;
+    }
+    apply_activation(l.activation, out);
+    in = out.data();
+    in_size = out.size();
+  }
+}
+
+std::vector<double> Mlp::predict(std::span<const double> x) const {
+  std::vector<std::vector<double>> acts;
+  forward(x, acts);
+  return acts.empty() ? std::vector<double>(x.begin(), x.end()) : acts.back();
+}
+
+FeatureMatrix Mlp::predict(const FeatureMatrix& x) const {
+  FeatureMatrix out(x.rows(), output_dim());
+  std::vector<std::vector<double>> acts;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    forward(x.row(r), acts);
+    const auto& y = acts.back();
+    std::copy(y.begin(), y.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+std::vector<double> Mlp::layer_output(std::span<const double> x, std::size_t layer) const {
+  std::vector<std::vector<double>> acts;
+  forward(x, acts);
+  return acts.at(layer);
+}
+
+std::vector<double> Mlp::train(const FeatureMatrix& x, const FeatureMatrix& y, const TrainConfig& config,
+                               common::Rng& rng) {
+  if (x.rows() != y.rows()) throw std::invalid_argument("Mlp::train: x/y row mismatch");
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  std::vector<double> epoch_losses;
+  epoch_losses.reserve(config.epochs);
+
+  std::vector<std::vector<double>> acts;
+  std::vector<std::vector<double>> deltas(layers_.size());
+  // Accumulated gradients per batch.
+  std::vector<std::vector<double>> gw(layers_.size()), gb(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    gw[li].assign(layers_[li].w.size(), 0.0);
+    gb[li].assign(layers_[li].b.size(), 0.0);
+  }
+
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) {
+      for (std::size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.uniform_index(i)]);
+    }
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(n, start + config.batch_size);
+      const auto bsz = static_cast<double>(end - start);
+      for (auto& g : gw) std::fill(g.begin(), g.end(), 0.0);
+      for (auto& g : gb) std::fill(g.begin(), g.end(), 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t r = order[bi];
+        forward(x.row(r), acts);
+        const auto& out = acts.back();
+        const auto target = y.row(r);
+
+        // Output delta: for (softmax, CE) and (identity/any, MSE), the
+        // combined gradient is (out - target).
+        auto& dlast = deltas.back();
+        dlast.assign(out.size(), 0.0);
+        for (std::size_t i = 0; i < out.size(); ++i) dlast[i] = out[i] - target[i];
+        if (config.loss == Loss::kMse) {
+          epoch_loss += 0.5 * std::inner_product(dlast.begin(), dlast.end(), dlast.begin(), 0.0);
+          activation_grad(layers_.back().activation, out, dlast);
+        } else {
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            if (target[i] > 0.0) epoch_loss -= target[i] * std::log(std::max(out[i], 1e-12));
+          }
+        }
+
+        // Backprop.
+        for (std::size_t li = layers_.size(); li-- > 0;) {
+          const Layer& l = layers_[li];
+          const auto& delta = deltas[li];
+          const double* input = li == 0 ? x.row(r).data() : acts[li - 1].data();
+          double* gwl = gw[li].data();
+          for (std::size_t u = 0; u < l.units; ++u) {
+            const double d = delta[u];
+            gb[li][u] += d;
+            double* row_g = &gwl[u * l.in];
+            for (std::size_t i = 0; i < l.in; ++i) row_g[i] += d * input[i];
+          }
+          if (li > 0) {
+            auto& dprev = deltas[li - 1];
+            dprev.assign(l.in, 0.0);
+            for (std::size_t u = 0; u < l.units; ++u) {
+              const double d = delta[u];
+              const double* wrow = &l.w[u * l.in];
+              for (std::size_t i = 0; i < l.in; ++i) dprev[i] += d * wrow[i];
+            }
+            activation_grad(layers_[li - 1].activation, acts[li - 1], dprev);
+          }
+        }
+      }
+
+      // Apply update.
+      ++adam_t_;
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        Layer& l = layers_[li];
+        auto update = [&](std::vector<double>& param, std::vector<double>& grad, std::vector<double>& m,
+                          std::vector<double>& v) {
+          for (std::size_t i = 0; i < param.size(); ++i) {
+            double g = grad[i] / bsz + config.l2 * param[i];
+            if (config.adam) {
+              m[i] = kBeta1 * m[i] + (1 - kBeta1) * g;
+              v[i] = kBeta2 * v[i] + (1 - kBeta2) * g * g;
+              const double mhat = m[i] / (1 - std::pow(kBeta1, static_cast<double>(adam_t_)));
+              const double vhat = v[i] / (1 - std::pow(kBeta2, static_cast<double>(adam_t_)));
+              param[i] -= config.learning_rate * mhat / (std::sqrt(vhat) + kEps);
+            } else {
+              param[i] -= config.learning_rate * g;
+            }
+          }
+        };
+        update(l.w, gw[li], l.mw, l.vw);
+        update(l.b, gb[li], l.mb, l.vb);
+      }
+    }
+    epoch_losses.push_back(epoch_loss / static_cast<double>(n));
+  }
+  return epoch_losses;
+}
+
+double Mlp::evaluate_loss(const FeatureMatrix& x, const FeatureMatrix& y, Loss loss) const {
+  double total = 0.0;
+  std::vector<std::vector<double>> acts;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    forward(x.row(r), acts);
+    const auto& out = acts.back();
+    const auto target = y.row(r);
+    if (loss == Loss::kMse) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const double d = out[i] - target[i];
+        total += 0.5 * d * d;
+      }
+    } else {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (target[i] > 0.0) total -= target[i] * std::log(std::max(out[i], 1e-12));
+      }
+    }
+  }
+  return x.rows() ? total / static_cast<double>(x.rows()) : 0.0;
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.w.size() + l.b.size();
+  return n;
+}
+
+std::uint64_t Mlp::parameter_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& l : layers_) {
+    h = common::fnv1a(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(l.w.data()),
+                                                    l.w.size() * sizeof(double)),
+                      h);
+    h = common::fnv1a(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(l.b.data()),
+                                                    l.b.size() * sizeof(double)),
+                      h);
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> Mlp::serialize() const {
+  common::ByteWriter w;
+  w.varint(input_dim_);
+  w.varint(layers_.size());
+  for (const auto& l : layers_) {
+    w.varint(l.in);
+    w.varint(l.units);
+    w.u8(static_cast<std::uint8_t>(l.activation));
+    for (double v : l.w) w.f64(v);
+    for (double v : l.b) w.f64(v);
+  }
+  return w.take();
+}
+
+Mlp Mlp::deserialize(std::span<const std::uint8_t> data) {
+  common::ByteReader r(data);
+  Mlp m;
+  m.input_dim_ = r.varint();
+  const std::uint64_t nl = r.varint();
+  m.layers_.resize(nl);
+  for (auto& l : m.layers_) {
+    l.in = r.varint();
+    l.units = r.varint();
+    l.activation = static_cast<Activation>(r.u8());
+    l.w.resize(l.units * l.in);
+    for (auto& v : l.w) v = r.f64();
+    l.b.resize(l.units);
+    for (auto& v : l.b) v = r.f64();
+    l.mw.assign(l.w.size(), 0.0);
+    l.vw.assign(l.w.size(), 0.0);
+    l.mb.assign(l.b.size(), 0.0);
+    l.vb.assign(l.b.size(), 0.0);
+  }
+  return m;
+}
+
+Mlp make_autoencoder(std::size_t input_dim, std::size_t bottleneck, std::size_t hidden, common::Rng& rng) {
+  return Mlp(input_dim,
+             {
+                 {hidden, Activation::kTanh},
+                 {bottleneck, Activation::kTanh},
+                 {hidden, Activation::kTanh},
+                 {input_dim, Activation::kIdentity},
+             },
+             rng);
+}
+
+std::size_t autoencoder_bottleneck_layer() { return 1; }
+
+}  // namespace oda::ml

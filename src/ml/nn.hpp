@@ -1,0 +1,95 @@
+// A small, dependency-free neural network: dense layers, ReLU/tanh/
+// identity/softmax activations, MSE and cross-entropy losses, SGD and
+// Adam. Enough to implement the paper's neural job-power-profile
+// classifier (Fig 10) and its autoencoder embedding, deterministically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/feature.hpp"
+
+namespace oda::ml {
+
+enum class Activation : std::uint8_t { kIdentity = 0, kRelu = 1, kTanh = 2, kSigmoid = 3, kSoftmax = 4 };
+enum class Loss : std::uint8_t { kMse = 0, kCrossEntropy = 1 };
+
+struct LayerSpec {
+  std::size_t units = 0;
+  Activation activation = Activation::kRelu;
+};
+
+struct TrainConfig {
+  std::size_t epochs = 50;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  bool adam = true;
+  double l2 = 0.0;
+  Loss loss = Loss::kMse;
+  bool shuffle = true;
+};
+
+/// Fully connected feed-forward network.
+class Mlp {
+ public:
+  /// `input_dim` then one LayerSpec per layer (last layer = output).
+  Mlp(std::size_t input_dim, std::vector<LayerSpec> layers, common::Rng& rng);
+  Mlp() = default;
+
+  /// Forward pass for a single sample.
+  std::vector<double> predict(std::span<const double> x) const;
+  /// Forward for all rows.
+  FeatureMatrix predict(const FeatureMatrix& x) const;
+
+  /// Activations of layer `layer` (0-based) — used to read autoencoder
+  /// bottleneck embeddings.
+  std::vector<double> layer_output(std::span<const double> x, std::size_t layer) const;
+
+  /// Train on (x, y); returns per-epoch mean loss.
+  std::vector<double> train(const FeatureMatrix& x, const FeatureMatrix& y, const TrainConfig& config,
+                            common::Rng& rng);
+
+  double evaluate_loss(const FeatureMatrix& x, const FeatureMatrix& y, Loss loss) const;
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return layers_.empty() ? 0 : layers_.back().units; }
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t parameter_count() const;
+
+  /// Deterministic content hash of all parameters (reproducibility).
+  std::uint64_t parameter_hash() const;
+
+  std::vector<std::uint8_t> serialize() const;
+  static Mlp deserialize(std::span<const std::uint8_t> data);
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t units = 0;
+    Activation activation = Activation::kRelu;
+    std::vector<double> w;  ///< units x in, row-major
+    std::vector<double> b;  ///< units
+    // Adam state.
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  void forward(std::span<const double> x, std::vector<std::vector<double>>& acts) const;
+  static void apply_activation(Activation a, std::vector<double>& z);
+  static void activation_grad(Activation a, const std::vector<double>& out, std::vector<double>& delta);
+
+  std::size_t input_dim_ = 0;
+  std::vector<Layer> layers_;
+  std::uint64_t adam_t_ = 0;
+};
+
+/// Convenience: symmetric autoencoder input->hidden...->bottleneck->...->input.
+Mlp make_autoencoder(std::size_t input_dim, std::size_t bottleneck, std::size_t hidden,
+                     common::Rng& rng);
+
+/// Index of the bottleneck layer of make_autoencoder's topology.
+std::size_t autoencoder_bottleneck_layer();
+
+}  // namespace oda::ml

@@ -1,0 +1,116 @@
+#include "ml/profile_classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace oda::ml {
+
+std::vector<double> normalize_profile(std::span<const double> power, std::size_t target_len) {
+  std::vector<double> out(target_len, 0.0);
+  if (power.empty()) return out;
+  // Linear-interpolation resample.
+  for (std::size_t i = 0; i < target_len; ++i) {
+    const double pos = target_len == 1
+                           ? 0.0
+                           : static_cast<double>(i) * static_cast<double>(power.size() - 1) /
+                                 static_cast<double>(target_len - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, power.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = (1.0 - frac) * power[lo] + frac * power[hi];
+  }
+  const double mx = *std::max_element(out.begin(), out.end());
+  if (mx > 1e-9) {
+    for (auto& v : out) v /= mx;
+  }
+  return out;
+}
+
+ProfileClassifier::ProfileClassifier(ProfileClassifierConfig config)
+    : config_(config), kmeans_(KMeansConfig{config.clusters, 100, 1e-6}) {}
+
+FeatureMatrix ProfileClassifier::profiles_to_matrix(const std::vector<JobProfile>& profiles) const {
+  FeatureMatrix x(profiles.size(), config_.profile_length);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto norm = normalize_profile(profiles[i].power_w, config_.profile_length);
+    std::copy(norm.begin(), norm.end(), x.row(i).begin());
+  }
+  return x;
+}
+
+double ProfileClassifier::fit(const std::vector<JobProfile>& profiles, std::uint64_t seed) {
+  if (profiles.empty()) throw std::invalid_argument("ProfileClassifier::fit: no profiles");
+  common::Rng rng(seed);
+  const FeatureMatrix x = profiles_to_matrix(profiles);
+
+  autoencoder_ = make_autoencoder(config_.profile_length, config_.embedding_dim, config_.hidden, rng);
+  autoencoder_.train(x, x, config_.train, rng);
+  const double loss = autoencoder_.evaluate_loss(x, x, Loss::kMse);
+
+  FeatureMatrix emb(x.rows(), config_.embedding_dim);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto e = autoencoder_.layer_output(x.row(r), autoencoder_bottleneck_layer());
+    std::copy(e.begin(), e.end(), emb.row(r).begin());
+  }
+  kmeans_.fit(emb, rng);
+  fitted_ = true;
+  return loss;
+}
+
+std::vector<double> ProfileClassifier::embed(std::span<const double> power_w) const {
+  const auto norm = normalize_profile(power_w, config_.profile_length);
+  return autoencoder_.layer_output(norm, autoencoder_bottleneck_layer());
+}
+
+std::size_t ProfileClassifier::classify(std::span<const double> power_w) const {
+  if (!fitted_) throw std::logic_error("ProfileClassifier: classify before fit");
+  const auto e = embed(power_w);
+  return kmeans_.predict_one(e);
+}
+
+std::vector<ClusterSummary> ProfileClassifier::summarize(const std::vector<JobProfile>& profiles) const {
+  std::vector<ClusterSummary> out(kmeans_.k());
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c].cluster = c;
+    out[c].mean_shape.assign(config_.profile_length, 0.0);
+  }
+  std::vector<std::map<std::size_t, std::size_t>> label_counts(kmeans_.k());
+  for (const auto& p : profiles) {
+    const auto norm = normalize_profile(p.power_w, config_.profile_length);
+    const std::size_t c = kmeans_.predict_one(autoencoder_.layer_output(norm, autoencoder_bottleneck_layer()));
+    out[c].population++;
+    for (std::size_t i = 0; i < norm.size(); ++i) out[c].mean_shape[i] += norm[i];
+    label_counts[c][p.true_archetype]++;
+  }
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    if (out[c].population == 0) continue;
+    for (auto& v : out[c].mean_shape) v /= static_cast<double>(out[c].population);
+    std::size_t best_label = 0, best_count = 0;
+    for (const auto& [label, count] : label_counts[c]) {
+      if (count > best_count) {
+        best_count = count;
+        best_label = label;
+      }
+    }
+    out[c].majority_archetype = best_label;
+    out[c].majority_fraction = static_cast<double>(best_count) / static_cast<double>(out[c].population);
+  }
+  return out;
+}
+
+double ProfileClassifier::purity(const std::vector<JobProfile>& profiles) const {
+  std::vector<std::size_t> assignments, labels;
+  assignments.reserve(profiles.size());
+  labels.reserve(profiles.size());
+  std::size_t max_label = 0;
+  for (const auto& p : profiles) {
+    assignments.push_back(classify(p.power_w));
+    labels.push_back(p.true_archetype);
+    max_label = std::max(max_label, p.true_archetype);
+  }
+  return cluster_purity(assignments, labels, kmeans_.k(), max_label + 1);
+}
+
+}  // namespace oda::ml

@@ -1,0 +1,83 @@
+// The Fig 10 pipeline: job power profiles → fixed-length resampled
+// vectors → autoencoder embedding → k-means clusters → population map.
+// "A neural network-based classifier automatically groups power profiles
+// based on their similarities."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/nn.hpp"
+
+namespace oda::ml {
+
+/// A job's power profile: per-sample mean node power over its runtime.
+struct JobProfile {
+  std::int64_t job_id = 0;
+  std::vector<double> power_w;  ///< time-ordered samples
+  std::size_t true_archetype = 0;  ///< ground truth for V&V (simulator only)
+};
+
+struct ProfileClassifierConfig {
+  std::size_t profile_length = 64;  ///< resample target length
+  std::size_t embedding_dim = 4;
+  std::size_t hidden = 32;
+  std::size_t clusters = 8;
+  TrainConfig train;
+
+  ProfileClassifierConfig() {
+    train.epochs = 60;
+    train.batch_size = 16;
+    train.learning_rate = 2e-3;
+  }
+};
+
+/// Resample a variable-length profile to `target_len` points and
+/// scale to [0,1] by its own max (shape, not magnitude, clusters jobs).
+std::vector<double> normalize_profile(std::span<const double> power, std::size_t target_len);
+
+struct ClusterSummary {
+  std::size_t cluster = 0;
+  std::size_t population = 0;
+  std::vector<double> mean_shape;       ///< centroid decoded back to profile space
+  std::size_t majority_archetype = 0;   ///< dominant ground-truth label
+  double majority_fraction = 0.0;
+};
+
+class ProfileClassifier {
+ public:
+  explicit ProfileClassifier(ProfileClassifierConfig config = {});
+
+  /// Train autoencoder + k-means on the given profiles. Deterministic
+  /// for a fixed seed. Returns final reconstruction loss.
+  double fit(const std::vector<JobProfile>& profiles, std::uint64_t seed);
+
+  /// Cluster id of a (new) profile.
+  std::size_t classify(std::span<const double> power_w) const;
+
+  /// Embedding of a profile (bottleneck activations).
+  std::vector<double> embed(std::span<const double> power_w) const;
+
+  /// Cluster population map over a set of profiles — the Fig 10 grid.
+  std::vector<ClusterSummary> summarize(const std::vector<JobProfile>& profiles) const;
+
+  /// Purity of cluster assignments vs planted archetypes.
+  double purity(const std::vector<JobProfile>& profiles) const;
+
+  const Mlp& autoencoder() const { return autoencoder_; }
+  const KMeans& kmeans() const { return kmeans_; }
+  const ProfileClassifierConfig& config() const { return config_; }
+
+ private:
+  FeatureMatrix profiles_to_matrix(const std::vector<JobProfile>& profiles) const;
+
+  ProfileClassifierConfig config_;
+  Mlp autoencoder_;
+  KMeans kmeans_;
+  bool fitted_ = false;
+};
+
+}  // namespace oda::ml

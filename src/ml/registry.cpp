@@ -1,0 +1,164 @@
+#include "ml/registry.hpp"
+
+#include "common/bytes.hpp"
+
+namespace oda::ml {
+
+std::uint32_t FeatureStore::commit(const std::string& name, FeatureMatrix features,
+                                   common::TimePoint now) {
+  std::lock_guard lk(mu_);
+  auto& versions = store_[name];
+  const std::uint64_t hash = features.content_hash();
+  for (const auto& v : versions) {
+    if (v.meta.content_hash == hash) return v.meta.version;  // dedup
+  }
+  Entry e;
+  e.meta.version = static_cast<std::uint32_t>(versions.size() + 1);
+  e.meta.content_hash = hash;
+  e.meta.created = now;
+  e.meta.rows = features.rows();
+  e.meta.cols = features.cols();
+  e.features = std::move(features);
+  versions.push_back(std::move(e));
+  return versions.back().meta.version;
+}
+
+std::optional<FeatureMatrix> FeatureStore::get(const std::string& name, std::uint32_t version) const {
+  std::lock_guard lk(mu_);
+  auto it = store_.find(name);
+  if (it == store_.end()) return std::nullopt;
+  for (const auto& e : it->second) {
+    if (e.meta.version == version) return e.features;
+  }
+  return std::nullopt;
+}
+
+std::optional<FeatureMatrix> FeatureStore::latest(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = store_.find(name);
+  if (it == store_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back().features;
+}
+
+std::vector<FeatureStore::Version> FeatureStore::history(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  std::vector<Version> out;
+  auto it = store_.find(name);
+  if (it == store_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& e : it->second) out.push_back(e.meta);
+  return out;
+}
+
+std::uint64_t ExperimentTracker::start_run(const std::string& experiment, common::TimePoint now) {
+  std::lock_guard lk(mu_);
+  const std::uint64_t id = next_id_++;
+  Run r;
+  r.run_id = id;
+  r.experiment = experiment;
+  r.started = now;
+  runs_[id] = std::move(r);
+  return id;
+}
+
+void ExperimentTracker::log_param(std::uint64_t run_id, const std::string& key, const std::string& value) {
+  std::lock_guard lk(mu_);
+  runs_.at(run_id).params[key] = value;
+}
+
+void ExperimentTracker::log_metric(std::uint64_t run_id, const std::string& key, double value) {
+  std::lock_guard lk(mu_);
+  runs_.at(run_id).metrics[key] = value;
+}
+
+std::optional<ExperimentTracker::Run> ExperimentTracker::get_run(std::uint64_t run_id) const {
+  std::lock_guard lk(mu_);
+  auto it = runs_.find(run_id);
+  if (it == runs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ExperimentTracker::Run> ExperimentTracker::runs(const std::string& experiment) const {
+  std::lock_guard lk(mu_);
+  std::vector<Run> out;
+  for (const auto& [_, r] : runs_) {
+    if (r.experiment == experiment) out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<ExperimentTracker::Run> ExperimentTracker::best_run(const std::string& experiment,
+                                                                  const std::string& metric,
+                                                                  bool maximize) const {
+  std::lock_guard lk(mu_);
+  std::optional<Run> best;
+  for (const auto& [_, r] : runs_) {
+    if (r.experiment != experiment) continue;
+    auto it = r.metrics.find(metric);
+    if (it == r.metrics.end()) continue;
+    if (!best) {
+      best = r;
+      continue;
+    }
+    const double cur = best->metrics.at(metric);
+    if ((maximize && it->second > cur) || (!maximize && it->second < cur)) best = r;
+  }
+  return best;
+}
+
+std::uint32_t ModelRegistry::register_model(const std::string& name, std::vector<std::uint8_t> bytes,
+                                            std::map<std::string, double> metrics, common::TimePoint now) {
+  std::lock_guard lk(mu_);
+  auto& versions = models_[name];
+  Entry e;
+  e.meta.name = name;
+  e.meta.version = static_cast<std::uint32_t>(versions.size() + 1);
+  e.meta.content_hash = common::fnv1a(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  e.meta.registered = now;
+  e.meta.metrics = std::move(metrics);
+  e.bytes = std::move(bytes);
+  versions.push_back(std::move(e));
+  return versions.back().meta.version;
+}
+
+std::optional<std::vector<std::uint8_t>> ModelRegistry::load(const std::string& name,
+                                                             std::uint32_t version) const {
+  std::lock_guard lk(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return std::nullopt;
+  for (const auto& e : it->second) {
+    if (e.meta.version == version) return e.bytes;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> ModelRegistry::load_production(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return std::nullopt;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->meta.stage == Stage::kProduction) return rit->bytes;
+  }
+  return std::nullopt;
+}
+
+void ModelRegistry::transition(const std::string& name, std::uint32_t version, Stage stage) {
+  std::lock_guard lk(mu_);
+  for (auto& e : models_.at(name)) {
+    if (e.meta.version == version) {
+      e.meta.stage = stage;
+      return;
+    }
+  }
+}
+
+std::vector<ModelRegistry::ModelVersion> ModelRegistry::versions(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  std::vector<ModelVersion> out;
+  auto it = models_.find(name);
+  if (it == models_.end()) return out;
+  for (const auto& e : it->second) out.push_back(e.meta);
+  return out;
+}
+
+}  // namespace oda::ml

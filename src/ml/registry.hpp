@@ -1,0 +1,105 @@
+// ML engineering plumbing of Fig 9: a versioned feature store (the DVC
+// role), an experiment tracker and a model registry (the MLflow role).
+// All content-hashed so "repeatable, reproducible ML model development"
+// is checkable, not aspirational.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ml/feature.hpp"
+
+namespace oda::ml {
+
+/// DVC-like: named, versioned feature matrices with content hashes.
+class FeatureStore {
+ public:
+  struct Version {
+    std::uint32_t version = 0;
+    std::uint64_t content_hash = 0;
+    common::TimePoint created = 0;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+  };
+
+  /// Commit a new version; returns its version number. Identical content
+  /// re-commit returns the existing version (dedup).
+  std::uint32_t commit(const std::string& name, FeatureMatrix features, common::TimePoint now);
+
+  std::optional<FeatureMatrix> get(const std::string& name, std::uint32_t version) const;
+  std::optional<FeatureMatrix> latest(const std::string& name) const;
+  std::vector<Version> history(const std::string& name) const;
+
+ private:
+  struct Entry {
+    Version meta;
+    FeatureMatrix features;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Entry>> store_;
+};
+
+/// MLflow-like experiment tracking: runs with params, metrics, artifacts.
+class ExperimentTracker {
+ public:
+  struct Run {
+    std::uint64_t run_id = 0;
+    std::string experiment;
+    common::TimePoint started = 0;
+    std::map<std::string, std::string> params;
+    std::map<std::string, double> metrics;
+  };
+
+  std::uint64_t start_run(const std::string& experiment, common::TimePoint now);
+  void log_param(std::uint64_t run_id, const std::string& key, const std::string& value);
+  void log_metric(std::uint64_t run_id, const std::string& key, double value);
+  std::optional<Run> get_run(std::uint64_t run_id) const;
+  std::vector<Run> runs(const std::string& experiment) const;
+  /// Best run by a metric (higher is better when `maximize`).
+  std::optional<Run> best_run(const std::string& experiment, const std::string& metric,
+                              bool maximize = true) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Run> runs_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// MLflow-like model registry: versioned serialized models + stage tags.
+class ModelRegistry {
+ public:
+  enum class Stage { kNone, kStaging, kProduction, kArchived };
+
+  struct ModelVersion {
+    std::string name;
+    std::uint32_t version = 0;
+    std::uint64_t content_hash = 0;
+    common::TimePoint registered = 0;
+    Stage stage = Stage::kNone;
+    std::map<std::string, double> metrics;
+  };
+
+  std::uint32_t register_model(const std::string& name, std::vector<std::uint8_t> bytes,
+                               std::map<std::string, double> metrics, common::TimePoint now);
+
+  std::optional<std::vector<std::uint8_t>> load(const std::string& name, std::uint32_t version) const;
+  /// Latest version in Production stage (inference default), else nullopt.
+  std::optional<std::vector<std::uint8_t>> load_production(const std::string& name) const;
+  void transition(const std::string& name, std::uint32_t version, Stage stage);
+  std::vector<ModelVersion> versions(const std::string& name) const;
+
+ private:
+  struct Entry {
+    ModelVersion meta;
+    std::vector<std::uint8_t> bytes;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Entry>> models_;
+};
+
+}  // namespace oda::ml

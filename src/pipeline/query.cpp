@@ -1,0 +1,179 @@
+#include "pipeline/query.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace oda::pipeline {
+
+using common::Stopwatch;
+using sql::Table;
+
+StreamingQuery::StreamingQuery(QueryConfig config, std::unique_ptr<Source> source)
+    : config_(std::move(config)), source_(std::move(source)) {}
+
+StreamingQuery& StreamingQuery::add_operator(OperatorPtr op) {
+  StageMetrics sm;
+  sm.name = op->name();
+  sm.output_class = op->output_class();
+  metrics_.stages.push_back(std::move(sm));
+  operators_.push_back(std::move(op));
+  return *this;
+}
+
+StreamingQuery& StreamingQuery::add_transform(std::string name, storage::DataClass out_class,
+                                              std::function<Table(const Table&)> fn) {
+  return add_operator(std::make_unique<TransformOp>(std::move(name), out_class, std::move(fn)));
+}
+
+StreamingQuery& StreamingQuery::add_sink(std::unique_ptr<Sink> sink) {
+  sinks_.push_back(sink.get());
+  owned_sinks_.push_back(std::move(sink));
+  return *this;
+}
+
+StreamingQuery& StreamingQuery::add_sink_ref(Sink& sink) {
+  sinks_.push_back(&sink);
+  return *this;
+}
+
+void StreamingQuery::advance_watermark(const Table& t) {
+  const std::size_t tc = t.schema().index_of(config_.time_column);
+  if (tc == sql::Schema::npos) return;
+  std::int64_t mx = INT64_MIN;
+  const auto& col = t.column(tc);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    if (!col.is_null(r)) mx = std::max(mx, col.int_at(r));
+  }
+  if (mx != INT64_MIN) watermark_ = std::max(watermark_, mx - config_.allowed_lateness);
+}
+
+void StreamingQuery::snapshot_operator_state() {
+  for (const auto& op : operators_) op->begin_batch();
+  watermark_snapshot_ = watermark_;
+}
+
+void StreamingQuery::rollback_operator_state() {
+  for (const auto& op : operators_) op->rollback_batch();
+  watermark_ = watermark_snapshot_;
+}
+
+std::size_t StreamingQuery::run_once() {
+  Stopwatch batch_sw;
+  snapshot_operator_state();
+
+  Table input = source_->pull(config_.max_records_per_batch);
+  const std::size_t pulled = input.num_rows();
+  if (pulled == 0) return 0;
+
+  try {
+    if (faults_.fail_on_batch && metrics_.batches == *faults_.fail_on_batch) {
+      faults_.fail_on_batch.reset();
+      throw std::runtime_error("injected fault");
+    }
+
+    advance_watermark(input);
+    Batch batch{std::move(input), watermark_};
+
+    for (std::size_t i = 0; i < operators_.size(); ++i) {
+      Stopwatch sw;
+      const std::uint64_t in_rows = batch.table.num_rows();
+      batch = operators_[i]->process(std::move(batch));
+      StageMetrics& sm = metrics_.stages[i];
+      sm.wall_seconds.add(sw.elapsed_seconds());
+      sm.rows_in += in_rows;
+      sm.rows_out += batch.table.num_rows();
+    }
+    for (Sink* s : sinks_) s->write(batch.table);
+
+    for (auto& op : operators_) op->commit_batch();
+    source_->commit();
+    metrics_.rows_ingested += pulled;
+    ++metrics_.batches;
+    consecutive_failures_ = 0;
+    metrics_.batch_wall_seconds.add(batch_sw.elapsed_seconds());
+    return pulled;
+  } catch (const std::exception& e) {
+    ++metrics_.failures;
+    metrics_.last_error = e.what();
+    rollback_operator_state();
+    if (config_.max_retries > 0 && ++consecutive_failures_ >= config_.max_retries) {
+      // Dead-letter the poison batch: commit past it so the pipeline
+      // makes progress (at-most-once for this batch only).
+      source_->commit();
+      ++metrics_.batches_skipped;
+      consecutive_failures_ = 0;
+    } else {
+      source_->rewind();  // replay on the next run_once()
+    }
+    return pulled;
+  }
+}
+
+std::uint64_t StreamingQuery::run_until_caught_up(std::size_t max_batches) {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < max_batches; ++b) {
+    const std::size_t n = run_once();
+    if (n == 0 && source_->lag() == 0) break;
+    total += n;
+  }
+  return total;
+}
+
+void StreamingQuery::finalize() {
+  // Drain stateful operators: flush op i, push the result through the
+  // remaining stages, then flush op i+1 (which now includes the pushed
+  // rows), and so on.
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    Batch b = operators_[i]->flush();
+    if (b.table.num_rows() == 0) continue;
+    for (std::size_t j = i + 1; j < operators_.size(); ++j) b = operators_[j]->process(std::move(b));
+    for (Sink* s : sinks_) s->write(b.table);
+  }
+  // A final pass: downstream stateful ops may still hold the pushed rows.
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    Batch b = operators_[i]->flush();
+    if (b.table.num_rows() == 0) continue;
+    for (std::size_t j = i + 1; j < operators_.size(); ++j) b = operators_[j]->process(std::move(b));
+    for (Sink* s : sinks_) s->write(b.table);
+  }
+  for (Sink* s : sinks_) s->flush();
+}
+
+void StreamingQuery::checkpoint_to(storage::ObjectStore& store, const std::string& key,
+                                   common::TimePoint now) const {
+  common::ByteWriter w;
+  w.str(config_.name);
+  w.i64(watermark_);
+  w.varint(operators_.size());
+  for (const auto& op : operators_) {
+    const auto state = op->checkpoint_state();
+    w.varint(state.size());
+    w.raw(state.data(), state.size());
+  }
+  store.put(key, w.take(), "checkpoints", storage::DataClass::kBronze, now);
+}
+
+bool StreamingQuery::restore_from(const storage::ObjectStore& store, const std::string& key) {
+  const auto blob = store.get(key);
+  if (!blob) return false;
+  common::ByteReader r(*blob);
+  const std::string name = r.str();
+  if (name != config_.name) {
+    throw std::runtime_error("StreamingQuery: checkpoint '" + key + "' belongs to query '" + name +
+                             "', not '" + config_.name + "'");
+  }
+  watermark_ = r.i64();
+  const std::uint64_t n = r.varint();
+  if (n != operators_.size()) {
+    throw std::runtime_error("StreamingQuery: checkpoint operator count mismatch");
+  }
+  for (auto& op : operators_) {
+    const std::uint64_t len = r.varint();
+    op->restore_state(r.raw(len));
+  }
+  source_->rewind();  // resume from the group's committed offsets
+  return true;
+}
+
+}  // namespace oda::pipeline

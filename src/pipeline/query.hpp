@@ -1,0 +1,110 @@
+// StreamingQuery: one end-to-end ODA pipeline (source → operators →
+// sinks) executed in micro-batches, with per-stage metrics (Fig 4-b),
+// watermarks, and checkpoint/rewind recovery semantics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "pipeline/operator.hpp"
+#include "pipeline/source_sink.hpp"
+
+namespace oda::pipeline {
+
+struct StageMetrics {
+  std::string name;
+  storage::DataClass output_class = storage::DataClass::kBronze;
+  common::RunningStats wall_seconds;  ///< per batch
+  std::uint64_t rows_in = 0;
+  std::uint64_t rows_out = 0;
+};
+
+struct QueryMetrics {
+  std::uint64_t batches = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t batches_skipped = 0;  ///< poison batches dropped after max retries
+  std::uint64_t rows_ingested = 0;
+  common::RunningStats batch_wall_seconds;
+  std::vector<StageMetrics> stages;
+  std::string last_error;
+};
+
+struct QueryConfig {
+  std::string name = "query";
+  std::size_t max_records_per_batch = 4096;
+  common::Duration allowed_lateness = 0;
+  std::string time_column = "time";  ///< column carrying event time
+  /// Consecutive failures on the same batch before it is skipped (the
+  /// dead-letter policy — prevents a poison batch from livelocking the
+  /// pipeline). 0 = never skip (retry forever).
+  std::size_t max_retries = 5;
+};
+
+/// Deterministic fault injector for recovery tests: fail the Nth batch.
+struct FaultPlan {
+  std::optional<std::uint64_t> fail_on_batch;
+};
+
+class StreamingQuery {
+ public:
+  StreamingQuery(QueryConfig config, std::unique_ptr<Source> source);
+
+  /// Chainable stage registration (in execution order).
+  StreamingQuery& add_operator(OperatorPtr op);
+  StreamingQuery& add_transform(std::string name, storage::DataClass out_class,
+                                std::function<sql::Table(const sql::Table&)> fn);
+  StreamingQuery& add_sink(std::unique_ptr<Sink> sink);
+  /// Keep a non-owning sink (owned by caller, e.g. a LAKE shared sink).
+  StreamingQuery& add_sink_ref(Sink& sink);
+
+  /// Process one micro-batch. Returns rows pulled from the source
+  /// (0 = caught up). On failure (exception or injected fault) the source
+  /// rewinds to the last commit and operator state rolls back, so the
+  /// batch is reprocessed on the next call — at-least-once into sinks,
+  /// exactly-once for watermark-finalized windows.
+  std::size_t run_once();
+
+  /// Drain until the source is caught up; returns total rows processed.
+  std::uint64_t run_until_caught_up(std::size_t max_batches = SIZE_MAX);
+
+  /// Flush stateful operators through the remaining stages to the sinks.
+  void finalize();
+
+  /// Durable checkpoint of operator state + watermark into the object
+  /// store (source offsets are already durable in the broker's committed-
+  /// offset store). A restarted process reconstructs the same query,
+  /// calls restore_from(), and resumes exactly where the group left off.
+  void checkpoint_to(storage::ObjectStore& store, const std::string& key,
+                     common::TimePoint now) const;
+  /// Returns false when no checkpoint exists under `key`.
+  bool restore_from(const storage::ObjectStore& store, const std::string& key);
+
+  const QueryMetrics& metrics() const { return metrics_; }
+  const std::string& name() const { return config_.name; }
+  common::TimePoint watermark() const { return watermark_; }
+  void set_fault_plan(FaultPlan plan) { faults_ = plan; }
+  Source& source() { return *source_; }
+
+ private:
+  void advance_watermark(const sql::Table& t);
+  void snapshot_operator_state();
+  void rollback_operator_state();
+
+  QueryConfig config_;
+  std::unique_ptr<Source> source_;
+  std::vector<OperatorPtr> operators_;
+  std::vector<std::unique_ptr<Sink>> owned_sinks_;
+  std::vector<Sink*> sinks_;
+  QueryMetrics metrics_;
+  common::TimePoint watermark_ = INT64_MIN;
+  common::TimePoint watermark_snapshot_ = INT64_MIN;
+  FaultPlan faults_;
+  std::size_t consecutive_failures_ = 0;
+};
+
+}  // namespace oda::pipeline

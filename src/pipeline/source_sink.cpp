@@ -1,0 +1,95 @@
+#include "pipeline/source_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sql/ops.hpp"
+#include "storage/columnar.hpp"
+
+namespace oda::pipeline {
+
+using sql::Table;
+using sql::Value;
+
+void LakeSink::write(const Table& t) {
+  if (t.num_rows() == 0) return;
+  const std::size_t tc = t.col_index(time_column_);
+  const std::size_t vc = t.col_index(value_column_);
+  std::vector<std::size_t> tag_idx;
+  tag_idx.reserve(tag_columns_.size());
+  for (const auto& c : tag_columns_) tag_idx.push_back(t.col_index(c));
+
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.column(tc).is_null(r) || t.column(vc).is_null(r)) continue;
+    storage::SeriesKey key;
+    key.metric = metric_;
+    for (std::size_t i = 0; i < tag_idx.size(); ++i) {
+      const auto& col = t.column(tag_idx[i]);
+      if (!col.is_null(r)) key.tags[tag_columns_[i]] = col.get(r).to_string();
+    }
+    lake_.append(key, t.column(tc).int_at(r), t.column(vc).double_at(r));
+  }
+}
+
+OceanSink::OceanSink(storage::ObjectStore& ocean, std::string dataset, storage::DataClass data_class,
+                     std::size_t rows_per_object)
+    : ocean_(ocean), dataset_(std::move(dataset)), class_(data_class), rows_per_object_(rows_per_object) {}
+
+void OceanSink::write(const Table& t) {
+  if (t.num_rows() == 0) return;
+  if (buffer_.num_columns() == 0) buffer_ = Table(t.schema());
+  buffer_.append_table(t);
+  while (buffer_.num_rows() >= rows_per_object_) {
+    // Split off the first rows_per_object_ rows.
+    std::vector<std::size_t> head(rows_per_object_);
+    for (std::size_t i = 0; i < rows_per_object_; ++i) head[i] = i;
+    const Table chunk = buffer_.take(head);
+    std::vector<std::size_t> tail(buffer_.num_rows() - rows_per_object_);
+    for (std::size_t i = 0; i < tail.size(); ++i) tail[i] = rows_per_object_ + i;
+    buffer_ = buffer_.take(tail);
+
+    char name[32];
+    std::snprintf(name, sizeof(name), "/part%06zu", part_++);
+    ocean_.put(dataset_ + name, storage::write_columnar(chunk), dataset_, class_, now_);
+  }
+}
+
+void OceanSink::flush() {
+  if (buffer_.num_rows() == 0) return;
+  char name[32];
+  std::snprintf(name, sizeof(name), "/part%06zu", part_++);
+  ocean_.put(dataset_ + name, storage::write_columnar(buffer_), dataset_, class_, now_);
+  buffer_ = Table(buffer_.schema());
+}
+
+void TopicSink::write(const Table& t) {
+  if (t.num_rows() == 0) return;
+  stream::Record rec;
+  // Batch event time: max of the first int64 column named "time" or
+  // "window_start" if present, else 0.
+  std::size_t tc = t.schema().index_of("time");
+  if (tc == sql::Schema::npos) tc = t.schema().index_of("window_start");
+  if (tc != sql::Schema::npos && t.num_rows() > 0) {
+    std::int64_t mx = INT64_MIN;
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      if (!t.column(tc).is_null(r)) mx = std::max(mx, t.column(tc).int_at(r));
+    }
+    if (mx != INT64_MIN) rec.timestamp = mx;
+  }
+  const auto blob = storage::write_columnar(t);
+  rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
+  broker_.produce(topic_, std::move(rec));
+}
+
+Table decode_columnar_records(std::span<const stream::StoredRecord> records) {
+  std::vector<Table> parts;
+  parts.reserve(records.size());
+  for (const auto& sr : records) {
+    parts.push_back(storage::read_columnar(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(sr.record.payload.data()), sr.record.payload.size())));
+  }
+  if (parts.empty()) return Table{};
+  return sql::concat(parts);
+}
+
+}  // namespace oda::pipeline

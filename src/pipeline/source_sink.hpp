@@ -1,0 +1,139 @@
+// Pipeline endpoints. Sources pull micro-batches from broker topics;
+// sinks land refined artifacts in LAKE, OCEAN, another topic, or memory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/table.hpp"
+#include "storage/object_store.hpp"
+#include "storage/tsdb.hpp"
+#include "stream/broker.hpp"
+
+namespace oda::pipeline {
+
+/// Decodes a batch of raw broker records into a Table.
+using RecordDecoder = std::function<sql::Table(std::span<const stream::StoredRecord>)>;
+
+class Source {
+ public:
+  virtual ~Source() = default;
+  /// Pull up to max_records; empty table when caught up.
+  virtual sql::Table pull(std::size_t max_records) = 0;
+  /// Persist read positions (called after the sink commits a batch).
+  virtual void commit() = 0;
+  /// Revert to last committed positions (failure recovery).
+  virtual void rewind() = 0;
+  virtual std::int64_t lag() const = 0;
+};
+
+/// Reads a broker topic through a consumer group.
+class BrokerSource final : public Source {
+ public:
+  BrokerSource(stream::Broker& broker, std::string topic, std::string group, RecordDecoder decoder)
+      : consumer_(broker, std::move(group), std::move(topic)), decoder_(std::move(decoder)) {}
+
+  sql::Table pull(std::size_t max_records) override {
+    const auto records = consumer_.poll(max_records);
+    return decoder_(records);
+  }
+  void commit() override { consumer_.commit(); }
+  void rewind() override { consumer_.seek_to_committed(); }
+  std::int64_t lag() const override { return consumer_.lag(); }
+
+ private:
+  stream::Consumer consumer_;
+  RecordDecoder decoder_;
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const sql::Table& t) = 0;
+  /// Drain any buffered output (end of stream). Default: nothing buffered.
+  virtual void flush() {}
+};
+
+/// Collects output in memory (tests, Gold hand-off to apps/ML).
+class TableSink final : public Sink {
+ public:
+  explicit TableSink(sql::Schema schema) : table_(std::move(schema)) {}
+  TableSink() = default;
+
+  void write(const sql::Table& t) override {
+    if (t.num_rows() == 0) return;
+    if (table_.num_columns() == 0) table_ = sql::Table(t.schema());
+    table_.append_table(t);
+  }
+  const sql::Table& table() const { return table_; }
+
+ private:
+  sql::Table table_;
+};
+
+/// Writes each row into the LAKE as time series. Tag columns become
+/// series tags; `value_column` is the measurement; `metric` names it.
+class LakeSink final : public Sink {
+ public:
+  LakeSink(storage::TimeSeriesDb& lake, std::string metric, std::string time_column,
+           std::string value_column, std::vector<std::string> tag_columns)
+      : lake_(lake),
+        metric_(std::move(metric)),
+        time_column_(std::move(time_column)),
+        value_column_(std::move(value_column)),
+        tag_columns_(std::move(tag_columns)) {}
+
+  void write(const sql::Table& t) override;
+
+ private:
+  storage::TimeSeriesDb& lake_;
+  std::string metric_;
+  std::string time_column_;
+  std::string value_column_;
+  std::vector<std::string> tag_columns_;
+};
+
+/// Buffers rows and flushes columnar objects of ~`rows_per_object` into
+/// OCEAN under `dataset/partNNNN`.
+class OceanSink final : public Sink {
+ public:
+  OceanSink(storage::ObjectStore& ocean, std::string dataset, storage::DataClass data_class,
+            std::size_t rows_per_object = 100000);
+
+  void write(const sql::Table& t) override;
+  /// Flush any buffered remainder as a final (smaller) object.
+  void flush() override;
+  std::size_t objects_written() const { return part_; }
+  /// Facility time used for object metadata (advance as the pipeline runs).
+  void set_now(common::TimePoint now) { now_ = now; }
+
+ private:
+  storage::ObjectStore& ocean_;
+  std::string dataset_;
+  storage::DataClass class_;
+  std::size_t rows_per_object_;
+  sql::Table buffer_;
+  std::size_t part_ = 0;
+  common::TimePoint now_ = 0;
+};
+
+/// Re-publishes micro-batches to another topic as columnar-serialized
+/// payloads (Silver stream feeding multiple downstream consumers).
+class TopicSink final : public Sink {
+ public:
+  TopicSink(stream::Broker& broker, std::string topic) : broker_(broker), topic_(std::move(topic)) {
+    broker_.create_topic(topic_);
+  }
+  void write(const sql::Table& t) override;
+
+ private:
+  stream::Broker& broker_;
+  std::string topic_;
+};
+
+/// Decoder for TopicSink-produced topics (columnar payload per record).
+sql::Table decode_columnar_records(std::span<const stream::StoredRecord> records);
+
+}  // namespace oda::pipeline

@@ -1,0 +1,55 @@
+// GROUP BY / window aggregation / pivot — the heart of Bronze→Silver
+// refinement (Fig 4-b): aggregate over time intervals, pivot long→wide,
+// then slice-and-dice for Gold artifacts.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sql/table.hpp"
+
+namespace oda::sql {
+
+enum class AggKind {
+  kSum, kMean, kMin, kMax, kCount, kCountDistinct, kFirst, kLast, kStd, kP50, kP95, kP99,
+};
+
+const char* agg_name(AggKind k);
+
+struct AggSpec {
+  std::string column;  ///< Input column (ignored for kCount with empty name).
+  AggKind kind = AggKind::kMean;
+  std::string output_name;  ///< Defaults to "<agg>_<column>" when empty.
+};
+
+/// GROUP BY `keys` computing `aggs`. Group order is first-seen order
+/// (deterministic for a given input order).
+Table group_by(const Table& t, std::span<const std::string> keys, std::span<const AggSpec> aggs);
+Table group_by(const Table& t, std::initializer_list<std::string> keys, std::initializer_list<AggSpec> aggs);
+
+/// Tumbling-window aggregation: bucket `time_column` into `window`-sized
+/// windows (column `window_col`, int64 window start), then GROUP BY
+/// (window, keys...) computing `aggs`. This is the paper's "aggregated
+/// over designated time intervals (e.g., every 15 seconds)".
+Table window_aggregate(const Table& t, const std::string& time_column, common::Duration window,
+                       std::span<const std::string> keys, std::span<const AggSpec> aggs,
+                       const std::string& window_col = "window_start");
+
+/// Long→wide pivot: one output row per distinct `index_cols` tuple; one
+/// output column per distinct value of `names_from` (values taken from
+/// `values_from`, duplicates resolved by mean). Missing cells are null.
+/// Output column order is the sorted distinct name order (stable schema
+/// regardless of input order — required for ML featurization).
+Table pivot_wider(const Table& t, std::span<const std::string> index_cols, const std::string& names_from,
+                  const std::string& values_from);
+Table pivot_wider(const Table& t, std::initializer_list<std::string> index_cols, const std::string& names_from,
+                  const std::string& values_from);
+
+/// Wide→long unpivot: keep `id_cols`, melt every other numeric column
+/// into (name_col, value_col) pairs.
+Table pivot_longer(const Table& t, std::span<const std::string> id_cols, const std::string& name_col,
+                   const std::string& value_col);
+
+}  // namespace oda::sql

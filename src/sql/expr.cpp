@@ -1,0 +1,147 @@
+#include "sql/expr.hpp"
+
+#include <stdexcept>
+
+namespace oda::sql {
+namespace {
+
+class ColumnExpr final : public Expr {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+  Kind kind() const override { return Kind::kColumn; }
+  Value eval(const Table& t, std::size_t i) const override {
+    // Cache the column index per table identity; tables are immutable
+    // during evaluation so this is safe within a single query.
+    if (cached_table_ != &t) {
+      cached_index_ = t.col_index(name_);
+      cached_table_ = &t;
+    }
+    return t.column(cached_index_).get(i);
+  }
+  std::string to_string() const override { return name_; }
+
+ private:
+  std::string name_;
+  mutable const Table* cached_table_ = nullptr;
+  mutable std::size_t cached_index_ = 0;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : v_(std::move(v)) {}
+  Kind kind() const override { return Kind::kLiteral; }
+  Value eval(const Table&, std::size_t) const override { return v_; }
+  std::string to_string() const override { return v_.to_string(); }
+
+ private:
+  Value v_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr e) : op_(op), e_(std::move(e)) {}
+  Kind kind() const override { return Kind::kUnary; }
+  Value eval(const Table& t, std::size_t i) const override {
+    const Value v = e_->eval(t, i);
+    switch (op_) {
+      case UnaryOp::kIsNull: return Value(v.is_null());
+      case UnaryOp::kIsNotNull: return Value(!v.is_null());
+      case UnaryOp::kNot:
+        if (v.is_null()) return Value::null();
+        return Value(!v.as_bool());
+      case UnaryOp::kNeg:
+        if (v.is_null()) return Value::null();
+        if (v.type() == DataType::kInt64) return Value(-v.as_int());
+        return Value(-v.as_double());
+    }
+    throw std::logic_error("unreachable");
+  }
+  std::string to_string() const override {
+    switch (op_) {
+      case UnaryOp::kNot: return "NOT(" + e_->to_string() + ")";
+      case UnaryOp::kNeg: return "-(" + e_->to_string() + ")";
+      case UnaryOp::kIsNull: return "(" + e_->to_string() + " IS NULL)";
+      case UnaryOp::kIsNotNull: return "(" + e_->to_string() + " IS NOT NULL)";
+    }
+    return "?";
+  }
+
+ private:
+  UnaryOp op_;
+  ExprPtr e_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr l, ExprPtr r) : op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  Kind kind() const override { return Kind::kBinary; }
+
+  Value eval(const Table& t, std::size_t i) const override {
+    // Short-circuit logic ops with SQL-ish null collapse (null -> false).
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      const Value l = l_->eval(t, i);
+      const bool lb = !l.is_null() && l.as_bool();
+      if (op_ == BinaryOp::kAnd && !lb) return Value(false);
+      if (op_ == BinaryOp::kOr && lb) return Value(true);
+      const Value r = r_->eval(t, i);
+      return Value(!r.is_null() && r.as_bool());
+    }
+    const Value l = l_->eval(t, i);
+    const Value r = r_->eval(t, i);
+    if (l.is_null() || r.is_null()) return Value::null();
+    switch (op_) {
+      case BinaryOp::kAdd: return arith(l, r, [](double a, double b) { return a + b; },
+                                        [](std::int64_t a, std::int64_t b) { return a + b; });
+      case BinaryOp::kSub: return arith(l, r, [](double a, double b) { return a - b; },
+                                        [](std::int64_t a, std::int64_t b) { return a - b; });
+      case BinaryOp::kMul: return arith(l, r, [](double a, double b) { return a * b; },
+                                        [](std::int64_t a, std::int64_t b) { return a * b; });
+      case BinaryOp::kDiv: {
+        const double d = r.as_double();
+        if (d == 0.0) return Value::null();
+        return Value(l.as_double() / d);
+      }
+      case BinaryOp::kEq: return Value(compare_eq(l, r));
+      case BinaryOp::kNe: return Value(!compare_eq(l, r));
+      case BinaryOp::kLt: return Value(l < r);
+      case BinaryOp::kLe: return Value(!(r < l));
+      case BinaryOp::kGt: return Value(r < l);
+      case BinaryOp::kGe: return Value(!(l < r));
+      default: throw std::logic_error("unreachable");
+    }
+  }
+
+  std::string to_string() const override {
+    static const char* names[] = {"+", "-", "*", "/", "=", "!=", "<", "<=", ">", ">=", "AND", "OR"};
+    return "(" + l_->to_string() + " " + names[static_cast<int>(op_)] + " " + r_->to_string() + ")";
+  }
+
+ private:
+  template <typename FD, typename FI>
+  static Value arith(const Value& l, const Value& r, FD fd, FI fi) {
+    if (l.type() == DataType::kInt64 && r.type() == DataType::kInt64) return Value(fi(l.as_int(), r.as_int()));
+    return Value(fd(l.as_double(), r.as_double()));
+  }
+  static bool compare_eq(const Value& l, const Value& r) {
+    // Numeric cross-type equality compares numerically.
+    const bool ln = l.type() == DataType::kInt64 || l.type() == DataType::kFloat64;
+    const bool rn = r.type() == DataType::kInt64 || r.type() == DataType::kFloat64;
+    if (ln && rn) return l.as_double() == r.as_double();
+    return l == r;
+  }
+
+  BinaryOp op_;
+  ExprPtr l_;
+  ExprPtr r_;
+};
+
+}  // namespace
+
+ExprPtr col(std::string name) { return std::make_shared<ColumnExpr>(std::move(name)); }
+ExprPtr lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ExprPtr unary(UnaryOp op, ExprPtr e) { return std::make_shared<UnaryExpr>(op, std::move(e)); }
+ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+}  // namespace oda::sql

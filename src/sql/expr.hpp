@@ -1,0 +1,59 @@
+// Expression trees for WHERE / derived-column clauses.
+//
+// Usage mirrors a dataframe API:
+//   auto e = (col("power_w") > lit(300.0)) && col("host") == lit("node042");
+//   Table hot = filter(t, e);
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sql/table.hpp"
+#include "sql/value.hpp"
+
+namespace oda::sql {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class UnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+class Expr {
+ public:
+  enum class Kind { kColumn, kLiteral, kUnary, kBinary };
+
+  virtual ~Expr() = default;
+  virtual Kind kind() const = 0;
+  /// Evaluate against row `i` of `t`. Null-propagating for arithmetic
+  /// and comparisons; three-valued logic collapses null to false.
+  virtual Value eval(const Table& t, std::size_t i) const = 0;
+  virtual std::string to_string() const = 0;
+};
+
+ExprPtr col(std::string name);
+ExprPtr lit(Value v);
+ExprPtr unary(UnaryOp op, ExprPtr e);
+ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kAdd, std::move(a), std::move(b)); }
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kSub, std::move(a), std::move(b)); }
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kMul, std::move(a), std::move(b)); }
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kDiv, std::move(a), std::move(b)); }
+inline ExprPtr operator==(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kEq, std::move(a), std::move(b)); }
+inline ExprPtr operator!=(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kNe, std::move(a), std::move(b)); }
+inline ExprPtr operator<(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kLt, std::move(a), std::move(b)); }
+inline ExprPtr operator<=(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kLe, std::move(a), std::move(b)); }
+inline ExprPtr operator>(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kGt, std::move(a), std::move(b)); }
+inline ExprPtr operator>=(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kGe, std::move(a), std::move(b)); }
+inline ExprPtr operator&&(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kAnd, std::move(a), std::move(b)); }
+inline ExprPtr operator||(ExprPtr a, ExprPtr b) { return binary(BinaryOp::kOr, std::move(a), std::move(b)); }
+inline ExprPtr operator!(ExprPtr a) { return unary(UnaryOp::kNot, std::move(a)); }
+inline ExprPtr is_null(ExprPtr a) { return unary(UnaryOp::kIsNull, std::move(a)); }
+inline ExprPtr is_not_null(ExprPtr a) { return unary(UnaryOp::kIsNotNull, std::move(a)); }
+
+}  // namespace oda::sql

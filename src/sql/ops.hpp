@@ -1,0 +1,61 @@
+// Row-relational operators: SELECT / WHERE / ORDER BY / JOIN / LIMIT.
+//
+// Together with agg.hpp these are the building blocks of every ODA
+// pipeline stage in the paper's Fig 4-b anatomy.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sql/expr.hpp"
+#include "sql/table.hpp"
+
+namespace oda::sql {
+
+/// WHERE: rows for which `pred` evaluates to true (nulls excluded).
+Table filter(const Table& t, const ExprPtr& pred);
+
+/// SELECT a subset of columns by name, in the given order.
+Table project(const Table& t, std::span<const std::string> columns);
+Table project(const Table& t, std::initializer_list<std::string> columns);
+
+/// SELECT ... , <expr> AS <name>: append a derived column.
+Table with_column(const Table& t, const std::string& name, DataType type, const ExprPtr& e);
+
+/// Rename a column in place (schema-level; data untouched).
+Table rename_column(const Table& t, const std::string& from, const std::string& to);
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// ORDER BY (stable).
+Table sort_by(const Table& t, std::span<const SortKey> keys);
+Table sort_by(const Table& t, std::initializer_list<SortKey> keys);
+
+/// LIMIT.
+Table limit(const Table& t, std::size_t n);
+
+/// DISTINCT over the given key columns (first row per key wins).
+Table distinct(const Table& t, std::span<const std::string> keys);
+
+enum class JoinType { kInner, kLeft };
+
+/// Hash equi-join on identically named key columns. Non-key right
+/// columns that collide with left names get `suffix` appended.
+Table hash_join(const Table& left, const Table& right, std::span<const std::string> keys,
+                JoinType type = JoinType::kInner, const std::string& suffix = "_r");
+Table hash_join(const Table& left, const Table& right, std::initializer_list<std::string> keys,
+                JoinType type = JoinType::kInner, const std::string& suffix = "_r");
+
+/// Vertical concatenation (schemas must match).
+Table concat(std::span<const Table> tables);
+
+/// Encode the key-tuple of row `i` into `out` (stable across calls; used
+/// by group-by, distinct and join for hashing).
+void encode_key(const Table& t, std::span<const std::size_t> key_cols, std::size_t i, std::string& out);
+
+}  // namespace oda::sql

@@ -1,0 +1,46 @@
+#include "sql/value.hpp"
+
+#include <cstdio>
+
+namespace oda::sql {
+
+const char* type_name(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "null";
+    case DataType::kInt64: return "int64";
+    case DataType::kFloat64: return "float64";
+    case DataType::kString: return "string";
+    case DataType::kBool: return "bool";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& o) const {
+  const DataType a = type(), b = o.type();
+  // Nulls sort first.
+  if (a == DataType::kNull || b == DataType::kNull) {
+    return a == DataType::kNull && b != DataType::kNull;
+  }
+  const bool a_num = a != DataType::kString, b_num = b != DataType::kString;
+  if (a_num && b_num) return as_double() < o.as_double();
+  if (a == DataType::kString && b == DataType::kString) return as_string() < o.as_string();
+  // Mixed string/numeric: numerics sort before strings (arbitrary but total).
+  return a_num && !b_num;
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case DataType::kNull: return "null";
+    case DataType::kInt64: return std::to_string(as_int());
+    case DataType::kFloat64: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    case DataType::kString: return as_string();
+    case DataType::kBool: return as_bool() ? "true" : "false";
+  }
+  return "?";
+}
+
+}  // namespace oda::sql

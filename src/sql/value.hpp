@@ -1,0 +1,81 @@
+// Scalar value model for the mini query engine.
+//
+// Telemetry pipelines only need four physical types: 64-bit ints
+// (timestamps, ids, counters), doubles (sensor readings), strings
+// (host/job/sensor names) and bools (flags). Nulls are first-class
+// because real telemetry is lossy (Sec VIII-A: "skewed, and lossy").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace oda::sql {
+
+enum class DataType : std::uint8_t { kNull = 0, kInt64 = 1, kFloat64 = 2, kString = 3, kBool = 4 };
+
+const char* type_name(DataType t);
+
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(std::int64_t v) : v_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(int v) : v_(std::int64_t{v}) {}     // NOLINT(google-explicit-constructor)
+  Value(double v) : v_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(bool v) : v_(v) {}                  // NOLINT(google-explicit-constructor)
+
+  static Value null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+
+  DataType type() const {
+    switch (v_.index()) {
+      case 1: return DataType::kInt64;
+      case 2: return DataType::kFloat64;
+      case 3: return DataType::kString;
+      case 4: return DataType::kBool;
+      default: return DataType::kNull;
+    }
+  }
+
+  std::int64_t as_int() const {
+    if (auto* p = std::get_if<std::int64_t>(&v_)) return *p;
+    if (auto* p = std::get_if<double>(&v_)) return static_cast<std::int64_t>(*p);
+    if (auto* p = std::get_if<bool>(&v_)) return *p ? 1 : 0;
+    throw std::runtime_error("Value: not convertible to int");
+  }
+
+  double as_double() const {
+    if (auto* p = std::get_if<double>(&v_)) return *p;
+    if (auto* p = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*p);
+    if (auto* p = std::get_if<bool>(&v_)) return *p ? 1.0 : 0.0;
+    throw std::runtime_error("Value: not convertible to double");
+  }
+
+  const std::string& as_string() const {
+    if (auto* p = std::get_if<std::string>(&v_)) return *p;
+    throw std::runtime_error("Value: not a string");
+  }
+
+  bool as_bool() const {
+    if (auto* p = std::get_if<bool>(&v_)) return *p;
+    if (auto* p = std::get_if<std::int64_t>(&v_)) return *p != 0;
+    throw std::runtime_error("Value: not convertible to bool");
+  }
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Total order with nulls first; numeric types compare numerically.
+  bool operator<(const Value& o) const;
+
+  std::string to_string() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string, bool> v_;
+};
+
+}  // namespace oda::sql

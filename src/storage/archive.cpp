@@ -1,0 +1,53 @@
+#include "storage/archive.hpp"
+
+namespace oda::storage {
+
+void TapeArchive::archive(const std::string& key, std::vector<std::uint8_t> data, common::TimePoint now) {
+  std::lock_guard lk(mu_);
+  entries_[key] = Entry{std::move(data), now};
+}
+
+std::optional<RecallResult> TapeArchive::recall(const std::string& key) {
+  std::lock_guard lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  ++recalls_;
+  RecallResult r;
+  r.data = it->second.data;
+  const double mb = static_cast<double>(r.data.size()) / (1024.0 * 1024.0);
+  r.simulated_latency = config_.mount_latency + config_.seek_latency +
+                        common::from_seconds(mb / config_.read_bandwidth_mb_s);
+  return r;
+}
+
+bool TapeArchive::exists(const std::string& key) const {
+  std::lock_guard lk(mu_);
+  return entries_.count(key) > 0;
+}
+
+std::size_t TapeArchive::total_bytes() const {
+  std::lock_guard lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [_, e] : entries_) total += e.data.size();
+  return total;
+}
+
+std::size_t TapeArchive::object_count() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+std::uint64_t TapeArchive::recall_count() const {
+  std::lock_guard lk(mu_);
+  return recalls_;
+}
+
+std::vector<std::string> TapeArchive::keys() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, _] : entries_) out.push_back(k);
+  return out;
+}
+
+}  // namespace oda::storage

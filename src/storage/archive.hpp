@@ -1,0 +1,55 @@
+// GLACIER: the tape archive. Writes are cheap; reads pay a simulated
+// mount+seek latency. Terabyte-scale Bronze datasets are "stored in cold
+// storage in a frozen state" here until upstream Silver pipelines exist
+// (Sec VI-B).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace oda::storage {
+
+struct ArchiveConfig {
+  common::Duration mount_latency = 45 * common::kSecond;   ///< tape mount
+  double read_bandwidth_mb_s = 300.0;                      ///< streaming rate
+  common::Duration seek_latency = 20 * common::kSecond;    ///< position to file
+};
+
+struct RecallResult {
+  std::vector<std::uint8_t> data;
+  common::Duration simulated_latency = 0;  ///< what a real recall would cost
+};
+
+class TapeArchive {
+ public:
+  explicit TapeArchive(ArchiveConfig config = {}) : config_(config) {}
+
+  void archive(const std::string& key, std::vector<std::uint8_t> data, common::TimePoint now);
+
+  /// Recall an object, reporting the simulated recall latency.
+  std::optional<RecallResult> recall(const std::string& key);
+
+  bool exists(const std::string& key) const;
+  std::size_t total_bytes() const;
+  std::size_t object_count() const;
+  std::uint64_t recall_count() const;
+  std::vector<std::string> keys() const;
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> data;
+    common::TimePoint archived_at = 0;
+  };
+  ArchiveConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t recalls_ = 0;
+};
+
+}  // namespace oda::storage

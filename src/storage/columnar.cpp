@@ -1,0 +1,323 @@
+#include "storage/columnar.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "storage/codecs.hpp"
+
+namespace oda::storage {
+
+using common::ByteReader;
+using common::ByteWriter;
+using sql::Column;
+using sql::DataType;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'C', 'F', '1'};
+
+void write_schema(ByteWriter& w, const Schema& schema) {
+  w.varint(schema.size());
+  for (const auto& f : schema.fields()) {
+    w.str(f.name);
+    w.u8(static_cast<std::uint8_t>(f.type));
+  }
+}
+
+Schema read_schema(ByteReader& r) {
+  const std::uint64_t n = r.varint();
+  std::vector<sql::Field> fields;
+  fields.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const auto type = static_cast<DataType>(r.u8());
+    fields.push_back({std::move(name), type});
+  }
+  return Schema(std::move(fields));
+}
+
+/// Encode rows [lo, hi) of `col` into a self-describing block.
+std::vector<std::uint8_t> encode_column_slice(const Column& col, std::size_t lo, std::size_t hi,
+                                              ColumnStats& stats, bool lz_pass) {
+  ByteWriter w;
+  const std::size_t n = hi - lo;
+
+  // Validity bitmap (as bytes), RLE'd: telemetry columns are usually
+  // all-valid, so this collapses to a few bytes.
+  std::vector<std::uint8_t> valid(n);
+  for (std::size_t i = 0; i < n; ++i) valid[i] = col.is_null(lo + i) ? 0 : 1;
+  const auto valid_rle = rle_encode(valid);
+  w.varint(valid_rle.size());
+  w.raw(valid_rle.data(), valid_rle.size());
+
+  stats.null_count = static_cast<std::uint64_t>(std::count(valid.begin(), valid.end(), std::uint8_t{0}));
+
+  std::vector<std::uint8_t> body;
+  switch (col.type()) {
+    case DataType::kInt64: {
+      std::vector<std::int64_t> vals(n);
+      for (std::size_t i = 0; i < n; ++i) vals[i] = col.int_at(lo + i);
+      body = encode_int64_delta(vals);
+      bool first = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!valid[i]) continue;
+        if (first) {
+          stats.min_i64 = stats.max_i64 = vals[i];
+          first = false;
+        } else {
+          stats.min_i64 = std::min(stats.min_i64, vals[i]);
+          stats.max_i64 = std::max(stats.max_i64, vals[i]);
+        }
+      }
+      stats.has_minmax = !first;
+      break;
+    }
+    case DataType::kFloat64: {
+      std::vector<double> vals(n);
+      for (std::size_t i = 0; i < n; ++i) vals[i] = col.double_at(lo + i);
+      body = encode_float64_bss(vals);
+      bool first = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!valid[i]) continue;
+        if (first) {
+          stats.min_f64 = stats.max_f64 = vals[i];
+          first = false;
+        } else {
+          stats.min_f64 = std::min(stats.min_f64, vals[i]);
+          stats.max_f64 = std::max(stats.max_f64, vals[i]);
+        }
+      }
+      stats.has_minmax = !first;
+      break;
+    }
+    case DataType::kString: {
+      std::vector<std::string> vals(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (valid[i]) vals[i] = col.str_at(lo + i);
+      }
+      body = encode_strings_dict(vals);
+      break;
+    }
+    case DataType::kBool: {
+      std::vector<std::uint8_t> vals(n);
+      for (std::size_t i = 0; i < n; ++i) vals[i] = valid[i] && col.bool_at(lo + i) ? 1 : 0;
+      body = encode_bools(vals);
+      break;
+    }
+    case DataType::kNull:
+      break;
+  }
+
+  if (lz_pass) {
+    auto compressed = lz_compress(body);
+    if (compressed.size() < body.size()) {
+      w.u8(1);
+      w.varint(compressed.size());
+      w.raw(compressed.data(), compressed.size());
+    } else {
+      w.u8(0);
+      w.varint(body.size());
+      w.raw(body.data(), body.size());
+    }
+  } else {
+    w.u8(0);
+    w.varint(body.size());
+    w.raw(body.data(), body.size());
+  }
+  return w.take();
+}
+
+void decode_column_slice(ByteReader& r, DataType type, std::size_t n, Column& out) {
+  const std::uint64_t valid_len = r.varint();
+  const auto valid = rle_decode(r.raw(valid_len));
+  if (valid.size() != n) throw std::runtime_error("columnar: validity length mismatch");
+
+  const std::uint8_t lz = r.u8();
+  const std::uint64_t body_len = r.varint();
+  auto raw = r.raw(body_len);
+  std::vector<std::uint8_t> body_storage;
+  std::span<const std::uint8_t> body = raw;
+  if (lz) {
+    body_storage = lz_decompress(raw);
+    body = body_storage;
+  }
+
+  switch (type) {
+    case DataType::kInt64: {
+      const auto vals = decode_int64_delta(body);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (valid[i]) {
+          out.append_int(vals[i]);
+        } else {
+          out.append_null();
+        }
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const auto vals = decode_float64_bss(body);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (valid[i]) {
+          out.append_double(vals[i]);
+        } else {
+          out.append_null();
+        }
+      }
+      break;
+    }
+    case DataType::kString: {
+      auto vals = decode_strings_dict(body);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (valid[i]) {
+          out.append_string(std::move(vals[i]));
+        } else {
+          out.append_null();
+        }
+      }
+      break;
+    }
+    case DataType::kBool: {
+      const auto vals = decode_bools(body);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (valid[i]) {
+          out.append_bool(vals[i] != 0);
+        } else {
+          out.append_null();
+        }
+      }
+      break;
+    }
+    case DataType::kNull:
+      for (std::size_t i = 0; i < n; ++i) out.append_null();
+      break;
+  }
+}
+
+void write_stats(ByteWriter& w, const ColumnStats& s) {
+  w.u8(s.has_minmax ? 1 : 0);
+  w.i64(s.min_i64);
+  w.i64(s.max_i64);
+  w.f64(s.min_f64);
+  w.f64(s.max_f64);
+  w.varint(s.null_count);
+}
+
+ColumnStats read_stats(ByteReader& r) {
+  ColumnStats s;
+  s.has_minmax = r.u8() != 0;
+  s.min_i64 = r.i64();
+  s.max_i64 = r.i64();
+  s.min_f64 = r.f64();
+  s.max_f64 = r.f64();
+  s.null_count = r.varint();
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_columnar(const Table& table, const WriteOptions& opts) {
+  ByteWriter w;
+  w.raw(kMagic, 4);
+  write_schema(w, table.schema());
+  w.varint(table.num_rows());
+
+  const std::size_t rg_rows = std::max<std::size_t>(1, opts.row_group_rows);
+  const std::size_t ngroups = table.num_rows() == 0 ? 0 : (table.num_rows() + rg_rows - 1) / rg_rows;
+  w.varint(ngroups);
+
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const std::size_t lo = g * rg_rows;
+    const std::size_t hi = std::min(table.num_rows(), lo + rg_rows);
+    w.varint(hi - lo);
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      ColumnStats stats;
+      auto block = encode_column_slice(table.column(c), lo, hi, stats, opts.lz_pass);
+      write_stats(w, stats);
+      w.varint(block.size());
+      w.raw(block.data(), block.size());
+    }
+  }
+  return w.take();
+}
+
+Table read_columnar(std::span<const std::uint8_t> data, const ReadOptions& opts) {
+  ByteReader r(data);
+  const auto magic = r.raw(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) throw std::runtime_error("columnar: bad magic");
+  const Schema file_schema = read_schema(r);
+  r.varint();  // total rows (unused on read)
+  const std::uint64_t ngroups = r.varint();
+
+  // Projection: resolve requested columns to file indexes.
+  std::vector<std::size_t> proj;
+  if (opts.columns.empty()) {
+    proj.resize(file_schema.size());
+    for (std::size_t i = 0; i < proj.size(); ++i) proj[i] = i;
+  } else {
+    for (const auto& name : opts.columns) {
+      const std::size_t i = file_schema.index_of(name);
+      if (i == Schema::npos) throw std::out_of_range("columnar: no column '" + name + "'");
+      proj.push_back(i);
+    }
+  }
+  Schema out_schema;
+  std::vector<Column> out_cols;
+  for (std::size_t i : proj) {
+    out_schema.add(file_schema.field(i));
+    out_cols.emplace_back(file_schema.field(i).type);
+  }
+
+  std::size_t filter_col = Schema::npos;
+  if (opts.filter) filter_col = file_schema.index_of(opts.filter->column);
+
+  for (std::uint64_t g = 0; g < ngroups; ++g) {
+    const std::uint64_t nrows = r.varint();
+
+    // First pass over this group's column headers to decide skip.
+    struct ChunkRef {
+      ColumnStats stats;
+      std::size_t offset;
+      std::size_t length;
+    };
+    std::vector<ChunkRef> chunks(file_schema.size());
+    for (std::size_t c = 0; c < file_schema.size(); ++c) {
+      chunks[c].stats = read_stats(r);
+      chunks[c].length = r.varint();
+      chunks[c].offset = r.position();
+      r.raw(chunks[c].length);  // skip over body
+    }
+
+    if (opts.filter && filter_col != Schema::npos) {
+      const auto& st = chunks[filter_col].stats;
+      if (st.has_minmax && (st.max_i64 < opts.filter->lo || st.min_i64 > opts.filter->hi)) {
+        continue;  // row group pruned
+      }
+    }
+
+    // Decode the projected columns.
+    for (std::size_t p = 0; p < proj.size(); ++p) {
+      const std::size_t c = proj[p];
+      ByteReader cr(data.subspan(chunks[c].offset, chunks[c].length));
+      decode_column_slice(cr, file_schema.field(c).type, nrows, out_cols[p]);
+    }
+  }
+  return Table(std::move(out_schema), std::move(out_cols));
+}
+
+ColumnarInfo inspect_columnar(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const auto magic = r.raw(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) throw std::runtime_error("columnar: bad magic");
+  ColumnarInfo info;
+  info.schema = read_schema(r);
+  info.num_rows = r.varint();
+  info.num_row_groups = r.varint();
+  return info;
+}
+
+}  // namespace oda::storage

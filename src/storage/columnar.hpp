@@ -1,0 +1,62 @@
+// OCEAN's file format: a Parquet-style columnar container.
+//
+// Layout (all little-endian, varint-framed):
+//   magic "OCF1" | schema | row-group count
+//   per row group: row count, per column: {stats, encoded+lz block}
+//
+// Readers can project a column subset and skip row groups via min/max
+// stats on any int64 column (timestamp predicate pushdown) — the two
+// tricks that make "years of accumulated power profiling data"
+// interactively queryable (Sec VII-B, LVA).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sql/table.hpp"
+
+namespace oda::storage {
+
+struct ColumnStats {
+  bool has_minmax = false;
+  std::int64_t min_i64 = 0;
+  std::int64_t max_i64 = 0;
+  double min_f64 = 0.0;
+  double max_f64 = 0.0;
+  std::uint64_t null_count = 0;
+};
+
+struct WriteOptions {
+  std::size_t row_group_rows = 65536;
+  bool lz_pass = true;  ///< apply the general LZ pass after typed encoding
+};
+
+/// Predicate pushdown: keep row groups whose [min,max] of `column`
+/// overlaps [lo, hi] (int64 columns only; others scan everything).
+struct RowGroupFilter {
+  std::string column;
+  std::int64_t lo = INT64_MIN;
+  std::int64_t hi = INT64_MAX;
+};
+
+struct ReadOptions {
+  std::vector<std::string> columns;  ///< empty = all columns
+  std::optional<RowGroupFilter> filter;
+};
+
+std::vector<std::uint8_t> write_columnar(const sql::Table& table, const WriteOptions& opts = {});
+
+sql::Table read_columnar(std::span<const std::uint8_t> data, const ReadOptions& opts = {});
+
+/// Peek at schema + row count without materializing data.
+struct ColumnarInfo {
+  sql::Schema schema;
+  std::uint64_t num_rows = 0;
+  std::uint64_t num_row_groups = 0;
+};
+ColumnarInfo inspect_columnar(std::span<const std::uint8_t> data);
+
+}  // namespace oda::storage

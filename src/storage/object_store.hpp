@@ -1,0 +1,59 @@
+// OCEAN: an S3/MinIO-style object store holding ever-appended,
+// parquet-like compressed tabular datasets (Sec V-B). Objects are
+// immutable blobs addressed by key; datasets are key prefixes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace oda::storage {
+
+/// Medallion refinement state of a stored artifact (Sec V-A).
+enum class DataClass : std::uint8_t { kBronze = 0, kSilver = 1, kGold = 2 };
+const char* data_class_name(DataClass c);
+
+struct ObjectMeta {
+  std::string key;
+  std::string dataset;  ///< logical dataset (key prefix by convention)
+  DataClass data_class = DataClass::kBronze;
+  common::TimePoint created = 0;
+  std::size_t size_bytes = 0;
+};
+
+class ObjectStore {
+ public:
+  void put(const std::string& key, std::vector<std::uint8_t> data, const std::string& dataset,
+           DataClass data_class, common::TimePoint now);
+
+  /// nullopt when absent.
+  std::optional<std::vector<std::uint8_t>> get(const std::string& key) const;
+  bool exists(const std::string& key) const;
+  bool remove(const std::string& key);
+
+  /// All object metadata under a key prefix, in key order.
+  std::vector<ObjectMeta> list(const std::string& prefix = "") const;
+
+  std::size_t total_bytes() const;
+  std::size_t object_count() const;
+  std::size_t bytes_by_class(DataClass c) const;
+
+  /// Drop objects older than `max_age`; returns bytes freed.
+  std::size_t evict_older_than(common::Duration max_age, common::TimePoint now);
+
+ private:
+  struct Entry {
+    ObjectMeta meta;
+    std::vector<std::uint8_t> data;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> objects_;
+};
+
+}  // namespace oda::storage

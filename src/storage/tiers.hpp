@@ -1,0 +1,65 @@
+// The tiered data-service architecture of Fig 5: STREAM (broker, days),
+// LAKE (online DB, weeks), OCEAN (object store, years), GLACIER (tape,
+// indefinite). The TierManager owns the retention clock and produces the
+// per-tier accounting that bench_fig5_tiers reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "storage/archive.hpp"
+#include "storage/object_store.hpp"
+#include "storage/tsdb.hpp"
+#include "stream/broker.hpp"
+
+namespace oda::storage {
+
+enum class Tier : std::uint8_t { kStream = 0, kLake = 1, kOcean = 2, kGlacier = 3 };
+const char* tier_name(Tier t);
+
+struct TierRetention {
+  common::Duration stream_age = 3 * common::kDay;
+  common::Duration lake_age = 30 * common::kDay;
+  common::Duration ocean_age = 5 * 365 * common::kDay;
+  // GLACIER: indefinite.
+};
+
+struct TierReport {
+  Tier tier = Tier::kStream;
+  std::string focus;              ///< artifact classes the tier serves
+  common::Duration retention = 0; ///< 0 = indefinite
+  std::size_t bytes = 0;
+  std::size_t items = 0;          ///< records / points / objects
+  common::Duration typical_access_latency = 0;
+};
+
+class TierManager {
+ public:
+  TierManager(stream::Broker& broker, TimeSeriesDb& lake, ObjectStore& ocean, TapeArchive& glacier,
+              TierRetention retention = {});
+
+  /// Run retention across all tiers at facility time `now`.
+  /// OCEAN objects that age out are migrated (not dropped) to GLACIER.
+  struct RetentionOutcome {
+    std::size_t stream_bytes_evicted = 0;
+    std::size_t lake_points_evicted = 0;
+    std::size_t ocean_objects_migrated = 0;
+    std::size_t ocean_bytes_migrated = 0;
+  };
+  RetentionOutcome enforce(common::TimePoint now);
+
+  std::vector<TierReport> report() const;
+
+  const TierRetention& retention() const { return retention_; }
+
+ private:
+  stream::Broker& broker_;
+  TimeSeriesDb& lake_;
+  ObjectStore& ocean_;
+  TapeArchive& glacier_;
+  TierRetention retention_;
+};
+
+}  // namespace oda::storage

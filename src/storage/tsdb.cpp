@@ -1,0 +1,195 @@
+#include "storage/tsdb.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace oda::storage {
+
+using common::Duration;
+using common::TimePoint;
+using sql::AggKind;
+using sql::DataType;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+
+void TimeSeriesDb::append(const SeriesKey& key, TimePoint t, double value) {
+  std::lock_guard lk(mu_);
+  Series& s = series_[key];
+  if (!s.times.empty() && t < s.times.back()) {
+    // Out-of-order point: insert in place (rare; telemetry is mostly ordered).
+    const auto it = std::upper_bound(s.times.begin(), s.times.end(), t);
+    const auto idx = static_cast<std::size_t>(it - s.times.begin());
+    s.times.insert(it, t);
+    s.values.insert(s.values.begin() + static_cast<std::ptrdiff_t>(idx), value);
+    return;
+  }
+  s.times.push_back(t);
+  s.values.push_back(value);
+}
+
+bool TimeSeriesDb::matches(const SeriesKey& key, const std::string& metric,
+                           const std::map<std::string, std::string>& tag_filter) const {
+  if (key.metric != metric) return false;
+  for (const auto& [k, v] : tag_filter) {
+    const auto it = key.tags.find(k);
+    if (it == key.tags.end() || it->second != v) return false;
+  }
+  return true;
+}
+
+Table TimeSeriesDb::query(const TsQuery& q) const {
+  std::lock_guard lk(mu_);
+
+  // Collect matched series and the union of their tag keys for the schema.
+  std::vector<const std::pair<const SeriesKey, Series>*> matched;
+  std::set<std::string> tag_keys;
+  for (const auto& kv : series_) {
+    if (!matches(kv.first, q.metric, q.tag_filter)) continue;
+    matched.push_back(&kv);
+    for (const auto& [k, _] : kv.first.tags) tag_keys.insert(k);
+  }
+
+  Schema schema{{"time", DataType::kInt64}, {"metric", DataType::kString}};
+  for (const auto& k : tag_keys) schema.add({k, DataType::kString});
+  schema.add({"value", DataType::kFloat64});
+  Table out(schema);
+
+  std::vector<Value> row(schema.size());
+  auto emit = [&](const SeriesKey& key, TimePoint t, double v) {
+    std::size_t c = 0;
+    row[c++] = Value(t);
+    row[c++] = Value(key.metric);
+    for (const auto& k : tag_keys) {
+      const auto it = key.tags.find(k);
+      row[c++] = it == key.tags.end() ? Value::null() : Value(it->second);
+    }
+    row[c++] = Value(v);
+    out.append_row(row);
+  };
+
+  for (const auto* kv : matched) {
+    const Series& s = kv->second;
+    const auto lo = std::lower_bound(s.times.begin(), s.times.end(), q.t0) - s.times.begin();
+    const auto hi = std::lower_bound(s.times.begin(), s.times.end(), q.t1) - s.times.begin();
+    if (q.step <= 0) {
+      for (auto i = lo; i < hi; ++i) emit(kv->first, s.times[static_cast<std::size_t>(i)],
+                                          s.values[static_cast<std::size_t>(i)]);
+      continue;
+    }
+    // Step-aligned downsampling within the range.
+    auto i = lo;
+    while (i < hi) {
+      const TimePoint bucket = common::window_start(s.times[static_cast<std::size_t>(i)], q.step);
+      double sum = 0.0, mn = 0.0, mx = 0.0;
+      std::size_t n = 0;
+      double last = 0.0;
+      while (i < hi && common::window_start(s.times[static_cast<std::size_t>(i)], q.step) == bucket) {
+        const double v = s.values[static_cast<std::size_t>(i)];
+        if (n == 0) {
+          mn = mx = v;
+        } else {
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+        sum += v;
+        last = v;
+        ++n;
+        ++i;
+      }
+      double r = 0.0;
+      switch (q.agg) {
+        case AggKind::kSum: r = sum; break;
+        case AggKind::kMin: r = mn; break;
+        case AggKind::kMax: r = mx; break;
+        case AggKind::kCount: r = static_cast<double>(n); break;
+        case AggKind::kLast: r = last; break;
+        default: r = sum / static_cast<double>(n); break;  // mean
+      }
+      emit(kv->first, bucket, r);
+    }
+  }
+  return out;
+}
+
+Table TimeSeriesDb::latest(const std::string& metric,
+                           const std::map<std::string, std::string>& tag_filter) const {
+  TsQuery q;
+  q.metric = metric;
+  q.tag_filter = tag_filter;
+  std::lock_guard lk(mu_);
+
+  std::set<std::string> tag_keys;
+  std::vector<const std::pair<const SeriesKey, Series>*> matched;
+  for (const auto& kv : series_) {
+    if (!matches(kv.first, metric, tag_filter)) continue;
+    if (kv.second.times.empty()) continue;
+    matched.push_back(&kv);
+    for (const auto& [k, _] : kv.first.tags) tag_keys.insert(k);
+  }
+
+  Schema schema{{"time", DataType::kInt64}, {"metric", DataType::kString}};
+  for (const auto& k : tag_keys) schema.add({k, DataType::kString});
+  schema.add({"value", DataType::kFloat64});
+  Table out(schema);
+  std::vector<Value> row(schema.size());
+  for (const auto* kv : matched) {
+    std::size_t c = 0;
+    row[c++] = Value(kv->second.times.back());
+    row[c++] = Value(metric);
+    for (const auto& k : tag_keys) {
+      const auto it = kv->first.tags.find(k);
+      row[c++] = it == kv->first.tags.end() ? Value::null() : Value(it->second);
+    }
+    row[c++] = Value(kv->second.values.back());
+    out.append_row(row);
+  }
+  return out;
+}
+
+std::size_t TimeSeriesDb::series_count() const {
+  std::lock_guard lk(mu_);
+  return series_.size();
+}
+
+std::size_t TimeSeriesDb::point_count() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [_, s] : series_) n += s.times.size();
+  return n;
+}
+
+std::size_t TimeSeriesDb::memory_bytes() const {
+  std::lock_guard lk(mu_);
+  std::size_t b = 0;
+  for (const auto& [k, s] : series_) {
+    b += k.metric.size() + 64;
+    for (const auto& [tk, tv] : k.tags) b += tk.size() + tv.size() + 32;
+    b += s.times.capacity() * sizeof(TimePoint) + s.values.capacity() * sizeof(double);
+  }
+  return b;
+}
+
+std::size_t TimeSeriesDb::evict_older_than(Duration max_age, TimePoint now) {
+  std::lock_guard lk(mu_);
+  const TimePoint cutoff = now - max_age;
+  std::size_t dropped = 0;
+  for (auto it = series_.begin(); it != series_.end();) {
+    Series& s = it->second;
+    const auto keep_from =
+        static_cast<std::size_t>(std::lower_bound(s.times.begin(), s.times.end(), cutoff) - s.times.begin());
+    if (keep_from > 0) {
+      dropped += keep_from;
+      s.times.erase(s.times.begin(), s.times.begin() + static_cast<std::ptrdiff_t>(keep_from));
+      s.values.erase(s.values.begin(), s.values.begin() + static_cast<std::ptrdiff_t>(keep_from));
+    }
+    if (s.times.empty()) {
+      it = series_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace oda::storage

@@ -1,0 +1,69 @@
+// LAKE: the online, real-time diagnostics database (the Druid /
+// ElasticSearch role in Sec V-B). An in-memory time-series store with
+// per-series sorted segments, tag filtering, range queries with
+// step-aligned downsampling, and time-based retention.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sql/agg.hpp"
+#include "sql/table.hpp"
+
+namespace oda::storage {
+
+struct SeriesKey {
+  std::string metric;
+  std::map<std::string, std::string> tags;  ///< e.g. {host, component}
+
+  bool operator<(const SeriesKey& o) const {
+    if (metric != o.metric) return metric < o.metric;
+    return tags < o.tags;
+  }
+};
+
+struct TsQuery {
+  std::string metric;
+  std::map<std::string, std::string> tag_filter;  ///< exact-match subset
+  common::TimePoint t0 = 0;
+  common::TimePoint t1 = INT64_MAX;
+  common::Duration step = 0;  ///< 0 = raw points
+  sql::AggKind agg = sql::AggKind::kMean;
+};
+
+class TimeSeriesDb {
+ public:
+  void append(const SeriesKey& key, common::TimePoint t, double value);
+
+  /// Result schema: (time:int64, metric:string, <tag columns>, value:float64).
+  /// Tag columns are the union of tags across matched series.
+  sql::Table query(const TsQuery& q) const;
+
+  /// Latest value per matched series (dashboard "current state" panels).
+  sql::Table latest(const std::string& metric,
+                    const std::map<std::string, std::string>& tag_filter = {}) const;
+
+  std::size_t series_count() const;
+  std::size_t point_count() const;
+  std::size_t memory_bytes() const;
+
+  /// Drop points older than max_age; prunes empty series. Returns points dropped.
+  std::size_t evict_older_than(common::Duration max_age, common::TimePoint now);
+
+ private:
+  struct Series {
+    std::vector<common::TimePoint> times;  // non-decreasing (enforced on append)
+    std::vector<double> values;
+  };
+  bool matches(const SeriesKey& key, const std::string& metric,
+               const std::map<std::string, std::string>& tag_filter) const;
+
+  mutable std::mutex mu_;
+  std::map<SeriesKey, Series> series_;
+};
+
+}  // namespace oda::storage

@@ -1,0 +1,270 @@
+#include "stream/broker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace oda::stream {
+
+Topic::Topic(std::string name, TopicConfig config) : name_(std::move(name)), config_(config) {
+  if (config_.num_partitions == 0) config_.num_partitions = 1;
+  partitions_.reserve(config_.num_partitions);
+  for (std::size_t i = 0; i < config_.num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Partition>(config_.segment_bytes));
+  }
+}
+
+std::int64_t Topic::produce(Record r) {
+  const std::size_t p = r.key.empty()
+                            ? rr_counter_.fetch_add(1, std::memory_order_relaxed) % partitions_.size()
+                            : common::fnv1a(r.key) % partitions_.size();
+  produced_records_.fetch_add(1, std::memory_order_relaxed);
+  produced_bytes_.fetch_add(r.wire_size(), std::memory_order_relaxed);
+  return partitions_[p]->append(std::move(r));
+}
+
+std::size_t Topic::enforce_retention(common::TimePoint now) {
+  std::size_t evicted = 0;
+  for (auto& p : partitions_) evicted += p->enforce_retention(config_.retention, now);
+  evicted_bytes_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+TopicStats Topic::stats() const {
+  TopicStats s;
+  s.produced_records = produced_records_.load(std::memory_order_relaxed);
+  s.produced_bytes = produced_bytes_.load(std::memory_order_relaxed);
+  s.fetched_records = fetched_records_.load(std::memory_order_relaxed);
+  s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
+  for (const auto& p : partitions_) {
+    s.retained_records += p->record_count();
+    s.retained_bytes += p->size_bytes();
+  }
+  return s;
+}
+
+Topic& Broker::create_topic(const std::string& name, TopicConfig config) {
+  std::lock_guard lk(mu_);
+  auto it = topics_.find(name);
+  if (it != topics_.end()) return *it->second;
+  auto [inserted, _] = topics_.emplace(name, std::make_unique<Topic>(name, config));
+  return *inserted->second;
+}
+
+Topic& Broker::topic(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto it = topics_.find(name);
+  if (it == topics_.end()) throw std::out_of_range("Broker: unknown topic '" + name + "'");
+  return *it->second;
+}
+
+const Topic* Broker::find_topic(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = topics_.find(name);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+bool Broker::has_topic(const std::string& name) const { return find_topic(name) != nullptr; }
+
+std::vector<std::string> Broker::topic_names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [n, _] : topics_) names.push_back(n);
+  return names;
+}
+
+std::size_t Broker::enforce_retention(common::TimePoint now) {
+  std::vector<Topic*> ts;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& [_, t] : topics_) ts.push_back(t.get());
+  }
+  std::size_t evicted = 0;
+  for (Topic* t : ts) evicted += t->enforce_retention(now);
+  return evicted;
+}
+
+void Broker::set_retention_all(const RetentionPolicy& policy) {
+  std::lock_guard lk(mu_);
+  for (auto& [_, t] : topics_) t->set_retention(policy);
+}
+
+void Broker::commit(const std::string& group, const TopicPartition& tp, std::int64_t offset) {
+  std::lock_guard lk(mu_);
+  offsets_[{group, tp}] = offset;
+}
+
+std::optional<std::int64_t> Broker::committed(const std::string& group, const TopicPartition& tp) const {
+  std::lock_guard lk(mu_);
+  auto it = offsets_.find({group, tp});
+  if (it == offsets_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t Broker::lag(const std::string& group, const std::string& topic_name) const {
+  const Topic* t = find_topic(topic_name);
+  if (!t) return 0;
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p < t->num_partitions(); ++p) {
+    const std::int64_t end = t->partition(p).end_offset();
+    const std::int64_t committed_off =
+        committed(group, TopicPartition{topic_name, p}).value_or(t->partition(p).start_offset());
+    total += end - committed_off;
+  }
+  return total;
+}
+
+std::size_t Broker::total_bytes() const {
+  std::lock_guard lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [_, t] : topics_) {
+    for (std::size_t p = 0; p < t->num_partitions(); ++p) total += t->partition(p).size_bytes();
+  }
+  return total;
+}
+
+std::uint64_t Broker::join_group(const std::string& group, const std::string& topic) {
+  std::lock_guard lk(mu_);
+  GroupState& gs = groups_[{group, topic}];
+  const std::uint64_t id = gs.next_member_id++;
+  gs.members.push_back(id);
+  ++gs.generation;
+  return id;
+}
+
+void Broker::leave_group(const std::string& group, const std::string& topic,
+                         std::uint64_t member_id) {
+  std::lock_guard lk(mu_);
+  auto it = groups_.find({group, topic});
+  if (it == groups_.end()) return;
+  auto& members = it->second.members;
+  const auto pos = std::find(members.begin(), members.end(), member_id);
+  if (pos == members.end()) return;
+  members.erase(pos);
+  ++it->second.generation;
+}
+
+std::vector<std::size_t> Broker::assignments(const std::string& group, const std::string& topic,
+                                             std::uint64_t member_id,
+                                             std::uint64_t* generation_out) const {
+  std::size_t num_partitions = 0;
+  {
+    // Topic lookup uses the same mutex; read partition count first.
+    auto* t = find_topic(topic);
+    if (t) num_partitions = t->num_partitions();
+  }
+  std::lock_guard lk(mu_);
+  std::vector<std::size_t> out;
+  auto it = groups_.find({group, topic});
+  if (it == groups_.end()) return out;
+  if (generation_out) *generation_out = it->second.generation;
+  const auto& members = it->second.members;
+  const auto pos = std::find(members.begin(), members.end(), member_id);
+  if (pos == members.end() || members.empty()) return out;
+  const std::size_t index = static_cast<std::size_t>(pos - members.begin());
+  for (std::size_t p = index; p < num_partitions; p += members.size()) out.push_back(p);
+  return out;
+}
+
+std::uint64_t Broker::group_generation(const std::string& group, const std::string& topic) const {
+  std::lock_guard lk(mu_);
+  auto it = groups_.find({group, topic});
+  return it == groups_.end() ? 0 : it->second.generation;
+}
+
+GroupMember::GroupMember(Broker& broker, std::string group, std::string topic)
+    : broker_(broker), group_(std::move(group)), topic_(std::move(topic)) {
+  member_id_ = broker_.join_group(group_, topic_);
+  refresh_assignments();
+}
+
+GroupMember::~GroupMember() { leave(); }
+
+void GroupMember::leave() {
+  if (left_) return;
+  left_ = true;
+  broker_.leave_group(group_, topic_, member_id_);
+}
+
+void GroupMember::refresh_assignments() {
+  std::uint64_t generation = 0;
+  auto assigned = broker_.assignments(group_, topic_, member_id_, &generation);
+  if (generation == generation_) return;
+  generation_ = generation;
+  assigned_ = std::move(assigned);
+  // Resume every newly assigned partition from the group's commit.
+  Topic& t = broker_.topic(topic_);
+  positions_.clear();
+  for (std::size_t p : assigned_) {
+    positions_[p] =
+        broker_.committed(group_, TopicPartition{topic_, p}).value_or(t.partition(p).start_offset());
+  }
+}
+
+std::vector<StoredRecord> GroupMember::poll(std::size_t max_records) {
+  refresh_assignments();
+  Topic& t = broker_.topic(topic_);
+  std::vector<StoredRecord> out;
+  out.reserve(max_records);
+  for (std::size_t p : assigned_) {
+    if (out.size() >= max_records) break;
+    positions_[p] = t.partition(p).fetch(positions_[p], max_records - out.size(), out);
+  }
+  return out;
+}
+
+void GroupMember::commit() {
+  for (const auto& [p, offset] : positions_) {
+    broker_.commit(group_, TopicPartition{topic_, p}, offset);
+  }
+}
+
+Consumer::Consumer(Broker& broker, std::string group, std::string topic)
+    : broker_(broker), group_(std::move(group)), topic_(std::move(topic)) {
+  Topic& t = broker_.topic(topic_);
+  positions_.resize(t.num_partitions());
+  seek_to_committed();
+}
+
+std::vector<StoredRecord> Consumer::poll(std::size_t max_records) {
+  Topic& t = broker_.topic(topic_);
+  std::vector<StoredRecord> out;
+  out.reserve(max_records);
+  for (std::size_t i = 0; i < positions_.size() && out.size() < max_records; ++i) {
+    const std::size_t p = (next_partition_ + i) % positions_.size();
+    positions_[p] = t.partition(p).fetch(positions_[p], max_records - out.size(), out);
+  }
+  next_partition_ = (next_partition_ + 1) % positions_.size();
+  t.fetched_records_.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
+void Consumer::commit() {
+  for (std::size_t p = 0; p < positions_.size(); ++p) {
+    broker_.commit(group_, TopicPartition{topic_, p}, positions_[p]);
+  }
+}
+
+void Consumer::seek_to_committed() {
+  Topic& t = broker_.topic(topic_);
+  for (std::size_t p = 0; p < positions_.size(); ++p) {
+    positions_[p] =
+        broker_.committed(group_, TopicPartition{topic_, p}).value_or(t.partition(p).start_offset());
+  }
+}
+
+void Consumer::seek_to_time(common::TimePoint time) {
+  Topic& t = broker_.topic(topic_);
+  for (std::size_t p = 0; p < positions_.size(); ++p) positions_[p] = t.partition(p).offset_for_time(time);
+}
+
+std::int64_t Consumer::lag() const {
+  Topic& t = broker_.topic(topic_);
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p < positions_.size(); ++p) total += t.partition(p).end_offset() - positions_[p];
+  return total;
+}
+
+}  // namespace oda::stream

@@ -1,0 +1,194 @@
+// The STREAM tier: a multi-topic, multi-partition in-process broker with
+// consumer groups and committed offsets. Plays the role Apache Kafka
+// plays at OLCF — "FIFO buffers for in-flight data in distributed
+// multi-project pipelines" (Sec V-B).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/partition.hpp"
+#include "stream/record.hpp"
+
+namespace oda::stream {
+
+struct TopicConfig {
+  std::size_t num_partitions = 4;
+  std::size_t segment_bytes = 4 << 20;
+  RetentionPolicy retention;
+};
+
+struct TopicStats {
+  std::uint64_t produced_records = 0;
+  std::uint64_t produced_bytes = 0;
+  std::uint64_t fetched_records = 0;
+  std::uint64_t retained_records = 0;
+  std::uint64_t retained_bytes = 0;
+  std::uint64_t evicted_bytes = 0;
+};
+
+class Topic {
+ public:
+  Topic(std::string name, TopicConfig config);
+
+  const std::string& name() const { return name_; }
+  const TopicConfig& config() const { return config_; }
+  std::size_t num_partitions() const { return partitions_.size(); }
+  Partition& partition(std::size_t i) { return *partitions_.at(i); }
+  const Partition& partition(std::size_t i) const { return *partitions_.at(i); }
+
+  /// Produce: partition chosen by key hash (empty key -> round-robin).
+  std::int64_t produce(Record r);
+
+  void set_retention(const RetentionPolicy& policy) { config_.retention = policy; }
+
+  std::size_t enforce_retention(common::TimePoint now);
+
+  TopicStats stats() const;
+
+ private:
+  std::string name_;
+  TopicConfig config_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::atomic<std::uint64_t> rr_counter_{0};
+  std::atomic<std::uint64_t> produced_records_{0};
+  std::atomic<std::uint64_t> produced_bytes_{0};
+  std::atomic<std::uint64_t> evicted_bytes_{0};
+  mutable std::atomic<std::uint64_t> fetched_records_{0};
+
+  friend class Broker;
+  friend class Consumer;
+};
+
+struct TopicPartition {
+  std::string topic;
+  std::size_t partition = 0;
+  auto operator<=>(const TopicPartition&) const = default;
+};
+
+class Broker {
+ public:
+  Topic& create_topic(const std::string& name, TopicConfig config = {});
+  Topic& topic(const std::string& name);
+  const Topic* find_topic(const std::string& name) const;
+  bool has_topic(const std::string& name) const;
+  std::vector<std::string> topic_names() const;
+
+  std::int64_t produce(const std::string& topic, Record r) { return this->topic(topic).produce(std::move(r)); }
+
+  /// Run retention over all topics; returns total evicted bytes.
+  std::size_t enforce_retention(common::TimePoint now);
+
+  /// Apply one retention policy to every topic (tier-level override).
+  void set_retention_all(const RetentionPolicy& policy);
+
+  /// Committed-offset store (consumer-group coordination).
+  void commit(const std::string& group, const TopicPartition& tp, std::int64_t offset);
+  std::optional<std::int64_t> committed(const std::string& group, const TopicPartition& tp) const;
+
+  // --- group membership (parallel consumption with rebalancing) ---------
+  /// Join a consumer group on a topic; returns a member id. Triggers a
+  /// rebalance (generation bump) for the group.
+  std::uint64_t join_group(const std::string& group, const std::string& topic);
+  /// Leave the group; remaining members pick up the freed partitions.
+  void leave_group(const std::string& group, const std::string& topic, std::uint64_t member_id);
+  /// Round-robin partition assignment for one member at the current
+  /// generation. Returns the generation through `generation_out`.
+  std::vector<std::size_t> assignments(const std::string& group, const std::string& topic,
+                                       std::uint64_t member_id, std::uint64_t* generation_out) const;
+  std::uint64_t group_generation(const std::string& group, const std::string& topic) const;
+
+  /// Sum over partitions of (end offset - committed offset) for a group.
+  std::int64_t lag(const std::string& group, const std::string& topic) const;
+
+  std::size_t total_bytes() const;
+
+ private:
+  struct GroupState {
+    std::vector<std::uint64_t> members;  ///< join order
+    std::uint64_t next_member_id = 1;
+    std::uint64_t generation = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  std::map<std::pair<std::string, TopicPartition>, std::int64_t> offsets_;
+  std::map<std::pair<std::string, std::string>, GroupState> groups_;  ///< (group, topic)
+};
+
+/// A consumer-group member subscribed to every partition of one topic.
+/// poll() round-robins across partitions; commit() persists progress so
+/// a restarted consumer resumes where the group left off (the paper's
+/// "failure and recovery mechanisms that can be difficult to re-engineer
+/// from scratch").
+class Consumer {
+ public:
+  Consumer(Broker& broker, std::string group, std::string topic);
+
+  /// Fetch up to max_records across partitions. Advances in-memory
+  /// positions only; call commit() to persist.
+  std::vector<StoredRecord> poll(std::size_t max_records);
+
+  /// Persist current positions to the broker's offset store.
+  void commit();
+
+  /// Reset positions to the group's last committed offsets (crash/restart).
+  void seek_to_committed();
+  /// Jump every partition position to the first record with ts >= t.
+  void seek_to_time(common::TimePoint t);
+
+  std::int64_t lag() const;
+  const std::string& group() const { return group_; }
+
+ private:
+  Broker& broker_;
+  std::string group_;
+  std::string topic_;
+  std::vector<std::int64_t> positions_;
+  std::size_t next_partition_ = 0;
+};
+
+/// A rebalancing consumer-group member: partitions are split round-robin
+/// across live members and reassigned when members join or leave. Poll
+/// rechecks the group generation, so scaling the consumer fleet up or
+/// down mid-stream is safe — progress is preserved through the shared
+/// committed-offset store.
+class GroupMember {
+ public:
+  GroupMember(Broker& broker, std::string group, std::string topic);
+  ~GroupMember();
+
+  GroupMember(const GroupMember&) = delete;
+  GroupMember& operator=(const GroupMember&) = delete;
+
+  /// Fetch up to max_records from this member's assigned partitions,
+  /// resuming each partition from the group's committed offset.
+  std::vector<StoredRecord> poll(std::size_t max_records);
+  /// Commit progress on the assigned partitions.
+  void commit();
+  /// Leave the group explicitly (also done by the destructor).
+  void leave();
+
+  const std::vector<std::size_t>& assigned_partitions() const { return assigned_; }
+  std::uint64_t member_id() const { return member_id_; }
+
+ private:
+  void refresh_assignments();
+
+  Broker& broker_;
+  std::string group_;
+  std::string topic_;
+  std::uint64_t member_id_ = 0;
+  std::uint64_t generation_ = static_cast<std::uint64_t>(-1);
+  std::vector<std::size_t> assigned_;
+  std::map<std::size_t, std::int64_t> positions_;
+  bool left_ = false;
+};
+
+}  // namespace oda::stream

@@ -1,0 +1,95 @@
+#include "stream/partition.hpp"
+
+#include <algorithm>
+
+namespace oda::stream {
+
+std::int64_t Partition::append(Record r) {
+  std::lock_guard lk(mu_);
+  const std::size_t sz = r.wire_size();
+  if (segments_.empty() || segments_.back().bytes + sz > segment_bytes_) {
+    Segment s;
+    s.base_offset = next_offset_;
+    segments_.push_back(std::move(s));
+  }
+  Segment& seg = segments_.back();
+  seg.max_ts = std::max(seg.max_ts, r.timestamp);
+  seg.bytes += sz;
+  total_bytes_ += sz;
+  seg.records.push_back(std::move(r));
+  return next_offset_++;
+}
+
+std::int64_t Partition::fetch(std::int64_t offset, std::size_t max_records,
+                              std::vector<StoredRecord>& out) const {
+  std::lock_guard lk(mu_);
+  if (segments_.empty()) return next_offset_;
+  const std::int64_t start = segments_.front().base_offset;
+  if (offset < start) offset = start;   // evicted range: snap forward
+  if (offset > next_offset_) offset = next_offset_;  // past end: clamp back
+  std::int64_t cur = offset;
+  for (const auto& seg : segments_) {
+    const std::int64_t seg_end = seg.base_offset + static_cast<std::int64_t>(seg.records.size());
+    if (cur >= seg_end) continue;
+    if (cur < seg.base_offset) cur = seg.base_offset;
+    for (std::size_t i = static_cast<std::size_t>(cur - seg.base_offset); i < seg.records.size(); ++i) {
+      if (out.size() >= max_records) return cur;
+      out.push_back(StoredRecord{cur, seg.records[i]});
+      ++cur;
+    }
+  }
+  return cur;
+}
+
+std::int64_t Partition::offset_for_time(common::TimePoint t) const {
+  std::lock_guard lk(mu_);
+  for (const auto& seg : segments_) {
+    if (seg.max_ts < t) continue;
+    for (std::size_t i = 0; i < seg.records.size(); ++i) {
+      if (seg.records[i].timestamp >= t) return seg.base_offset + static_cast<std::int64_t>(i);
+    }
+  }
+  return next_offset_;
+}
+
+std::size_t Partition::enforce_retention(const RetentionPolicy& policy, common::TimePoint now) {
+  std::lock_guard lk(mu_);
+  std::size_t evicted = 0;
+  // Never evict the active (last) segment.
+  while (segments_.size() > 1) {
+    const Segment& head = segments_.front();
+    const bool too_old = policy.max_age > 0 && head.max_ts < now - policy.max_age;
+    const bool too_big = policy.max_bytes >= 0 && static_cast<std::int64_t>(total_bytes_) > policy.max_bytes;
+    if (!too_old && !too_big) break;
+    evicted += head.bytes;
+    total_bytes_ -= head.bytes;
+    segments_.pop_front();
+  }
+  return evicted;
+}
+
+std::int64_t Partition::start_offset() const {
+  std::lock_guard lk(mu_);
+  return segments_.empty() ? next_offset_ : segments_.front().base_offset;
+}
+
+std::int64_t Partition::end_offset() const {
+  std::lock_guard lk(mu_);
+  return next_offset_;
+}
+
+std::size_t Partition::size_bytes() const {
+  std::lock_guard lk(mu_);
+  return total_bytes_;
+}
+
+std::size_t Partition::record_count() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& s : segments_) n += s.records.size();
+  return n;
+}
+
+std::int64_t Partition::end_offset_unlocked() const { return next_offset_; }
+
+}  // namespace oda::stream

@@ -1,0 +1,62 @@
+// A partition is a segmented, append-only log with offset addressing and
+// time/size retention — the FIFO buffer role Kafka plays in the paper's
+// multi-project pipelines (Sec V-B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "stream/record.hpp"
+
+namespace oda::stream {
+
+struct RetentionPolicy {
+  common::Duration max_age = 7 * common::kDay;  ///< <=0 disables time retention.
+  std::int64_t max_bytes = -1;                  ///< <0 disables size retention.
+};
+
+class Partition {
+ public:
+  explicit Partition(std::size_t segment_bytes = 4 << 20) : segment_bytes_(segment_bytes) {}
+
+  /// Append a record; returns its offset.
+  std::int64_t append(Record r);
+
+  /// Copy up to `max_records` records starting at `offset` into `out`.
+  /// Returns the next offset to poll from. Offsets below the log start
+  /// (evicted by retention) snap forward to the log start.
+  std::int64_t fetch(std::int64_t offset, std::size_t max_records, std::vector<StoredRecord>& out) const;
+
+  /// Earliest offset whose record timestamp is >= t (or end offset).
+  std::int64_t offset_for_time(common::TimePoint t) const;
+
+  /// Drop whole segments that violate the policy given the current time.
+  /// Returns bytes evicted.
+  std::size_t enforce_retention(const RetentionPolicy& policy, common::TimePoint now);
+
+  std::int64_t start_offset() const;
+  std::int64_t end_offset() const;
+  std::size_t size_bytes() const;
+  std::size_t record_count() const;
+
+ private:
+  struct Segment {
+    std::int64_t base_offset = 0;
+    std::vector<Record> records;
+    std::size_t bytes = 0;
+    common::TimePoint max_ts = 0;
+  };
+
+  // Unlocked internals (callers hold mu_).
+  std::int64_t end_offset_unlocked() const;
+
+  mutable std::mutex mu_;
+  std::deque<Segment> segments_;
+  std::size_t segment_bytes_;
+  std::int64_t next_offset_ = 0;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace oda::stream

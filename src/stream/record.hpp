@@ -1,0 +1,30 @@
+// The broker's wire unit. Telemetry collectors serialize sensor
+// observations and events into Records; pipeline sources deserialize
+// them back into sql::Table batches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace oda::stream {
+
+struct Record {
+  common::TimePoint timestamp = 0;  ///< Event time (facility timeline).
+  std::string key;                  ///< Partitioning key (e.g. host name).
+  std::string payload;              ///< Opaque serialized bytes.
+
+  /// Approximate on-log footprint including per-record overhead
+  /// (offset + timestamp + length prefixes), mirroring a log-structured
+  /// broker's storage accounting.
+  std::size_t wire_size() const { return key.size() + payload.size() + 24; }
+};
+
+/// A record as stored: its offset within the partition is explicit.
+struct StoredRecord {
+  std::int64_t offset = 0;
+  Record record;
+};
+
+}  // namespace oda::stream

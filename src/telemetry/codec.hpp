@@ -1,0 +1,58 @@
+// Wire codec between the facility simulator and the broker, and the
+// Bronze decode on the pipeline side: packets → long-format rows
+// ("each row encapsulates an individual sensor observation", Sec V-A).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sql/table.hpp"
+#include "stream/record.hpp"
+#include "telemetry/sensors.hpp"
+
+namespace oda::telemetry {
+
+/// Serialize a packet into a broker Record (key = node id for stable
+/// partitioning; payload = compact binary).
+stream::Record encode_packet(const TelemetryPacket& pkt);
+TelemetryPacket decode_packet(const stream::Record& r);
+
+/// Schema of the Bronze long-format table:
+/// (time:int64, node_id:int64, sensor:string, value:float64).
+sql::Schema bronze_schema();
+
+/// Decode a batch of broker records into one Bronze long table.
+sql::Table packets_to_bronze(std::span<const stream::StoredRecord> records);
+
+/// Append a single packet's readings to a Bronze table (same schema).
+void append_packet_rows(const TelemetryPacket& pkt, sql::Table& bronze);
+
+// --- scheduler events -----------------------------------------------------
+
+/// Serialize a scheduler event referencing the job metadata.
+stream::Record encode_job_event(const JobScheduler::Event& ev, const Job& job);
+
+/// Schema: (time, event, job_id, project, user, archetype, num_nodes, uses_gpu).
+sql::Schema job_event_schema();
+sql::Table job_events_to_table(std::span<const stream::StoredRecord> records);
+
+// --- syslog events ----------------------------------------------------------
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2, kCritical = 3 };
+const char* severity_name(Severity s);
+
+struct LogEvent {
+  common::TimePoint timestamp = 0;
+  std::uint32_t node_id = 0;
+  Severity severity = Severity::kInfo;
+  std::string subsystem;  ///< e.g. "lustre", "slingshot", "gpu-xid", "kernel"
+  std::string message;
+};
+
+stream::Record encode_log_event(const LogEvent& ev);
+LogEvent decode_log_event(const stream::Record& r);
+sql::Schema log_event_schema();
+sql::Table log_events_to_table(std::span<const stream::StoredRecord> records);
+
+}  // namespace oda::telemetry

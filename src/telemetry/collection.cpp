@@ -1,0 +1,69 @@
+#include "telemetry/collection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oda::telemetry {
+
+const char* collection_path_name(CollectionPath p) {
+  switch (p) {
+    case CollectionPath::kInBand: return "in-band agent";
+    case CollectionPath::kOutOfBand: return "out-of-band (BMC)";
+    case CollectionPath::kPerJobInstr: return "per-job instrumentation";
+  }
+  return "?";
+}
+
+CollectionProperties collection_properties(CollectionPath path, std::size_t sensors_per_node) {
+  CollectionProperties p;
+  const double s = static_cast<double>(sensors_per_node);
+  switch (path) {
+    case CollectionPath::kInBand:
+      // An agent can poll fast, but every poll steals cycles and its
+      // delivery shares the compute fabric with the jobs (loss under load).
+      p.min_period = 100 * common::kMillisecond;
+      p.node_overhead_fraction = std::min(0.05, 0.0002 * s);  // ~0.4% at 20 sensors
+      p.loss_rate = 0.01;
+      p.survives_node_crash = false;
+      p.sees_app_context = true;
+      break;
+    case CollectionPath::kOutOfBand:
+      // The BMC path is slower and blind to application context, but
+      // costs the node nothing and keeps reporting through OS crashes.
+      p.min_period = common::kSecond;
+      p.node_overhead_fraction = 0.0;
+      p.loss_rate = 0.002;
+      p.survives_node_crash = true;
+      p.sees_app_context = false;
+      break;
+    case CollectionPath::kPerJobInstr:
+      // Library-level instrumentation: perfect attribution, zero
+      // steady-state cost, but only exists while an instrumented job runs.
+      p.min_period = 10 * common::kSecond;
+      p.node_overhead_fraction = 0.001;
+      p.loss_rate = 0.0;
+      p.survives_node_crash = false;
+      p.sees_app_context = true;
+      break;
+  }
+  return p;
+}
+
+CollectionPlanCost plan_cost(const SystemSpec& spec, CollectionPath path,
+                             common::Duration period) {
+  const auto props = collection_properties(path, spec.sensors_per_node());
+  CollectionPlanCost cost;
+  const auto effective_period = std::max(period, props.min_period);
+  const double samples_per_node_day =
+      86400.0 / common::to_seconds(effective_period) * static_cast<double>(spec.sensors_per_node());
+  const double nodes = static_cast<double>(spec.total_nodes());
+  // Overhead scales with polling rate relative to a 1 Hz baseline.
+  const double rate_factor = common::to_seconds(common::kSecond) /
+                             common::to_seconds(effective_period);
+  cost.node_hours_lost_per_day = nodes * 24.0 * props.node_overhead_fraction * rate_factor;
+  cost.delivered_fraction = 1.0 - props.loss_rate;
+  cost.delivered_samples_per_day = nodes * samples_per_node_day * cost.delivered_fraction;
+  return cost;
+}
+
+}  // namespace oda::telemetry

@@ -1,0 +1,47 @@
+// Data collection paths (Sec IV): the trade between in-band collection
+// (rich and fast, but "too invasive to the system") and out-of-band
+// collection over the management network / BMC ("delivery of sensor
+// data is guaranteed outside of the system" at lower rates). The paper's
+// lesson: plan the path per stream against its downstream use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "telemetry/spec.hpp"
+
+namespace oda::telemetry {
+
+enum class CollectionPath : std::uint8_t {
+  kInBand = 0,        ///< agent on the compute node (perf counters, /proc)
+  kOutOfBand = 1,     ///< BMC / management network (power, temps)
+  kPerJobInstr = 2,   ///< linked into the application (the Darshan path)
+};
+const char* collection_path_name(CollectionPath p);
+
+/// What a collection path can deliver for a sensor class, and what it
+/// costs the machine.
+struct CollectionProperties {
+  common::Duration min_period = common::kSecond;  ///< fastest sustainable cadence
+  double loss_rate = 0.0;            ///< delivery loss under load
+  double node_overhead_fraction = 0.0;  ///< compute stolen from jobs
+  bool survives_node_crash = false;  ///< keeps reporting when the OS dies
+  bool sees_app_context = false;     ///< can attribute to jobs/ranks directly
+};
+
+/// Properties of a path at a given per-node sensor count (overhead and
+/// loss scale with how much is collected).
+CollectionProperties collection_properties(CollectionPath path, std::size_t sensors_per_node);
+
+/// Facility-level cost of a collection plan: total node-overhead
+/// (node-hours/day lost to monitoring) and expected delivered samples.
+struct CollectionPlanCost {
+  double node_hours_lost_per_day = 0.0;
+  double delivered_samples_per_day = 0.0;
+  double delivered_fraction = 0.0;  ///< after loss
+};
+CollectionPlanCost plan_cost(const SystemSpec& spec, CollectionPath path,
+                             common::Duration period);
+
+}  // namespace oda::telemetry

@@ -1,0 +1,91 @@
+#include "telemetry/events.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace oda::telemetry {
+
+using common::Rng;
+using common::TimePoint;
+
+namespace {
+constexpr std::array<const char*, 6> kSubsystems = {"kernel", "lustre", "slingshot",
+                                                    "gpu-xid", "slurm", "bmc"};
+constexpr std::array<const char*, 4> kInfoMessages = {
+    "health check ok", "lnet reconnect complete", "job cgroup created", "firmware heartbeat"};
+constexpr std::array<const char*, 4> kWarnMessages = {
+    "link flap detected", "ost response slow", "correctable memory error", "fan speed deviation"};
+constexpr std::array<const char*, 4> kErrorMessages = {
+    "gpu xid 63: page retirement", "lustre client evicted", "uncorrectable ecc error",
+    "node health check failed"};
+}  // namespace
+
+EventGenerator::EventGenerator(std::size_t total_nodes, EventGenConfig config, Rng rng)
+    : total_nodes_(total_nodes), config_(config), rng_(rng) {}
+
+LogEvent EventGenerator::make_event(TimePoint t, Severity sev) {
+  LogEvent ev;
+  ev.timestamp = t;
+  ev.node_id = static_cast<std::uint32_t>(rng_.uniform_index(total_nodes_));
+  ev.severity = sev;
+  ev.subsystem = kSubsystems[rng_.uniform_index(kSubsystems.size())];
+  switch (sev) {
+    case Severity::kInfo: ev.message = kInfoMessages[rng_.uniform_index(kInfoMessages.size())]; break;
+    case Severity::kWarning: ev.message = kWarnMessages[rng_.uniform_index(kWarnMessages.size())]; break;
+    default: ev.message = kErrorMessages[rng_.uniform_index(kErrorMessages.size())]; break;
+  }
+  return ev;
+}
+
+std::vector<LogEvent> EventGenerator::generate(TimePoint from, TimePoint to) {
+  std::vector<LogEvent> out;
+  const double hours = common::to_seconds(to - from) / 3600.0;
+  if (hours <= 0) return out;
+  const double nodes = static_cast<double>(total_nodes_);
+
+  struct SevRate {
+    Severity sev;
+    double rate;
+  };
+  const SevRate rates[] = {
+      {Severity::kInfo, config_.info_rate_per_node_hour * nodes},
+      {Severity::kWarning, config_.warning_rate_per_node_hour * nodes},
+      {Severity::kError, config_.error_rate_per_node_hour * nodes},
+  };
+  for (const auto& [sev, rate] : rates) {
+    const double expected = rate * hours;
+    // Poisson via exponential gaps on the interval.
+    double t = common::to_seconds(from);
+    const double end = common::to_seconds(to);
+    if (expected <= 0) continue;
+    const double per_sec = rate / 3600.0;
+    for (;;) {
+      t += rng_.exponential(per_sec);
+      if (t > end) break;
+      out.push_back(make_event(common::from_seconds(t), sev));
+    }
+  }
+
+  // Facility-wide bursts: one sick node floods multiple subsystems.
+  double bt = common::to_seconds(from);
+  const double bend = common::to_seconds(to);
+  for (;;) {
+    bt += rng_.exponential(config_.burst_rate_per_hour / 3600.0);
+    if (bt > bend) break;
+    const auto node = static_cast<std::uint32_t>(rng_.uniform_index(total_nodes_));
+    const std::size_t n = config_.burst_events_min +
+                          rng_.uniform_index(config_.burst_events_max - config_.burst_events_min + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      LogEvent ev = make_event(common::from_seconds(bt + rng_.uniform(0.0, 30.0)),
+                               rng_.bernoulli(0.3) ? Severity::kCritical : Severity::kError);
+      ev.node_id = node;  // burst is node-correlated
+      out.push_back(std::move(ev));
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const LogEvent& a, const LogEvent& b) { return a.timestamp < b.timestamp; });
+  return out;
+}
+
+}  // namespace oda::telemetry

@@ -1,0 +1,38 @@
+// Syslog & event stream generator: background log chatter plus
+// correlated error bursts (a failing node emits a storm across
+// subsystems) — the signal Copacetic and the UA dashboards consume.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "telemetry/codec.hpp"
+
+namespace oda::telemetry {
+
+struct EventGenConfig {
+  double info_rate_per_node_hour = 6.0;
+  double warning_rate_per_node_hour = 0.5;
+  double error_rate_per_node_hour = 0.05;
+  double burst_rate_per_hour = 0.8;      ///< facility-wide error bursts
+  std::size_t burst_events_min = 20;
+  std::size_t burst_events_max = 120;
+};
+
+class EventGenerator {
+ public:
+  EventGenerator(std::size_t total_nodes, EventGenConfig config, common::Rng rng);
+
+  /// Generate all events in (from, to].
+  std::vector<LogEvent> generate(common::TimePoint from, common::TimePoint to);
+
+ private:
+  LogEvent make_event(common::TimePoint t, Severity sev);
+
+  std::size_t total_nodes_;
+  EventGenConfig config_;
+  common::Rng rng_;
+};
+
+}  // namespace oda::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/failures.hpp"
+
+#include <algorithm>
+
+namespace oda::telemetry {
+
+using common::Rng;
+using common::TimePoint;
+
+FailureInjector::FailureInjector(std::size_t total_nodes, std::size_t gpus_per_node,
+                                 FailureConfig config, Rng rng)
+    : total_nodes_(total_nodes), gpus_per_node_(std::max<std::size_t>(1, gpus_per_node)),
+      config_(config), rng_(rng) {}
+
+void FailureInjector::schedule_until(TimePoint t) {
+  if (config_.system_mtbf_hours <= 0.0) {
+    scheduled_until_ = t;
+    return;
+  }
+  const double rate_per_s = 1.0 / (config_.system_mtbf_hours * 3600.0);
+  while (scheduled_until_ < t) {
+    scheduled_until_ += common::from_seconds(rng_.exponential(rate_per_s));
+    if (scheduled_until_ >= t && failures_.empty() && scheduled_until_ > 100 * common::kDay) {
+      break;  // pathological rate: avoid unbounded scheduling
+    }
+    FailureEvent f;
+    f.node_id = static_cast<std::uint32_t>(rng_.uniform_index(total_nodes_));
+    f.gpu_index = static_cast<std::uint8_t>(rng_.uniform_index(gpus_per_node_));
+    f.failure = scheduled_until_;
+    f.onset = f.failure - config_.precursor_lead;
+    f.recovered = f.failure + config_.drain_duration;
+    failures_.push_back(f);
+  }
+  scheduled_until_ = std::max(scheduled_until_, t);
+}
+
+double FailureInjector::temp_bias(std::uint32_t node, std::uint8_t gpu, TimePoint t) const {
+  double bias = 0.0;
+  for (const auto& f : failures_) {
+    if (f.node_id != node || f.gpu_index != gpu) continue;
+    if (t >= f.onset && t < f.failure) {
+      const double frac = static_cast<double>(t - f.onset) /
+                          static_cast<double>(std::max<common::Duration>(1, f.failure - f.onset));
+      bias += config_.precursor_temp_rise_c * frac;
+    }
+  }
+  return bias;
+}
+
+bool FailureInjector::gpu_down(std::uint32_t node, std::uint8_t gpu, TimePoint t) const {
+  for (const auto& f : failures_) {
+    if (f.node_id == node && f.gpu_index == gpu && t >= f.failure && t < f.recovered) return true;
+  }
+  return false;
+}
+
+std::vector<LogEvent> FailureInjector::events_in(TimePoint from, TimePoint to) const {
+  std::vector<LogEvent> out;
+  for (const auto& f : failures_) {
+    if (f.failure <= from || f.failure > to) continue;
+    for (std::size_t i = 0; i < config_.xid_burst_events; ++i) {
+      LogEvent ev;
+      ev.timestamp = f.failure + static_cast<common::TimePoint>(i) * 100 * common::kMillisecond;
+      ev.node_id = f.node_id;
+      ev.severity = i == 0 ? Severity::kCritical : Severity::kError;
+      ev.subsystem = "gpu-xid";
+      ev.message = i == 0 ? "xid 48: double-bit ecc error" : "xid 63: page retirement pending";
+      out.push_back(std::move(ev));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogEvent& a, const LogEvent& b) { return a.timestamp < b.timestamp; });
+  return out;
+}
+
+}  // namespace oda::telemetry

@@ -1,0 +1,64 @@
+// GPU failure injection. Models the double-bit-error failure mode of the
+// paper's released GPU snapshot dataset: a thermal precursor window, an
+// xid error storm at failure time, then a drained (powered-down) GPU
+// until the node returns to service. Gives reliability analytics and the
+// ML anomaly detector ground truth to recover.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "telemetry/codec.hpp"
+
+namespace oda::telemetry {
+
+struct FailureEvent {
+  std::uint32_t node_id = 0;
+  std::uint8_t gpu_index = 0;
+  common::TimePoint onset = 0;      ///< precursor (thermal drift) begins
+  common::TimePoint failure = 0;    ///< double-bit error, xid storm
+  common::TimePoint recovered = 0;  ///< GPU back in service
+};
+
+struct FailureConfig {
+  /// Mean time between GPU failures across the whole system, in hours.
+  /// (Scale-invariant knob: a 9408-node system sees a few per week.)
+  double system_mtbf_hours = 400.0;
+  common::Duration precursor_lead = 10 * common::kMinute;
+  common::Duration drain_duration = 30 * common::kMinute;
+  double precursor_temp_rise_c = 12.0;  ///< drift above normal at failure time
+  std::size_t xid_burst_events = 24;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(std::size_t total_nodes, std::size_t gpus_per_node, FailureConfig config,
+                  common::Rng rng);
+
+  /// Ensure failures are scheduled out to time `t`.
+  void schedule_until(common::TimePoint t);
+
+  /// Thermal bias (deg C) to add to a GPU's reading at time `t`
+  /// (ramps linearly through the precursor window).
+  double temp_bias(std::uint32_t node, std::uint8_t gpu, common::TimePoint t) const;
+
+  /// True while the GPU is failed/drained (power collapses to ~0).
+  bool gpu_down(std::uint32_t node, std::uint8_t gpu, common::TimePoint t) const;
+
+  /// Log events (xid storms) occurring in (from, to].
+  std::vector<LogEvent> events_in(common::TimePoint from, common::TimePoint to) const;
+
+  const std::vector<FailureEvent>& failures() const { return failures_; }
+
+ private:
+  std::size_t total_nodes_;
+  std::size_t gpus_per_node_;
+  FailureConfig config_;
+  common::Rng rng_;
+  common::TimePoint scheduled_until_ = 0;
+  std::vector<FailureEvent> failures_;
+};
+
+}  // namespace oda::telemetry

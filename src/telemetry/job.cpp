@@ -1,0 +1,226 @@
+#include "telemetry/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace oda::telemetry {
+
+using common::Duration;
+using common::Rng;
+using common::TimePoint;
+
+const char* archetype_name(JobArchetype a) {
+  switch (a) {
+    case JobArchetype::kConstant: return "constant";
+    case JobArchetype::kRamp: return "ramp";
+    case JobArchetype::kPeriodic: return "periodic";
+    case JobArchetype::kPhased: return "phased";
+    case JobArchetype::kSpiky: return "spiky";
+    case JobArchetype::kDecay: return "decay";
+  }
+  return "?";
+}
+
+double archetype_utilization(JobArchetype a, double x, Rng& jitter) {
+  x = std::clamp(x, 0.0, 1.0);
+  const double noise = 0.03 * jitter.normal();
+  double u = 0.0;
+  switch (a) {
+    case JobArchetype::kConstant:
+      u = 0.92;
+      break;
+    case JobArchetype::kRamp:
+      // Staged start-up: 3 steps, then full power (HPL-like).
+      u = x < 0.05 ? 0.3 : x < 0.10 ? 0.6 : x < 0.15 ? 0.8 : 0.98;
+      break;
+    case JobArchetype::kPeriodic:
+      u = 0.65 + 0.3 * std::sin(2.0 * std::numbers::pi * 12.0 * x);
+      break;
+    case JobArchetype::kPhased: {
+      // 6 compute phases separated by I/O checkpoints at low power.
+      const double p = std::fmod(x * 6.0, 1.0);
+      u = p < 0.8 ? 0.9 : 0.25;
+      break;
+    }
+    case JobArchetype::kSpiky: {
+      // Deterministic pseudo-random bursts keyed off the phase so that a
+      // job's profile is stable across re-evaluation.
+      const double h = std::sin(x * 997.0) * 43758.5453;
+      const double frac = h - std::floor(h);
+      u = frac > 0.6 ? 0.95 : 0.35;
+      break;
+    }
+    case JobArchetype::kDecay:
+      u = 0.95 * std::exp(-2.2 * x) + 0.25;
+      break;
+  }
+  return std::clamp(u + noise, 0.0, 1.0);
+}
+
+JobScheduler::JobScheduler(std::size_t total_nodes, SchedulerConfig config, Rng rng)
+    : config_(config), rng_(rng), node_owner_(total_nodes, -1) {
+  free_nodes_.reserve(total_nodes);
+  for (std::size_t i = total_nodes; i > 0; --i) free_nodes_.push_back(static_cast<std::uint32_t>(i - 1));
+  next_arrival_ = config_.arrival_rate_per_hour <= 0.0
+                      ? INT64_MAX
+                      : static_cast<TimePoint>(rng_.exponential(config_.arrival_rate_per_hour / 3600.0) *
+                                               static_cast<double>(common::kSecond));
+}
+
+void JobScheduler::generate_arrivals_until(TimePoint t) {
+  while (next_arrival_ <= t) {
+    if (queue_.size() >= config_.max_queue) {
+      // Saturated queue: drop arrivals (backpressure) but keep the clock moving.
+      next_arrival_ += static_cast<TimePoint>(rng_.exponential(config_.arrival_rate_per_hour / 3600.0) *
+                                              static_cast<double>(common::kSecond));
+      continue;
+    }
+    Job j;
+    j.job_id = next_job_id_++;
+    j.submit_time = next_arrival_;
+    j.project = "PRJ" + std::to_string(rng_.zipf(config_.num_projects, 1.1));
+    j.user = "user" + std::to_string(rng_.zipf(config_.num_users, 1.05));
+    j.archetype = static_cast<JobArchetype>(rng_.zipf(kNumArchetypes, config_.archetype_skew));
+    j.base_util = std::clamp(rng_.normal(0.95, 0.08), 0.5, 1.0);
+    j.uses_gpu = rng_.bernoulli(0.85);
+
+    const std::size_t pool = node_owner_.size();
+    if (rng_.bernoulli(config_.full_system_job_prob)) {
+      j.num_nodes = pool;  // full-system HPL-like run
+      j.archetype = JobArchetype::kRamp;
+    } else {
+      // Heavy-tailed node counts, capped at the pool size.
+      const double raw = rng_.pareto(1.0, 0.9);
+      j.num_nodes = std::min<std::size_t>(pool, std::max<std::size_t>(1, static_cast<std::size_t>(raw)));
+    }
+    const double hours = rng_.lognormal(std::log(config_.mean_duration_hours), 0.9);
+    const Duration dur = std::max<Duration>(2 * common::kMinute, common::from_seconds(hours * 3600.0));
+    j.end_time = 0;
+    j.start_time = 0;
+    // Stash planned duration in end_time until started (encoded as negative).
+    j.end_time = -dur;
+    jobs_.push_back(std::move(j));
+    queue_.push_back(jobs_.size() - 1);
+    pending_events_.push_back(Event{EventKind::kSubmit, next_arrival_, jobs_.back().job_id});
+
+    next_arrival_ += static_cast<TimePoint>(rng_.exponential(config_.arrival_rate_per_hour / 3600.0) *
+                                            static_cast<double>(common::kSecond));
+  }
+}
+
+void JobScheduler::try_start_queued(TimePoint now) {
+  // FIFO with backfill: scan the queue, start anything that fits.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Job& j = jobs_[*it];
+    if (j.num_nodes <= free_nodes_.size()) {
+      j.start_time = now;
+      const Duration planned = -j.end_time;
+      j.end_time = now + planned;
+      j.nodes.assign(free_nodes_.end() - static_cast<std::ptrdiff_t>(j.num_nodes), free_nodes_.end());
+      free_nodes_.resize(free_nodes_.size() - j.num_nodes);
+      for (std::uint32_t n : j.nodes) node_owner_[n] = j.job_id;
+      pending_events_.push_back(Event{EventKind::kStart, now, j.job_id});
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void JobScheduler::release_finished(TimePoint now, std::vector<Event>& events) {
+  for (auto& j : jobs_) {
+    if (j.start_time == 0 || j.end_time <= 0) continue;  // queued
+    if (j.end_time <= now && !j.released) {
+      for (std::uint32_t n : j.nodes) {
+        node_owner_[n] = -1;
+        free_nodes_.push_back(n);
+      }
+      events.push_back(Event{EventKind::kEnd, j.end_time, j.job_id});
+      j.released = true;
+    }
+  }
+}
+
+std::vector<JobScheduler::Event> JobScheduler::advance_to(TimePoint t) {
+  std::vector<Event> events;
+  generate_arrivals_until(t);
+  release_finished(t, events);
+  try_start_queued(t);
+  now_ = t;
+  events.insert(events.end(), pending_events_.begin(), pending_events_.end());
+  pending_events_.clear();
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) { return a.time < b.time; });
+  return events;
+}
+
+const Job* JobScheduler::job_on_node(std::uint32_t node, TimePoint t) const {
+  if (node >= node_owner_.size()) return nullptr;
+  const std::int64_t id = node_owner_[node];
+  if (id < 0) return nullptr;
+  const Job* j = find_job(id);
+  return j && j->running_at(t) ? j : nullptr;
+}
+
+const Job* JobScheduler::find_job(std::int64_t job_id) const {
+  // job ids are dense and ascending: jobs_[id-1].
+  const auto idx = static_cast<std::size_t>(job_id - 1);
+  if (idx >= jobs_.size() || jobs_[idx].job_id != job_id) return nullptr;
+  return &jobs_[idx];
+}
+
+std::size_t JobScheduler::running_count(TimePoint t) const {
+  std::size_t n = 0;
+  for (const auto& j : jobs_) {
+    if (j.start_time > 0 && j.end_time > 0 && j.running_at(t)) ++n;
+  }
+  return n;
+}
+
+std::size_t JobScheduler::busy_nodes(TimePoint t) const {
+  std::size_t n = 0;
+  for (const auto& j : jobs_) {
+    if (j.start_time > 0 && j.end_time > 0 && j.running_at(t)) n += j.num_nodes;
+  }
+  return n;
+}
+
+sql::Table JobScheduler::allocation_log() const {
+  using sql::DataType;
+  sql::Table t{sql::Schema{{"job_id", DataType::kInt64},
+                           {"project", DataType::kString},
+                           {"user", DataType::kString},
+                           {"archetype", DataType::kString},
+                           {"submit_time", DataType::kInt64},
+                           {"start_time", DataType::kInt64},
+                           {"end_time", DataType::kInt64},
+                           {"num_nodes", DataType::kInt64},
+                           {"uses_gpu", DataType::kBool}}};
+  for (const auto& j : jobs_) {
+    const bool started = j.start_time > 0;
+    t.append_row({sql::Value(j.job_id), sql::Value(j.project), sql::Value(j.user),
+                  sql::Value(archetype_name(j.archetype)), sql::Value(j.submit_time),
+                  started ? sql::Value(j.start_time) : sql::Value::null(),
+                  started ? sql::Value(j.end_time) : sql::Value::null(),
+                  sql::Value(static_cast<std::int64_t>(j.num_nodes)), sql::Value(j.uses_gpu)});
+  }
+  return t;
+}
+
+sql::Table JobScheduler::node_allocation_log() const {
+  using sql::DataType;
+  sql::Table t{sql::Schema{{"job_id", DataType::kInt64},
+                           {"node_id", DataType::kInt64},
+                           {"start_time", DataType::kInt64},
+                           {"end_time", DataType::kInt64}}};
+  for (const auto& j : jobs_) {
+    if (j.start_time == 0) continue;
+    for (std::uint32_t n : j.nodes) {
+      t.append_row({sql::Value(j.job_id), sql::Value(static_cast<std::int64_t>(n)),
+                    sql::Value(j.start_time), sql::Value(j.end_time)});
+    }
+  }
+  return t;
+}
+
+}  // namespace oda::telemetry

@@ -1,0 +1,118 @@
+// Job model + scheduler. Jobs drive node utilization, which drives power
+// and thermals; the scheduler log is the context dataset joined into
+// Silver artifacts ("integrated with job allocation logs", Sec V-A) and
+// the job power-profile archetypes are what the Fig 10 classifier must
+// recover.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sql/table.hpp"
+
+namespace oda::telemetry {
+
+/// Canonical power-profile shapes observed in HPC workloads. The ML
+/// module plants these and the classifier must recover them (Fig 10).
+enum class JobArchetype : std::uint8_t {
+  kConstant = 0,   ///< steady compute (dense LA, MD production runs)
+  kRamp = 1,       ///< staged start-up then full power (HPL-like)
+  kPeriodic = 2,   ///< compute/communication oscillation
+  kPhased = 3,     ///< alternating compute and I/O checkpoint phases
+  kSpiky = 4,      ///< bursty, irregular (data analytics, workflows)
+  kDecay = 5,      ///< front-loaded then tapering (convergent solvers)
+};
+inline constexpr std::size_t kNumArchetypes = 6;
+const char* archetype_name(JobArchetype a);
+
+/// Utilization in [0,1] for a job at normalized phase `x` in [0,1].
+/// `jitter` is a per-job random stream for shape variation.
+double archetype_utilization(JobArchetype a, double x, common::Rng& jitter);
+
+struct Job {
+  std::int64_t job_id = 0;
+  std::string project;      ///< charge account, e.g. "AST051"
+  std::string user;         ///< anonymizable user handle
+  JobArchetype archetype = JobArchetype::kConstant;
+  common::TimePoint submit_time = 0;
+  common::TimePoint start_time = 0;
+  common::TimePoint end_time = 0;  ///< planned; 0 while queued
+  std::size_t num_nodes = 0;
+  std::vector<std::uint32_t> nodes;  ///< allocated node ids
+  double base_util = 1.0;            ///< archetype amplitude scale
+  bool uses_gpu = true;
+  bool released = false;             ///< nodes returned to the pool
+
+  bool running_at(common::TimePoint t) const { return t >= start_time && t < end_time; }
+  double phase_at(common::TimePoint t) const {
+    const auto span = static_cast<double>(end_time - start_time);
+    return span <= 0 ? 0.0 : static_cast<double>(t - start_time) / span;
+  }
+};
+
+struct SchedulerConfig {
+  double arrival_rate_per_hour = 40.0;
+  double mean_duration_hours = 1.5;
+  double full_system_job_prob = 0.004;  ///< occasional HPL-like runs
+  std::size_t max_queue = 512;
+  /// Zipf skew of archetype popularity (few shapes dominate, Fig 10).
+  double archetype_skew = 1.2;
+  std::size_t num_projects = 24;
+  std::size_t num_users = 120;
+};
+
+/// Event-driven batch scheduler over a fixed node pool. Deterministic
+/// given the seed; step() advances facility time and returns scheduler
+/// events (job start/end) that occurred in the step.
+class JobScheduler {
+ public:
+  enum class EventKind : std::uint8_t { kSubmit = 0, kStart = 1, kEnd = 2 };
+  struct Event {
+    EventKind kind;
+    common::TimePoint time;
+    std::int64_t job_id;
+  };
+
+  JobScheduler(std::size_t total_nodes, SchedulerConfig config, common::Rng rng);
+
+  /// Advance from current time to `t`, generating arrivals, starts, ends.
+  std::vector<Event> advance_to(common::TimePoint t);
+
+  /// The job (if any) occupying `node` at time `t`.
+  const Job* job_on_node(std::uint32_t node, common::TimePoint t) const;
+
+  const std::vector<Job>& jobs() const { return jobs_; }
+  const Job* find_job(std::int64_t job_id) const;
+  std::size_t running_count(common::TimePoint t) const;
+  std::size_t busy_nodes(common::TimePoint t) const;
+  std::size_t total_nodes() const { return node_owner_.size(); }
+
+  /// Job allocation log as a Table: (job_id, project, user, archetype,
+  /// submit/start/end, num_nodes, uses_gpu) — the RM dataset of Fig 3.
+  sql::Table allocation_log() const;
+
+  /// Per-(job, node) allocation rows for joining with node telemetry.
+  sql::Table node_allocation_log() const;
+
+ private:
+  void generate_arrivals_until(common::TimePoint t);
+  void try_start_queued(common::TimePoint now);
+  void release_finished(common::TimePoint now, std::vector<Event>& events);
+
+  SchedulerConfig config_;
+  common::Rng rng_;
+  common::TimePoint now_ = 0;
+  common::TimePoint next_arrival_ = 0;
+  std::vector<Job> jobs_;
+  std::vector<std::size_t> queue_;          ///< indexes into jobs_
+  std::vector<std::int64_t> node_owner_;    ///< job_id or -1 per node
+  std::vector<std::uint32_t> free_nodes_;
+  std::int64_t next_job_id_ = 1;
+  std::vector<Event> pending_events_;
+};
+
+}  // namespace oda::telemetry

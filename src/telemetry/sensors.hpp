@@ -1,0 +1,88 @@
+// Per-node power/thermal sensor models.
+//
+// Utilization (from the job occupying the node) drives component power;
+// temperature follows power through a first-order thermal lag. Sensor
+// sampling adds measurement noise and drops a configurable fraction of
+// samples — the "streamed, skewed, and lossy nature" the paper calls out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "telemetry/job.hpp"
+#include "telemetry/spec.hpp"
+
+namespace oda::telemetry {
+
+class FailureInjector;
+
+/// Compact sensor address within a node: component kind/index + measure.
+struct SensorId {
+  ComponentKind component = ComponentKind::kNode;
+  std::uint8_t index = 0;
+  SensorKind kind = SensorKind::kPowerW;
+
+  std::uint16_t encode() const {
+    return static_cast<std::uint16_t>((static_cast<std::uint16_t>(component) << 11) |
+                                      (static_cast<std::uint16_t>(index & 0x3f) << 5) |
+                                      static_cast<std::uint16_t>(kind));
+  }
+  static SensorId decode(std::uint16_t v) {
+    SensorId s;
+    s.component = static_cast<ComponentKind>((v >> 11) & 0x1f);
+    s.index = static_cast<std::uint8_t>((v >> 5) & 0x3f);
+    s.kind = static_cast<SensorKind>(v & 0x1f);
+    return s;
+  }
+  /// Human-readable, e.g. "gpu3.power_w".
+  std::string label() const;
+};
+
+struct SensorReading {
+  std::uint16_t sensor = 0;  ///< SensorId::encode()
+  double value = 0.0;
+};
+
+/// One per-node telemetry packet per sample tick (how out-of-band BMC
+/// collection actually ships data: one blob per node per tick).
+struct TelemetryPacket {
+  common::TimePoint timestamp = 0;
+  std::uint32_t node_id = 0;
+  std::vector<SensorReading> readings;
+};
+
+/// Evolves per-node component power/temperature and emits packets.
+class NodeSensorModel {
+ public:
+  NodeSensorModel(const SystemSpec& spec, common::Rng rng);
+
+  /// Sample every node at time `now` given current job placement.
+  /// `dt` is the elapsed time since the previous sample (thermal lag).
+  /// Appends one packet per node to `out` (minus dropped samples).
+  /// `failures` (optional) injects GPU thermal precursors and outages.
+  void sample_all(common::TimePoint now, common::Duration dt, const JobScheduler& sched,
+                  std::vector<TelemetryPacket>& out, const FailureInjector* failures = nullptr);
+
+  /// Instantaneous total IT power (W) at the last sample (truth value for
+  /// the digital twin's V&V).
+  double total_it_power_w() const { return last_total_power_w_; }
+
+  const SystemSpec& spec() const { return spec_; }
+
+ private:
+  struct ComponentState {
+    double temp_c = 30.0;
+  };
+
+  double component_power(const ComponentSpec& c, double util, common::Rng& noise) const;
+
+  SystemSpec spec_;
+  common::Rng rng_;
+  /// [node][component_instance] temperature state.
+  std::vector<std::vector<ComponentState>> temps_;
+  double last_total_power_w_ = 0.0;
+};
+
+}  // namespace oda::telemetry

@@ -1,0 +1,82 @@
+#include "telemetry/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oda::telemetry {
+
+const char* component_name(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::kCpu: return "cpu";
+    case ComponentKind::kGpu: return "gpu";
+    case ComponentKind::kMemory: return "mem";
+    case ComponentKind::kNic: return "nic";
+    case ComponentKind::kNode: return "node";
+  }
+  return "?";
+}
+
+const char* sensor_name(SensorKind k) {
+  switch (k) {
+    case SensorKind::kPowerW: return "power_w";
+    case SensorKind::kTempC: return "temp_c";
+    case SensorKind::kUtil: return "util";
+    case SensorKind::kEnergyJ: return "energy_j";
+  }
+  return "?";
+}
+
+std::size_t SystemSpec::sensors_per_node() const {
+  std::size_t n = 2;  // node input power + inlet temp
+  for (const auto& c : components) n += 2u * c.count;  // power + temp each
+  return n;
+}
+
+std::size_t gpus_per_node(const SystemSpec& spec) {
+  for (const auto& c : spec.components) {
+    if (c.kind == ComponentKind::kGpu) return c.count;
+  }
+  return 0;
+}
+
+namespace {
+std::size_t scaled(std::size_t n, double scale) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(static_cast<double>(n) * scale)));
+}
+}  // namespace
+
+SystemSpec mountain_spec(double scale) {
+  SystemSpec s;
+  s.name = "Mountain";
+  s.cabinets = scaled(256, scale);
+  s.nodes_per_cabinet = 18;
+  s.components = {
+      {ComponentKind::kCpu, 2, 60.0, 190.0, 32.0, 0.16},
+      {ComponentKind::kGpu, 6, 35.0, 300.0, 30.0, 0.12},
+      {ComponentKind::kMemory, 1, 25.0, 90.0, 28.0, 0.10},
+      {ComponentKind::kNic, 1, 15.0, 25.0, 30.0, 0.20},
+  };
+  s.sensor_period = common::kSecond;
+  s.sample_loss_rate = 0.002;
+  s.node_overhead_w = 150.0;
+  return s;
+}
+
+SystemSpec compass_spec(double scale) {
+  SystemSpec s;
+  s.name = "Compass";
+  s.cabinets = scaled(74, scale);
+  s.nodes_per_cabinet = 128;
+  s.components = {
+      {ComponentKind::kCpu, 1, 90.0, 280.0, 33.0, 0.10},
+      {ComponentKind::kGpu, 8, 45.0, 280.0, 31.0, 0.09},  // 4 GPUs x 2 GCDs
+      {ComponentKind::kMemory, 1, 30.0, 110.0, 29.0, 0.08},
+      {ComponentKind::kNic, 1, 20.0, 35.0, 30.0, 0.15},
+  };
+  s.sensor_period = common::kSecond;
+  s.sample_loss_rate = 0.001;
+  s.node_overhead_w = 180.0;
+  return s;
+}
+
+}  // namespace oda::telemetry

@@ -1,0 +1,57 @@
+// System specifications for the two simulated supercomputer generations.
+//
+// The paper anonymizes its systems as "Mountain" (Summit-class) and
+// "Compass" (Frontier-class); we keep those names. A scale factor
+// shrinks node counts so laptops can run the pipeline; volume reports
+// extrapolate back to full scale (bench_fig4a).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace oda::telemetry {
+
+enum class ComponentKind : std::uint8_t { kCpu = 0, kGpu = 1, kMemory = 2, kNic = 3, kNode = 4 };
+const char* component_name(ComponentKind k);
+
+enum class SensorKind : std::uint8_t { kPowerW = 0, kTempC = 1, kUtil = 2, kEnergyJ = 3 };
+const char* sensor_name(SensorKind k);
+
+/// Per-component power/thermal envelope.
+struct ComponentSpec {
+  ComponentKind kind = ComponentKind::kCpu;
+  std::uint8_t count = 1;       ///< per node
+  double idle_w = 50.0;
+  double peak_w = 300.0;
+  double idle_temp_c = 30.0;    ///< steady-state temperature at idle
+  double temp_per_watt = 0.12;  ///< delta-T above idle per watt of draw
+};
+
+struct SystemSpec {
+  std::string name;
+  std::size_t cabinets = 0;
+  std::size_t nodes_per_cabinet = 0;
+  std::vector<ComponentSpec> components;
+  common::Duration sensor_period = common::kSecond;  ///< per-sensor sample period
+  double sample_loss_rate = 0.001;  ///< fraction of samples dropped (lossy streams, Sec VIII-A)
+  double node_overhead_w = 120.0;   ///< fans/VRs/board at node level
+
+  std::size_t total_nodes() const { return cabinets * nodes_per_cabinet; }
+  /// Sensors per node: power+temp per component instance, plus node-level
+  /// input power and inlet temperature.
+  std::size_t sensors_per_node() const;
+  std::size_t total_sensors() const { return total_nodes() * sensors_per_node(); }
+};
+
+/// Number of GPU instances per node in a spec (0 for CPU-only systems).
+std::size_t gpus_per_node(const SystemSpec& spec);
+
+/// Summit-class: 256 cabinets x 18 nodes = 4608 nodes; 2 CPUs + 6 GPUs.
+SystemSpec mountain_spec(double scale = 1.0);
+/// Frontier-class: 74 cabinets x 128 nodes = 9472 nodes; 1 CPU + 8 GCDs.
+SystemSpec compass_spec(double scale = 1.0);
+
+}  // namespace oda::telemetry

@@ -1,0 +1,79 @@
+#include "twin/allocator.hpp"
+
+#include <algorithm>
+
+namespace oda::twin {
+
+using common::Duration;
+using common::TimePoint;
+using telemetry::Job;
+using telemetry::JobScheduler;
+using telemetry::SystemSpec;
+
+ResourceAllocatorSim::ResourceAllocatorSim(SystemSpec spec, AllocatorSimConfig config)
+    : spec_(std::move(spec)), config_(config) {}
+
+double ResourceAllocatorSim::node_power_w(const SystemSpec& spec, double cpu_util, double gpu_util) {
+  double p = spec.node_overhead_w;
+  for (const auto& c : spec.components) {
+    double util = 0.0;
+    switch (c.kind) {
+      case telemetry::ComponentKind::kCpu: util = cpu_util; break;
+      case telemetry::ComponentKind::kGpu: util = gpu_util; break;
+      case telemetry::ComponentKind::kMemory: util = 0.5 * std::max(cpu_util, gpu_util) + 0.05; break;
+      case telemetry::ComponentKind::kNic: util = 0.3 * std::max(cpu_util, gpu_util); break;
+      case telemetry::ComponentKind::kNode: break;
+    }
+    p += static_cast<double>(c.count) * (c.idle_w + util * (c.peak_w - c.idle_w));
+  }
+  return p;
+}
+
+WorkloadResult ResourceAllocatorSim::simulate(Duration span) {
+  WorkloadResult result;
+  common::Rng rng(config_.seed);
+  JobScheduler sched(spec_.total_nodes(), config_.scheduler, rng);
+
+  const double idle_node_w = node_power_w(spec_, 0.03, 0.01);
+  double util_acc = 0.0;
+  std::size_t steps = 0;
+  double energy_j = 0.0;
+
+  for (TimePoint t = 0; t <= span; t += config_.step) {
+    sched.advance_to(t);
+
+    double power = 0.0;
+    std::size_t busy = 0;
+    for (const auto& job : sched.jobs()) {
+      if (job.start_time == 0 || job.end_time <= 0 || !job.running_at(t)) continue;
+      common::Rng job_rng(static_cast<std::uint64_t>(job.job_id));
+      const double raw_u =
+          job.base_util * telemetry::archetype_utilization(job.archetype, job.phase_at(t), job_rng);
+      const double u = std::min(raw_u, config_.power_cap_util);
+      const double cpu_u = job.uses_gpu ? 0.35 * u + 0.1 : u;
+      const double gpu_u = job.uses_gpu ? u : 0.0;
+      power += static_cast<double>(job.num_nodes) * node_power_w(spec_, cpu_u, gpu_u);
+      busy += job.num_nodes;
+    }
+    const std::size_t idle_nodes = spec_.total_nodes() - std::min(busy, spec_.total_nodes());
+    power += static_cast<double>(idle_nodes) * idle_node_w;
+
+    result.power_trace.push_back({t, power});
+    util_acc += static_cast<double>(busy) / static_cast<double>(spec_.total_nodes());
+    energy_j += power * common::to_seconds(config_.step);
+    ++steps;
+  }
+
+  result.mean_node_utilization = steps ? util_acc / static_cast<double>(steps) : 0.0;
+  result.total_energy_mwh = energy_j / 3.6e9;
+  for (const auto& job : sched.jobs()) {
+    if (job.start_time > 0 && job.end_time > 0 && job.end_time <= span) {
+      ++result.jobs_completed;
+      result.node_hours_delivered += static_cast<double>(job.num_nodes) *
+                                     common::to_seconds(job.end_time - job.start_time) / 3600.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace oda::twin

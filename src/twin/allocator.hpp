@@ -1,0 +1,51 @@
+// ExaDigiT module (1): "a resource allocator and power simulator".
+// Runs a virtual scheduler over a synthetic or replayed workload and
+// predicts the system power trace white-box style (no sensor noise),
+// which then drives the loss and cooling models — enabling what-if
+// studies on workloads that never ran ("synthetic or real workloads").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/job.hpp"
+#include "telemetry/spec.hpp"
+#include "twin/replay.hpp"
+
+namespace oda::twin {
+
+struct WorkloadResult {
+  std::vector<PowerSample> power_trace;  ///< predicted component (IT) power
+  double mean_node_utilization = 0.0;    ///< busy-node fraction over time
+  double total_energy_mwh = 0.0;         ///< IT energy over the simulated span
+  std::size_t jobs_completed = 0;
+  double node_hours_delivered = 0.0;
+};
+
+struct AllocatorSimConfig {
+  telemetry::SchedulerConfig scheduler;
+  common::Duration step = 30 * common::kSecond;
+  std::uint64_t seed = 99;
+  /// Power cap applied to job utilization (1.0 = uncapped). The classic
+  /// energy/what-if knob: trade throughput for peak power.
+  double power_cap_util = 1.0;
+};
+
+class ResourceAllocatorSim {
+ public:
+  ResourceAllocatorSim(telemetry::SystemSpec spec, AllocatorSimConfig config);
+
+  /// Simulate `span` of facility time; returns the predicted power trace
+  /// and workload outcome metrics.
+  WorkloadResult simulate(common::Duration span);
+
+  /// Predicted mean component power (W) of one node at utilization u
+  /// given the spec's envelopes (the white-box power model).
+  static double node_power_w(const telemetry::SystemSpec& spec, double cpu_util, double gpu_util);
+
+ private:
+  telemetry::SystemSpec spec_;
+  AllocatorSimConfig config_;
+};
+
+}  // namespace oda::twin

@@ -1,0 +1,88 @@
+#include "twin/cooling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oda::twin {
+
+CoolingSystemModel::CoolingSystemModel(CoolingConfig config) : config_(config) {}
+
+CoolingSystemModel::Derivs CoolingSystemModel::derivatives(const CoolingState& s, double it_heat_w,
+                                                           double ambient_wetbulb_c) const {
+  // Heat path: IT -> cold plate -> primary coolant -> CDU HX -> secondary
+  // loop -> cooling tower -> ambient.
+  const double q_plate_to_primary = config_.ua_coldplate * (s.t_coldplate_c - s.t_supply_c);
+  const double q_hx = config_.ua_cdu_hx * (s.t_return_c - s.t_tower_c);
+  const double ua_tower_eff = config_.ua_tower * std::clamp(s.tower_duty, 0.05, 1.0);
+  const double q_tower = ua_tower_eff * (s.t_tower_c - ambient_wetbulb_c);
+
+  Derivs d;
+  d.d_coldplate = (it_heat_w - q_plate_to_primary) / config_.coldplate_capacity;
+  // Secondary lump tracks the supply temperature: heated by the HX
+  // bypass remainder, cooled as heat moves to the tower loop.
+  d.d_secondary = (q_plate_to_primary - q_hx) / config_.secondary_capacity;
+  d.d_tower = (q_hx - q_tower) / config_.tower_capacity;
+  return d;
+}
+
+CoolingOutputs CoolingSystemModel::step(double dt_s, double it_heat_w, double ambient_wetbulb_c) {
+  // PI controller on supply temperature -> tower fan duty.
+  const double err = state_.t_supply_c - config_.supply_setpoint_c;
+  state_.pi_integral = std::clamp(state_.pi_integral + err * dt_s, -200.0, 200.0);
+  state_.tower_duty =
+      std::clamp(0.3 + config_.pi_kp * err + config_.pi_ki * state_.pi_integral, 0.05, 1.0);
+
+  // RK4 over the three lumped temperatures.
+  auto apply = [&](const CoolingState& base, const Derivs& d, double h) {
+    CoolingState s = base;
+    s.t_coldplate_c = base.t_coldplate_c + h * d.d_coldplate;
+    s.t_supply_c = base.t_supply_c + h * d.d_secondary;
+    s.t_tower_c = base.t_tower_c + h * d.d_tower;
+    // Return temperature is algebraic: supply + Q/(m*cp).
+    s.t_return_c = s.t_supply_c + it_heat_w / (config_.primary_flow_kg_s * config_.cp_water);
+    return s;
+  };
+
+  if (config_.integrator == Integrator::kEuler) {
+    // Forward Euler — the ablation baseline. One derivative evaluation,
+    // conditionally stable.
+    const Derivs k1 = derivatives(state_, it_heat_w, ambient_wetbulb_c);
+    state_ = apply(state_, k1, dt_s);
+  } else {
+    const Derivs k1 = derivatives(state_, it_heat_w, ambient_wetbulb_c);
+    const CoolingState s2 = apply(state_, k1, dt_s / 2);
+    const Derivs k2 = derivatives(s2, it_heat_w, ambient_wetbulb_c);
+    const CoolingState s3 = apply(state_, k2, dt_s / 2);
+    const Derivs k3 = derivatives(s3, it_heat_w, ambient_wetbulb_c);
+    const CoolingState s4 = apply(state_, k3, dt_s);
+    const Derivs k4 = derivatives(s4, it_heat_w, ambient_wetbulb_c);
+
+    Derivs avg;
+    avg.d_coldplate =
+        (k1.d_coldplate + 2 * k2.d_coldplate + 2 * k3.d_coldplate + k4.d_coldplate) / 6.0;
+    avg.d_secondary =
+        (k1.d_secondary + 2 * k2.d_secondary + 2 * k3.d_secondary + k4.d_secondary) / 6.0;
+    avg.d_tower = (k1.d_tower + 2 * k2.d_tower + 2 * k3.d_tower + k4.d_tower) / 6.0;
+    state_ = apply(state_, avg, dt_s);
+  }
+
+  CoolingOutputs out;
+  out.state = state_;
+  const double ua_tower_eff = config_.ua_tower * std::clamp(state_.tower_duty, 0.05, 1.0);
+  out.heat_rejected_w = ua_tower_eff * (state_.t_tower_c - ambient_wetbulb_c);
+  // Fan power follows the cube law with duty; pumps are constant-speed.
+  out.cooling_power_w =
+      config_.pump_power_w + config_.tower_fan_rated_w * std::pow(state_.tower_duty, 3.0);
+  return out;
+}
+
+double CoolingSystemModel::steady_state_return_c(double it_heat_w, double ambient_wetbulb_c) const {
+  // At steady state all lumps pass `it_heat_w`:
+  //   t_tower  = ambient + Q / (ua_tower * duty)        (duty unknown; assume controller holds setpoint
+  //   t_return = t_supply + Q / (m_primary * cp)         when feasible, so t_supply = setpoint)
+  const double supply = config_.supply_setpoint_c;
+  (void)ambient_wetbulb_c;
+  return supply + it_heat_w / (config_.primary_flow_kg_s * config_.cp_water);
+}
+
+}  // namespace oda::twin

@@ -1,0 +1,37 @@
+#include "twin/losses.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oda::twin {
+
+double PowerLossModel::rectifier_efficiency(double load_fraction) const {
+  const double x = std::clamp(load_fraction, 0.01, 1.2);
+  // Smooth curve: low at light load, peak near 50%, slight sag at 100%.
+  const double rise = 1.0 - std::exp(-x / 0.08);
+  const double sag = 1.0 - 0.03 * std::max(0.0, x - 0.5);
+  const double eff = config_.rectifier_low_eff +
+                     (config_.rectifier_peak_eff - config_.rectifier_low_eff) * rise * sag;
+  return std::clamp(eff, 0.5, 0.995);
+}
+
+double PowerLossModel::conversion_efficiency(double load_fraction) const {
+  const double x = std::clamp(load_fraction, 0.01, 1.2);
+  // Mild load dependence around the nominal DC-DC efficiency.
+  return std::clamp(config_.conversion_eff - 0.01 * std::abs(x - 0.6), 0.80, 0.995);
+}
+
+PowerBreakdown PowerLossModel::compute(double it_power_w) const {
+  PowerBreakdown b;
+  b.it_power_w = it_power_w;
+  const double load = it_power_w / config_.rated_power_w;
+  const double conv_eff = conversion_efficiency(load);
+  const double dc_power = it_power_w / conv_eff;
+  b.conversion_loss_w = dc_power - it_power_w;
+  const double rect_eff = rectifier_efficiency(load);
+  b.total_input_w = dc_power / rect_eff;
+  b.rectifier_loss_w = b.total_input_w - dc_power;
+  return b;
+}
+
+}  // namespace oda::twin

@@ -1,0 +1,45 @@
+// Electrical loss models of the digital twin (Fig 11 right): rectifier
+// (AC→DC) and DC voltage-conversion losses as load-dependent efficiency
+// curves, "predicting energy losses due to rectification and voltage
+// conversion" white-box style.
+#pragma once
+
+namespace oda::twin {
+
+struct PowerBreakdown {
+  double it_power_w = 0.0;          ///< useful power delivered to components
+  double conversion_loss_w = 0.0;   ///< DC-DC (54V->12V, VRs)
+  double rectifier_loss_w = 0.0;    ///< AC->DC rectification
+  double total_input_w = 0.0;       ///< facility draw = IT + losses
+
+  double loss_fraction() const {
+    return total_input_w > 0.0 ? (conversion_loss_w + rectifier_loss_w) / total_input_w : 0.0;
+  }
+};
+
+struct LossModelConfig {
+  double rated_power_w = 30e6;       ///< rectifier plant rating
+  double rectifier_peak_eff = 0.975; ///< at ~50% load
+  double rectifier_low_eff = 0.90;   ///< at light load
+  double conversion_eff = 0.965;     ///< DC-DC stage, mildly load-dependent
+};
+
+class PowerLossModel {
+ public:
+  explicit PowerLossModel(LossModelConfig config = {}) : config_(config) {}
+
+  /// Load-dependent rectifier efficiency: rises steeply from light load,
+  /// peaks mid-band, sags slightly at full load (typical rectifier curve).
+  double rectifier_efficiency(double load_fraction) const;
+  double conversion_efficiency(double load_fraction) const;
+
+  /// Invert the chain: given IT (component) power, compute facility input.
+  PowerBreakdown compute(double it_power_w) const;
+
+  const LossModelConfig& config() const { return config_; }
+
+ private:
+  LossModelConfig config_;
+};
+
+}  // namespace oda::twin

@@ -1,0 +1,63 @@
+// Telemetry replay harness (Fig 11): feed a recorded (or synthetic)
+// system power trace through the twin — loss model + transient cooling —
+// and produce the virtual plant response for verification & validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sql/table.hpp"
+#include "twin/cooling.hpp"
+#include "twin/losses.hpp"
+
+namespace oda::twin {
+
+struct PowerSample {
+  common::TimePoint time = 0;
+  double it_power_w = 0.0;
+};
+
+struct ReplayConfig {
+  double ambient_wetbulb_c = 18.0;
+  common::Duration step = 5 * common::kSecond;
+  LossModelConfig losses;
+  CoolingConfig cooling;
+  /// Settle the plant at the trace's initial load before replaying.
+  common::Duration warmup = 30 * common::kMinute;
+};
+
+struct ReplayResult {
+  /// (time, it_power_w, input_power_w, rectifier_loss_w, conversion_loss_w,
+  ///  t_supply_c, t_return_c, t_tower_c, tower_duty, cooling_power_w, pue)
+  sql::Table timeline;
+  double mean_loss_fraction = 0.0;
+  double mean_pue = 0.0;
+  double max_return_c = 0.0;
+  /// Lag (seconds) between the IT power peak and the return-temp peak —
+  /// the transient signature Fig 11 shows.
+  double thermal_lag_s = 0.0;
+};
+
+class ReplayHarness {
+ public:
+  explicit ReplayHarness(ReplayConfig config = {});
+
+  ReplayResult replay(const std::vector<PowerSample>& trace);
+
+ private:
+  ReplayConfig config_;
+};
+
+/// Synthetic HPL run power trace: idle → staged ramp-up → sustained full
+/// power with slow decay per HPL phase → sharp drop at completion. This
+/// is the "telemetry replay of a HPL run" of Fig 11 when production
+/// traces are unavailable.
+std::vector<PowerSample> synthetic_hpl_trace(double idle_mw, double peak_mw,
+                                             common::Duration duration,
+                                             common::Duration step = 5 * common::kSecond);
+
+/// Linear interpolation of a trace at arbitrary times (V&V resampling).
+double trace_at(const std::vector<PowerSample>& trace, common::TimePoint t);
+
+}  // namespace oda::twin

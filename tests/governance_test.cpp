@@ -1,0 +1,213 @@
+// Tests for governance: maturity matrix (Fig 2/3), advisory chain +
+// DataRUC workflow (Table II / Fig 12), sanitization and the dictionary.
+#include <gtest/gtest.h>
+
+#include "governance/advisory.hpp"
+#include "governance/anonymize.hpp"
+#include "governance/dictionary.hpp"
+#include "governance/maturity.hpp"
+
+namespace oda::governance {
+namespace {
+
+TEST(MaturityTest, PaperMatrixCellsTranscribed) {
+  const auto m = MaturityMatrix::paper_figure3();
+  // Spot-check cells against the published figure.
+  const auto& rm_sys = m.cell(DataSource::kResourceManager, UsageArea::kSystemMgmt);
+  EXPECT_EQ(*rm_sys.mountain, Maturity::kL5_Operational);
+  EXPECT_EQ(*rm_sys.compass, Maturity::kL5_Operational);
+  EXPECT_TRUE(rm_sys.owner);
+
+  const auto& pt_rnd = m.cell(DataSource::kComputePowerTemp, UsageArea::kRnD);
+  EXPECT_EQ(*pt_rnd.mountain, Maturity::kL5_Operational);
+  EXPECT_EQ(*pt_rnd.compass, Maturity::kL3_Refined);  // regression on new system
+
+  const auto& empty = m.cell(DataSource::kCrm, UsageArea::kSystemMgmt);
+  EXPECT_FALSE(empty.mountain.has_value());
+  EXPECT_FALSE(empty.compass.has_value());
+}
+
+TEST(MaturityTest, CoverageMonotoneInLevel) {
+  const auto m = MaturityMatrix::paper_figure3();
+  for (int gen = 0; gen < 2; ++gen) {
+    double prev = 1.1;
+    for (int level = 0; level <= 5; ++level) {
+      const double c = m.coverage(static_cast<Maturity>(level), gen == 1);
+      EXPECT_LE(c, prev);
+      prev = c;
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.coverage(Maturity::kL0_Identified, false), 1.0);
+}
+
+TEST(MaturityTest, NewGenerationRegressions) {
+  const auto m = MaturityMatrix::paper_figure3();
+  // The paper's core lesson: Compass (new) lags Mountain in many cells.
+  EXPECT_GT(m.regressed_cells(), 10u);
+  EXPECT_GT(m.populated_cells(), 40u);
+  // Operational coverage (>= L5) is lower on the new system.
+  EXPECT_LT(m.coverage(Maturity::kL5_Operational, true),
+            m.coverage(Maturity::kL5_Operational, false));
+}
+
+TEST(MaturityTest, ToTableMatchesPopulatedCells) {
+  const auto m = MaturityMatrix::paper_figure3();
+  const auto t = m.to_table();
+  EXPECT_EQ(t.num_rows(), m.populated_cells());
+  EXPECT_TRUE(t.schema().contains("owner"));
+}
+
+TEST(AdvisoryChainTest, RequiredConsiderationsByKind) {
+  AdvisoryChainConfig cfg;
+  EXPECT_TRUE(cfg.required(RequestKind::kPublicRelease, Consideration::kIrb));
+  EXPECT_FALSE(cfg.required(RequestKind::kInternalProject, Consideration::kLegal));
+  EXPECT_FALSE(cfg.required(RequestKind::kInternalProject, Consideration::kIrb));
+  EXPECT_TRUE(cfg.required(RequestKind::kInternalProject, Consideration::kDataOwner));
+  EXPECT_FALSE(cfg.required(RequestKind::kExternalCollaboration, Consideration::kIrb));
+  EXPECT_TRUE(cfg.required(RequestKind::kExternalCollaboration, Consideration::kLegal));
+}
+
+TEST(DataRucTest, InternalRequestShortChain) {
+  AdvisoryChainConfig cfg;
+  for (auto& p : cfg.reject_prob) p = 0.0;  // deterministic approvals
+  DataRuc ruc(cfg, common::Rng(1));
+  const auto id = ruc.submit(RequestKind::kInternalProject, "me", {"ds"}, "study", 0);
+  EXPECT_EQ(ruc.process(id), RequestState::kProvisioned);
+  const auto& req = ruc.request(id);
+  EXPECT_EQ(req.decisions.size(), 3u);  // owner, cyber, management
+  EXPECT_GT(req.turnaround(), 0);
+}
+
+TEST(DataRucTest, PublicReleaseFullChainAndSanitizationDelay) {
+  AdvisoryChainConfig cfg;
+  for (auto& p : cfg.reject_prob) p = 0.0;
+  DataRuc ruc(cfg, common::Rng(2));
+  const auto internal = ruc.submit(RequestKind::kInternalProject, "me", {"ds"}, "x", 0);
+  const auto release = ruc.submit(RequestKind::kPublicRelease, "me", {"ds"}, "x", 0);
+  ruc.process(internal);
+  ruc.process(release);
+  EXPECT_EQ(ruc.request(release).decisions.size(), 5u);
+  // Full chain + sanitization outlasts the short internal path on average
+  // (same latency distribution per step, more steps).
+  EXPECT_GT(ruc.request(release).decisions.size(), ruc.request(internal).decisions.size());
+}
+
+TEST(DataRucTest, RejectionStopsTheChain) {
+  AdvisoryChainConfig cfg;
+  for (auto& p : cfg.reject_prob) p = 0.0;
+  cfg.reject_prob[static_cast<int>(Consideration::kCyberSecurity)] = 1.0;  // always reject
+  DataRuc ruc(cfg, common::Rng(3));
+  const auto id = ruc.submit(RequestKind::kPublicRelease, "me", {"ds"}, "x", 0);
+  EXPECT_EQ(ruc.process(id), RequestState::kRejected);
+  const auto& req = ruc.request(id);
+  // Stopped at cyber security: data owner approved, cyber rejected, rest never ran.
+  ASSERT_EQ(req.decisions.size(), 2u);
+  EXPECT_TRUE(req.decisions[0].approved);
+  EXPECT_FALSE(req.decisions[1].approved);
+  EXPECT_EQ(ruc.rejected_count(), 1u);
+  EXPECT_EQ(ruc.approved_count(), 0u);
+}
+
+TEST(DataRucTest, ProcessIsIdempotent) {
+  DataRuc ruc;
+  const auto id = ruc.submit(RequestKind::kInternalProject, "me", {"ds"}, "x", 0);
+  const auto s1 = ruc.process(id);
+  const auto s2 = ruc.process(id);
+  EXPECT_EQ(s1, s2);
+}
+
+sql::Table user_table() {
+  sql::Table t{sql::Schema{{"project", sql::DataType::kString},
+                           {"user", sql::DataType::kString},
+                           {"hours", sql::DataType::kFloat64}}};
+  t.append_row({sql::Value("P1"), sql::Value("alice"), sql::Value(10.0)});
+  t.append_row({sql::Value("P1"), sql::Value("bob"), sql::Value(20.0)});
+  t.append_row({sql::Value("P2"), sql::Value("alice"), sql::Value(30.0)});
+  return t;
+}
+
+TEST(SanitizeTest, HashingIsStableAndSalted) {
+  SanitizePolicy policy;
+  policy.hash_columns = {"user"};
+  const auto a = sanitize(user_table(), policy);
+  const auto b = sanitize(user_table(), policy);
+  // Same salt -> same pseudonyms; identity preserved across rows.
+  EXPECT_EQ(a.column("user").str_at(0), b.column("user").str_at(0));
+  EXPECT_EQ(a.column("user").str_at(0), a.column("user").str_at(2));  // both alice
+  EXPECT_NE(a.column("user").str_at(0), a.column("user").str_at(1));
+  EXPECT_EQ(a.column("user").str_at(0).rfind("anon_", 0), 0u);
+
+  SanitizePolicy other = policy;
+  other.salt = 999;
+  const auto c = sanitize(user_table(), other);
+  EXPECT_NE(c.column("user").str_at(0), a.column("user").str_at(0));  // new salt, new ids
+}
+
+TEST(SanitizeTest, DropColumnsRemoved) {
+  SanitizePolicy policy;
+  policy.drop_columns = {"user"};
+  const auto t = sanitize(user_table(), policy);
+  EXPECT_FALSE(t.schema().contains("user"));
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST(SanitizeTest, KAnonymityGroupSizes) {
+  const auto t = user_table();
+  EXPECT_EQ(min_group_size(t, {"project"}), 1u);  // P2 has one row
+  sql::Table big = t;
+  big.append_row({sql::Value("P2"), sql::Value("carol"), sql::Value(1.0)});
+  EXPECT_EQ(min_group_size(big, {"project"}), 2u);
+  EXPECT_EQ(min_group_size(sql::Table{t.schema()}, {"project"}), 0u);
+}
+
+TEST(SanitizeTest, PiiScanCatchesMarkers) {
+  EXPECT_FALSE(passes_pii_scan(user_table()));  // column named "user"
+  SanitizePolicy policy;
+  policy.hash_columns = {"user"};
+  // Hashing alone is not enough: the column is still *named* "user".
+  EXPECT_FALSE(passes_pii_scan(sanitize(user_table(), policy)));
+
+  sql::Table ok{sql::Schema{{"project", sql::DataType::kString}, {"hours", sql::DataType::kFloat64}}};
+  ok.append_row({sql::Value("P1"), sql::Value(1.0)});
+  EXPECT_TRUE(passes_pii_scan(ok));
+  sql::Table email = ok;
+  email.append_row({sql::Value("contact: a@b.c"), sql::Value(2.0)});
+  EXPECT_FALSE(passes_pii_scan(email));
+}
+
+TEST(DictionaryTest, CompletenessScoring) {
+  DataDictionary dict;
+  FieldEntry full;
+  full.name = "gpu0.power_w";
+  full.units = "W";
+  full.description = "GPU 0 board power";
+  full.sample_period = common::kSecond;
+  full.physical_location = "node VRM";
+  full.vendor_verified = true;
+  EXPECT_DOUBLE_EQ(full.completeness(), 1.0);
+
+  FieldEntry bare;
+  bare.name = "mystery7";
+  EXPECT_DOUBLE_EQ(bare.completeness(), 0.0);
+
+  dict.describe_field("telemetry.power", full);
+  dict.describe_field("telemetry.power", bare);
+  EXPECT_DOUBLE_EQ(dict.completeness("telemetry.power"), 0.5);
+  EXPECT_EQ(dict.unverified_fields("telemetry.power"), std::vector<std::string>{"mystery7"});
+  EXPECT_DOUBLE_EQ(dict.completeness("missing"), 0.0);
+}
+
+TEST(DictionaryTest, DescribeOverwritesByName) {
+  DataDictionary dict;
+  FieldEntry f;
+  f.name = "x";
+  dict.describe_field("d", f);
+  f.units = "W";
+  dict.describe_field("d", f);
+  ASSERT_EQ(dict.find("d")->fields.size(), 1u);
+  EXPECT_EQ(dict.find("d")->fields[0].units, "W");
+  EXPECT_EQ(dict.datasets(), std::vector<std::string>{"d"});
+}
+
+}  // namespace
+}  // namespace oda::governance

@@ -1,0 +1,322 @@
+// Tests for the ML stack: features, k-means, MLP learning, autoencoder,
+// profile classifier, and the registry/tracking plumbing of Fig 9.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/kmeans.hpp"
+#include "ml/nn.hpp"
+#include "ml/profile_classifier.hpp"
+#include "ml/registry.hpp"
+
+namespace oda::ml {
+namespace {
+
+TEST(FeatureMatrixTest, AccessAndHash) {
+  FeatureMatrix m(2, 3, {"a", "b", "c"});
+  m.at(1, 2) = 5.0;
+  EXPECT_EQ(m.row(1)[2], 5.0);
+  const auto h1 = m.content_hash();
+  m.at(0, 0) = 1.0;
+  EXPECT_NE(m.content_hash(), h1);
+}
+
+TEST(FeatureTest, TableToMatrixNumericColumnsOnly) {
+  sql::Table t{sql::Schema{{"x", sql::DataType::kFloat64},
+                           {"name", sql::DataType::kString},
+                           {"y", sql::DataType::kInt64}}};
+  t.append_row({sql::Value(1.5), sql::Value("n"), sql::Value(std::int64_t{7})});
+  t.append_row({sql::Value::null(), sql::Value("m"), sql::Value(std::int64_t{8})});
+  const auto m = table_to_matrix(t);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.names()[0], "x");
+  EXPECT_EQ(m.at(0, 1), 7.0);
+  EXPECT_EQ(m.at(1, 0), 0.0);  // null -> 0
+}
+
+TEST(ScalerTest, ZeroMeanUnitVariance) {
+  common::Rng rng(1);
+  FeatureMatrix x(500, 2);
+  for (std::size_t r = 0; r < 500; ++r) {
+    x.at(r, 0) = rng.normal(100.0, 20.0);
+    x.at(r, 1) = 42.0;  // constant column
+  }
+  StandardScaler scaler;
+  x = scaler.fit_transform(std::move(x));
+  double mean0 = 0, var0 = 0;
+  for (std::size_t r = 0; r < 500; ++r) mean0 += x.at(r, 0);
+  mean0 /= 500;
+  for (std::size_t r = 0; r < 500; ++r) var0 += (x.at(r, 0) - mean0) * (x.at(r, 0) - mean0);
+  var0 /= 500;
+  EXPECT_NEAR(mean0, 0.0, 1e-9);
+  EXPECT_NEAR(var0, 1.0, 1e-9);
+  EXPECT_NEAR(x.at(0, 1), 0.0, 1e-12);  // constant column centered, not exploded
+}
+
+TEST(SplitTest, DisjointAndComplete) {
+  common::Rng rng(2);
+  const auto split = train_test_split(100, 0.25, rng);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::vector<bool> seen(100, false);
+  for (auto i : split.train) seen[i] = true;
+  for (auto i : split.test) {
+    EXPECT_FALSE(seen[i]) << "index in both sets";
+    seen[i] = true;
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), false), 0);
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  common::Rng rng(3);
+  FeatureMatrix x(300, 2);
+  std::vector<std::size_t> labels(300);
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  for (std::size_t i = 0; i < 300; ++i) {
+    const std::size_t c = i % 3;
+    labels[i] = c;
+    x.at(i, 0) = centers[c][0] + rng.normal(0, 0.5);
+    x.at(i, 1) = centers[c][1] + rng.normal(0, 0.5);
+  }
+  KMeans km({3, 100, 1e-9});
+  km.fit(x, rng);
+  const auto assign = km.predict(x);
+  EXPECT_GT(cluster_purity(assign, labels, 3, 3), 0.99);
+  EXPECT_GT(km.inertia(), 0.0);
+  // E[inertia] = n * d * sigma^2 = 300 * 2 * 0.25 = 150; allow slack.
+  EXPECT_LT(km.inertia(), 600.0);
+}
+
+TEST(KMeansTest, KLargerThanNClamps) {
+  FeatureMatrix x(2, 1);
+  x.at(0, 0) = 0.0;
+  x.at(1, 0) = 10.0;
+  common::Rng rng(4);
+  KMeans km({8, 10, 1e-6});
+  km.fit(x, rng);
+  EXPECT_NE(km.predict_one(x.row(0)), km.predict_one(x.row(1)));
+}
+
+TEST(PurityTest, PerfectAndWorstCase) {
+  const std::vector<std::size_t> assign{0, 0, 1, 1};
+  const std::vector<std::size_t> labels_match{0, 0, 1, 1};
+  const std::vector<std::size_t> labels_mixed{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(cluster_purity(assign, labels_match, 2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(cluster_purity(assign, labels_mixed, 2, 2), 0.5);
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  common::Rng rng(5);
+  FeatureMatrix x(200, 2), y(200, 1);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x.at(i, 0) = rng.uniform(-1, 1);
+    x.at(i, 1) = rng.uniform(-1, 1);
+    y.at(i, 0) = 3.0 * x.at(i, 0) - 2.0 * x.at(i, 1) + 0.5;
+  }
+  Mlp net(2, {{1, Activation::kIdentity}}, rng);
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.learning_rate = 0.05;
+  const auto losses = net.train(x, y, cfg, rng);
+  EXPECT_LT(losses.back(), 1e-4);
+  EXPECT_LT(losses.back(), losses.front());
+  const auto pred = net.predict(std::vector<double>{0.5, 0.5});
+  EXPECT_NEAR(pred[0], 3.0 * 0.5 - 2.0 * 0.5 + 0.5, 0.05);
+}
+
+TEST(MlpTest, LearnsXorWithHiddenLayer) {
+  common::Rng rng(6);
+  FeatureMatrix x(4, 2), y(4, 2);
+  const double pts[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = pts[i][0];
+    x.at(i, 1) = pts[i][1];
+    const int cls = (static_cast<int>(pts[i][0]) ^ static_cast<int>(pts[i][1]));
+    y.at(i, cls) = 1.0;
+  }
+  Mlp net(2, {{8, Activation::kTanh}, {2, Activation::kSoftmax}}, rng);
+  TrainConfig cfg;
+  cfg.epochs = 600;
+  cfg.batch_size = 4;
+  cfg.learning_rate = 0.05;
+  cfg.loss = Loss::kCrossEntropy;
+  net.train(x, y, cfg, rng);
+  for (int i = 0; i < 4; ++i) {
+    const auto p = net.predict(x.row(i));
+    const int cls = (static_cast<int>(pts[i][0]) ^ static_cast<int>(pts[i][1]));
+    EXPECT_GT(p[cls], 0.8) << "point " << i;
+  }
+}
+
+TEST(MlpTest, DeterministicTraining) {
+  auto build = [] {
+    common::Rng rng(7);
+    FeatureMatrix x(50, 3), y(50, 1);
+    for (std::size_t i = 0; i < 50; ++i) {
+      for (int c = 0; c < 3; ++c) x.at(i, c) = rng.uniform(-1, 1);
+      y.at(i, 0) = x.at(i, 0) * x.at(i, 1);
+    }
+    common::Rng net_rng(8);
+    Mlp net(3, {{8, Activation::kTanh}, {1, Activation::kIdentity}}, net_rng);
+    TrainConfig cfg;
+    cfg.epochs = 20;
+    net.train(x, y, cfg, net_rng);
+    return net.parameter_hash();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(MlpTest, SerializeRoundTripPreservesPredictions) {
+  common::Rng rng(9);
+  Mlp net(4, {{6, Activation::kRelu}, {2, Activation::kSoftmax}}, rng);
+  const auto bytes = net.serialize();
+  const Mlp back = Mlp::deserialize(bytes);
+  EXPECT_EQ(back.parameter_hash(), net.parameter_hash());
+  const std::vector<double> in{0.1, -0.2, 0.3, 0.4};
+  const auto a = net.predict(in);
+  const auto b = back.predict(in);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  EXPECT_EQ(back.parameter_count(), net.parameter_count());
+}
+
+TEST(AutoencoderTest, ReconstructsStructuredInput) {
+  common::Rng rng(10);
+  // Inputs lie on a 1-D manifold: scaled ramps.
+  FeatureMatrix x(200, 16);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0.3, 1.0);
+    for (int c = 0; c < 16; ++c) x.at(i, c) = a * c / 16.0;
+  }
+  Mlp ae = make_autoencoder(16, 2, 12, rng);
+  TrainConfig cfg;
+  cfg.epochs = 150;
+  cfg.learning_rate = 3e-3;
+  ae.train(x, x, cfg, rng);
+  EXPECT_LT(ae.evaluate_loss(x, x, Loss::kMse), 0.01);
+  EXPECT_EQ(ae.layer_output(x.row(0), autoencoder_bottleneck_layer()).size(), 2u);
+}
+
+TEST(ProfileTest, NormalizeResamplesAndScales) {
+  std::vector<double> profile{100, 200, 300, 400};
+  const auto norm = normalize_profile(profile, 8);
+  EXPECT_EQ(norm.size(), 8u);
+  EXPECT_DOUBLE_EQ(norm.back(), 1.0);  // scaled by max
+  EXPECT_NEAR(norm.front(), 0.25, 1e-9);
+  // Monotone input stays monotone through linear resampling.
+  for (std::size_t i = 1; i < norm.size(); ++i) EXPECT_GE(norm[i], norm[i - 1] - 1e-12);
+}
+
+TEST(ProfileTest, NormalizeEdgeCases) {
+  EXPECT_EQ(normalize_profile({}, 4), std::vector<double>(4, 0.0));
+  const auto one = normalize_profile(std::vector<double>{5.0}, 4);
+  for (double v : one) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+std::vector<JobProfile> synthetic_profiles(std::size_t per_class, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<JobProfile> out;
+  std::int64_t id = 1;
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      JobProfile p;
+      p.job_id = id++;
+      p.true_archetype = cls;
+      const std::size_t len = 40 + rng.uniform_index(40);
+      for (std::size_t s = 0; s < len; ++s) {
+        const double x = static_cast<double>(s) / static_cast<double>(len);
+        double v = 0;
+        if (cls == 0) v = 0.9;                            // constant
+        if (cls == 1) v = x;                              // ramp
+        if (cls == 2) v = 0.5 + 0.4 * std::sin(12 * x);   // periodic
+        p.power_w.push_back(1000.0 * (v + 0.02 * rng.normal()));
+      }
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+TEST(ProfileClassifierTest, RecoversPlantedClasses) {
+  const auto profiles = synthetic_profiles(40, 11);
+  ProfileClassifierConfig cfg;
+  cfg.clusters = 3;
+  ProfileClassifier clf(cfg);
+  const double loss = clf.fit(profiles, 123);
+  EXPECT_LT(loss, 0.5);
+  EXPECT_GT(clf.purity(profiles), 0.9);
+  const auto summary = clf.summarize(profiles);
+  std::size_t populated = 0, total = 0;
+  for (const auto& c : summary) {
+    if (c.population > 0) ++populated;
+    total += c.population;
+  }
+  EXPECT_EQ(total, profiles.size());
+  EXPECT_GE(populated, 2u);
+}
+
+TEST(ProfileClassifierTest, DeterministicAcrossRuns) {
+  const auto profiles = synthetic_profiles(20, 12);
+  ProfileClassifierConfig cfg;
+  cfg.clusters = 3;
+  ProfileClassifier a(cfg), b(cfg);
+  a.fit(profiles, 99);
+  b.fit(profiles, 99);
+  EXPECT_EQ(a.autoencoder().parameter_hash(), b.autoencoder().parameter_hash());
+  for (const auto& p : profiles) EXPECT_EQ(a.classify(p.power_w), b.classify(p.power_w));
+}
+
+TEST(ProfileClassifierTest, ClassifyBeforeFitThrows) {
+  ProfileClassifier clf;
+  EXPECT_THROW(clf.classify(std::vector<double>{1.0}), std::logic_error);
+  EXPECT_THROW(clf.fit({}, 1), std::invalid_argument);
+}
+
+TEST(FeatureStoreTest, VersioningAndDedup) {
+  FeatureStore store;
+  FeatureMatrix a(2, 2), b(2, 2);
+  b.at(0, 0) = 1.0;
+  EXPECT_EQ(store.commit("f", a, 0), 1u);
+  EXPECT_EQ(store.commit("f", b, 1), 2u);
+  EXPECT_EQ(store.commit("f", a, 2), 1u);  // dedup to existing version
+  const auto hist = store.history("f");
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(store.latest("f")->at(0, 0), 1.0);
+  EXPECT_EQ(store.get("f", 1)->at(0, 0), 0.0);
+  EXPECT_FALSE(store.get("missing", 1).has_value());
+}
+
+TEST(ExperimentTrackerTest, RunsAndBestSelection) {
+  ExperimentTracker tracker;
+  const auto r1 = tracker.start_run("exp", 0);
+  const auto r2 = tracker.start_run("exp", 1);
+  tracker.log_param(r1, "lr", "0.01");
+  tracker.log_metric(r1, "purity", 0.8);
+  tracker.log_metric(r2, "purity", 0.9);
+  const auto best = tracker.best_run("exp", "purity");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->run_id, r2);
+  const auto worst = tracker.best_run("exp", "purity", /*maximize=*/false);
+  EXPECT_EQ(worst->run_id, r1);
+  EXPECT_EQ(tracker.runs("exp").size(), 2u);
+  EXPECT_EQ(tracker.get_run(r1)->params.at("lr"), "0.01");
+  EXPECT_FALSE(tracker.best_run("other", "purity").has_value());
+}
+
+TEST(ModelRegistryTest, VersionsAndProductionStage) {
+  ModelRegistry reg;
+  const auto v1 = reg.register_model("m", {1, 2, 3}, {{"loss", 0.5}}, 0);
+  const auto v2 = reg.register_model("m", {4, 5, 6}, {{"loss", 0.3}}, 1);
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_FALSE(reg.load_production("m").has_value());
+  reg.transition("m", v1, ModelRegistry::Stage::kProduction);
+  EXPECT_EQ(reg.load_production("m")->at(0), 1);
+  reg.transition("m", v2, ModelRegistry::Stage::kProduction);
+  EXPECT_EQ(reg.load_production("m")->at(0), 4);  // latest production wins
+  EXPECT_EQ(reg.versions("m").size(), 2u);
+  EXPECT_EQ(reg.load("m", 1)->size(), 3u);
+  EXPECT_FALSE(reg.load("m", 9).has_value());
+}
+
+}  // namespace
+}  // namespace oda::ml

@@ -1,0 +1,326 @@
+// Tests for the micro-batch streaming engine: window operator watermark
+// semantics, exactly-once emission, batch rollback/recovery, dead-letter
+// policy, sinks, and batch-vs-stream equivalence.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pipeline/query.hpp"
+#include "sql/expr.hpp"
+#include "sql/ops.hpp"
+#include "storage/columnar.hpp"
+
+namespace oda::pipeline {
+namespace {
+
+using common::kMinute;
+using common::kSecond;
+using sql::DataType;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+
+Table rows_at(std::initializer_list<std::pair<common::TimePoint, double>> points) {
+  Table t{Schema{{"time", DataType::kInt64}, {"v", DataType::kFloat64}}};
+  for (const auto& [time, v] : points) t.append_row({Value(time), Value(v)});
+  return t;
+}
+
+WindowAggOp make_op(common::Duration window = 10 * kSecond) {
+  return WindowAggOp("w", "time", window, {},
+                     {{"v", sql::AggKind::kSum, "s"}, {"v", sql::AggKind::kCount, "n"}});
+}
+
+TEST(WindowAggOpTest, EmitsOnlyWatermarkClosedWindows) {
+  auto op = make_op();
+  op.begin_batch();
+  // Rows in windows [0,10) and [10,20); watermark 12 closes only the first.
+  Batch out = op.process({rows_at({{1 * kSecond, 1.0}, {5 * kSecond, 2.0}, {12 * kSecond, 4.0}}),
+                          12 * kSecond});
+  ASSERT_EQ(out.table.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.table.column("s").double_at(0), 3.0);
+  EXPECT_EQ(out.table.column("n").int_at(0), 2);
+  EXPECT_EQ(op.pending_windows(), 2u);  // closed window awaits commit; [10,20) buffered
+  op.commit_batch();
+  EXPECT_EQ(op.pending_windows(), 1u);
+}
+
+TEST(WindowAggOpTest, LateRowsForClosedWindowsDropped) {
+  auto op = make_op();
+  op.begin_batch();
+  (void)op.process({rows_at({{1 * kSecond, 1.0}}), 30 * kSecond});  // closes window 0
+  op.commit_batch();
+  op.begin_batch();
+  Batch out = op.process({rows_at({{2 * kSecond, 9.0}}), 30 * kSecond});  // late for window 0
+  EXPECT_EQ(out.table.num_rows(), 0u);
+  EXPECT_EQ(op.late_rows_dropped(), 1u);
+  op.commit_batch();
+}
+
+TEST(WindowAggOpTest, AllowedLatenessHoldsWindowsOpen) {
+  WindowAggOp op("w", "time", 10 * kSecond, {}, {{"v", sql::AggKind::kSum, "s"}},
+                 /*allowed_lateness=*/20 * kSecond);
+  op.begin_batch();
+  Batch out = op.process({rows_at({{1 * kSecond, 1.0}}), 25 * kSecond});
+  EXPECT_EQ(out.table.num_rows(), 0u);  // 10 + 20 > 25: still open
+  out = op.process({rows_at({{26 * kSecond, 1.0}}), 31 * kSecond});
+  EXPECT_EQ(out.table.num_rows(), 1u);  // now closed
+}
+
+TEST(WindowAggOpTest, FlushEmitsEverythingPending) {
+  auto op = make_op();
+  op.begin_batch();
+  (void)op.process({rows_at({{1 * kSecond, 1.0}, {11 * kSecond, 2.0}, {21 * kSecond, 3.0}}),
+                    5 * kSecond});
+  op.commit_batch();
+  const Batch out = op.flush();
+  EXPECT_EQ(out.table.num_rows(), 3u);
+  EXPECT_EQ(op.pending_windows(), 0u);
+}
+
+TEST(WindowAggOpTest, RollbackRestoresPreBatchState) {
+  auto op = make_op();
+  op.begin_batch();
+  (void)op.process({rows_at({{1 * kSecond, 1.0}}), 1 * kSecond});
+  op.commit_batch();
+
+  op.begin_batch();
+  (void)op.process({rows_at({{2 * kSecond, 100.0}, {15 * kSecond, 50.0}}), 15 * kSecond});
+  op.rollback_batch();  // simulate downstream failure
+
+  // Replay the same rows, then flush: the 100.0 must appear exactly once.
+  op.begin_batch();
+  const Batch emitted =
+      op.process({rows_at({{2 * kSecond, 100.0}, {15 * kSecond, 50.0}}), 15 * kSecond});
+  op.commit_batch();
+  const Batch flushed = op.flush();
+  double total = 0.0;
+  for (std::size_t r = 0; r < emitted.table.num_rows(); ++r) {
+    total += emitted.table.column("s").double_at(r);
+  }
+  for (std::size_t r = 0; r < flushed.table.num_rows(); ++r) {
+    total += flushed.table.column("s").double_at(r);
+  }
+  EXPECT_DOUBLE_EQ(total, 151.0);  // 1 + 100 + 50, no double count
+}
+
+TEST(WindowAggOpTest, RollbackAfterEmissionReplaysWindow) {
+  auto op = make_op();
+  op.begin_batch();
+  Batch out = op.process({rows_at({{1 * kSecond, 7.0}, {30 * kSecond, 1.0}}), 30 * kSecond});
+  EXPECT_EQ(out.table.num_rows(), 1u);  // window 0 emitted
+  op.rollback_batch();                  // sink failed: emission must not be lost
+
+  op.begin_batch();
+  out = op.process({rows_at({{1 * kSecond, 7.0}, {30 * kSecond, 1.0}}), 30 * kSecond});
+  ASSERT_EQ(out.table.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.table.column("s").double_at(0), 7.0);  // exactly once, not 14
+  op.commit_batch();
+}
+
+TEST(WindowAggOpTest, CheckpointStateRoundTrips) {
+  auto op = make_op();
+  op.begin_batch();
+  (void)op.process({rows_at({{1 * kSecond, 1.0}, {11 * kSecond, 2.0}}), 5 * kSecond});
+  op.commit_batch();
+  const auto state = op.checkpoint_state();
+
+  auto restored = make_op();
+  restored.restore_state(state);
+  EXPECT_EQ(restored.pending_windows(), op.pending_windows());
+  const Batch a = restored.flush();
+  const Batch b = op.flush();
+  ASSERT_EQ(a.table.num_rows(), b.table.num_rows());
+  for (std::size_t r = 0; r < a.table.num_rows(); ++r) {
+    EXPECT_EQ(a.table.column("s").get(r), b.table.column("s").get(r));
+  }
+}
+
+// ---- StreamingQuery end-to-end over a broker --------------------------------
+
+struct QueryRig {
+  stream::Broker broker;
+  QueryRig() {
+    // One partition so produce order == consume order (deterministic
+    // batch boundaries for the fault/poison tests).
+    broker.create_topic("in", {1, 1 << 20, {}});
+  }
+  void produce(common::TimePoint t, double v) {
+    Table row = rows_at({{t, v}});
+    stream::Record rec;
+    rec.timestamp = t;
+    const auto blob = storage::write_columnar(row);
+    rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
+    broker.produce("in", std::move(rec));
+  }
+  std::unique_ptr<StreamingQuery> make_query(QueryConfig qc = {}) {
+    auto q = std::make_unique<StreamingQuery>(
+        qc, std::make_unique<BrokerSource>(broker, "in", "g", decode_columnar_records));
+    return q;
+  }
+};
+
+TEST(StreamingQueryTest, EndToEndWindowedSum) {
+  QueryRig rig;
+  for (int i = 0; i < 40; ++i) rig.produce(i * kSecond, 1.0);
+  auto q = rig.make_query();
+  q->add_operator(std::make_unique<WindowAggOp>(
+      "w", "time", 10 * kSecond, std::vector<std::string>{},
+      std::vector<sql::AggSpec>{{"v", sql::AggKind::kSum, "s"}}));
+  auto sink = std::make_unique<TableSink>();
+  auto* out = sink.get();
+  q->add_sink(std::move(sink));
+  q->run_until_caught_up();
+  q->finalize();
+  // 40 seconds -> 4 windows of sum 10.
+  ASSERT_EQ(out->table().num_rows(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(out->table().column("s").double_at(r), 10.0);
+  EXPECT_EQ(q->metrics().failures, 0u);
+  EXPECT_GT(q->metrics().batches, 0u);
+}
+
+TEST(StreamingQueryTest, InjectedFaultRecoversWithoutLossOrDuplication) {
+  QueryRig rig;
+  for (int i = 0; i < 60; ++i) rig.produce(i * kSecond, 1.0);
+  QueryConfig qc;
+  qc.max_records_per_batch = 10;
+  auto q = rig.make_query(qc);
+  q->add_operator(std::make_unique<WindowAggOp>(
+      "w", "time", 10 * kSecond, std::vector<std::string>{},
+      std::vector<sql::AggSpec>{{"v", sql::AggKind::kSum, "s"}}));
+  auto sink = std::make_unique<TableSink>();
+  auto* out = sink.get();
+  q->add_sink(std::move(sink));
+  q->set_fault_plan({2});  // fail the third batch once
+  q->run_until_caught_up();
+  q->finalize();
+  EXPECT_EQ(q->metrics().failures, 1u);
+  double total = 0.0;
+  for (std::size_t r = 0; r < out->table().num_rows(); ++r) {
+    total += out->table().column("s").double_at(r);
+  }
+  EXPECT_DOUBLE_EQ(total, 60.0);  // exactly-once despite the fault
+}
+
+TEST(StreamingQueryTest, PoisonBatchIsSkippedAfterMaxRetries) {
+  QueryRig rig;
+  for (int i = 0; i < 30; ++i) rig.produce(i * kSecond, 1.0);
+  QueryConfig qc;
+  qc.max_records_per_batch = 10;
+  qc.max_retries = 3;
+  auto q = rig.make_query(qc);
+  // A transform that always throws on rows with time in [10s, 20s).
+  q->add_transform("poison", storage::DataClass::kSilver, [](const Table& t) {
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      const auto time = t.column("time").int_at(r);
+      if (time >= 10 * kSecond && time < 20 * kSecond) throw std::runtime_error("corrupt record");
+    }
+    return t;
+  });
+  auto sink = std::make_unique<TableSink>();
+  auto* out = sink.get();
+  q->add_sink(std::move(sink));
+  q->run_until_caught_up();
+  EXPECT_EQ(q->metrics().batches_skipped, 1u);
+  EXPECT_EQ(q->metrics().failures, 3u);
+  EXPECT_EQ(q->metrics().last_error, "corrupt record");
+  EXPECT_EQ(out->table().num_rows(), 20u);  // the other two batches flowed through
+}
+
+TEST(StreamingQueryTest, StageMetricsTrackRows) {
+  QueryRig rig;
+  for (int i = 0; i < 20; ++i) rig.produce(i * kSecond, static_cast<double>(i));
+  auto q = rig.make_query();
+  q->add_transform("filter", storage::DataClass::kBronze, [](const Table& t) {
+    return sql::filter(t, sql::col("v") >= sql::lit(Value(10.0)));
+  });
+  q->add_sink(std::make_unique<TableSink>());
+  q->run_until_caught_up();
+  ASSERT_EQ(q->metrics().stages.size(), 1u);
+  EXPECT_EQ(q->metrics().stages[0].rows_in, 20u);
+  EXPECT_EQ(q->metrics().stages[0].rows_out, 10u);
+}
+
+TEST(StreamingQueryTest, StreamEqualsBatchResult) {
+  // The streaming windowed sum must equal a one-shot batch aggregation —
+  // the correctness core of the batch->stream transition (Sec VI-B).
+  QueryRig rig;
+  common::Rng rng(21);
+  Table all{Schema{{"time", DataType::kInt64}, {"v", DataType::kFloat64}}};
+  // Event times advance monotonically (in-order stream); disorder beyond
+  // the allowed lateness would legitimately drop late rows and the two
+  // results would differ by design.
+  common::TimePoint t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += static_cast<common::TimePoint>(rng.uniform_index(3)) * kSecond;
+    const double v = rng.normal(10, 3);
+    all.append_row({Value(t), Value(v)});
+    rig.produce(t, v);
+  }
+  QueryConfig qc;
+  qc.max_records_per_batch = 37;  // odd size to shuffle batch boundaries
+  auto q = rig.make_query(qc);
+  q->add_operator(std::make_unique<WindowAggOp>(
+      "w", "time", 15 * kSecond, std::vector<std::string>{},
+      std::vector<sql::AggSpec>{{"v", sql::AggKind::kSum, "s"}}));
+  auto sink = std::make_unique<TableSink>();
+  auto* out = sink.get();
+  q->add_sink(std::move(sink));
+  q->run_until_caught_up();
+  q->finalize();
+
+  const std::vector<std::string> no_keys;
+  const std::vector<sql::AggSpec> aggs{{"v", sql::AggKind::kSum, "s"}};
+  const Table batch = sql::sort_by(sql::window_aggregate(all, "time", 15 * kSecond, no_keys, aggs),
+                                   {{"window_start", true}});
+  const Table streamed = sql::sort_by(out->table(), {{"window_start", true}});
+  ASSERT_EQ(streamed.num_rows(), batch.num_rows());
+  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+    EXPECT_EQ(streamed.column("window_start").int_at(r), batch.column("window_start").int_at(r));
+    EXPECT_NEAR(streamed.column("s").double_at(r), batch.column("s").double_at(r), 1e-9);
+  }
+}
+
+TEST(SinkTest, OceanSinkChunksObjects) {
+  storage::ObjectStore ocean;
+  OceanSink sink(ocean, "ds", storage::DataClass::kSilver, /*rows_per_object=*/100);
+  Table t{Schema{{"time", DataType::kInt64}, {"v", DataType::kFloat64}}};
+  for (int i = 0; i < 250; ++i) t.append_row({Value(std::int64_t{i}), Value(1.0)});
+  sink.write(t);
+  EXPECT_EQ(sink.objects_written(), 2u);  // 2 full chunks, 50 buffered
+  sink.flush();
+  EXPECT_EQ(sink.objects_written(), 3u);
+  std::size_t total = 0;
+  for (const auto& meta : ocean.list("ds")) {
+    total += storage::inspect_columnar(*ocean.get(meta.key)).num_rows;
+  }
+  EXPECT_EQ(total, 250u);
+}
+
+TEST(SinkTest, LakeSinkWritesTaggedSeries) {
+  storage::TimeSeriesDb lake;
+  LakeSink sink(lake, "m", "time", "v", {"node"});
+  Table t{Schema{{"time", DataType::kInt64}, {"node", DataType::kString}, {"v", DataType::kFloat64}}};
+  t.append_row({Value(std::int64_t{100}), Value("a"), Value(1.0)});
+  t.append_row({Value(std::int64_t{200}), Value("b"), Value(2.0)});
+  t.append_row({Value(std::int64_t{300}), Value("a"), Value::null()});  // skipped
+  sink.write(t);
+  EXPECT_EQ(lake.series_count(), 2u);
+  EXPECT_EQ(lake.point_count(), 2u);
+}
+
+TEST(SinkTest, TopicSinkRoundTripsThroughDecoder) {
+  stream::Broker broker;
+  TopicSink sink(broker, "out");
+  Table t = rows_at({{5 * kSecond, 1.5}, {6 * kSecond, 2.5}});
+  sink.write(t);
+  stream::Consumer c(broker, "g", "out");
+  const auto records = c.poll(10);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].record.timestamp, 6 * kSecond);  // batch max event time
+  const Table back = decode_columnar_records(records);
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(back.column("v").double_at(1), 2.5);
+}
+
+}  // namespace
+}  // namespace oda::pipeline

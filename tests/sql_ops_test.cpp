@@ -1,0 +1,172 @@
+// Tests for expressions and relational operators (filter/project/sort/
+// join/distinct/concat).
+#include <gtest/gtest.h>
+
+#include "sql/expr.hpp"
+#include "sql/ops.hpp"
+
+namespace oda::sql {
+namespace {
+
+Table sample() {
+  Table t{Schema{{"id", DataType::kInt64},
+                 {"host", DataType::kString},
+                 {"power", DataType::kFloat64},
+                 {"gpu", DataType::kBool}}};
+  t.append_row({Value(std::int64_t{1}), Value("n0"), Value(100.0), Value(true)});
+  t.append_row({Value(std::int64_t{2}), Value("n1"), Value(250.0), Value(false)});
+  t.append_row({Value(std::int64_t{3}), Value("n0"), Value(300.0), Value(true)});
+  t.append_row({Value(std::int64_t{4}), Value("n2"), Value::null(), Value(true)});
+  return t;
+}
+
+TEST(ExprTest, ArithmeticAndComparison) {
+  const Table t = sample();
+  auto e = (col("power") * lit(2.0)) + lit(1.0);
+  EXPECT_EQ(e->eval(t, 0).as_double(), 201.0);
+  EXPECT_TRUE((col("power") > lit(200.0))->eval(t, 1).as_bool());
+  EXPECT_FALSE((col("power") > lit(200.0))->eval(t, 0).as_bool());
+  EXPECT_TRUE((col("host") == lit("n0"))->eval(t, 0).as_bool());
+  EXPECT_TRUE((col("id") != lit(Value(std::int64_t{9})))->eval(t, 0).as_bool());
+}
+
+TEST(ExprTest, IntegerArithmeticStaysInt) {
+  const Table t = sample();
+  const Value v = (col("id") + lit(Value(std::int64_t{1})))->eval(t, 0);
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.as_int(), 2);
+}
+
+TEST(ExprTest, NullPropagationAndThreeValuedLogic) {
+  const Table t = sample();
+  // Arithmetic on null -> null.
+  EXPECT_TRUE((col("power") + lit(1.0))->eval(t, 3).is_null());
+  // Comparisons with null -> null, collapsed to false by AND/OR.
+  EXPECT_TRUE((col("power") > lit(0.0))->eval(t, 3).is_null());
+  EXPECT_FALSE(((col("power") > lit(0.0)) && lit(true))->eval(t, 3).as_bool());
+  EXPECT_TRUE(is_null(col("power"))->eval(t, 3).as_bool());
+  EXPECT_TRUE(is_not_null(col("power"))->eval(t, 0).as_bool());
+}
+
+TEST(ExprTest, DivisionByZeroYieldsNull) {
+  const Table t = sample();
+  EXPECT_TRUE((col("power") / lit(0.0))->eval(t, 0).is_null());
+}
+
+TEST(ExprTest, ShortCircuitLogic) {
+  const Table t = sample();
+  // RHS references a throwing path? Use null collapse instead: null AND false -> false.
+  EXPECT_FALSE((lit(false) && (col("power") > lit(0.0)))->eval(t, 3).as_bool());
+  EXPECT_TRUE((lit(true) || (col("power") > lit(0.0)))->eval(t, 3).as_bool());
+  EXPECT_TRUE((!lit(false))->eval(t, 0).as_bool());
+}
+
+TEST(ExprTest, ToStringReadable) {
+  auto e = (col("a") > lit(1.0)) && col("b") == lit("x");
+  EXPECT_EQ(e->to_string(), "((a > 1) AND (b = x))");
+}
+
+TEST(OpsTest, FilterDropsNonMatchingAndNullPredicates) {
+  const Table t = sample();
+  const Table hot = filter(t, col("power") >= lit(250.0));
+  ASSERT_EQ(hot.num_rows(), 2u);  // null row excluded
+  EXPECT_EQ(hot.column("id").int_at(0), 2);
+  EXPECT_EQ(hot.column("id").int_at(1), 3);
+}
+
+TEST(OpsTest, ProjectSelectsAndReorders) {
+  const Table p = project(sample(), {"power", "id"});
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.schema().field(0).name, "power");
+  EXPECT_EQ(p.column("id").int_at(2), 3);
+  EXPECT_THROW(project(sample(), {"nope"}), std::out_of_range);
+}
+
+TEST(OpsTest, WithColumnDerives) {
+  const Table t = with_column(sample(), "kw", DataType::kFloat64, col("power") / lit(1000.0));
+  EXPECT_DOUBLE_EQ(t.column("kw").double_at(1), 0.25);
+  EXPECT_TRUE(t.column("kw").is_null(3));
+}
+
+TEST(OpsTest, RenameColumn) {
+  const Table t = rename_column(sample(), "host", "node");
+  EXPECT_TRUE(t.schema().contains("node"));
+  EXPECT_FALSE(t.schema().contains("host"));
+  EXPECT_EQ(t.column("node").str_at(0), "n0");
+}
+
+TEST(OpsTest, SortByAscDescStable) {
+  const Table t = sort_by(sample(), {{"host", true}, {"power", false}});
+  // n0 rows first (power desc within), then n1, then n2.
+  EXPECT_EQ(t.column("id").int_at(0), 3);
+  EXPECT_EQ(t.column("id").int_at(1), 1);
+  EXPECT_EQ(t.column("id").int_at(2), 2);
+  EXPECT_EQ(t.column("id").int_at(3), 4);
+}
+
+TEST(OpsTest, SortNullsFirstAscending) {
+  const Table t = sort_by(sample(), {{"power", true}});
+  EXPECT_EQ(t.column("id").int_at(0), 4);  // null power sorts first
+}
+
+TEST(OpsTest, LimitClamps) {
+  EXPECT_EQ(limit(sample(), 2).num_rows(), 2u);
+  EXPECT_EQ(limit(sample(), 99).num_rows(), 4u);
+  EXPECT_EQ(limit(sample(), 0).num_rows(), 0u);
+}
+
+TEST(OpsTest, DistinctKeepsFirst) {
+  const std::vector<std::string> keys{"host"};
+  const Table d = distinct(sample(), keys);
+  ASSERT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.column("id").int_at(0), 1);  // first n0 row wins
+}
+
+TEST(JoinTest, InnerJoinMatchesKeys) {
+  Table right{Schema{{"host", DataType::kString}, {"cabinet", DataType::kInt64}}};
+  right.append_row({Value("n0"), Value(std::int64_t{10})});
+  right.append_row({Value("n1"), Value(std::int64_t{11})});
+  const Table j = hash_join(sample(), right, {"host"});
+  ASSERT_EQ(j.num_rows(), 3u);  // n2 unmatched
+  EXPECT_EQ(j.column("cabinet").int_at(0), 10);
+}
+
+TEST(JoinTest, LeftJoinKeepsUnmatchedWithNulls) {
+  Table right{Schema{{"host", DataType::kString}, {"cabinet", DataType::kInt64}}};
+  right.append_row({Value("n0"), Value(std::int64_t{10})});
+  const Table j = hash_join(sample(), right, {"host"}, JoinType::kLeft);
+  ASSERT_EQ(j.num_rows(), 4u);
+  // n1/n2 rows carry null cabinet.
+  bool found_null = false;
+  for (std::size_t r = 0; r < j.num_rows(); ++r) {
+    if (j.column("cabinet").is_null(r)) found_null = true;
+  }
+  EXPECT_TRUE(found_null);
+}
+
+TEST(JoinTest, DuplicateBuildRowsMultiply) {
+  Table right{Schema{{"host", DataType::kString}, {"tag", DataType::kInt64}}};
+  right.append_row({Value("n0"), Value(std::int64_t{1})});
+  right.append_row({Value("n0"), Value(std::int64_t{2})});
+  const Table j = hash_join(sample(), right, {"host"});
+  EXPECT_EQ(j.num_rows(), 4u);  // two n0 probe rows x two build rows
+}
+
+TEST(JoinTest, CollidingColumnGetsSuffix) {
+  Table right{Schema{{"host", DataType::kString}, {"power", DataType::kFloat64}}};
+  right.append_row({Value("n0"), Value(1.0)});
+  const Table j = hash_join(sample(), right, {"host"});
+  EXPECT_TRUE(j.schema().contains("power"));
+  EXPECT_TRUE(j.schema().contains("power_r"));
+}
+
+TEST(OpsTest, ConcatStacksTables) {
+  const Table a = sample(), b = sample();
+  const std::vector<Table> parts{a, b};
+  const Table c = concat(parts);
+  EXPECT_EQ(c.num_rows(), 8u);
+  EXPECT_EQ(concat(std::vector<Table>{}).num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace oda::sql

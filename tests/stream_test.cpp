@@ -1,0 +1,235 @@
+// Tests for the STREAM tier: partitions, topics, retention, consumer
+// groups, offset recovery and concurrent produce/consume.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "stream/broker.hpp"
+
+namespace oda::stream {
+namespace {
+
+Record make_record(common::TimePoint t, const std::string& key = "", std::size_t payload = 16) {
+  Record r;
+  r.timestamp = t;
+  r.key = key;
+  r.payload.assign(payload, 'x');
+  return r;
+}
+
+TEST(PartitionTest, AppendAssignsSequentialOffsets) {
+  Partition p;
+  EXPECT_EQ(p.append(make_record(1)), 0);
+  EXPECT_EQ(p.append(make_record(2)), 1);
+  EXPECT_EQ(p.end_offset(), 2);
+  EXPECT_EQ(p.start_offset(), 0);
+  EXPECT_EQ(p.record_count(), 2u);
+}
+
+TEST(PartitionTest, FetchFromOffsetAndLimit) {
+  Partition p;
+  for (int i = 0; i < 10; ++i) p.append(make_record(i));
+  std::vector<StoredRecord> out;
+  const std::int64_t next = p.fetch(3, 4, out);
+  EXPECT_EQ(next, 7);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].offset, 3);
+  EXPECT_EQ(out[0].record.timestamp, 3);
+}
+
+TEST(PartitionTest, FetchPastEndReturnsNothing) {
+  Partition p;
+  p.append(make_record(1));
+  std::vector<StoredRecord> out;
+  EXPECT_EQ(p.fetch(5, 10, out), 1);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PartitionTest, OffsetForTime) {
+  Partition p;
+  for (int i = 0; i < 10; ++i) p.append(make_record(i * 100));
+  EXPECT_EQ(p.offset_for_time(0), 0);
+  EXPECT_EQ(p.offset_for_time(250), 3);
+  EXPECT_EQ(p.offset_for_time(900), 9);
+  EXPECT_EQ(p.offset_for_time(10000), 10);  // past end
+}
+
+TEST(PartitionTest, RetentionByAgeDropsWholeSegmentsOnly) {
+  Partition p(/*segment_bytes=*/200);  // ~5 records per segment
+  for (int i = 0; i < 50; ++i) p.append(make_record(i * common::kSecond));
+  const std::size_t evicted = p.enforce_retention({10 * common::kSecond, -1}, 60 * common::kSecond);
+  EXPECT_GT(evicted, 0u);
+  EXPECT_GT(p.start_offset(), 0);
+  // Everything older than cutoff minus at most one segment is gone.
+  std::vector<StoredRecord> out;
+  p.fetch(0, 100, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_GE(out.front().offset, p.start_offset());
+}
+
+TEST(PartitionTest, RetentionBySizeKeepsActiveSegment) {
+  Partition p(200);
+  for (int i = 0; i < 100; ++i) p.append(make_record(i));
+  p.enforce_retention({0, 400}, 1000);
+  EXPECT_LE(p.size_bytes(), 800u);  // bounded (granularity = segment)
+  EXPECT_GT(p.record_count(), 0u);  // active segment never evicted
+}
+
+TEST(PartitionTest, FetchSnapsForwardAfterEviction) {
+  Partition p(200);
+  for (int i = 0; i < 50; ++i) p.append(make_record(i * common::kSecond));
+  p.enforce_retention({5 * common::kSecond, -1}, 100 * common::kSecond);
+  std::vector<StoredRecord> out;
+  p.fetch(0, 5, out);  // offset 0 evicted
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().offset, p.start_offset());
+}
+
+TEST(TopicTest, KeyHashingIsStable) {
+  Topic t("x", {4, 1 << 20, {}});
+  t.produce(make_record(1, "nodeA"));
+  t.produce(make_record(2, "nodeA"));
+  // Both must land in the same partition.
+  std::size_t with_data = 0;
+  for (std::size_t p = 0; p < t.num_partitions(); ++p) {
+    if (t.partition(p).record_count() > 0) {
+      ++with_data;
+      EXPECT_EQ(t.partition(p).record_count(), 2u);
+    }
+  }
+  EXPECT_EQ(with_data, 1u);
+}
+
+TEST(TopicTest, EmptyKeyRoundRobins) {
+  Topic t("x", {4, 1 << 20, {}});
+  for (int i = 0; i < 8; ++i) t.produce(make_record(i));
+  for (std::size_t p = 0; p < 4; ++p) EXPECT_EQ(t.partition(p).record_count(), 2u);
+}
+
+TEST(TopicTest, StatsTrackProducedAndRetained) {
+  Topic t("x", {2, 1 << 20, {}});
+  for (int i = 0; i < 10; ++i) t.produce(make_record(i, "k" + std::to_string(i)));
+  const auto s = t.stats();
+  EXPECT_EQ(s.produced_records, 10u);
+  EXPECT_EQ(s.retained_records, 10u);
+  EXPECT_GT(s.produced_bytes, 0u);
+}
+
+TEST(BrokerTest, CreateTopicIdempotent) {
+  Broker b;
+  Topic& t1 = b.create_topic("t", {2, 1 << 20, {}});
+  Topic& t2 = b.create_topic("t", {8, 1 << 20, {}});  // config of first creation wins
+  EXPECT_EQ(&t1, &t2);
+  EXPECT_EQ(t1.num_partitions(), 2u);
+  EXPECT_TRUE(b.has_topic("t"));
+  EXPECT_FALSE(b.has_topic("nope"));
+  EXPECT_THROW(b.topic("nope"), std::out_of_range);
+}
+
+TEST(ConsumerTest, PollsAllRecordsAcrossPartitions) {
+  Broker b;
+  b.create_topic("t", {4, 1 << 20, {}});
+  for (int i = 0; i < 100; ++i) b.produce("t", make_record(i, "k" + std::to_string(i)));
+  Consumer c(b, "g", "t");
+  std::size_t total = 0;
+  for (;;) {
+    const auto batch = c.poll(7);
+    if (batch.empty()) break;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(c.lag(), 0);
+}
+
+TEST(ConsumerTest, CommitAndResumeFromCommitted) {
+  Broker b;
+  b.create_topic("t", {2, 1 << 20, {}});
+  for (int i = 0; i < 20; ++i) b.produce("t", make_record(i, "k" + std::to_string(i)));
+
+  Consumer c1(b, "g", "t");
+  const auto first = c1.poll(10);
+  EXPECT_EQ(first.size(), 10u);
+  c1.commit();
+  (void)c1.poll(5);  // uncommitted reads
+
+  // A "restarted" consumer resumes from the commit, not the last read.
+  Consumer c2(b, "g", "t");
+  std::size_t total = 0;
+  for (;;) {
+    const auto batch = c2.poll(64);
+    if (batch.empty()) break;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 10u);  // 20 produced - 10 committed
+}
+
+TEST(ConsumerTest, IndependentGroupsSeeFullStream) {
+  Broker b;
+  b.create_topic("t", {2, 1 << 20, {}});
+  for (int i = 0; i < 30; ++i) b.produce("t", make_record(i));
+  Consumer a(b, "groupA", "t"), c(b, "groupB", "t");
+  EXPECT_EQ(a.poll(100).size(), 30u);
+  EXPECT_EQ(c.poll(100).size(), 30u);  // fan-out: each group gets everything
+}
+
+TEST(ConsumerTest, SeekToTime) {
+  Broker b;
+  b.create_topic("t", {1, 1 << 20, {}});
+  for (int i = 0; i < 10; ++i) b.produce("t", make_record(i * common::kMinute));
+  Consumer c(b, "g", "t");
+  c.seek_to_time(5 * common::kMinute);
+  const auto batch = c.poll(100);
+  ASSERT_EQ(batch.size(), 5u);
+  EXPECT_EQ(batch.front().record.timestamp, 5 * common::kMinute);
+}
+
+TEST(BrokerTest, LagAccountsCommittedOffsets) {
+  Broker b;
+  b.create_topic("t", {2, 1 << 20, {}});
+  for (int i = 0; i < 10; ++i) b.produce("t", make_record(i));
+  EXPECT_EQ(b.lag("g", "t"), 10);
+  Consumer c(b, "g", "t");
+  (void)c.poll(4);
+  c.commit();
+  EXPECT_EQ(b.lag("g", "t"), 6);
+}
+
+TEST(BrokerTest, RetentionAllTopics) {
+  Broker b;
+  b.create_topic("a", {1, 128, {}});
+  b.create_topic("x", {1, 128, {}});
+  for (int i = 0; i < 100; ++i) {
+    b.produce("a", make_record(i * common::kSecond));
+    b.produce("x", make_record(i * common::kSecond));
+  }
+  b.set_retention_all({10 * common::kSecond, -1});
+  const std::size_t evicted = b.enforce_retention(200 * common::kSecond);
+  EXPECT_GT(evicted, 0u);
+}
+
+TEST(BrokerTest, ConcurrentProducersAndConsumer) {
+  Broker b;
+  b.create_topic("t", {4, 1 << 20, {}});
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> producers;
+  for (int tid = 0; tid < 4; ++tid) {
+    producers.emplace_back([&b, tid] {
+      for (int i = 0; i < kPerThread; ++i) {
+        b.produce("t", make_record(i, "t" + std::to_string(tid) + "_" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  Consumer c(b, "g", "t");
+  std::size_t total = 0;
+  for (;;) {
+    const auto batch = c.poll(1024);
+    if (batch.empty()) break;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 4u * kPerThread);
+}
+
+}  // namespace
+}  // namespace oda::stream

@@ -1,0 +1,193 @@
+// Tests for the digital twin: loss-curve physics, energy conservation,
+// cooling ODE stability and controller behaviour, replay metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "twin/replay.hpp"
+
+namespace oda::twin {
+namespace {
+
+using common::kHour;
+using common::kMinute;
+using common::kSecond;
+
+TEST(LossModelTest, EfficiencyCurveShape) {
+  PowerLossModel m;
+  // Rises steeply from light load.
+  EXPECT_LT(m.rectifier_efficiency(0.02), m.rectifier_efficiency(0.2));
+  EXPECT_LT(m.rectifier_efficiency(0.2), m.rectifier_efficiency(0.5));
+  // Slight sag at full load vs the mid-band peak.
+  EXPECT_GE(m.rectifier_efficiency(0.5), m.rectifier_efficiency(1.0));
+  // Always physical.
+  for (double load = 0.01; load <= 1.2; load += 0.05) {
+    EXPECT_GT(m.rectifier_efficiency(load), 0.5);
+    EXPECT_LT(m.rectifier_efficiency(load), 1.0);
+    EXPECT_GT(m.conversion_efficiency(load), 0.8);
+    EXPECT_LT(m.conversion_efficiency(load), 1.0);
+  }
+}
+
+TEST(LossModelTest, BreakdownConservesEnergy) {
+  PowerLossModel m;
+  for (double mw = 1.0; mw <= 30.0; mw += 3.0) {
+    const auto b = m.compute(mw * 1e6);
+    EXPECT_NEAR(b.total_input_w, b.it_power_w + b.conversion_loss_w + b.rectifier_loss_w,
+                1e-6 * b.total_input_w);
+    EXPECT_GT(b.conversion_loss_w, 0.0);
+    EXPECT_GT(b.rectifier_loss_w, 0.0);
+    EXPECT_GT(b.loss_fraction(), 0.0);
+    EXPECT_LT(b.loss_fraction(), 0.2);  // realistic plant: single-digit %
+  }
+}
+
+TEST(LossModelTest, LossFractionHigherAtLightLoad) {
+  PowerLossModel m;
+  EXPECT_GT(m.compute(1e6).loss_fraction(), m.compute(15e6).loss_fraction());
+}
+
+TEST(CoolingTest, ConvergesToSteadyState) {
+  CoolingSystemModel plant;
+  const double heat_w = 15e6;
+  CoolingOutputs out;
+  for (int i = 0; i < 3000; ++i) out = plant.step(5.0, heat_w, 18.0);
+  // Return - supply equals Q / (m cp) at steady state.
+  const double expected_rise = heat_w / (plant.config().primary_flow_kg_s * plant.config().cp_water);
+  EXPECT_NEAR(out.state.t_return_c - out.state.t_supply_c, expected_rise, 0.01);
+  // At steady state, heat rejected ~ heat input.
+  EXPECT_NEAR(out.heat_rejected_w, heat_w, 0.05 * heat_w);
+}
+
+TEST(CoolingTest, ControllerHoldsSetpointAtModerateLoad) {
+  CoolingSystemModel plant;
+  CoolingOutputs out;
+  for (int i = 0; i < 5000; ++i) out = plant.step(5.0, 8e6, 15.0);
+  EXPECT_NEAR(out.state.t_supply_c, plant.config().supply_setpoint_c, 1.5);
+}
+
+TEST(CoolingTest, HotterAmbientRaisesTemperatures) {
+  CoolingSystemModel cool, hot;
+  CoolingOutputs oc, oh;
+  for (int i = 0; i < 3000; ++i) {
+    oc = cool.step(5.0, 20e6, 12.0);
+    oh = hot.step(5.0, 20e6, 28.0);
+  }
+  EXPECT_GT(oh.state.t_tower_c, oc.state.t_tower_c + 5.0);
+  EXPECT_GE(oh.state.t_return_c, oc.state.t_return_c - 0.5);
+}
+
+TEST(CoolingTest, StepLoadResponseIsDelayedAndSmooth) {
+  CoolingSystemModel plant;
+  for (int i = 0; i < 2000; ++i) plant.step(5.0, 5e6, 18.0);
+  const double before = plant.state().t_coldplate_c;
+  // Step the load up; the cold plate must move gradually (thermal mass).
+  plant.step(5.0, 25e6, 18.0);
+  const double after_one_step = plant.state().t_coldplate_c;
+  EXPECT_LT(after_one_step - before, 2.0);  // no instantaneous jump
+  double prev = after_one_step;
+  bool monotone = true;
+  for (int i = 0; i < 600; ++i) {
+    plant.step(5.0, 25e6, 18.0);
+    if (plant.state().t_coldplate_c < prev - 0.3) monotone = false;
+    prev = plant.state().t_coldplate_c;
+  }
+  EXPECT_TRUE(monotone);
+  EXPECT_GT(prev, before + 3.0);  // eventually warms substantially
+}
+
+TEST(CoolingTest, NumericallyStableAtLargeTimestep) {
+  CoolingSystemModel plant;
+  for (int i = 0; i < 500; ++i) {
+    const auto out = plant.step(30.0, 25e6, 20.0);
+    ASSERT_TRUE(std::isfinite(out.state.t_coldplate_c));
+    ASSERT_LT(out.state.t_coldplate_c, 200.0);
+    ASSERT_GT(out.state.t_coldplate_c, -50.0);
+  }
+}
+
+TEST(CoolingTest, FanPowerFollowsDuty) {
+  CoolingSystemModel idle_plant, busy_plant;
+  CoolingOutputs oi, ob;
+  for (int i = 0; i < 2000; ++i) {
+    oi = idle_plant.step(5.0, 2e6, 10.0);
+    ob = busy_plant.step(5.0, 28e6, 25.0);
+  }
+  EXPECT_GT(ob.state.tower_duty, oi.state.tower_duty);
+  EXPECT_GT(ob.cooling_power_w, oi.cooling_power_w);
+}
+
+TEST(HplTraceTest, ShapeIdleRampSustainDrop) {
+  const auto trace = synthetic_hpl_trace(7.0, 24.0, 2 * kHour);
+  ASSERT_GT(trace.size(), 100u);
+  EXPECT_NEAR(trace.front().it_power_w, 7e6, 1e5);  // starts at idle
+  EXPECT_NEAR(trace.back().it_power_w, 7e6, 1e5);   // ends at idle
+  double peak = 0;
+  for (const auto& s : trace) peak = std::max(peak, s.it_power_w);
+  EXPECT_GT(peak, 23e6);
+  EXPECT_LT(peak, 25e6);
+  // Sustained phase: most samples above 80% of peak.
+  std::size_t high = 0;
+  for (const auto& s : trace) {
+    if (s.it_power_w > 0.75 * peak) ++high;
+  }
+  EXPECT_GT(high, trace.size() / 2);
+}
+
+TEST(TraceTest, InterpolationAtAndBetweenSamples) {
+  std::vector<PowerSample> trace{{0, 10.0}, {10, 20.0}, {20, 40.0}};
+  EXPECT_DOUBLE_EQ(trace_at(trace, 0), 10.0);
+  EXPECT_DOUBLE_EQ(trace_at(trace, 5), 15.0);
+  EXPECT_DOUBLE_EQ(trace_at(trace, 15), 30.0);
+  EXPECT_DOUBLE_EQ(trace_at(trace, -5), 10.0);  // clamp before
+  EXPECT_DOUBLE_EQ(trace_at(trace, 99), 40.0);  // clamp after
+  EXPECT_DOUBLE_EQ(trace_at({}, 0), 0.0);
+}
+
+TEST(ReplayTest, HplReplayMetrics) {
+  ReplayHarness harness;
+  const auto result = harness.replay(synthetic_hpl_trace(7.0, 24.0, 90 * kMinute));
+  EXPECT_GT(result.timeline.num_rows(), 500u);
+  // Losses are single-digit percent; PUE just above 1 for a liquid plant.
+  EXPECT_GT(result.mean_loss_fraction, 0.02);
+  EXPECT_LT(result.mean_loss_fraction, 0.12);
+  EXPECT_GT(result.mean_pue, 1.02);
+  EXPECT_LT(result.mean_pue, 1.3);
+  // The thermal response lags the power peak (Fig 11's transient).
+  EXPECT_GT(result.thermal_lag_s, 0.0);
+  EXPECT_GT(result.max_return_c, 30.0);
+}
+
+TEST(ReplayTest, EmptyTraceYieldsEmptyTimeline) {
+  ReplayHarness harness;
+  const auto result = harness.replay({});
+  EXPECT_EQ(result.timeline.num_rows(), 0u);
+}
+
+TEST(ReplayTest, PueRespondsToLoadMagnitude) {
+  // A bigger machine at the same plant config: relatively efficient.
+  ReplayHarness harness;
+  const auto small = harness.replay(synthetic_hpl_trace(1.0, 3.0, 30 * kMinute));
+  const auto big = harness.replay(synthetic_hpl_trace(7.0, 24.0, 30 * kMinute));
+  // Light load carries proportionally larger overheads.
+  EXPECT_GT(small.mean_pue, big.mean_pue);
+}
+
+TEST(ReplayTest, TimelineColumnsConsistent) {
+  ReplayHarness harness;
+  const auto r = harness.replay(synthetic_hpl_trace(7.0, 24.0, 30 * kMinute));
+  const auto& tl = r.timeline;
+  for (std::size_t row = 0; row < tl.num_rows(); ++row) {
+    const double it = tl.column("it_power_w").double_at(row);
+    const double in = tl.column("input_power_w").double_at(row);
+    const double rect = tl.column("rectifier_loss_w").double_at(row);
+    const double conv = tl.column("conversion_loss_w").double_at(row);
+    EXPECT_NEAR(in, it + rect + conv, 1e-6 * in);
+    EXPECT_GE(tl.column("t_return_c").double_at(row), tl.column("t_supply_c").double_at(row));
+    EXPECT_GE(tl.column("pue").double_at(row), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace oda::twin

@@ -1,0 +1,153 @@
+// Tests for the system-view heatmap renderer and per-project energy
+// accounting.
+#include <gtest/gtest.h>
+
+#include "apps/heatmap.hpp"
+#include "apps/rats_report.hpp"
+#include "core/framework.hpp"
+
+namespace oda::apps {
+namespace {
+
+using common::kMinute;
+using common::kSecond;
+
+class HeatmapTest : public ::testing::Test {
+ protected:
+  HeatmapTest() : spec_(telemetry::mountain_spec(0.004)) {}  // 18 nodes, 1 cabinet
+
+  void fill(double lo_w, double hi_w) {
+    for (std::size_t node = 0; node < spec_.total_nodes(); ++node) {
+      const double frac =
+          static_cast<double>(node) / static_cast<double>(spec_.total_nodes() - 1);
+      lake_.append({"node_power_w", {{"node_id", std::to_string(node)}}}, kMinute,
+                   lo_w + frac * (hi_w - lo_w));
+    }
+  }
+
+  telemetry::SystemSpec spec_;
+  storage::TimeSeriesDb lake_;
+};
+
+TEST_F(HeatmapTest, SnapshotIndexesByNodeId) {
+  fill(100.0, 1800.0);
+  SystemHeatmap map(spec_, lake_);
+  const auto snap = map.snapshot("node_power_w");
+  ASSERT_EQ(snap.size(), spec_.total_nodes());
+  EXPECT_DOUBLE_EQ(snap[0], 100.0);
+  EXPECT_DOUBLE_EQ(snap.back(), 1800.0);
+}
+
+TEST_F(HeatmapTest, MissingNodesRenderAsUnknown) {
+  lake_.append({"node_power_w", {{"node_id", "3"}}}, kMinute, 500.0);
+  SystemHeatmap map(spec_, lake_);
+  const auto snap = map.snapshot("node_power_w");
+  EXPECT_TRUE(std::isnan(snap[0]));
+  EXPECT_DOUBLE_EQ(snap[3], 500.0);
+  const std::string ascii = map.render_ascii();
+  EXPECT_NE(ascii.find('?'), std::string::npos);
+}
+
+TEST_F(HeatmapTest, AsciiIntensityTracksValues) {
+  fill(100.0, 1800.0);
+  SystemHeatmap map(spec_, lake_);
+  HeatmapOptions opts;
+  opts.columns = spec_.total_nodes();  // one row: nodes left->right
+  const std::string art = map.render_ascii(opts);
+  // Find the grid row (second line) and check it's monotone-ish in ramp.
+  const auto nl = art.find('\n');
+  const std::string row = art.substr(nl + 1, spec_.total_nodes());
+  static const std::string kRamp = " .:-=+*#%@";
+  EXPECT_LT(kRamp.find(row.front()), kRamp.find(row.back()));
+  EXPECT_EQ(row.back(), '@');  // hottest node saturates the ramp
+}
+
+TEST_F(HeatmapTest, SvgIsWellFormedAndPerNode) {
+  fill(100.0, 1800.0);
+  SystemHeatmap map(spec_, lake_);
+  const std::string svg = map.render_svg();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per node plus the background.
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos; ++pos) ++rects;
+  EXPECT_EQ(rects, spec_.total_nodes() + 1);
+  EXPECT_NE(svg.find("node 17"), std::string::npos);  // tooltips present
+}
+
+TEST_F(HeatmapTest, ExplicitScaleClamps) {
+  fill(100.0, 1800.0);
+  SystemHeatmap map(spec_, lake_);
+  HeatmapOptions opts;
+  opts.scale_min = 0.0;
+  opts.scale_max = 100.0;  // everything at/above max
+  opts.columns = spec_.total_nodes();
+  const std::string art = map.render_ascii(opts);
+  const auto nl = art.find('\n');
+  const std::string row = art.substr(nl + 1, spec_.total_nodes());
+  for (char c : row) EXPECT_EQ(c, '@');
+}
+
+TEST(ProjectEnergyTest, IntegratesLakeSeriesPerProject) {
+  // Two projects, two nodes; constant 1000 W for 1 hour on P1's node,
+  // 500 W for 1 hour on P2's node, sampled every minute.
+  storage::TimeSeriesDb lake;
+  for (int minute = 0; minute <= 60; ++minute) {
+    lake.append({"node_power_w", {{"node_id", "0"}}}, minute * kMinute, 1000.0);
+    lake.append({"node_power_w", {{"node_id", "1"}}}, minute * kMinute, 500.0);
+  }
+  using sql::DataType;
+  using sql::Value;
+  sql::Table log{sql::Schema{{"job_id", DataType::kInt64},   {"project", DataType::kString},
+                             {"user", DataType::kString},    {"archetype", DataType::kString},
+                             {"submit_time", DataType::kInt64}, {"start_time", DataType::kInt64},
+                             {"end_time", DataType::kInt64}, {"num_nodes", DataType::kInt64},
+                             {"uses_gpu", DataType::kBool}}};
+  log.append_row({Value(std::int64_t{1}), Value("P1"), Value("u"), Value("constant"),
+                  Value(std::int64_t{0}), Value(std::int64_t{0}), Value(common::kHour),
+                  Value(std::int64_t{1}), Value(true)});
+  log.append_row({Value(std::int64_t{2}), Value("P2"), Value("u"), Value("constant"),
+                  Value(std::int64_t{0}), Value(std::int64_t{0}), Value(common::kHour),
+                  Value(std::int64_t{1}), Value(true)});
+  sql::Table alloc{sql::Schema{{"job_id", DataType::kInt64},
+                               {"node_id", DataType::kInt64},
+                               {"start_time", DataType::kInt64},
+                               {"end_time", DataType::kInt64}}};
+  alloc.append_row({Value(std::int64_t{1}), Value(std::int64_t{0}), Value(std::int64_t{0}),
+                    Value(common::kHour)});
+  alloc.append_row({Value(std::int64_t{2}), Value(std::int64_t{1}), Value(std::int64_t{0}),
+                    Value(common::kHour)});
+
+  RatsReport rats(log);
+  const auto energy = rats.project_energy(lake, alloc);
+  ASSERT_EQ(energy.num_rows(), 2u);
+  // P1 first (more energy): 1000 W x ~59 min ≈ 0.98 kWh.
+  EXPECT_EQ(energy.column("project").str_at(0), "P1");
+  EXPECT_NEAR(energy.column("energy_kwh").double_at(0), 1.0, 0.05);
+  EXPECT_NEAR(energy.column("energy_kwh").double_at(1), 0.5, 0.03);
+  EXPECT_NEAR(energy.column("mean_power_w").double_at(0), 1000.0, 1.0);
+}
+
+TEST(ProjectEnergyTest, LiveFrameworkEnergyAccounting) {
+  core::OdaFramework fw;
+  telemetry::SimulatorConfig cfg;
+  cfg.scheduler.arrival_rate_per_hour = 300.0;
+  cfg.scheduler.mean_duration_hours = 0.2;
+  auto& sys = fw.add_system(telemetry::compass_spec(0.005), cfg);
+  fw.register_query(fw.make_bronze_to_silver_power("Compass"));
+  fw.register_query(fw.make_silver_to_lake("Compass", "node.power_w", "node_power_w"));
+  fw.advance(20 * kMinute);
+
+  RatsReport rats(sys.scheduler().allocation_log());
+  const auto energy = rats.project_energy(fw.lake(), sys.scheduler().node_allocation_log());
+  ASSERT_GT(energy.num_rows(), 0u);
+  for (std::size_t r = 0; r < energy.num_rows(); ++r) {
+    EXPECT_GT(energy.column("energy_kwh").double_at(r), 0.0);
+    // Node power between overhead floor and node max.
+    EXPECT_GT(energy.column("mean_power_w").double_at(r), 100.0);
+    EXPECT_LT(energy.column("mean_power_w").double_at(r), 6000.0);
+  }
+}
+
+}  // namespace
+}  // namespace oda::apps
