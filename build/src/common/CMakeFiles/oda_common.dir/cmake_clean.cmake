@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_common.dir/stats.cpp.o"
+  "CMakeFiles/oda_common.dir/stats.cpp.o.d"
+  "CMakeFiles/oda_common.dir/time.cpp.o"
+  "CMakeFiles/oda_common.dir/time.cpp.o.d"
+  "liboda_common.a"
+  "liboda_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_framework_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_table_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_agg_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_codecs_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_columnar_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_tiers_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/twin_test[1]_include.cmake")
+include("/root/repo/build/tests/governance_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/multisystem_test[1]_include.cmake")
+include("/root/repo/build/tests/campaign_test[1]_include.cmake")
+include("/root/repo/build/tests/collection_test[1]_include.cmake")
+include("/root/repo/build/tests/visual_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/group_member_test[1]_include.cmake")
+include("/root/repo/build/tests/inference_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
