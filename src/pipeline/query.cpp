@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/bytes.hpp"
+#include "common/faults.hpp"
 
 namespace oda::pipeline {
 
@@ -61,12 +62,22 @@ void StreamingQuery::rollback_operator_state() {
 std::size_t StreamingQuery::run_once() {
   Stopwatch batch_sw;
   snapshot_operator_state();
+  for (Sink* s : sinks_) s->begin_batch();
 
-  Table input = source_->pull(config_.max_records_per_batch);
-  const std::size_t pulled = input.num_rows();
-  if (pulled == 0) return 0;
-
+  std::size_t pulled = 0;
+  bool pull_ok = false;
   try {
+    Table input = source_->pull(config_.max_records_per_batch);
+    pull_ok = true;
+    pulled = input.num_rows();
+    if (pulled == 0) {
+      // Nothing happened; close the empty transaction.
+      for (Sink* s : sinks_) s->commit_batch();
+      for (auto& op : operators_) op->commit_batch();
+      return 0;
+    }
+
+    chaos::fault_point("pipeline.batch");
     if (faults_.fail_on_batch && metrics_.batches == *faults_.fail_on_batch) {
       faults_.fail_on_batch.reset();
       throw std::runtime_error("injected fault");
@@ -86,6 +97,11 @@ std::size_t StreamingQuery::run_once() {
     }
     for (Sink* s : sinks_) s->write(batch.table);
 
+    // Commit order: sinks first (their commits are infallible in-memory
+    // bookkeeping), then operator state, then the source offsets. Nothing
+    // after the sink writes can throw, so a batch either fully lands or
+    // fully rolls back.
+    for (Sink* s : sinks_) s->commit_batch();
     for (auto& op : operators_) op->commit_batch();
     source_->commit();
     metrics_.rows_ingested += pulled;
@@ -97,9 +113,21 @@ std::size_t StreamingQuery::run_once() {
     ++metrics_.failures;
     metrics_.last_error = e.what();
     rollback_operator_state();
+    for (Sink* s : sinks_) s->rollback_batch();
+    if (!pull_ok) {
+      // The pull itself gave up (broker outage outlasting the source's
+      // retry budget). The consumer may have phantom-advanced positions,
+      // so restore them and report "no progress" — the batch was never
+      // observed, there is nothing to dead-letter.
+      source_->rewind();
+      return 0;
+    }
     if (config_.max_retries > 0 && ++consecutive_failures_ >= config_.max_retries) {
       // Dead-letter the poison batch: commit past it so the pipeline
-      // makes progress (at-most-once for this batch only).
+      // makes progress (at-most-once for this batch only). Sinks reset
+      // their replay bookkeeping; any prefix a TopicSink already
+      // published stays (the at-least-once floor documented there).
+      for (Sink* s : sinks_) s->commit_batch();
       source_->commit();
       ++metrics_.batches_skipped;
       consecutive_failures_ = 0;

@@ -63,10 +63,15 @@ class StreamingQuery {
   StreamingQuery& add_sink_ref(Sink& sink);
 
   /// Process one micro-batch. Returns rows pulled from the source
-  /// (0 = caught up). On failure (exception or injected fault) the source
-  /// rewinds to the last commit and operator state rolls back, so the
-  /// batch is reprocessed on the next call — at-least-once into sinks,
-  /// exactly-once for watermark-finalized windows.
+  /// (0 = caught up, or the pull itself failed after retries). Each call
+  /// is a transaction: operators snapshot and sinks begin_batch() before
+  /// the pull; on any failure (exception, injected chaos fault, legacy
+  /// FaultPlan) operator state and sink output roll back and the source
+  /// rewinds, so the replay re-produces byte-identical output —
+  /// exactly-once into transactional sinks for batches that eventually
+  /// commit. A batch that keeps failing is dead-lettered after
+  /// max_retries (at-most-once for that batch only). Never throws on
+  /// infrastructure faults.
   std::size_t run_once();
 
   /// Drain until the source is caught up; returns total rows processed.

@@ -13,6 +13,19 @@ using sql::Value;
 
 void LakeSink::write(const Table& t) {
   if (t.num_rows() == 0) return;
+  // Validate column references up front so a bad schema still fails in
+  // write() (the fallible phase), then stage or write through.
+  (void)t.col_index(time_column_);
+  (void)t.col_index(value_column_);
+  for (const auto& c : tag_columns_) (void)t.col_index(c);
+  if (in_batch_) {
+    staged_.push_back(t);
+    return;
+  }
+  append_rows(t);
+}
+
+void LakeSink::append_rows(const Table& t) {
   const std::size_t tc = t.col_index(time_column_);
   const std::size_t vc = t.col_index(value_column_);
   std::vector<std::size_t> tag_idx;
@@ -32,8 +45,24 @@ void LakeSink::write(const Table& t) {
 }
 
 OceanSink::OceanSink(storage::ObjectStore& ocean, std::string dataset, storage::DataClass data_class,
-                     std::size_t rows_per_object)
-    : ocean_(ocean), dataset_(std::move(dataset)), class_(data_class), rows_per_object_(rows_per_object) {}
+                     std::size_t rows_per_object, chaos::RetryPolicy retry)
+    : ocean_(ocean),
+      dataset_(std::move(dataset)),
+      class_(data_class),
+      rows_per_object_(rows_per_object),
+      retrier_(retry, /*seed=*/0x0cea2ull) {}
+
+void OceanSink::put_object(const Table& chunk) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "/part%06zu", part_);
+  const std::string key = dataset_ + name;
+  const auto blob = storage::write_columnar(chunk);
+  retrier_.run("pipeline.sink", [&] {
+    chaos::fault_point("pipeline.sink");
+    ocean_.put(key, blob, dataset_, class_, now_);
+  });
+  ++part_;  // only after the put landed; a failed put keeps the key stable
+}
 
 void OceanSink::write(const Table& t) {
   if (t.num_rows() == 0) return;
@@ -48,22 +77,22 @@ void OceanSink::write(const Table& t) {
     for (std::size_t i = 0; i < tail.size(); ++i) tail[i] = rows_per_object_ + i;
     buffer_ = buffer_.take(tail);
 
-    char name[32];
-    std::snprintf(name, sizeof(name), "/part%06zu", part_++);
-    ocean_.put(dataset_ + name, storage::write_columnar(chunk), dataset_, class_, now_);
+    put_object(chunk);
   }
 }
 
 void OceanSink::flush() {
   if (buffer_.num_rows() == 0) return;
-  char name[32];
-  std::snprintf(name, sizeof(name), "/part%06zu", part_++);
-  ocean_.put(dataset_ + name, storage::write_columnar(buffer_), dataset_, class_, now_);
+  put_object(buffer_);
   buffer_ = Table(buffer_.schema());
 }
 
 void TopicSink::write(const Table& t) {
   if (t.num_rows() == 0) return;
+  // Dedupe across deterministic replays: writes already published in an
+  // earlier attempt of this batch are skipped, not re-produced.
+  const std::size_t idx = writes_this_batch_++;
+  if (idx < produced_high_water_) return;
   stream::Record rec;
   // Batch event time: max of the first int64 column named "time" or
   // "window_start" if present, else 0.
@@ -78,7 +107,11 @@ void TopicSink::write(const Table& t) {
   }
   const auto blob = storage::write_columnar(t);
   rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
-  broker_.produce(topic_, std::move(rec));
+  retrier_.run("pipeline.sink", [&] {
+    chaos::fault_point("pipeline.sink");
+    broker_.produce(topic_, rec);  // copy per attempt; produce rejects before append
+  });
+  produced_high_water_ = idx + 1;
 }
 
 Table decode_columnar_records(std::span<const stream::StoredRecord> records) {

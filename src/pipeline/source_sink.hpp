@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/faults.hpp"
 #include "sql/table.hpp"
 #include "storage/object_store.hpp"
 #include "storage/tsdb.hpp"
@@ -29,31 +30,60 @@ class Source {
   virtual std::int64_t lag() const = 0;
 };
 
-/// Reads a broker topic through a consumer group.
+/// Reads a broker topic through a consumer group. Polls retry under the
+/// retry policy: a faulted fetch ("stream.fetch") may have advanced the
+/// consumer's positions partway through the topic's partitions, so every
+/// retry first restores the committed positions. Decode happens outside
+/// the retry loop — a payload that cannot decode is poison, not a
+/// transient infrastructure error.
 class BrokerSource final : public Source {
  public:
-  BrokerSource(stream::Broker& broker, std::string topic, std::string group, RecordDecoder decoder)
-      : consumer_(broker, std::move(group), std::move(topic)), decoder_(std::move(decoder)) {}
+  BrokerSource(stream::Broker& broker, std::string topic, std::string group, RecordDecoder decoder,
+               chaos::RetryPolicy retry = {})
+      : consumer_(broker, std::move(group), std::move(topic)),
+        decoder_(std::move(decoder)),
+        retrier_(retry, /*seed=*/0xb20ce2ull) {}
 
   sql::Table pull(std::size_t max_records) override {
-    const auto records = consumer_.poll(max_records);
+    const auto records = retrier_.run(
+        "pipeline.pull", [&] { return consumer_.poll(max_records); },
+        [&] { consumer_.seek_to_committed(); });
     return decoder_(records);
   }
   void commit() override { consumer_.commit(); }
   void rewind() override { consumer_.seek_to_committed(); }
   std::int64_t lag() const override { return consumer_.lag(); }
+  const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
 
  private:
   stream::Consumer consumer_;
   RecordDecoder decoder_;
+  chaos::Retrier retrier_;
 };
 
+/// Sinks participate in the micro-batch transaction protocol:
+///
+///   begin_batch(); write()...; commit_batch()   — or rollback_batch().
+///
+/// All fallible I/O (including internal retries) happens in write();
+/// commit_batch() and rollback_batch() MUST be infallible — they only
+/// adjust in-memory bookkeeping, which is what lets StreamingQuery
+/// guarantee exactly-once output across fault-driven batch replays.
+/// Sinks used without brackets (direct write calls) behave as before:
+/// every write lands immediately.
 class Sink {
  public:
   virtual ~Sink() = default;
   virtual void write(const sql::Table& t) = 0;
   /// Drain any buffered output (end of stream). Default: nothing buffered.
   virtual void flush() {}
+  /// Open a micro-batch transaction. Default: no transactional state.
+  virtual void begin_batch() {}
+  /// Make the batch's writes durable/visible. Must not throw.
+  virtual void commit_batch() {}
+  /// Discard the batch's writes (the batch will be replayed or skipped).
+  /// Must not throw.
+  virtual void rollback_batch() {}
 };
 
 /// Collects output in memory (tests, Gold hand-off to apps/ML).
@@ -67,10 +97,21 @@ class TableSink final : public Sink {
     if (table_.num_columns() == 0) table_ = sql::Table(t.schema());
     table_.append_table(t);
   }
+  void begin_batch() override {
+    snap_rows_ = table_.num_rows();
+    in_batch_ = true;
+  }
+  void commit_batch() override { in_batch_ = false; }
+  void rollback_batch() override {
+    if (in_batch_) table_.truncate(snap_rows_);
+    in_batch_ = false;
+  }
   const sql::Table& table() const { return table_; }
 
  private:
   sql::Table table_;
+  std::size_t snap_rows_ = 0;
+  bool in_batch_ = false;
 };
 
 /// Writes each row into the LAKE as time series. Tag columns become
@@ -86,51 +127,126 @@ class LakeSink final : public Sink {
         tag_columns_(std::move(tag_columns)) {}
 
   void write(const sql::Table& t) override;
+  /// Bracketed writes stage their rows and land atomically at commit;
+  /// bracketless writes (direct use) land immediately as before.
+  void begin_batch() override {
+    staged_.clear();
+    in_batch_ = true;
+  }
+  void commit_batch() override {
+    for (const auto& t : staged_) append_rows(t);
+    staged_.clear();
+    in_batch_ = false;
+  }
+  void rollback_batch() override {
+    staged_.clear();
+    in_batch_ = false;
+  }
 
  private:
+  void append_rows(const sql::Table& t);
+
   storage::TimeSeriesDb& lake_;
   std::string metric_;
   std::string time_column_;
   std::string value_column_;
   std::vector<std::string> tag_columns_;
+  std::vector<sql::Table> staged_;
+  bool in_batch_ = false;
 };
 
 /// Buffers rows and flushes columnar objects of ~`rows_per_object` into
-/// OCEAN under `dataset/partNNNN`.
+/// OCEAN under `dataset/partNNNN`. Part keys are deterministic, so a
+/// replayed batch that re-flushes a chunk overwrites the same object with
+/// identical bytes (put is idempotent by key) — exactly-once at the
+/// object level. Puts retry under the sink retry policy at the
+/// "pipeline.sink" seam.
 class OceanSink final : public Sink {
  public:
   OceanSink(storage::ObjectStore& ocean, std::string dataset, storage::DataClass data_class,
-            std::size_t rows_per_object = 100000);
+            std::size_t rows_per_object = 100000, chaos::RetryPolicy retry = {});
 
   void write(const sql::Table& t) override;
   /// Flush any buffered remainder as a final (smaller) object.
   void flush() override;
+  void begin_batch() override {
+    snap_buffer_ = buffer_;
+    snap_part_ = part_;
+    in_batch_ = true;
+  }
+  void commit_batch() override {
+    snap_buffer_ = sql::Table{};
+    in_batch_ = false;
+  }
+  void rollback_batch() override {
+    // Restore buffer AND part counter: a chunk flushed mid-batch leaves
+    // the buffer, so a row-count snapshot alone could not reconstruct it.
+    // The replay re-produces the same chunks under the same part keys.
+    if (in_batch_) {
+      buffer_ = std::move(snap_buffer_);
+      part_ = snap_part_;
+    }
+    snap_buffer_ = sql::Table{};
+    in_batch_ = false;
+  }
   std::size_t objects_written() const { return part_; }
   /// Facility time used for object metadata (advance as the pipeline runs).
   void set_now(common::TimePoint now) { now_ = now; }
+  const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
 
  private:
+  void put_object(const sql::Table& chunk);
+
   storage::ObjectStore& ocean_;
   std::string dataset_;
   storage::DataClass class_;
   std::size_t rows_per_object_;
+  chaos::Retrier retrier_;
   sql::Table buffer_;
   std::size_t part_ = 0;
   common::TimePoint now_ = 0;
+  sql::Table snap_buffer_;
+  std::size_t snap_part_ = 0;
+  bool in_batch_ = false;
 };
 
 /// Re-publishes micro-batches to another topic as columnar-serialized
 /// payloads (Silver stream feeding multiple downstream consumers).
+///
+/// A produced record cannot be unpublished, so the batch protocol dedupes
+/// instead of undoing: each write inside a batch is numbered, and the
+/// high-water mark of already-published writes survives rollback. When
+/// StreamingQuery replays the batch (deterministically — same input rows,
+/// same operator state), writes below the mark are skipped rather than
+/// re-published. Publishing itself retries at the "pipeline.sink" seam.
+/// If the batch is ultimately dead-lettered after a partial publish, the
+/// published prefix stays — at-least-once is the documented floor for a
+/// non-transactional broker; the chaos tier drains to success instead.
 class TopicSink final : public Sink {
  public:
-  TopicSink(stream::Broker& broker, std::string topic) : broker_(broker), topic_(std::move(topic)) {
+  TopicSink(stream::Broker& broker, std::string topic, chaos::RetryPolicy retry = {})
+      : broker_(broker), topic_(std::move(topic)), retrier_(retry, /*seed=*/0x70b1c5ull) {
     broker_.create_topic(topic_);
   }
   void write(const sql::Table& t) override;
+  void begin_batch() override { writes_this_batch_ = 0; }
+  void commit_batch() override {
+    produced_high_water_ = 0;
+    writes_this_batch_ = 0;
+  }
+  void rollback_batch() override {
+    // Keep produced_high_water_: those records are already in the topic
+    // and the replay must not double-publish them.
+    writes_this_batch_ = 0;
+  }
+  const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
 
  private:
   stream::Broker& broker_;
   std::string topic_;
+  chaos::Retrier retrier_;
+  std::size_t writes_this_batch_ = 0;
+  std::size_t produced_high_water_ = 0;
 };
 
 /// Decoder for TopicSink-produced topics (columnar payload per record).

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
@@ -10,6 +11,20 @@ namespace oda::storage {
 
 using common::ByteReader;
 using common::ByteWriter;
+
+namespace {
+// Decoders must stay robust to truncated or corrupted input: fail with an
+// exception, never crash, over-read or allocate absurdly. Where every
+// encoded element costs at least one byte the declared count is bounded
+// by the bytes actually present; expansion codecs (RLE, LZ, BSS planes)
+// get an absolute plausibility cap instead, far above anything the
+// encoders in this repo produce.
+constexpr std::uint64_t kMaxExpandedBytes = 1ull << 28;  // 256 MiB
+
+void check_count(std::uint64_t n, std::size_t remaining, const char* codec) {
+  if (n > remaining) throw std::runtime_error(std::string(codec) + ": count exceeds input size");
+}
+}  // namespace
 
 std::vector<std::uint8_t> encode_int64_delta(std::span<const std::int64_t> values) {
   ByteWriter w;
@@ -25,6 +40,7 @@ std::vector<std::uint8_t> encode_int64_delta(std::span<const std::int64_t> value
 std::vector<std::int64_t> decode_int64_delta(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint64_t n = r.varint();
+  check_count(n, r.remaining(), "int64-delta");  // each svarint is >= 1 byte
   std::vector<std::int64_t> out;
   out.reserve(n);
   std::int64_t prev = 0;
@@ -55,6 +71,7 @@ std::vector<std::uint8_t> encode_float64_xor(std::span<const double> values) {
 std::vector<double> decode_float64_xor(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint64_t n = r.varint();
+  check_count(n, r.remaining(), "float64-xor");  // each varint is >= 1 byte
   std::vector<double> out;
   out.reserve(n);
   std::uint64_t prev = 0;
@@ -97,6 +114,11 @@ std::vector<std::uint8_t> encode_float64_bss(std::span<const double> values) {
 std::vector<double> decode_float64_bss(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint64_t n = r.varint();
+  // RLE planes can legitimately compress far below n bytes, so the count
+  // is not bounded by the input size; cap the allocation instead.
+  if (n * sizeof(double) > kMaxExpandedBytes || n > SIZE_MAX / sizeof(double)) {
+    throw std::runtime_error("bss: implausible element count");
+  }
   std::vector<std::uint64_t> bits(n, 0);
   for (int p = 0; p < 8; ++p) {
     const std::uint8_t is_rle = r.u8();
@@ -115,7 +137,7 @@ std::vector<double> decode_float64_bss(std::span<const std::uint8_t> data) {
     }
   }
   std::vector<double> out(n);
-  std::memcpy(out.data(), bits.data(), n * sizeof(double));
+  if (n) std::memcpy(out.data(), bits.data(), n * sizeof(double));
   return out;
 }
 
@@ -141,10 +163,12 @@ std::vector<std::uint8_t> encode_strings_dict(const std::vector<std::string>& va
 std::vector<std::string> decode_strings_dict(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint64_t nd = r.varint();
+  check_count(nd, r.remaining(), "dict codec");  // each entry is >= 1 length byte
   std::vector<std::string> dict;
   dict.reserve(nd);
   for (std::uint64_t i = 0; i < nd; ++i) dict.push_back(r.str());
   const std::uint64_t n = r.varint();
+  check_count(n, r.remaining(), "dict codec");  // each index is >= 1 byte
   std::vector<std::string> out;
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -175,6 +199,7 @@ std::vector<std::uint8_t> encode_bools(std::span<const std::uint8_t> values) {
 std::vector<std::uint8_t> decode_bools(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint64_t n = r.varint();
+  check_count((n + 7) / 8, r.remaining(), "bools codec");
   std::vector<std::uint8_t> out;
   out.reserve(n);
   std::uint8_t acc = 0;
@@ -203,11 +228,15 @@ std::vector<std::uint8_t> rle_encode(std::span<const std::uint8_t> data) {
 std::vector<std::uint8_t> rle_decode(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint64_t n = r.varint();
+  if (n > kMaxExpandedBytes) throw std::runtime_error("rle: implausible length");
   std::vector<std::uint8_t> out;
   out.reserve(n);
   while (out.size() < n) {
     const std::uint8_t v = r.u8();
     const std::uint64_t run = r.varint();
+    // Bound before inserting: a corrupt run count must not drive a
+    // multi-gigabyte allocation on its way to the length check below.
+    if (run == 0 || run > n - out.size()) throw std::runtime_error("rle: run overflows length");
     out.insert(out.end(), run, v);
   }
   if (out.size() != n) throw std::runtime_error("rle: length mismatch");
@@ -295,6 +324,11 @@ std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> data) {
 std::vector<std::uint8_t> lz_decompress(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   const std::uint64_t n = r.varint();
+  // A match token (<= 4 bytes incl. flag share) emits at most 259 bytes,
+  // so legitimate output is bounded by a small multiple of the input.
+  if (n > kMaxExpandedBytes || n / 260 > r.remaining()) {
+    throw std::runtime_error("lz: implausible length");
+  }
   std::vector<std::uint8_t> out;
   out.reserve(n);
   std::uint8_t flags = 0;

@@ -1,5 +1,7 @@
 #include "storage/object_store.hpp"
 
+#include "common/faults.hpp"
+
 namespace oda::storage {
 
 const char* data_class_name(DataClass c) {
@@ -13,6 +15,9 @@ const char* data_class_name(DataClass c) {
 
 void ObjectStore::put(const std::string& key, std::vector<std::uint8_t> data, const std::string& dataset,
                       DataClass data_class, common::TimePoint now) {
+  // Fault seam: rejected before the write lands. put is idempotent by key
+  // (last write wins), so callers may retry freely.
+  chaos::fault_point("ocean.put");
   std::lock_guard lk(mu_);
   Entry e;
   e.meta = ObjectMeta{key, dataset, data_class, now, data.size()};
@@ -21,6 +26,7 @@ void ObjectStore::put(const std::string& key, std::vector<std::uint8_t> data, co
 }
 
 std::optional<std::vector<std::uint8_t>> ObjectStore::get(const std::string& key) const {
+  chaos::fault_point("ocean.get");
   std::lock_guard lk(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return std::nullopt;

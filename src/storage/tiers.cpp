@@ -24,17 +24,28 @@ TierManager::RetentionOutcome TierManager::enforce(common::TimePoint now) {
   out.stream_bytes_evicted = broker_.enforce_retention(now);
   out.lake_points_evicted = lake_.evict_older_than(retention_.lake_age, now);
 
-  // OCEAN → GLACIER migration for aged-out objects.
+  // OCEAN → GLACIER migration for aged-out objects. The faultable steps
+  // (the migrate seam and the object read) all precede the archive write,
+  // so a retried unit never lands an object in GLACIER twice.
+  chaos::Retrier retrier(migration_retry_, /*seed=*/0x71e25ull ^ static_cast<std::uint64_t>(now));
   for (const auto& meta : ocean_.list()) {
     if (meta.created < now - retention_.ocean_age) {
-      if (auto data = ocean_.get(meta.key)) {
-        glacier_.archive(meta.key, std::move(*data), now);
-        ocean_.remove(meta.key);
-        ++out.ocean_objects_migrated;
-        out.ocean_bytes_migrated += meta.size_bytes;
+      try {
+        retrier.run("tiers.migrate", [&] {
+          chaos::fault_point("tiers.migrate");
+          if (auto data = ocean_.get(meta.key)) {
+            glacier_.archive(meta.key, std::move(*data), now);
+            ocean_.remove(meta.key);
+            ++out.ocean_objects_migrated;
+            out.ocean_bytes_migrated += meta.size_bytes;
+          }
+        });
+      } catch (const std::exception&) {
+        ++out.ocean_migrations_deferred;  // stays in OCEAN for the next sweep
       }
     }
   }
+  out.migration_retries = retrier.stats().retries;
   return out;
 }
 

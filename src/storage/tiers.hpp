@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/faults.hpp"
 #include "common/time.hpp"
 #include "storage/archive.hpp"
 #include "storage/object_store.hpp"
@@ -42,17 +43,23 @@ class TierManager {
 
   /// Run retention across all tiers at facility time `now`.
   /// OCEAN objects that age out are migrated (not dropped) to GLACIER.
+  /// Each migration unit (get + archive + remove) is retried under the
+  /// migration policy; on exhaustion the object simply stays in OCEAN
+  /// and is picked up by the next enforce() — degradation, not loss.
   struct RetentionOutcome {
     std::size_t stream_bytes_evicted = 0;
     std::size_t lake_points_evicted = 0;
     std::size_t ocean_objects_migrated = 0;
     std::size_t ocean_bytes_migrated = 0;
+    std::size_t ocean_migrations_deferred = 0;  ///< retry-exhausted, still in OCEAN
+    std::uint64_t migration_retries = 0;        ///< transient faults absorbed
   };
   RetentionOutcome enforce(common::TimePoint now);
 
   std::vector<TierReport> report() const;
 
   const TierRetention& retention() const { return retention_; }
+  void set_migration_retry(const chaos::RetryPolicy& policy) { migration_retry_ = policy; }
 
  private:
   stream::Broker& broker_;
@@ -60,6 +67,7 @@ class TierManager {
   ObjectStore& ocean_;
   TapeArchive& glacier_;
   TierRetention retention_;
+  chaos::RetryPolicy migration_retry_;
 };
 
 }  // namespace oda::storage

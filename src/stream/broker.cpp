@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/bytes.hpp"
+#include "common/faults.hpp"
 
 namespace oda::stream {
 
@@ -16,6 +17,9 @@ Topic::Topic(std::string name, TopicConfig config) : name_(std::move(name)), con
 }
 
 std::int64_t Topic::produce(Record r) {
+  // Fault seam: a produce that faults is rejected before any append, so
+  // retrying it can never duplicate the record.
+  chaos::fault_point("stream.produce");
   const std::size_t p = r.key.empty()
                             ? rr_counter_.fetch_add(1, std::memory_order_relaxed) % partitions_.size()
                             : common::fnv1a(r.key) % partitions_.size();
@@ -245,6 +249,7 @@ void Consumer::commit() {
   for (std::size_t p = 0; p < positions_.size(); ++p) {
     broker_.commit(group_, TopicPartition{topic_, p}, positions_[p]);
   }
+  committed_next_partition_ = next_partition_;
 }
 
 void Consumer::seek_to_committed() {
@@ -253,6 +258,10 @@ void Consumer::seek_to_committed() {
     positions_[p] =
         broker_.committed(group_, TopicPartition{topic_, p}).value_or(t.partition(p).start_offset());
   }
+  // Restore the poll cursor too: a replayed poll must interleave
+  // partitions exactly as the failed attempt did, or the re-pulled batch
+  // would contain a different record subset than the one rolled back.
+  next_partition_ = committed_next_partition_;
 }
 
 void Consumer::seek_to_time(common::TimePoint time) {

@@ -135,10 +135,15 @@ class Consumer {
   /// positions only; call commit() to persist.
   std::vector<StoredRecord> poll(std::size_t max_records);
 
-  /// Persist current positions to the broker's offset store.
+  /// Persist current positions to the broker's offset store. Also
+  /// snapshots the round-robin cursor, so a later seek_to_committed()
+  /// replays polls with the exact partition interleave of the original
+  /// run — exactly-once pipeline recovery depends on replayed batches
+  /// being byte-identical.
   void commit();
 
-  /// Reset positions to the group's last committed offsets (crash/restart).
+  /// Reset positions (and poll cursor) to the last committed snapshot
+  /// (crash/restart).
   void seek_to_committed();
   /// Jump every partition position to the first record with ts >= t.
   void seek_to_time(common::TimePoint t);
@@ -152,6 +157,7 @@ class Consumer {
   std::string topic_;
   std::vector<std::int64_t> positions_;
   std::size_t next_partition_ = 0;
+  std::size_t committed_next_partition_ = 0;
 };
 
 /// A rebalancing consumer-group member: partitions are split round-robin

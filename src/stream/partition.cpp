@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/faults.hpp"
+
 namespace oda::stream {
 
 std::int64_t Partition::append(Record r) {
@@ -22,6 +24,10 @@ std::int64_t Partition::append(Record r) {
 
 std::int64_t Partition::fetch(std::int64_t offset, std::size_t max_records,
                               std::vector<StoredRecord>& out) const {
+  // Fault seam: fails before copying anything out. A consumer whose poll
+  // faulted mid-way must restore its positions before retrying (the
+  // BrokerSource retry does this via seek_to_committed).
+  chaos::fault_point("stream.fetch");
   std::lock_guard lk(mu_);
   if (segments_.empty()) return next_offset_;
   const std::int64_t start = segments_.front().base_offset;

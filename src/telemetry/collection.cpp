@@ -66,4 +66,28 @@ CollectionPlanCost plan_cost(const SystemSpec& spec, CollectionPath path,
   return cost;
 }
 
+bool CollectionChannel::deliver(const std::string& topic, stream::Record rec) {
+  const std::size_t bytes = rec.wire_size();
+  try {
+    retrier_.run("telemetry.collect", [&] {
+      chaos::fault_point("telemetry.collect");
+      // Copy per attempt: a faulted produce must not leave the record moved-out.
+      broker_.produce(topic, rec);
+    });
+  } catch (const std::exception&) {
+    // Retry budget spent or a hard fault: the sample becomes a collection
+    // gap. The collector itself never goes down over a delivery failure.
+    ++stats_.dropped_records;
+    stats_.dropped_bytes += bytes;
+    stats_.retries = retrier_.stats().retries;
+    stats_.backoff_total = retrier_.stats().backoff_total;
+    return false;
+  }
+  ++stats_.delivered_records;
+  stats_.delivered_bytes += bytes;
+  stats_.retries = retrier_.stats().retries;
+  stats_.backoff_total = retrier_.stats().backoff_total;
+  return true;
+}
+
 }  // namespace oda::telemetry

@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "common/faults.hpp"
 #include "common/time.hpp"
+#include "stream/broker.hpp"
 #include "telemetry/spec.hpp"
 
 namespace oda::telemetry {
@@ -43,5 +45,41 @@ struct CollectionPlanCost {
 };
 CollectionPlanCost plan_cost(const SystemSpec& spec, CollectionPath path,
                              common::Duration period);
+
+/// Delivery accounting for a CollectionChannel. Dropped records are the
+/// paper's "collection gaps": the push path gave up after its retry
+/// budget, and the sample is lost — the facility keeps running.
+struct ChannelStats {
+  std::uint64_t delivered_records = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t dropped_records = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t retries = 0;           ///< produce attempts beyond the first
+  common::Duration backoff_total = 0;  ///< virtual backoff accumulated
+};
+
+/// The retrying conduit between collectors and the broker — the push
+/// path of Sec IV made concrete. Every delivery passes the
+/// "telemetry.collect" fault seam and the broker's own "stream.produce"
+/// seam; transient faults are retried with backoff, and exhaustion (or a
+/// hard fault) degrades to a counted drop rather than an exception, so a
+/// broker outage can never take the collector down with it.
+class CollectionChannel {
+ public:
+  explicit CollectionChannel(stream::Broker& broker, chaos::RetryPolicy policy = {},
+                             std::uint64_t seed = 0xc011ec70ull)
+      : broker_(broker), retrier_(policy, seed) {}
+
+  /// Deliver one record; returns false when the record was dropped.
+  bool deliver(const std::string& topic, stream::Record rec);
+
+  void set_retry_policy(const chaos::RetryPolicy& p) { retrier_.set_policy(p); }
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  stream::Broker& broker_;
+  chaos::Retrier retrier_;
+  ChannelStats stats_;
+};
 
 }  // namespace oda::telemetry

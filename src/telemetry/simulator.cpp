@@ -31,7 +31,8 @@ FacilitySimulator::FacilitySimulator(SystemSpec spec, stream::Broker& broker, Si
       events_(spec_.total_nodes(), config.events, rng_.split(3)),
       io_model_(config.lustre, rng_.split(4)),
       fabric_model_(config.fabric, rng_.split(6)),
-      failures_(spec_.total_nodes(), gpus_per_node(spec_), config.failures, rng_.split(5)) {
+      failures_(spec_.total_nodes(), gpus_per_node(spec_), config.failures, rng_.split(5)),
+      channel_(broker, chaos::RetryPolicy{}, config.seed ^ 0xc011ec70ull) {
   stream::TopicConfig tc;
   tc.num_partitions = 8;
   // Small segments keep retention granularity fine at simulation scale
@@ -59,7 +60,7 @@ void FacilitySimulator::step(Duration dt) {
     auto rec = encode_job_event(ev, *job);
     stats_.scheduler_bytes += rec.wire_size();
     ++stats_.scheduler_records;
-    broker_.produce(topics_.scheduler, std::move(rec));
+    channel_.deliver(topics_.scheduler, std::move(rec));
   }
 
   // Sensor packets at every sample tick in (now_, target].
@@ -72,7 +73,7 @@ void FacilitySimulator::step(Duration dt) {
       auto rec = encode_packet(pkt);
       stats_.power_bytes += rec.wire_size();
       ++stats_.power_records;
-      broker_.produce(topics_.power, std::move(rec));
+      channel_.deliver(topics_.power, std::move(rec));
     }
   }
 
@@ -99,25 +100,25 @@ void FacilitySimulator::step(Duration dt) {
       auto rec = encode_io_counters(c);
       stats_.io_bytes += rec.wire_size();
       ++stats_.io_records;
-      broker_.produce(topics_.io, std::move(rec));
+      channel_.deliver(topics_.io, std::move(rec));
     }
     for (const auto& s : ost_samples) {
       auto rec = encode_ost_sample(s);
       stats_.storage_bytes += rec.wire_size();
       ++stats_.storage_records;
-      broker_.produce(topics_.storage, std::move(rec));
+      channel_.deliver(topics_.storage, std::move(rec));
     }
     for (const auto& s : nic_samples) {
       auto rec = encode_nic_sample(s);
       stats_.nic_bytes += rec.wire_size();
       ++stats_.nic_records;
-      broker_.produce(topics_.nic, std::move(rec));
+      channel_.deliver(topics_.nic, std::move(rec));
     }
     for (const auto& s : switch_samples) {
       auto rec = encode_switch_sample(s);
       stats_.fabric_bytes += rec.wire_size();
       ++stats_.fabric_records;
-      broker_.produce(topics_.fabric, std::move(rec));
+      channel_.deliver(topics_.fabric, std::move(rec));
     }
   }
 
@@ -129,7 +130,7 @@ void FacilitySimulator::step(Duration dt) {
     auto rec = encode_log_event(ev);
     stats_.syslog_bytes += rec.wire_size();
     ++stats_.syslog_records;
-    broker_.produce(topics_.syslog, std::move(rec));
+    channel_.deliver(topics_.syslog, std::move(rec));
   }
 
   now_ = target;
@@ -160,7 +161,7 @@ void FacilitySimulator::emit_facility_sample(TimePoint t) {
   auto rec = encode_packet(pkt);
   stats_.facility_bytes += rec.wire_size();
   ++stats_.facility_records;
-  broker_.produce(topics_.facility, std::move(rec));
+  channel_.deliver(topics_.facility, std::move(rec));
 }
 
 sql::Table FacilitySimulator::sample_bronze(TimePoint t0, TimePoint t1) {

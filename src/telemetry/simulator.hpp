@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "stream/broker.hpp"
+#include "telemetry/collection.hpp"
 #include "telemetry/events.hpp"
 #include "telemetry/failures.hpp"
 #include "telemetry/interconnect.hpp"
@@ -86,7 +87,12 @@ class FacilitySimulator {
   JobScheduler& scheduler() { return scheduler_; }
   const JobScheduler& scheduler() const { return scheduler_; }
   const FailureInjector& failures() const { return failures_; }
+  /// Records *emitted* by the models. Under fault injection some may not
+  /// land in the broker — channel().stats() has the delivered/dropped split.
   const IngestStats& ingest_stats() const { return stats_; }
+  const CollectionChannel& channel() const { return channel_; }
+  /// Retry budget for collector->broker delivery (see oda::chaos).
+  void set_collection_retry(const chaos::RetryPolicy& p) { channel_.set_retry_policy(p); }
   double total_it_power_w() const { return sensors_.total_it_power_w(); }
 
   /// Generate a Bronze long table directly (batch path for experiments
@@ -107,6 +113,7 @@ class FacilitySimulator {
   IoTelemetryModel io_model_;
   InterconnectModel fabric_model_;
   FailureInjector failures_;
+  CollectionChannel channel_;
   common::TimePoint now_ = 0;
   common::TimePoint last_sample_ = 0;
   common::TimePoint last_facility_ = 0;

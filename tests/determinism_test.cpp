@@ -1,0 +1,155 @@
+// Determinism regression: the whole telemetry stack is seeded, so two
+// simulators built from the same spec/config must publish byte-identical
+// record streams into their brokers. Replay-based tools (the chaos tier,
+// golden-run comparisons, bisection of pipeline bugs) all lean on this.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/broker.hpp"
+#include "telemetry/simulator.hpp"
+#include "telemetry/spec.hpp"
+
+namespace oda::telemetry {
+namespace {
+
+SystemSpec small_spec() {
+  SystemSpec spec;
+  spec.name = "determinism";
+  spec.cabinets = 2;
+  spec.nodes_per_cabinet = 4;
+  spec.components = {
+      {ComponentKind::kCpu, 1, 50.0, 200.0, 32.0, 0.1},
+      {ComponentKind::kGpu, 2, 60.0, 400.0, 30.0, 0.08},
+  };
+  spec.sensor_period = 1 * common::kSecond;
+  return spec;
+}
+
+SimulatorConfig config_with_seed(std::uint64_t seed) {
+  SimulatorConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<stream::StoredRecord> drain_partition(const stream::Partition& p) {
+  std::vector<stream::StoredRecord> out;
+  p.fetch(p.start_offset(), p.record_count(), out);
+  return out;
+}
+
+// Field-by-field stream comparison, reporting the first divergence.
+void expect_brokers_identical(const stream::Broker& a, const stream::Broker& b) {
+  const auto names_a = a.topic_names();
+  const auto names_b = b.topic_names();
+  ASSERT_EQ(names_a, names_b);
+  for (const auto& name : names_a) {
+    const auto* ta = a.find_topic(name);
+    const auto* tb = b.find_topic(name);
+    ASSERT_NE(ta, nullptr) << name;
+    ASSERT_NE(tb, nullptr) << name;
+    ASSERT_EQ(ta->num_partitions(), tb->num_partitions()) << name;
+    for (std::size_t p = 0; p < ta->num_partitions(); ++p) {
+      const auto ra = drain_partition(ta->partition(p));
+      const auto rb = drain_partition(tb->partition(p));
+      ASSERT_EQ(ra.size(), rb.size()) << name << "/" << p;
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        SCOPED_TRACE(name + "/" + std::to_string(p) + " record " + std::to_string(i));
+        EXPECT_EQ(ra[i].offset, rb[i].offset);
+        EXPECT_EQ(ra[i].record.timestamp, rb[i].record.timestamp);
+        EXPECT_EQ(ra[i].record.key, rb[i].record.key);
+        EXPECT_EQ(ra[i].record.payload, rb[i].record.payload);
+      }
+    }
+  }
+}
+
+void expect_stats_equal(const IngestStats& a, const IngestStats& b) {
+  EXPECT_EQ(a.power_records, b.power_records);
+  EXPECT_EQ(a.power_bytes, b.power_bytes);
+  EXPECT_EQ(a.scheduler_records, b.scheduler_records);
+  EXPECT_EQ(a.scheduler_bytes, b.scheduler_bytes);
+  EXPECT_EQ(a.syslog_records, b.syslog_records);
+  EXPECT_EQ(a.syslog_bytes, b.syslog_bytes);
+  EXPECT_EQ(a.facility_records, b.facility_records);
+  EXPECT_EQ(a.facility_bytes, b.facility_bytes);
+  EXPECT_EQ(a.io_records, b.io_records);
+  EXPECT_EQ(a.io_bytes, b.io_bytes);
+  EXPECT_EQ(a.storage_records, b.storage_records);
+  EXPECT_EQ(a.storage_bytes, b.storage_bytes);
+  EXPECT_EQ(a.nic_records, b.nic_records);
+  EXPECT_EQ(a.nic_bytes, b.nic_bytes);
+  EXPECT_EQ(a.fabric_records, b.fabric_records);
+  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
+}
+
+TEST(DeterminismTest, SameSeedYieldsByteIdenticalStreams) {
+  stream::Broker broker_a;
+  stream::Broker broker_b;
+  FacilitySimulator sim_a(small_spec(), broker_a, config_with_seed(1234));
+  FacilitySimulator sim_b(small_spec(), broker_b, config_with_seed(1234));
+
+  sim_a.run_until(3 * common::kMinute);
+  sim_b.run_until(3 * common::kMinute);
+
+  expect_brokers_identical(broker_a, broker_b);
+  expect_stats_equal(sim_a.ingest_stats(), sim_b.ingest_stats());
+  EXPECT_GT(sim_a.ingest_stats().power_records, 0u);  // the run did something
+}
+
+TEST(DeterminismTest, RunUntilChunkingDoesNotChangeTheStream) {
+  // run_until always advances in sensor-period increments, so one big
+  // call and many small ones must emit the identical stream. (Sub-period
+  // step() granularity is NOT invariant: event draws are per window.)
+  stream::Broker broker_a;
+  stream::Broker broker_b;
+  FacilitySimulator sim_a(small_spec(), broker_a, config_with_seed(77));
+  FacilitySimulator sim_b(small_spec(), broker_b, config_with_seed(77));
+
+  sim_a.run_until(90 * common::kSecond);
+  for (common::TimePoint t = 5 * common::kSecond; t <= 90 * common::kSecond;
+       t += 5 * common::kSecond) {
+    sim_b.run_until(t);
+  }
+
+  expect_brokers_identical(broker_a, broker_b);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Sanity check that the comparison has teeth: a different seed must
+  // produce a different stream (otherwise the test above proves nothing).
+  stream::Broker broker_a;
+  stream::Broker broker_b;
+  FacilitySimulator sim_a(small_spec(), broker_a, config_with_seed(1));
+  FacilitySimulator sim_b(small_spec(), broker_b, config_with_seed(2));
+
+  sim_a.run_until(1 * common::kMinute);
+  sim_b.run_until(1 * common::kMinute);
+
+  bool any_difference = false;
+  for (const auto& name : broker_a.topic_names()) {
+    const auto& ta = broker_a.topic(name);
+    const auto& tb = broker_b.topic(name);
+    for (std::size_t p = 0; p < ta.num_partitions() && !any_difference; ++p) {
+      const auto ra = drain_partition(std::as_const(ta).partition(p));
+      const auto rb = drain_partition(std::as_const(tb).partition(p));
+      if (ra.size() != rb.size()) {
+        any_difference = true;
+        break;
+      }
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        if (ra[i].record.payload != rb[i].record.payload) {
+          any_difference = true;
+          break;
+        }
+      }
+    }
+    if (any_difference) break;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace oda::telemetry
