@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_batch_vs_stream.dir/bench_ablation_batch_vs_stream.cpp.o"
+  "CMakeFiles/bench_ablation_batch_vs_stream.dir/bench_ablation_batch_vs_stream.cpp.o.d"
+  "bench_ablation_batch_vs_stream"
+  "bench_ablation_batch_vs_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batch_vs_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

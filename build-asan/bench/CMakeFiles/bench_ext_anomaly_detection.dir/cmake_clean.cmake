@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_anomaly_detection.dir/bench_ext_anomaly_detection.cpp.o"
+  "CMakeFiles/bench_ext_anomaly_detection.dir/bench_ext_anomaly_detection.cpp.o.d"
+  "bench_ext_anomaly_detection"
+  "bench_ext_anomaly_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_anomaly_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

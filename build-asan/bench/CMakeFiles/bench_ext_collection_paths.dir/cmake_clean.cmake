@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_collection_paths.dir/bench_ext_collection_paths.cpp.o"
+  "CMakeFiles/bench_ext_collection_paths.dir/bench_ext_collection_paths.cpp.o.d"
+  "bench_ext_collection_paths"
+  "bench_ext_collection_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_collection_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

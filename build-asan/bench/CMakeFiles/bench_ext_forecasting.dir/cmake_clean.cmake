@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_forecasting.dir/bench_ext_forecasting.cpp.o"
+  "CMakeFiles/bench_ext_forecasting.dir/bench_ext_forecasting.cpp.o.d"
+  "bench_ext_forecasting"
+  "bench_ext_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

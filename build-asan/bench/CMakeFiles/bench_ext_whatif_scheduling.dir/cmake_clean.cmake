@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_whatif_scheduling.dir/bench_ext_whatif_scheduling.cpp.o"
+  "CMakeFiles/bench_ext_whatif_scheduling.dir/bench_ext_whatif_scheduling.cpp.o.d"
+  "bench_ext_whatif_scheduling"
+  "bench_ext_whatif_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_whatif_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_job_profiles.dir/bench_fig10_job_profiles.cpp.o"
+  "CMakeFiles/bench_fig10_job_profiles.dir/bench_fig10_job_profiles.cpp.o.d"
+  "bench_fig10_job_profiles"
+  "bench_fig10_job_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_job_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

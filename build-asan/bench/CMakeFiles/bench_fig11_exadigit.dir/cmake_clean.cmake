@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_exadigit.dir/bench_fig11_exadigit.cpp.o"
+  "CMakeFiles/bench_fig11_exadigit.dir/bench_fig11_exadigit.cpp.o.d"
+  "bench_fig11_exadigit"
+  "bench_fig11_exadigit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_exadigit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

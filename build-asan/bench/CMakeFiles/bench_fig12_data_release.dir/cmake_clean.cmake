@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_data_release.dir/bench_fig12_data_release.cpp.o"
+  "CMakeFiles/bench_fig12_data_release.dir/bench_fig12_data_release.cpp.o.d"
+  "bench_fig12_data_release"
+  "bench_fig12_data_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_data_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

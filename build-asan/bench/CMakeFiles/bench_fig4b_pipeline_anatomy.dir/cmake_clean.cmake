@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_pipeline_anatomy.dir/bench_fig4b_pipeline_anatomy.cpp.o"
+  "CMakeFiles/bench_fig4b_pipeline_anatomy.dir/bench_fig4b_pipeline_anatomy.cpp.o.d"
+  "bench_fig4b_pipeline_anatomy"
+  "bench_fig4b_pipeline_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_pipeline_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_timescales.dir/bench_fig4c_timescales.cpp.o"
+  "CMakeFiles/bench_fig4c_timescales.dir/bench_fig4c_timescales.cpp.o.d"
+  "bench_fig4c_timescales"
+  "bench_fig4c_timescales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_timescales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ua_dashboard.dir/bench_fig6_ua_dashboard.cpp.o"
+  "CMakeFiles/bench_fig6_ua_dashboard.dir/bench_fig6_ua_dashboard.cpp.o.d"
+  "bench_fig6_ua_dashboard"
+  "bench_fig6_ua_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ua_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

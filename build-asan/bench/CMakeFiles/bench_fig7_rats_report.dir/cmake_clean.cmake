@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rats_report.dir/bench_fig7_rats_report.cpp.o"
+  "CMakeFiles/bench_fig7_rats_report.dir/bench_fig7_rats_report.cpp.o.d"
+  "bench_fig7_rats_report"
+  "bench_fig7_rats_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rats_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

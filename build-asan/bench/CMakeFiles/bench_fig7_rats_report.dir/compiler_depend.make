@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_rats_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_rats_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_lva.dir/bench_fig8_lva.cpp.o"
+  "CMakeFiles/bench_fig8_lva.dir/bench_fig8_lva.cpp.o.d"
+  "bench_fig8_lva"
+  "bench_fig8_lva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_lva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_usage_areas.dir/bench_table1_usage_areas.cpp.o"
+  "CMakeFiles/bench_table1_usage_areas.dir/bench_table1_usage_areas.cpp.o.d"
+  "bench_table1_usage_areas"
+  "bench_table1_usage_areas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_usage_areas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

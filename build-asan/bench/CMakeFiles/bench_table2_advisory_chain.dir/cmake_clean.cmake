@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_advisory_chain.dir/bench_table2_advisory_chain.cpp.o"
+  "CMakeFiles/bench_table2_advisory_chain.dir/bench_table2_advisory_chain.cpp.o.d"
+  "bench_table2_advisory_chain"
+  "bench_table2_advisory_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_advisory_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digital_twin_whatif.dir/digital_twin_whatif.cpp.o"
+  "CMakeFiles/digital_twin_whatif.dir/digital_twin_whatif.cpp.o.d"
+  "digital_twin_whatif"
+  "digital_twin_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digital_twin_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

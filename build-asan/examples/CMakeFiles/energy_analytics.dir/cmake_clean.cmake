@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_analytics.dir/energy_analytics.cpp.o"
+  "CMakeFiles/energy_analytics.dir/energy_analytics.cpp.o.d"
+  "energy_analytics"
+  "energy_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

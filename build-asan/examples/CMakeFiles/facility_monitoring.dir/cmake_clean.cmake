@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_monitoring.dir/facility_monitoring.cpp.o"
+  "CMakeFiles/facility_monitoring.dir/facility_monitoring.cpp.o.d"
+  "facility_monitoring"
+  "facility_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procurement_study.dir/procurement_study.cpp.o"
+  "CMakeFiles/procurement_study.dir/procurement_study.cpp.o.d"
+  "procurement_study"
+  "procurement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procurement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_apps.dir/copacetic.cpp.o"
+  "CMakeFiles/oda_apps.dir/copacetic.cpp.o.d"
+  "CMakeFiles/oda_apps.dir/health_dashboard.cpp.o"
+  "CMakeFiles/oda_apps.dir/health_dashboard.cpp.o.d"
+  "CMakeFiles/oda_apps.dir/heatmap.cpp.o"
+  "CMakeFiles/oda_apps.dir/heatmap.cpp.o.d"
+  "CMakeFiles/oda_apps.dir/lva.cpp.o"
+  "CMakeFiles/oda_apps.dir/lva.cpp.o.d"
+  "CMakeFiles/oda_apps.dir/rats_report.cpp.o"
+  "CMakeFiles/oda_apps.dir/rats_report.cpp.o.d"
+  "CMakeFiles/oda_apps.dir/reliability.cpp.o"
+  "CMakeFiles/oda_apps.dir/reliability.cpp.o.d"
+  "CMakeFiles/oda_apps.dir/ua_dashboard.cpp.o"
+  "CMakeFiles/oda_apps.dir/ua_dashboard.cpp.o.d"
+  "liboda_apps.a"
+  "liboda_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_core.dir/allocations.cpp.o"
+  "CMakeFiles/oda_core.dir/allocations.cpp.o.d"
+  "CMakeFiles/oda_core.dir/campaign.cpp.o"
+  "CMakeFiles/oda_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/oda_core.dir/control_loop.cpp.o"
+  "CMakeFiles/oda_core.dir/control_loop.cpp.o.d"
+  "CMakeFiles/oda_core.dir/framework.cpp.o"
+  "CMakeFiles/oda_core.dir/framework.cpp.o.d"
+  "liboda_core.a"
+  "liboda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

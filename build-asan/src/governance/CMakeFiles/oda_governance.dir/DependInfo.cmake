@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/governance/advisory.cpp" "src/governance/CMakeFiles/oda_governance.dir/advisory.cpp.o" "gcc" "src/governance/CMakeFiles/oda_governance.dir/advisory.cpp.o.d"
+  "/root/repo/src/governance/anonymize.cpp" "src/governance/CMakeFiles/oda_governance.dir/anonymize.cpp.o" "gcc" "src/governance/CMakeFiles/oda_governance.dir/anonymize.cpp.o.d"
+  "/root/repo/src/governance/constellation.cpp" "src/governance/CMakeFiles/oda_governance.dir/constellation.cpp.o" "gcc" "src/governance/CMakeFiles/oda_governance.dir/constellation.cpp.o.d"
+  "/root/repo/src/governance/dictionary.cpp" "src/governance/CMakeFiles/oda_governance.dir/dictionary.cpp.o" "gcc" "src/governance/CMakeFiles/oda_governance.dir/dictionary.cpp.o.d"
+  "/root/repo/src/governance/maturity.cpp" "src/governance/CMakeFiles/oda_governance.dir/maturity.cpp.o" "gcc" "src/governance/CMakeFiles/oda_governance.dir/maturity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/oda_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stream/CMakeFiles/oda_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

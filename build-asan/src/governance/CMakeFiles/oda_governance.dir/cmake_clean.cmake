@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_governance.dir/advisory.cpp.o"
+  "CMakeFiles/oda_governance.dir/advisory.cpp.o.d"
+  "CMakeFiles/oda_governance.dir/anonymize.cpp.o"
+  "CMakeFiles/oda_governance.dir/anonymize.cpp.o.d"
+  "CMakeFiles/oda_governance.dir/constellation.cpp.o"
+  "CMakeFiles/oda_governance.dir/constellation.cpp.o.d"
+  "CMakeFiles/oda_governance.dir/dictionary.cpp.o"
+  "CMakeFiles/oda_governance.dir/dictionary.cpp.o.d"
+  "CMakeFiles/oda_governance.dir/maturity.cpp.o"
+  "CMakeFiles/oda_governance.dir/maturity.cpp.o.d"
+  "liboda_governance.a"
+  "liboda_governance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_governance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

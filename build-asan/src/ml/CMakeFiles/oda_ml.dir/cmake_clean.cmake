@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_ml.dir/anomaly.cpp.o"
+  "CMakeFiles/oda_ml.dir/anomaly.cpp.o.d"
+  "CMakeFiles/oda_ml.dir/feature.cpp.o"
+  "CMakeFiles/oda_ml.dir/feature.cpp.o.d"
+  "CMakeFiles/oda_ml.dir/forecast.cpp.o"
+  "CMakeFiles/oda_ml.dir/forecast.cpp.o.d"
+  "CMakeFiles/oda_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/oda_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/oda_ml.dir/nn.cpp.o"
+  "CMakeFiles/oda_ml.dir/nn.cpp.o.d"
+  "CMakeFiles/oda_ml.dir/profile_classifier.cpp.o"
+  "CMakeFiles/oda_ml.dir/profile_classifier.cpp.o.d"
+  "CMakeFiles/oda_ml.dir/registry.cpp.o"
+  "CMakeFiles/oda_ml.dir/registry.cpp.o.d"
+  "liboda_ml.a"
+  "liboda_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

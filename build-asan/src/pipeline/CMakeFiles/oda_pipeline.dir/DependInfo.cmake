@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/operator.cpp" "src/pipeline/CMakeFiles/oda_pipeline.dir/operator.cpp.o" "gcc" "src/pipeline/CMakeFiles/oda_pipeline.dir/operator.cpp.o.d"
+  "/root/repo/src/pipeline/query.cpp" "src/pipeline/CMakeFiles/oda_pipeline.dir/query.cpp.o" "gcc" "src/pipeline/CMakeFiles/oda_pipeline.dir/query.cpp.o.d"
+  "/root/repo/src/pipeline/source_sink.cpp" "src/pipeline/CMakeFiles/oda_pipeline.dir/source_sink.cpp.o" "gcc" "src/pipeline/CMakeFiles/oda_pipeline.dir/source_sink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stream/CMakeFiles/oda_stream.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/oda_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

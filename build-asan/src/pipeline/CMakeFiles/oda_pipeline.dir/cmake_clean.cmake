@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_pipeline.dir/operator.cpp.o"
+  "CMakeFiles/oda_pipeline.dir/operator.cpp.o.d"
+  "CMakeFiles/oda_pipeline.dir/query.cpp.o"
+  "CMakeFiles/oda_pipeline.dir/query.cpp.o.d"
+  "CMakeFiles/oda_pipeline.dir/source_sink.cpp.o"
+  "CMakeFiles/oda_pipeline.dir/source_sink.cpp.o.d"
+  "liboda_pipeline.a"
+  "liboda_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

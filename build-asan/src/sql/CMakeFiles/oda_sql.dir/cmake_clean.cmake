@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_sql.dir/agg.cpp.o"
+  "CMakeFiles/oda_sql.dir/agg.cpp.o.d"
+  "CMakeFiles/oda_sql.dir/expr.cpp.o"
+  "CMakeFiles/oda_sql.dir/expr.cpp.o.d"
+  "CMakeFiles/oda_sql.dir/ops.cpp.o"
+  "CMakeFiles/oda_sql.dir/ops.cpp.o.d"
+  "CMakeFiles/oda_sql.dir/table.cpp.o"
+  "CMakeFiles/oda_sql.dir/table.cpp.o.d"
+  "CMakeFiles/oda_sql.dir/value.cpp.o"
+  "CMakeFiles/oda_sql.dir/value.cpp.o.d"
+  "liboda_sql.a"
+  "liboda_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_storage.dir/archive.cpp.o"
+  "CMakeFiles/oda_storage.dir/archive.cpp.o.d"
+  "CMakeFiles/oda_storage.dir/codecs.cpp.o"
+  "CMakeFiles/oda_storage.dir/codecs.cpp.o.d"
+  "CMakeFiles/oda_storage.dir/columnar.cpp.o"
+  "CMakeFiles/oda_storage.dir/columnar.cpp.o.d"
+  "CMakeFiles/oda_storage.dir/object_store.cpp.o"
+  "CMakeFiles/oda_storage.dir/object_store.cpp.o.d"
+  "CMakeFiles/oda_storage.dir/tiers.cpp.o"
+  "CMakeFiles/oda_storage.dir/tiers.cpp.o.d"
+  "CMakeFiles/oda_storage.dir/tsdb.cpp.o"
+  "CMakeFiles/oda_storage.dir/tsdb.cpp.o.d"
+  "liboda_storage.a"
+  "liboda_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_stream.dir/broker.cpp.o"
+  "CMakeFiles/oda_stream.dir/broker.cpp.o.d"
+  "CMakeFiles/oda_stream.dir/partition.cpp.o"
+  "CMakeFiles/oda_stream.dir/partition.cpp.o.d"
+  "liboda_stream.a"
+  "liboda_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

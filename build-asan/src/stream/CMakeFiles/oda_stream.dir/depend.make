@@ -1,0 +1,2 @@
+# Empty dependencies file for oda_stream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/codec.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/codec.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/codec.cpp.o.d"
+  "/root/repo/src/telemetry/collection.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/collection.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/collection.cpp.o.d"
+  "/root/repo/src/telemetry/events.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/events.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/events.cpp.o.d"
+  "/root/repo/src/telemetry/failures.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/failures.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/failures.cpp.o.d"
+  "/root/repo/src/telemetry/interconnect.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/interconnect.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/interconnect.cpp.o.d"
+  "/root/repo/src/telemetry/io_telemetry.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/io_telemetry.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/io_telemetry.cpp.o.d"
+  "/root/repo/src/telemetry/job.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/job.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/job.cpp.o.d"
+  "/root/repo/src/telemetry/sensors.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/sensors.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/sensors.cpp.o.d"
+  "/root/repo/src/telemetry/simulator.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/simulator.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/simulator.cpp.o.d"
+  "/root/repo/src/telemetry/spec.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/spec.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stream/CMakeFiles/oda_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_telemetry.dir/codec.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/codec.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/collection.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/collection.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/events.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/events.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/failures.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/failures.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/interconnect.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/interconnect.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/io_telemetry.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/io_telemetry.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/job.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/job.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/sensors.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/sensors.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/simulator.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/simulator.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/spec.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/spec.cpp.o.d"
+  "liboda_telemetry.a"
+  "liboda_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_twin.dir/allocator.cpp.o"
+  "CMakeFiles/oda_twin.dir/allocator.cpp.o.d"
+  "CMakeFiles/oda_twin.dir/cooling.cpp.o"
+  "CMakeFiles/oda_twin.dir/cooling.cpp.o.d"
+  "CMakeFiles/oda_twin.dir/losses.cpp.o"
+  "CMakeFiles/oda_twin.dir/losses.cpp.o.d"
+  "CMakeFiles/oda_twin.dir/replay.cpp.o"
+  "CMakeFiles/oda_twin.dir/replay.cpp.o.d"
+  "liboda_twin.a"
+  "liboda_twin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_twin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

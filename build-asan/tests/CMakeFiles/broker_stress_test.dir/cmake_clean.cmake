@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_stress_test.dir/broker_stress_test.cpp.o"
+  "CMakeFiles/broker_stress_test.dir/broker_stress_test.cpp.o.d"
+  "broker_stress_test"
+  "broker_stress_test.pdb"
+  "broker_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governance_test.dir/governance_test.cpp.o"
+  "CMakeFiles/governance_test.dir/governance_test.cpp.o.d"
+  "governance_test"
+  "governance_test.pdb"
+  "governance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_member_test.dir/group_member_test.cpp.o"
+  "CMakeFiles/group_member_test.dir/group_member_test.cpp.o.d"
+  "group_member_test"
+  "group_member_test.pdb"
+  "group_member_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_member_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

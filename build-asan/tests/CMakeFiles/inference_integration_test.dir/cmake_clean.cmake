@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_integration_test.dir/inference_integration_test.cpp.o"
+  "CMakeFiles/inference_integration_test.dir/inference_integration_test.cpp.o.d"
+  "inference_integration_test"
+  "inference_integration_test.pdb"
+  "inference_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

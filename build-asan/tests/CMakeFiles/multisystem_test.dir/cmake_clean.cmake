@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisystem_test.dir/multisystem_test.cpp.o"
+  "CMakeFiles/multisystem_test.dir/multisystem_test.cpp.o.d"
+  "multisystem_test"
+  "multisystem_test.pdb"
+  "multisystem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisystem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

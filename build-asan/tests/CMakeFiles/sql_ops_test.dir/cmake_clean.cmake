@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_ops_test.dir/sql_ops_test.cpp.o"
+  "CMakeFiles/sql_ops_test.dir/sql_ops_test.cpp.o.d"
+  "sql_ops_test"
+  "sql_ops_test.pdb"
+  "sql_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_table_test.dir/sql_table_test.cpp.o"
+  "CMakeFiles/sql_table_test.dir/sql_table_test.cpp.o.d"
+  "sql_table_test"
+  "sql_table_test.pdb"
+  "sql_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

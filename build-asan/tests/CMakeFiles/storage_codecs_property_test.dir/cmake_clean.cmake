@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_codecs_property_test.dir/storage_codecs_property_test.cpp.o"
+  "CMakeFiles/storage_codecs_property_test.dir/storage_codecs_property_test.cpp.o.d"
+  "storage_codecs_property_test"
+  "storage_codecs_property_test.pdb"
+  "storage_codecs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_codecs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_columnar_test.dir/storage_columnar_test.cpp.o"
+  "CMakeFiles/storage_columnar_test.dir/storage_columnar_test.cpp.o.d"
+  "storage_columnar_test"
+  "storage_columnar_test.pdb"
+  "storage_columnar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_columnar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tiers_test.dir/storage_tiers_test.cpp.o"
+  "CMakeFiles/storage_tiers_test.dir/storage_tiers_test.cpp.o.d"
+  "storage_tiers_test"
+  "storage_tiers_test.pdb"
+  "storage_tiers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

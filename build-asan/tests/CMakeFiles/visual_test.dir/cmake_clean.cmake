@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visual_test.dir/visual_test.cpp.o"
+  "CMakeFiles/visual_test.dir/visual_test.cpp.o.d"
+  "visual_test"
+  "visual_test.pdb"
+  "visual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

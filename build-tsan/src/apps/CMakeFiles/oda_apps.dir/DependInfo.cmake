@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/copacetic.cpp" "src/apps/CMakeFiles/oda_apps.dir/copacetic.cpp.o" "gcc" "src/apps/CMakeFiles/oda_apps.dir/copacetic.cpp.o.d"
+  "/root/repo/src/apps/health_dashboard.cpp" "src/apps/CMakeFiles/oda_apps.dir/health_dashboard.cpp.o" "gcc" "src/apps/CMakeFiles/oda_apps.dir/health_dashboard.cpp.o.d"
+  "/root/repo/src/apps/heatmap.cpp" "src/apps/CMakeFiles/oda_apps.dir/heatmap.cpp.o" "gcc" "src/apps/CMakeFiles/oda_apps.dir/heatmap.cpp.o.d"
+  "/root/repo/src/apps/lva.cpp" "src/apps/CMakeFiles/oda_apps.dir/lva.cpp.o" "gcc" "src/apps/CMakeFiles/oda_apps.dir/lva.cpp.o.d"
+  "/root/repo/src/apps/rats_report.cpp" "src/apps/CMakeFiles/oda_apps.dir/rats_report.cpp.o" "gcc" "src/apps/CMakeFiles/oda_apps.dir/rats_report.cpp.o.d"
+  "/root/repo/src/apps/reliability.cpp" "src/apps/CMakeFiles/oda_apps.dir/reliability.cpp.o" "gcc" "src/apps/CMakeFiles/oda_apps.dir/reliability.cpp.o.d"
+  "/root/repo/src/apps/ua_dashboard.cpp" "src/apps/CMakeFiles/oda_apps.dir/ua_dashboard.cpp.o" "gcc" "src/apps/CMakeFiles/oda_apps.dir/ua_dashboard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/oda_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/oda_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/archive.cpp" "src/storage/CMakeFiles/oda_storage.dir/archive.cpp.o" "gcc" "src/storage/CMakeFiles/oda_storage.dir/archive.cpp.o.d"
+  "/root/repo/src/storage/codecs.cpp" "src/storage/CMakeFiles/oda_storage.dir/codecs.cpp.o" "gcc" "src/storage/CMakeFiles/oda_storage.dir/codecs.cpp.o.d"
+  "/root/repo/src/storage/columnar.cpp" "src/storage/CMakeFiles/oda_storage.dir/columnar.cpp.o" "gcc" "src/storage/CMakeFiles/oda_storage.dir/columnar.cpp.o.d"
+  "/root/repo/src/storage/object_store.cpp" "src/storage/CMakeFiles/oda_storage.dir/object_store.cpp.o" "gcc" "src/storage/CMakeFiles/oda_storage.dir/object_store.cpp.o.d"
+  "/root/repo/src/storage/tiers.cpp" "src/storage/CMakeFiles/oda_storage.dir/tiers.cpp.o" "gcc" "src/storage/CMakeFiles/oda_storage.dir/tiers.cpp.o.d"
+  "/root/repo/src/storage/tsdb.cpp" "src/storage/CMakeFiles/oda_storage.dir/tsdb.cpp.o" "gcc" "src/storage/CMakeFiles/oda_storage.dir/tsdb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stream/CMakeFiles/oda_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

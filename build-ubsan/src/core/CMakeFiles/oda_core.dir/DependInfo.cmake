@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocations.cpp" "src/core/CMakeFiles/oda_core.dir/allocations.cpp.o" "gcc" "src/core/CMakeFiles/oda_core.dir/allocations.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/oda_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/oda_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/control_loop.cpp" "src/core/CMakeFiles/oda_core.dir/control_loop.cpp.o" "gcc" "src/core/CMakeFiles/oda_core.dir/control_loop.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/oda_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/oda_core.dir/framework.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/stream/CMakeFiles/oda_stream.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/storage/CMakeFiles/oda_storage.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/pipeline/CMakeFiles/oda_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/ml/CMakeFiles/oda_ml.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/governance/CMakeFiles/oda_governance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/anomaly.cpp" "src/ml/CMakeFiles/oda_ml.dir/anomaly.cpp.o" "gcc" "src/ml/CMakeFiles/oda_ml.dir/anomaly.cpp.o.d"
+  "/root/repo/src/ml/feature.cpp" "src/ml/CMakeFiles/oda_ml.dir/feature.cpp.o" "gcc" "src/ml/CMakeFiles/oda_ml.dir/feature.cpp.o.d"
+  "/root/repo/src/ml/forecast.cpp" "src/ml/CMakeFiles/oda_ml.dir/forecast.cpp.o" "gcc" "src/ml/CMakeFiles/oda_ml.dir/forecast.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/oda_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/oda_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/nn.cpp" "src/ml/CMakeFiles/oda_ml.dir/nn.cpp.o" "gcc" "src/ml/CMakeFiles/oda_ml.dir/nn.cpp.o.d"
+  "/root/repo/src/ml/profile_classifier.cpp" "src/ml/CMakeFiles/oda_ml.dir/profile_classifier.cpp.o" "gcc" "src/ml/CMakeFiles/oda_ml.dir/profile_classifier.cpp.o.d"
+  "/root/repo/src/ml/registry.cpp" "src/ml/CMakeFiles/oda_ml.dir/registry.cpp.o" "gcc" "src/ml/CMakeFiles/oda_ml.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

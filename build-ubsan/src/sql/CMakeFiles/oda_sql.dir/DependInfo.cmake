@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/agg.cpp" "src/sql/CMakeFiles/oda_sql.dir/agg.cpp.o" "gcc" "src/sql/CMakeFiles/oda_sql.dir/agg.cpp.o.d"
+  "/root/repo/src/sql/expr.cpp" "src/sql/CMakeFiles/oda_sql.dir/expr.cpp.o" "gcc" "src/sql/CMakeFiles/oda_sql.dir/expr.cpp.o.d"
+  "/root/repo/src/sql/ops.cpp" "src/sql/CMakeFiles/oda_sql.dir/ops.cpp.o" "gcc" "src/sql/CMakeFiles/oda_sql.dir/ops.cpp.o.d"
+  "/root/repo/src/sql/table.cpp" "src/sql/CMakeFiles/oda_sql.dir/table.cpp.o" "gcc" "src/sql/CMakeFiles/oda_sql.dir/table.cpp.o.d"
+  "/root/repo/src/sql/value.cpp" "src/sql/CMakeFiles/oda_sql.dir/value.cpp.o" "gcc" "src/sql/CMakeFiles/oda_sql.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

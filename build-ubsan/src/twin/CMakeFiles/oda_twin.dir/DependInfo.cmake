@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twin/allocator.cpp" "src/twin/CMakeFiles/oda_twin.dir/allocator.cpp.o" "gcc" "src/twin/CMakeFiles/oda_twin.dir/allocator.cpp.o.d"
+  "/root/repo/src/twin/cooling.cpp" "src/twin/CMakeFiles/oda_twin.dir/cooling.cpp.o" "gcc" "src/twin/CMakeFiles/oda_twin.dir/cooling.cpp.o.d"
+  "/root/repo/src/twin/losses.cpp" "src/twin/CMakeFiles/oda_twin.dir/losses.cpp.o" "gcc" "src/twin/CMakeFiles/oda_twin.dir/losses.cpp.o.d"
+  "/root/repo/src/twin/replay.cpp" "src/twin/CMakeFiles/oda_twin.dir/replay.cpp.o" "gcc" "src/twin/CMakeFiles/oda_twin.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/stream/CMakeFiles/oda_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_codecs_test.cpp" "tests/CMakeFiles/storage_codecs_test.dir/storage_codecs_test.cpp.o" "gcc" "tests/CMakeFiles/storage_codecs_test.dir/storage_codecs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/core/CMakeFiles/oda_core.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/apps/CMakeFiles/oda_apps.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/twin/CMakeFiles/oda_twin.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/ml/CMakeFiles/oda_ml.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/governance/CMakeFiles/oda_governance.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/pipeline/CMakeFiles/oda_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/storage/CMakeFiles/oda_storage.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/stream/CMakeFiles/oda_stream.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/sql/CMakeFiles/oda_sql.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

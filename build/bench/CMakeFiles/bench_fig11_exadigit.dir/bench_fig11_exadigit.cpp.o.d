@@ -259,16 +259,17 @@ bench/CMakeFiles/bench_fig11_exadigit.dir/bench_fig11_exadigit.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/pipeline/operator.hpp /root/repo/src/sql/agg.hpp \
  /root/repo/src/storage/object_store.hpp \
- /root/repo/src/pipeline/source_sink.hpp /root/repo/src/storage/tsdb.hpp \
- /root/repo/src/stream/broker.hpp /usr/include/c++/12/atomic \
- /root/repo/src/stream/partition.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/stream/record.hpp /root/repo/src/storage/tiers.hpp \
- /root/repo/src/storage/archive.hpp \
+ /root/repo/src/pipeline/source_sink.hpp /root/repo/src/common/faults.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/storage/tsdb.hpp \
+ /root/repo/src/stream/broker.hpp /root/repo/src/stream/partition.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/stream/record.hpp \
+ /root/repo/src/storage/tiers.hpp /root/repo/src/storage/archive.hpp \
  /root/repo/src/telemetry/simulator.hpp \
- /root/repo/src/telemetry/events.hpp /root/repo/src/telemetry/codec.hpp \
- /root/repo/src/telemetry/sensors.hpp /root/repo/src/telemetry/job.hpp \
- /root/repo/src/telemetry/spec.hpp /root/repo/src/telemetry/failures.hpp \
+ /root/repo/src/telemetry/collection.hpp \
+ /root/repo/src/telemetry/spec.hpp /root/repo/src/telemetry/events.hpp \
+ /root/repo/src/telemetry/codec.hpp /root/repo/src/telemetry/sensors.hpp \
+ /root/repo/src/telemetry/job.hpp /root/repo/src/telemetry/failures.hpp \
  /root/repo/src/telemetry/interconnect.hpp \
  /root/repo/src/telemetry/io_telemetry.hpp /root/repo/src/twin/replay.hpp \
  /root/repo/src/twin/cooling.hpp /root/repo/src/twin/losses.hpp

@@ -254,8 +254,9 @@ bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/telemetry/events.hpp /root/repo/src/telemetry/codec.hpp \
- /root/repo/src/telemetry/sensors.hpp /root/repo/src/telemetry/job.hpp \
- /root/repo/src/telemetry/spec.hpp /root/repo/src/telemetry/failures.hpp \
+ /root/repo/src/telemetry/collection.hpp /root/repo/src/common/faults.hpp \
+ /root/repo/src/telemetry/spec.hpp /root/repo/src/telemetry/events.hpp \
+ /root/repo/src/telemetry/codec.hpp /root/repo/src/telemetry/sensors.hpp \
+ /root/repo/src/telemetry/job.hpp /root/repo/src/telemetry/failures.hpp \
  /root/repo/src/telemetry/interconnect.hpp \
  /root/repo/src/telemetry/io_telemetry.hpp

@@ -263,12 +263,14 @@ examples/CMakeFiles/energy_analytics.dir/energy_analytics.cpp.o: \
  /root/repo/src/ml/feature.hpp /root/repo/src/ml/nn.hpp \
  /root/repo/src/ml/registry.hpp /root/repo/src/pipeline/query.hpp \
  /root/repo/src/pipeline/operator.hpp \
- /root/repo/src/pipeline/source_sink.hpp /root/repo/src/stream/broker.hpp \
- /usr/include/c++/12/atomic /root/repo/src/stream/partition.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/stream/record.hpp \
- /root/repo/src/storage/tiers.hpp /root/repo/src/storage/archive.hpp \
+ /root/repo/src/pipeline/source_sink.hpp /root/repo/src/common/faults.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/stream/broker.hpp \
+ /root/repo/src/stream/partition.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/stream/record.hpp /root/repo/src/storage/tiers.hpp \
+ /root/repo/src/storage/archive.hpp \
  /root/repo/src/telemetry/simulator.hpp \
+ /root/repo/src/telemetry/collection.hpp \
  /root/repo/src/telemetry/events.hpp /root/repo/src/telemetry/codec.hpp \
  /root/repo/src/telemetry/sensors.hpp /root/repo/src/telemetry/job.hpp \
  /root/repo/src/telemetry/failures.hpp \

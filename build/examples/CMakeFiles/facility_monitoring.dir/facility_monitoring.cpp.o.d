@@ -267,10 +267,12 @@ examples/CMakeFiles/facility_monitoring.dir/facility_monitoring.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/pipeline/operator.hpp \
  /root/repo/src/storage/object_store.hpp \
- /root/repo/src/pipeline/source_sink.hpp /root/repo/src/stream/broker.hpp \
- /usr/include/c++/12/atomic /root/repo/src/stream/partition.hpp \
- /root/repo/src/storage/tiers.hpp /root/repo/src/storage/archive.hpp \
+ /root/repo/src/pipeline/source_sink.hpp /root/repo/src/common/faults.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/stream/broker.hpp \
+ /root/repo/src/stream/partition.hpp /root/repo/src/storage/tiers.hpp \
+ /root/repo/src/storage/archive.hpp \
  /root/repo/src/telemetry/simulator.hpp \
+ /root/repo/src/telemetry/collection.hpp \
  /root/repo/src/telemetry/events.hpp \
  /root/repo/src/telemetry/failures.hpp \
  /root/repo/src/telemetry/interconnect.hpp \

@@ -325,11 +325,11 @@ tests/CMakeFiles/collection_test.dir/collection_test.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/sql/table.hpp \
  /root/repo/src/sql/value.hpp /root/repo/src/storage/object_store.hpp \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/pipeline/source_sink.hpp /root/repo/src/storage/tsdb.hpp \
- /root/repo/src/stream/broker.hpp /root/repo/src/stream/partition.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/stream/record.hpp \
- /root/repo/src/sql/ops.hpp /root/repo/src/sql/expr.hpp \
- /root/repo/src/storage/columnar.hpp \
+ /root/repo/src/pipeline/source_sink.hpp /root/repo/src/common/faults.hpp \
+ /root/repo/src/storage/tsdb.hpp /root/repo/src/stream/broker.hpp \
+ /root/repo/src/stream/partition.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/stream/record.hpp /root/repo/src/sql/ops.hpp \
+ /root/repo/src/sql/expr.hpp /root/repo/src/storage/columnar.hpp \
  /root/repo/src/telemetry/collection.hpp \
  /root/repo/src/telemetry/spec.hpp

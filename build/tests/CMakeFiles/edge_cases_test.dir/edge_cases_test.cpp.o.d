@@ -327,9 +327,9 @@ tests/CMakeFiles/edge_cases_test.dir/edge_cases_test.cpp.o: \
  /root/repo/src/pipeline/operator.hpp /root/repo/src/sql/agg.hpp \
  /root/repo/src/storage/object_store.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/pipeline/source_sink.hpp /root/repo/src/storage/tsdb.hpp \
- /root/repo/src/stream/broker.hpp /root/repo/src/stream/partition.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/stream/record.hpp \
- /root/repo/src/sql/expr.hpp /root/repo/src/sql/ops.hpp \
- /root/repo/src/storage/columnar.hpp
+ /root/repo/src/pipeline/source_sink.hpp /root/repo/src/common/faults.hpp \
+ /root/repo/src/storage/tsdb.hpp /root/repo/src/stream/broker.hpp \
+ /root/repo/src/stream/partition.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/stream/record.hpp /root/repo/src/sql/expr.hpp \
+ /root/repo/src/sql/ops.hpp /root/repo/src/storage/columnar.hpp

@@ -330,6 +330,7 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o: \
  /root/repo/src/telemetry/simulator.hpp /root/repo/src/stream/broker.hpp \
  /root/repo/src/stream/partition.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/telemetry/collection.hpp /root/repo/src/common/faults.hpp \
  /root/repo/src/telemetry/events.hpp \
  /root/repo/src/telemetry/interconnect.hpp \
  /root/repo/src/twin/allocator.hpp /root/repo/src/twin/replay.hpp \

@@ -326,6 +326,7 @@ tests/CMakeFiles/telemetry_test.dir/telemetry_test.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/stream/partition.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/telemetry/collection.hpp /root/repo/src/common/faults.hpp \
  /root/repo/src/telemetry/failures.hpp \
  /root/repo/src/telemetry/interconnect.hpp \
  /root/repo/src/telemetry/io_telemetry.hpp
