@@ -2,11 +2,13 @@
 // Runs both simulated generations at reduced scale, measures per-stream
 // ingest, and extrapolates to full system scale. Also measures the
 // broker's raw produce/consume throughput (the STREAM tier headroom).
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
+#include "observe/metrics.hpp"
 #include "stream/broker.hpp"
 #include "telemetry/simulator.hpp"
 
@@ -20,7 +22,7 @@ struct SystemRow {
 };
 
 void report_system(const oda::telemetry::SystemSpec& full_spec, double scale,
-                   oda::common::Duration sim_span) {
+                   oda::common::Duration sim_span, oda::bench::JsonReport& report) {
   using namespace oda;
   stream::Broker broker;
   telemetry::SimulatorConfig cfg;
@@ -79,18 +81,27 @@ void report_system(const oda::telemetry::SystemSpec& full_spec, double scale,
   std::printf("%-24s %14s %14s %16s %16s\n", "TOTAL", "", "",
               common::format_bytes(total_day).c_str(),
               common::format_bytes(total_raw_day).c_str());
+  report.metric(spec.name + ".full_scale_bytes_per_day", total_day, "bytes/day");
+  report.metric(spec.name + ".raw_json_bytes_per_day", total_raw_day, "bytes/day");
 }
 
-void broker_throughput() {
+struct ThroughputResult {
+  double produce_rate = 0.0;  ///< records/s
+  double consume_rate = 0.0;  ///< records/s
+};
+
+/// One produce+consume sweep over a fresh topic. The observe registry
+/// counters are live (or gated off) exactly as in production — this is
+/// the path the <5% instrumentation-overhead criterion is measured on.
+ThroughputResult broker_throughput_once(std::size_t n) {
   using namespace oda;
   stream::Broker broker;
   broker.create_topic("bench", {8, 4 << 20, {}});
-  constexpr std::size_t kN = 400000;
   stream::Record rec;
   rec.payload.assign(200, 'x');
 
   common::Stopwatch sw;
-  for (std::size_t i = 0; i < kN; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     rec.timestamp = static_cast<common::TimePoint>(i);
     rec.key = "n" + std::to_string(i % 512);
     broker.produce("bench", rec);
@@ -100,16 +111,59 @@ void broker_throughput() {
   stream::Consumer consumer(broker, "bench-group", "bench");
   sw.reset();
   std::size_t consumed = 0;
-  while (consumed < kN) {
+  while (consumed < n) {
     const auto batch = consumer.poll(8192);
     if (batch.empty()) break;
     consumed += batch.size();
   }
   const double cons_s = sw.elapsed_seconds();
-  const double mb = static_cast<double>(kN) * rec.wire_size() / (1024.0 * 1024.0);
-  std::printf("\nbroker throughput: produce %.0fk rec/s (%.0f MB/s), consume %.0fk rec/s (%.0f MB/s)\n",
-              kN / prod_s / 1e3, mb / prod_s, static_cast<double>(consumed) / cons_s / 1e3,
-              mb / cons_s);
+  return {static_cast<double>(n) / prod_s, static_cast<double>(consumed) / cons_s};
+}
+
+/// Best-of-k (peak rate ≈ least interference from the OS) with metrics
+/// enabled vs disabled, reporting the instrumentation overhead.
+void broker_throughput(oda::bench::JsonReport& report) {
+  using namespace oda;
+  constexpr std::size_t kN = 200000;
+  constexpr int kRuns = 24;
+
+  // Interleave the on/off runs (on, off, on, off, ...) so thermal drift
+  // and scheduler noise hit both configurations equally; keep the best.
+  auto take_best = [](ThroughputResult& best, const ThroughputResult& t) {
+    best.produce_rate = std::max(best.produce_rate, t.produce_rate);
+    best.consume_rate = std::max(best.consume_rate, t.consume_rate);
+  };
+  (void)broker_throughput_once(kN / 4);  // warmup (allocators, page faults)
+  ThroughputResult on, off;
+  for (int r = 0; r < kRuns; ++r) {
+    // Alternate which configuration goes first so a monotonic drift
+    // (thermal, background load) biases neither side.
+    const bool on_first = (r % 2) == 0;
+    observe::set_metrics_enabled(on_first);
+    take_best(on_first ? on : off, broker_throughput_once(kN));
+    observe::set_metrics_enabled(!on_first);
+    take_best(on_first ? off : on, broker_throughput_once(kN));
+  }
+  observe::set_metrics_enabled(true);
+
+  const double wire = static_cast<double>(stream::Record{0, "n000", std::string(200, 'x')}.wire_size());
+  const double mbs_on = on.produce_rate * wire / (1024.0 * 1024.0);
+  const double overhead_prod = (off.produce_rate - on.produce_rate) / off.produce_rate * 100.0;
+  const double overhead_cons = (off.consume_rate - on.consume_rate) / off.consume_rate * 100.0;
+
+  std::printf("\nbroker throughput (metrics ON):  produce %.0fk rec/s (%.0f MB/s), consume %.0fk rec/s\n",
+              on.produce_rate / 1e3, mbs_on, on.consume_rate / 1e3);
+  std::printf("broker throughput (metrics OFF): produce %.0fk rec/s, consume %.0fk rec/s\n",
+              off.produce_rate / 1e3, off.consume_rate / 1e3);
+  std::printf("instrumentation overhead: produce %+.2f%%, consume %+.2f%% (criterion: < 5%%)\n",
+              overhead_prod, overhead_cons);
+
+  report.metric("broker.produce.rate.metrics_on", on.produce_rate, "records/s");
+  report.metric("broker.produce.rate.metrics_off", off.produce_rate, "records/s");
+  report.metric("broker.consume.rate.metrics_on", on.consume_rate, "records/s");
+  report.metric("broker.consume.rate.metrics_off", off.consume_rate, "records/s");
+  report.metric("observe.overhead.produce_pct", overhead_prod, "percent");
+  report.metric("observe.overhead.consume_pct", overhead_cons, "percent");
 }
 
 }  // namespace
@@ -122,8 +176,10 @@ int main() {
                 "per-day volume dominated by per-node power/thermal streams; TB/day total at "
                 "full scale");
 
-  report_system(telemetry::mountain_spec(), 0.01, 5 * common::kMinute);
-  report_system(telemetry::compass_spec(), 0.01, 5 * common::kMinute);
-  broker_throughput();
+  bench::JsonReport report("fig4a_ingest_rate");
+  report_system(telemetry::mountain_spec(), 0.01, 5 * common::kMinute, report);
+  report_system(telemetry::compass_spec(), 0.01, 5 * common::kMinute, report);
+  broker_throughput(report);
+  report.write();
   return 0;
 }

@@ -3,9 +3,15 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/framework.hpp"
 #include "telemetry/spec.hpp"
+
+#ifndef ODA_GIT_COMMIT
+#define ODA_GIT_COMMIT "unknown"
+#endif
 
 namespace oda::bench {
 
@@ -34,6 +40,55 @@ struct StandardRig {
     fw.register_query(fw.make_bronze_to_silver_power("Compass"));
     fw.register_query(fw.make_silver_to_lake("Compass", "node.power_w", "node_power_w"));
   }
+};
+
+/// Machine-readable bench results: collect named metrics during the run,
+/// then write() lands `BENCH_<name>.json` in the working directory so CI
+/// can diff runs across commits without scraping stdout:
+///
+///   {"bench":"fig4a_ingest_rate","commit":"1a2b3c4","metrics":[
+///     {"name":"broker.produce.rate","value":1234000,"unit":"records/s"},
+///     ...]}
+///
+/// The commit id is baked in at configure time (ODA_GIT_COMMIT).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void metric(std::string metric_name, double value, std::string unit) {
+    metrics_.push_back({std::move(metric_name), value, std::move(unit)});
+  }
+
+  /// Write BENCH_<name>.json; returns false (and warns) on I/O failure.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"commit\":\"%s\",\"metrics\":[", name_.c_str(),
+                 ODA_GIT_COMMIT);
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const auto& m = metrics_[i];
+      std::fprintf(f, "%s\n  {\"name\":\"%s\",\"value\":%.10g,\"unit\":\"%s\"}",
+                   i == 0 ? "" : ",", m.name.c_str(), m.value, m.unit.c_str());
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu metrics, commit %s)\n", path.c_str(), metrics_.size(),
+                ODA_GIT_COMMIT);
+    return true;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<Metric> metrics_;
 };
 
 }  // namespace oda::bench

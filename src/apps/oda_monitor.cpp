@@ -1,0 +1,149 @@
+#include "apps/oda_monitor.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "observe/export.hpp"
+
+namespace oda::apps {
+
+using observe::SloState;
+
+OdaMonitor::OdaMonitor(stream::Broker& broker, storage::TierManager& tiers,
+                       MonitorThresholds thresholds)
+    : broker_(broker), tiers_(tiers), thresholds_(thresholds) {
+  slos_.add({.name = "stream.lag",
+             .subject = "fleet consumer lag vs broker offsets",
+             .unit = "records",
+             .warn = static_cast<double>(thresholds_.lag_warn),
+             .crit = static_cast<double>(thresholds_.lag_crit),
+             .breach_hold = thresholds_.breach_hold,
+             .clear_after = thresholds_.clear_after});
+  slos_.add({.name = "pipeline.freshness",
+             .subject = "worst watermark delay across watched queries",
+             .unit = "us",
+             .warn = static_cast<double>(thresholds_.freshness_warn),
+             .crit = static_cast<double>(thresholds_.freshness_crit),
+             .breach_hold = thresholds_.breach_hold,
+             .clear_after = thresholds_.clear_after});
+  slos_.add({.name = "telemetry.drops",
+             .subject = "collection records dropped after retries",
+             .unit = "records",
+             .warn = thresholds_.drop_warn,
+             .crit = thresholds_.drop_crit,
+             .breach_hold = 0,
+             .clear_after = thresholds_.clear_after});
+}
+
+void OdaMonitor::watch_query(const pipeline::StreamingQuery& query) {
+  watched_.push_back(&query);
+}
+
+void OdaMonitor::tick(common::TimePoint now) {
+  last_tick_ = now;
+
+  // Consumer lag: walk the broker's committed-offset store against each
+  // partition's end offset. Groups that never committed don't appear —
+  // their lag is invisible to the broker too.
+  for (const auto& row : broker_.committed_offsets()) {
+    const stream::Topic* t = broker_.find_topic(row.tp.topic);
+    if (t == nullptr || row.tp.partition >= t->num_partitions()) continue;
+    lag_.observe_offsets(row.group, row.tp.topic, row.tp.partition,
+                         t->partition(row.tp.partition).end_offset(), row.offset);
+  }
+
+  // Watermark freshness per watched query.
+  for (const pipeline::StreamingQuery* q : watched_) {
+    lag_.observe_watermark(q->name(), q->watermark(), now);
+  }
+
+  // Tier backlogs from the tier manager's own report.
+  for (const auto& r : tiers_.report()) {
+    lag_.observe_backlog(storage::tier_name(r.tier), r.bytes, r.items);
+  }
+
+  // SLO evaluation.
+  slos_.update("stream.lag", static_cast<double>(lag_.fleet_lag()), now);
+  common::Duration worst_delay = 0;
+  for (const auto& ws : lag_.watermarks()) worst_delay = std::max(worst_delay, ws.delay);
+  if (!watched_.empty()) {
+    slos_.update("pipeline.freshness", static_cast<double>(worst_delay), now);
+  }
+  const double drops = static_cast<double>(
+      observe::default_registry().counter("telemetry.dropped.records")->value());
+  slos_.update("telemetry.drops", drops, now);
+}
+
+std::string OdaMonitor::render() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "=== ODA self-observability monitor  [%s]  vt=%" PRId64 " ===\n",
+                observe::slo_state_name(overall()), last_tick_);
+  out += buf;
+  out += observe::slos_to_text(slos_);
+
+  const auto groups = lag_.group_lags();
+  if (!groups.empty()) {
+    out += "-- consumer lag --\n";
+    for (const auto& g : groups) {
+      std::snprintf(buf, sizeof(buf), "  %-20s %-24s lag=%" PRId64 " (peak %" PRId64 ", %zu parts)\n",
+                    g.group.c_str(), g.topic.c_str(), g.total_lag, g.peak_lag,
+                    g.partitions.size());
+      out += buf;
+    }
+  }
+
+  const auto wms = lag_.watermarks();
+  if (!wms.empty()) {
+    out += "-- watermarks --\n";
+    for (const auto& w : wms) {
+      if (w.ever_advanced) {
+        std::snprintf(buf, sizeof(buf), "  %-28s wm=%" PRId64 " delay=%" PRId64 "us\n",
+                      w.name.c_str(), w.watermark, w.delay);
+      } else {
+        std::snprintf(buf, sizeof(buf), "  %-28s (never advanced)\n", w.name.c_str());
+      }
+      out += buf;
+    }
+  }
+
+  const auto backlogs = lag_.backlogs();
+  if (!backlogs.empty()) {
+    out += "-- tier backlogs --\n";
+    for (const auto& b : backlogs) {
+      std::snprintf(buf, sizeof(buf), "  %-10s %12s  %zu items\n", b.tier.c_str(),
+                    common::format_bytes(b.bytes).c_str(), b.items);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string OdaMonitor::to_json() const {
+  std::string out = "{\"overall\":\"";
+  out += observe::slo_state_name(overall());
+  out += "\",\"slos\":";
+  out += observe::slos_to_json(slos_);
+  // slos_to_json ends with "]\n" — trim the newline before continuing.
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  out += ",\"fleet_lag\":" + std::to_string(lag_.fleet_lag());
+  out += ",\"groups\":[";
+  bool first = true;
+  for (const auto& g : lag_.group_lags()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"group\":\"" + observe::json_escape(g.group) + "\",\"topic\":\"" +
+           observe::json_escape(g.topic) + "\",\"lag\":" + std::to_string(g.total_lag) +
+           ",\"peak\":" + std::to_string(g.peak_lag) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string OdaMonitor::one_line() {
+  return observe::one_line_summary(observe::default_registry().snapshot());
+}
+
+}  // namespace oda::apps

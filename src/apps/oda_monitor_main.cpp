@@ -1,0 +1,66 @@
+// oda_monitor — the self-observability health app as an executable.
+//
+// Runs a small instrumented facility simulation (collection → broker →
+// Bronze→Silver refinement → LAKE) with tracing enabled, then reports the
+// framework's own health: SLO states, consumer lag, watermark freshness,
+// tier backlogs, and the trace anatomy of the run.
+//
+//   oda_monitor              full console report
+//   oda_monitor --one-line   single-line metrics digest (build-log hook)
+//   oda_monitor --json       machine-readable report
+//   oda_monitor --spans      include the span forest (trace anatomy)
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/oda_monitor.hpp"
+#include "core/framework.hpp"
+#include "observe/export.hpp"
+#include "observe/trace.hpp"
+
+int main(int argc, char** argv) {
+  bool one_line = false;
+  bool json = false;
+  bool spans = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--one-line") == 0) one_line = true;
+    else if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--spans") == 0) spans = true;
+    else {
+      std::cerr << "usage: oda_monitor [--one-line] [--json] [--spans]\n";
+      return 2;
+    }
+  }
+
+  oda::observe::Tracer tracer;
+  oda::observe::ScopedTracer scoped(tracer);
+
+  oda::core::OdaFramework fw;
+  auto& sys = fw.add_system(oda::telemetry::compass_spec(0.004));
+  auto& silver = fw.register_query(fw.make_bronze_to_silver_power(sys.spec().name));
+  auto& to_lake = fw.register_query(
+      fw.make_silver_to_lake(sys.spec().name, "node.power_w", "node_power_w"));
+
+  oda::apps::OdaMonitor monitor(fw.broker(), fw.tiers());
+  monitor.watch_query(silver);
+  monitor.watch_query(to_lake);
+
+  fw.advance(2 * oda::common::kMinute);
+  monitor.tick(fw.now());
+
+  if (one_line) {
+    std::cout << oda::apps::OdaMonitor::one_line() << "\n";
+    return 0;
+  }
+  if (json) {
+    std::cout << monitor.to_json() << "\n";
+    return 0;
+  }
+  std::cout << monitor.render();
+  std::cout << oda::apps::OdaMonitor::one_line() << "\n";
+  if (spans) {
+    std::cout << "\n-- trace anatomy (last " << tracer.store().size() << " spans) --\n";
+    std::cout << oda::observe::spans_to_text(tracer.store().snapshot());
+  }
+  return monitor.overall() == oda::observe::SloState::kBreached ? 1 : 0;
+}

@@ -6,6 +6,7 @@ namespace oda::chaos {
 
 namespace detail {
 std::atomic<FaultPlan*> g_fault_plan{nullptr};
+std::atomic<FaultObserver*> g_fault_observer{nullptr};
 }
 
 void FaultPlan::configure(const std::string& site, SiteConfig cfg) {
@@ -47,19 +48,23 @@ void FaultPlan::inject(std::string_view site) {
   const std::uint64_t k = s.stats.visits - s.cfg.skip_first;
   if (s.cfg.every_nth > 0 && k % s.cfg.every_nth == 0) {
     ++s.stats.transient_faults;
+    detail::notify_fault(site, "transient");
     throw TransientFault(site);
   }
   if (s.cfg.hard_p > 0.0 && s.rng.bernoulli(s.cfg.hard_p)) {
     ++s.stats.hard_faults;
+    detail::notify_fault(site, "hard");
     throw HardFault(site);
   }
   if (s.cfg.transient_p > 0.0 && s.rng.bernoulli(s.cfg.transient_p)) {
     ++s.stats.transient_faults;
+    detail::notify_fault(site, "transient");
     throw TransientFault(site);
   }
   if (s.cfg.latency_p > 0.0 && s.rng.bernoulli(s.cfg.latency_p)) {
     ++s.stats.latency_spikes;
     s.stats.injected_latency += s.cfg.latency;
+    detail::notify_fault(site, "latency");
   }
 }
 

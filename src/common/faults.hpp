@@ -124,8 +124,43 @@ class FaultPlan {
   std::map<std::string, SiteState, std::less<>> sites_;
 };
 
+/// Observer interface for fault/retry events — the seam that lets the
+/// observe layer count chaos activity without common depending on it.
+/// Implementations must be cheap and non-throwing (called from hot paths
+/// and from inside exception dispatch).
+class FaultObserver {
+ public:
+  virtual ~FaultObserver() = default;
+  /// kind: "transient", "hard" or "latency".
+  virtual void on_fault(std::string_view site, std::string_view kind) = 0;
+  virtual void on_retry(std::string_view what, common::Duration backoff) = 0;
+  virtual void on_exhausted(std::string_view what) = 0;
+};
+
 namespace detail {
 extern std::atomic<FaultPlan*> g_fault_plan;
+extern std::atomic<FaultObserver*> g_fault_observer;
+
+inline void notify_fault(std::string_view site, std::string_view kind) {
+  FaultObserver* o = g_fault_observer.load(std::memory_order_acquire);
+  if (o != nullptr) o->on_fault(site, kind);
+}
+inline void notify_retry(std::string_view what, common::Duration backoff) {
+  FaultObserver* o = g_fault_observer.load(std::memory_order_acquire);
+  if (o != nullptr) o->on_retry(what, backoff);
+}
+inline void notify_exhausted(std::string_view what) {
+  FaultObserver* o = g_fault_observer.load(std::memory_order_acquire);
+  if (o != nullptr) o->on_exhausted(what);
+}
+}  // namespace detail
+
+/// Install (or with nullptr, remove) the process-wide fault observer.
+inline void install_fault_observer(FaultObserver* o) {
+  detail::g_fault_observer.store(o, std::memory_order_release);
+}
+inline FaultObserver* installed_fault_observer() {
+  return detail::g_fault_observer.load(std::memory_order_acquire);
 }
 
 /// Install (or with nullptr, remove) the process-wide fault plan.
@@ -199,16 +234,19 @@ class Retrier {
       } catch (const TransientFault& e) {
         if (attempt >= policy_.max_attempts) {
           ++stats_.exhausted;
+          detail::notify_exhausted(what);
           throw RetriesExhausted(what, attempt, e.what());
         }
         const common::Duration b = backoff_for(attempt);
         if (policy_.deadline > 0 && spent + b > policy_.deadline) {
           ++stats_.exhausted;
+          detail::notify_exhausted(what);
           throw RetriesExhausted(what, attempt, e.what());
         }
         spent += b;
         stats_.backoff_total += b;
         ++stats_.retries;
+        detail::notify_retry(what, b);
         on_retry();
       }
     }

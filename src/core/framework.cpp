@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "observe/metrics.hpp"
 #include "sql/expr.hpp"
 #include "sql/ops.hpp"
 #include "telemetry/codec.hpp"
@@ -168,6 +169,9 @@ void OdaFramework::advance(Duration dt, Duration step) {
     const Duration chunk = std::min(step, target - now_);
     for (auto& s : systems_) s->step(chunk);
     now_ += chunk;
+    // Mirror the facility clock into the observability layer so spans and
+    // SLO evaluations are stamped with deterministic virtual time.
+    observe::set_virtual_now(now_);
     for (auto& q : queries_) q->run_until_caught_up();
     if (now_ - last_retention_ >= config_.retention_sweep_period) {
       tiers_.enforce(now_);

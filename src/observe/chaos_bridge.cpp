@@ -1,0 +1,69 @@
+#include "observe/chaos_bridge.hpp"
+
+namespace oda::observe {
+
+namespace {
+std::string cache_key(std::string_view a, std::string_view b) {
+  std::string k(a);
+  k += '\x1f';
+  k += b;
+  return k;
+}
+}  // namespace
+
+Counter* ChaosMetricsBridge::fault_counter(std::string_view site, std::string_view kind) {
+  const std::string key = cache_key(site, kind);
+  std::lock_guard lk(mu_);
+  auto it = faults_.find(key);
+  if (it == faults_.end()) {
+    Counter* c = reg_.counter("chaos.faults.injected",
+                              {{"site", std::string(site)}, {"kind", std::string(kind)}});
+    it = faults_.emplace(key, c).first;
+  }
+  return it->second;
+}
+
+Counter* ChaosMetricsBridge::retry_counter(std::string_view what) {
+  std::lock_guard lk(mu_);
+  auto it = retries_.find(what);
+  if (it == retries_.end()) {
+    Counter* c = reg_.counter("chaos.retries", {{"what", std::string(what)}});
+    it = retries_.emplace(std::string(what), c).first;
+  }
+  return it->second;
+}
+
+Histogram* ChaosMetricsBridge::backoff_histogram(std::string_view what) {
+  std::lock_guard lk(mu_);
+  auto it = backoffs_.find(what);
+  if (it == backoffs_.end()) {
+    Histogram* h = reg_.histogram("chaos.retry.backoff.seconds", {{"what", std::string(what)}});
+    it = backoffs_.emplace(std::string(what), h).first;
+  }
+  return it->second;
+}
+
+Counter* ChaosMetricsBridge::exhausted_counter(std::string_view what) {
+  std::lock_guard lk(mu_);
+  auto it = exhausted_.find(what);
+  if (it == exhausted_.end()) {
+    Counter* c = reg_.counter("chaos.retries.exhausted", {{"what", std::string(what)}});
+    it = exhausted_.emplace(std::string(what), c).first;
+  }
+  return it->second;
+}
+
+void ChaosMetricsBridge::on_fault(std::string_view site, std::string_view kind) {
+  fault_counter(site, kind)->inc();
+}
+
+void ChaosMetricsBridge::on_retry(std::string_view what, common::Duration backoff) {
+  retry_counter(what)->inc();
+  backoff_histogram(what)->add(static_cast<double>(backoff) / 1e6);
+}
+
+void ChaosMetricsBridge::on_exhausted(std::string_view what) {
+  exhausted_counter(what)->inc();
+}
+
+}  // namespace oda::observe

@@ -1,0 +1,62 @@
+// Bridges oda::chaos fault/retry events into the metrics registry.
+// common/faults.hpp exposes a FaultObserver seam precisely so that the
+// dependency points this way (observe → common) and not the reverse.
+//
+// Series emitted (per site / per retrier label):
+//   chaos.faults.injected{site=,kind=}   counter
+//   chaos.retries{what=}                 counter
+//   chaos.retry.backoff.seconds{what=}   histogram (virtual backoff)
+//   chaos.retries.exhausted{what=}       counter
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/faults.hpp"
+#include "observe/metrics.hpp"
+
+namespace oda::observe {
+
+class ChaosMetricsBridge : public chaos::FaultObserver {
+ public:
+  explicit ChaosMetricsBridge(MetricsRegistry& reg = default_registry()) : reg_(reg) {}
+
+  void on_fault(std::string_view site, std::string_view kind) override;
+  void on_retry(std::string_view what, common::Duration backoff) override;
+  void on_exhausted(std::string_view what) override;
+
+ private:
+  Counter* fault_counter(std::string_view site, std::string_view kind);
+  Counter* retry_counter(std::string_view what);
+  Histogram* backoff_histogram(std::string_view what);
+  Counter* exhausted_counter(std::string_view what);
+
+  MetricsRegistry& reg_;
+  // Handle caches: fault sites and retrier labels are a small fixed set,
+  // so a map lookup here is cheap and keeps the registry's shard locks
+  // off the repeat path.
+  std::mutex mu_;
+  std::map<std::string, Counter*, std::less<>> faults_;
+  std::map<std::string, Counter*, std::less<>> retries_;
+  std::map<std::string, Histogram*, std::less<>> backoffs_;
+  std::map<std::string, Counter*, std::less<>> exhausted_;
+};
+
+/// RAII installation of a bridge as the process-wide fault observer.
+class ScopedChaosBridge {
+ public:
+  explicit ScopedChaosBridge(MetricsRegistry& reg = default_registry()) : bridge_(reg) {
+    chaos::install_fault_observer(&bridge_);
+  }
+  ~ScopedChaosBridge() { chaos::install_fault_observer(nullptr); }
+  ScopedChaosBridge(const ScopedChaosBridge&) = delete;
+  ScopedChaosBridge& operator=(const ScopedChaosBridge&) = delete;
+
+  ChaosMetricsBridge& bridge() { return bridge_; }
+
+ private:
+  ChaosMetricsBridge bridge_;
+};
+
+}  // namespace oda::observe

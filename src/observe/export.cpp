@@ -1,0 +1,265 @@
+#include "observe/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace oda::observe {
+
+namespace {
+
+std::string format_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  // Integral values print without a fractional tail; others keep 6 sig figs.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) && v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+double snapshot_quantile(const MetricValue& m, double q) {
+  // Re-derive an interpolated quantile from per-bucket counts.
+  if (m.count == 0 || m.buckets.empty()) return 0.0;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(m.count - 1)) + 1;
+  std::uint64_t seen = 0;
+  double lower = 0.0;
+  for (const auto& [bound, n] : m.buckets) {
+    if (seen + n >= target && n > 0) {
+      const double frac = static_cast<double>(target - seen) / static_cast<double>(n);
+      return lower + (bound - lower) * frac;
+    }
+    seen += n;
+    lower = bound;
+  }
+  return lower;
+}
+
+}  // namespace
+
+std::string metrics_to_text(const MetricsSnapshot& snap) {
+  std::string out;
+  char buf[256];
+  for (const auto& m : snap) {
+    out += m.name;
+    out += format_labels(m.labels);
+    out += ' ';
+    out += metric_kind_name(m.kind);
+    out += ' ';
+    if (m.kind == MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof(buf), "count=%" PRIu64 " sum=%s p50=%.3g p99=%.3g", m.count,
+                    format_double(m.value).c_str(), snapshot_quantile(m, 0.50),
+                    snapshot_quantile(m, 0.99));
+      out += buf;
+    } else {
+      out += format_double(m.value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snap) {
+  std::string out = "[";
+  char buf[128];
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const auto& m = snap[i];
+    if (i != 0) out += ',';
+    out += "\n  {\"name\":\"" + json_escape(m.name) + "\",\"kind\":\"";
+    out += metric_kind_name(m.kind);
+    out += "\",\"labels\":{";
+    for (std::size_t j = 0; j < m.labels.size(); ++j) {
+      if (j != 0) out += ',';
+      out += '"' + json_escape(m.labels[j].first) + "\":\"" + json_escape(m.labels[j].second) +
+             '"';
+    }
+    out += "},\"value\":" + format_double(m.value);
+    if (m.kind == MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64, m.count);
+      out += buf;
+      out += ",\"buckets\":[";
+      for (std::size_t j = 0; j < m.buckets.size(); ++j) {
+        if (j != 0) out += ',';
+        std::snprintf(buf, sizeof(buf), "{\"le\":%.6g,\"n\":%" PRIu64 "}", m.buckets[j].first,
+                      m.buckets[j].second);
+        out += buf;
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string one_line_summary(const MetricsSnapshot& snap) {
+  auto total_of = [&](const std::string& name) {
+    double total = 0.0;
+    for (const auto& m : snap) {
+      if (m.name == name) total += m.value;
+    }
+    return total;
+  };
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "oda-metrics: %zu series | produced=%s consumed=%s batches=%s faults=%s "
+                "retries=%s",
+                snap.size(), format_double(total_of("stream.produced.records")).c_str(),
+                format_double(total_of("stream.fetched.records")).c_str(),
+                format_double(total_of("pipeline.batches")).c_str(),
+                format_double(total_of("chaos.faults.injected")).c_str(),
+                format_double(total_of("chaos.retries")).c_str());
+  return buf;
+}
+
+std::string spans_to_text(const std::vector<SpanRecord>& spans) {
+  // Group by trace, index parents, then emit each trace's forest with
+  // parents before children. Spans arrive in completion order (children
+  // finish first), so child lists are built by a reverse scan per parent.
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(spans.size());
+  for (const auto& s : spans) present.insert(s.span_id);
+
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> children;
+  std::map<std::uint64_t, std::vector<std::size_t>> trace_roots;  // ordered traces
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    if (s.parent_id != 0 && present.count(s.parent_id) != 0) {
+      children[s.parent_id].push_back(i);
+    } else {
+      trace_roots[s.trace_id].push_back(i);  // root, or orphan promoted to root
+    }
+  }
+
+  std::string out;
+  char buf[256];
+  auto emit = [&](auto&& self, std::size_t idx, int depth) -> void {
+    const auto& s = spans[idx];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    std::snprintf(buf, sizeof(buf), "%s  vt=[%" PRId64 "..%" PRId64 "] wall=%.1fus", s.name.c_str(),
+                  s.virtual_start, s.virtual_end, s.wall_us);
+    out += buf;
+    for (const auto& [k, v] : s.tags) {
+      out += ' ';
+      out += k;
+      out += '=';
+      out += v;
+    }
+    out += '\n';
+    auto it = children.find(s.span_id);
+    if (it != children.end()) {
+      for (std::size_t c : it->second) self(self, c, depth + 1);
+    }
+  };
+  for (const auto& [trace_id, roots] : trace_roots) {
+    std::snprintf(buf, sizeof(buf), "trace %" PRIu64 ":\n", trace_id);
+    out += buf;
+    for (std::size_t r : roots) emit(emit, r, 1);
+  }
+  return out;
+}
+
+std::string spans_to_json(const std::vector<SpanRecord>& spans) {
+  std::string out = "[";
+  char buf[256];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    if (i != 0) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "\n  {\"trace\":%" PRIu64 ",\"span\":%" PRIu64 ",\"parent\":%" PRIu64
+                  ",\"name\":\"",
+                  s.trace_id, s.span_id, s.parent_id);
+    out += buf;
+    out += json_escape(s.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"vt_start\":%" PRId64 ",\"vt_end\":%" PRId64 ",\"wall_us\":%.3f",
+                  s.virtual_start, s.virtual_end, s.wall_us);
+    out += buf;
+    if (!s.tags.empty()) {
+      out += ",\"tags\":{";
+      for (std::size_t j = 0; j < s.tags.size(); ++j) {
+        if (j != 0) out += ',';
+        out += '"' + json_escape(s.tags[j].first) + "\":\"" + json_escape(s.tags[j].second) + '"';
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string slos_to_text(const SloBook& book) {
+  std::string out;
+  char buf[256];
+  for (const auto& s : book.all()) {
+    const auto& spec = s->spec();
+    std::snprintf(buf, sizeof(buf), "[%-8s] %-24s %s/%s %s (%zu transitions)\n",
+                  slo_state_name(s->state()), spec.name.c_str(),
+                  format_double(s->last_value()).c_str(), format_double(spec.crit).c_str(),
+                  spec.unit.c_str(), s->transitions().size());
+    out += buf;
+  }
+  return out;
+}
+
+std::string slos_to_json(const SloBook& book) {
+  std::string out = "[";
+  bool first = true;
+  char buf[128];
+  for (const auto& s : book.all()) {
+    const auto& spec = s->spec();
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {\"name\":\"" + json_escape(spec.name) + "\",\"state\":\"";
+    out += slo_state_name(s->state());
+    out += "\",\"value\":" + format_double(s->last_value());
+    out += ",\"warn\":" + format_double(spec.warn) + ",\"crit\":" + format_double(spec.crit);
+    std::snprintf(buf, sizeof(buf), ",\"transitions\":%zu}", s->transitions().size());
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace oda::observe

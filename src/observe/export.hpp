@@ -1,0 +1,45 @@
+// Exporters: render metrics snapshots and span stores as plain text (for
+// terminals / ctest logs) or JSON (for tooling). Everything is string-in/
+// string-out and deterministic given a deterministic snapshot — ordering
+// comes from MetricsRegistry::snapshot()'s (name, labels) sort and
+// SpanStore's completion order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "observe/metrics.hpp"
+#include "observe/slo.hpp"
+#include "observe/trace.hpp"
+
+namespace oda::observe {
+
+/// `name{k=v,...} kind value [count=N p50=... p99=...]` — one per line.
+std::string metrics_to_text(const MetricsSnapshot& snap);
+
+/// JSON array of metric objects (name, labels, kind, value, count,
+/// buckets for histograms).
+std::string metrics_to_json(const MetricsSnapshot& snap);
+
+/// Single-line digest for build logs / the tier-1 summary hook, e.g.
+/// `oda-metrics: 42 series | produced=120000 consumed=119873 batches=96
+///  faults=12 retries=9`. Missing series contribute 0.
+std::string one_line_summary(const MetricsSnapshot& snap);
+
+/// Indented forest grouped by trace: parents before children, siblings in
+/// completion order. Orphans (parent span evicted from the ring) are
+/// promoted to roots.
+std::string spans_to_text(const std::vector<SpanRecord>& spans);
+
+/// JSON array of span objects.
+std::string spans_to_json(const std::vector<SpanRecord>& spans);
+
+/// SLO table: `state name value/crit unit (transitions)`.
+std::string slos_to_text(const SloBook& book);
+std::string slos_to_json(const SloBook& book);
+
+/// Escape a string for embedding in a JSON string literal (quotes not
+/// included).
+std::string json_escape(const std::string& s);
+
+}  // namespace oda::observe

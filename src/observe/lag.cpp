@@ -1,0 +1,105 @@
+#include "observe/lag.hpp"
+
+#include <algorithm>
+#include <climits>
+
+namespace oda::observe {
+
+void LagTracker::observe_offsets(const std::string& group, const std::string& topic,
+                                 std::size_t partition, std::int64_t end_offset,
+                                 std::int64_t committed) {
+  std::lock_guard lk(mu_);
+  GroupLag& gl = groups_[{group, topic}];
+  gl.group = group;
+  gl.topic = topic;
+  auto it = std::find_if(gl.partitions.begin(), gl.partitions.end(),
+                         [&](const PartitionLag& p) { return p.partition == partition; });
+  if (it == gl.partitions.end()) {
+    gl.partitions.push_back({});
+    it = gl.partitions.end() - 1;
+    it->partition = partition;
+  }
+  it->end_offset = end_offset;
+  it->committed = committed;
+  it->lag = end_offset - committed;
+  std::sort(gl.partitions.begin(), gl.partitions.end(),
+            [](const PartitionLag& a, const PartitionLag& b) { return a.partition < b.partition; });
+  gl.total_lag = 0;
+  for (const auto& p : gl.partitions) gl.total_lag += p.lag;
+  gl.peak_lag = std::max(gl.peak_lag, gl.total_lag);
+}
+
+void LagTracker::observe_watermark(const std::string& name, common::TimePoint watermark,
+                                   common::TimePoint now) {
+  std::lock_guard lk(mu_);
+  WatermarkStatus& ws = watermarks_[name];
+  ws.name = name;
+  if (watermark == INT64_MIN) {
+    // No batch has carried event time yet: freshness is "the whole run".
+    ws.watermark = 0;
+    ws.delay = now;
+    ws.ever_advanced = false;
+    return;
+  }
+  ws.watermark = watermark;
+  ws.delay = now > watermark ? now - watermark : 0;
+  ws.ever_advanced = true;
+}
+
+void LagTracker::observe_backlog(const std::string& tier, std::size_t bytes, std::size_t items) {
+  std::lock_guard lk(mu_);
+  backlogs_[tier] = TierBacklog{tier, bytes, items};
+}
+
+std::vector<GroupLag> LagTracker::group_lags() const {
+  std::lock_guard lk(mu_);
+  std::vector<GroupLag> out;
+  out.reserve(groups_.size());
+  for (const auto& [_, gl] : groups_) out.push_back(gl);
+  return out;
+}
+
+std::int64_t LagTracker::total_lag(const std::string& group, const std::string& topic) const {
+  std::lock_guard lk(mu_);
+  auto it = groups_.find({group, topic});
+  return it == groups_.end() ? 0 : it->second.total_lag;
+}
+
+std::vector<WatermarkStatus> LagTracker::watermarks() const {
+  std::lock_guard lk(mu_);
+  std::vector<WatermarkStatus> out;
+  out.reserve(watermarks_.size());
+  for (const auto& [_, ws] : watermarks_) out.push_back(ws);
+  return out;
+}
+
+std::optional<WatermarkStatus> LagTracker::watermark(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = watermarks_.find(name);
+  if (it == watermarks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TierBacklog> LagTracker::backlogs() const {
+  std::lock_guard lk(mu_);
+  std::vector<TierBacklog> out;
+  out.reserve(backlogs_.size());
+  for (const auto& [_, b] : backlogs_) out.push_back(b);
+  return out;
+}
+
+std::int64_t LagTracker::fleet_lag() const {
+  std::lock_guard lk(mu_);
+  std::int64_t total = 0;
+  for (const auto& [_, gl] : groups_) total += gl.total_lag;
+  return total;
+}
+
+void LagTracker::clear() {
+  std::lock_guard lk(mu_);
+  groups_.clear();
+  watermarks_.clear();
+  backlogs_.clear();
+}
+
+}  // namespace oda::observe

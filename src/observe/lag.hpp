@@ -1,0 +1,89 @@
+// Consumer-lag, watermark-freshness and tier-backlog tracking — the
+// "how far behind is each stage" view the paper's Fig 4 panels imply but
+// production ODA treats as a first-class product (monitoring the
+// monitor). The tracker is deliberately decoupled from stream/storage
+// types: samplers (apps::OdaMonitor, tests) push offsets/watermarks/
+// backlogs in, so observe stays a leaf library under every instrumented
+// layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace oda::observe {
+
+struct PartitionLag {
+  std::size_t partition = 0;
+  std::int64_t end_offset = 0;
+  std::int64_t committed = 0;
+  std::int64_t lag = 0;  ///< end_offset - committed
+};
+
+struct GroupLag {
+  std::string group;
+  std::string topic;
+  std::int64_t total_lag = 0;
+  std::int64_t peak_lag = 0;  ///< max total seen across samples
+  std::vector<PartitionLag> partitions;
+};
+
+struct WatermarkStatus {
+  std::string name;                     ///< pipeline/query name
+  common::TimePoint watermark = 0;      ///< event-time progress
+  common::Duration delay = 0;           ///< virtual_now - watermark at last sample
+  bool ever_advanced = false;           ///< false until a real watermark arrives
+};
+
+struct TierBacklog {
+  std::string tier;
+  std::size_t bytes = 0;
+  std::size_t items = 0;
+};
+
+/// Aggregates lag/watermark/backlog observations pushed by samplers.
+/// Thread-safe; samples overwrite (latest wins) except peak_lag, which
+/// is retained across samples for the report.
+class LagTracker {
+ public:
+  /// Record one partition's end/committed offsets for a consumer group.
+  void observe_offsets(const std::string& group, const std::string& topic, std::size_t partition,
+                       std::int64_t end_offset, std::int64_t committed);
+
+  /// Record a pipeline's event-time watermark at facility time `now`.
+  /// Watermarks start at INT64_MIN before any batch; those are reported
+  /// as "never advanced" rather than an absurd delay.
+  void observe_watermark(const std::string& name, common::TimePoint watermark,
+                         common::TimePoint now);
+
+  /// Record a storage tier's backlog footprint.
+  void observe_backlog(const std::string& tier, std::size_t bytes, std::size_t items);
+
+  /// Per-(group, topic) lag rollup, partitions sorted, groups sorted.
+  std::vector<GroupLag> group_lags() const;
+  /// Total lag for one group+topic (0 when never observed).
+  std::int64_t total_lag(const std::string& group, const std::string& topic) const;
+
+  std::vector<WatermarkStatus> watermarks() const;
+  std::optional<WatermarkStatus> watermark(const std::string& name) const;
+
+  std::vector<TierBacklog> backlogs() const;
+
+  /// Sum of every group's total lag (the monitor's headline number).
+  std::int64_t fleet_lag() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, GroupLag> groups_;  ///< (group, topic)
+  std::map<std::string, WatermarkStatus> watermarks_;
+  std::map<std::string, TierBacklog> backlogs_;
+};
+
+}  // namespace oda::observe

@@ -1,0 +1,88 @@
+#include "observe/slo.hpp"
+
+#include <algorithm>
+
+namespace oda::observe {
+
+const char* slo_state_name(SloState s) {
+  switch (s) {
+    case SloState::kHealthy: return "HEALTHY";
+    case SloState::kDegraded: return "DEGRADED";
+    case SloState::kBreached: return "BREACHED";
+  }
+  return "?";
+}
+
+SloState Slo::update(double value, common::TimePoint now) {
+  last_value_ = value;
+  last_eval_ = now;
+
+  if (value > spec_.crit) {
+    if (!over_crit_) {
+      over_crit_ = true;
+      crit_since_ = now;
+    }
+  } else {
+    over_crit_ = false;
+  }
+
+  SloState next = state_;
+  if (over_crit_ && now - crit_since_ >= spec_.breach_hold) {
+    next = SloState::kBreached;
+    healthy_streak_ = 0;
+  } else if (value > spec_.warn) {
+    // Above warn (or above crit but within the hold window): degraded,
+    // unless already breached — a breach only clears via the healthy path.
+    if (state_ != SloState::kBreached) next = SloState::kDegraded;
+    healthy_streak_ = 0;
+  } else {
+    ++healthy_streak_;
+    if (healthy_streak_ >= spec_.clear_after) next = SloState::kHealthy;
+  }
+
+  if (next != state_) transition_to(next, value, now);
+  return state_;
+}
+
+void Slo::transition_to(SloState next, double value, common::TimePoint now) {
+  transitions_.push_back({now, state_, next, value});
+  state_ = next;
+}
+
+Slo& SloBook::add(SloSpec spec) {
+  slos_.push_back(std::make_unique<Slo>(std::move(spec)));
+  return *slos_.back();
+}
+
+Slo* SloBook::find(const std::string& name) {
+  for (auto& s : slos_) {
+    if (s->spec().name == name) return s.get();
+  }
+  return nullptr;
+}
+
+const Slo* SloBook::find(const std::string& name) const {
+  for (const auto& s : slos_) {
+    if (s->spec().name == name) return s.get();
+  }
+  return nullptr;
+}
+
+SloState SloBook::update(const std::string& name, double value, common::TimePoint now) {
+  Slo* s = find(name);
+  return s == nullptr ? SloState::kHealthy : s->update(value, now);
+}
+
+SloState SloBook::worst() const {
+  SloState w = SloState::kHealthy;
+  for (const auto& s : slos_) w = std::max(w, s->state());
+  return w;
+}
+
+std::size_t SloBook::total_transitions() const {
+  std::size_t n = 0;
+  for (const auto& s : slos_) n += s->transitions().size();
+  return n;
+}
+
+}  // namespace oda::observe

@@ -1,0 +1,90 @@
+// SLO evaluation over observed signals: "Silver freshness < N ticks",
+// "STREAM lag < M records", "collection drop count < K". Each Slo is a
+// small state machine over (warn, crit) thresholds with hysteresis —
+// crit must persist `breach_hold` of *virtual* time before the state
+// hardens to Breached, and recovery requires `clear_after` consecutive
+// healthy evaluations — so chaos-injected blips degrade, sustained
+// outages breach, and flapping doesn't spam transitions. All timestamps
+// are facility (virtual) time: evaluation is deterministic under replay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace oda::observe {
+
+enum class SloState : std::uint8_t { kHealthy = 0, kDegraded = 1, kBreached = 2 };
+const char* slo_state_name(SloState s);
+
+struct SloSpec {
+  std::string name;     ///< e.g. "silver.freshness"
+  std::string subject;  ///< what it watches, for the report
+  std::string unit;     ///< "records", "us", "bytes", ...
+  double warn = 0.0;    ///< value > warn  → Degraded
+  double crit = 0.0;    ///< value > crit  → Breached (after breach_hold)
+  /// Virtual time the value must stay above crit before Degraded hardens
+  /// into Breached (0 = immediately).
+  common::Duration breach_hold = 0;
+  /// Consecutive evaluations at/below warn required to return to Healthy.
+  std::size_t clear_after = 1;
+};
+
+struct SloTransition {
+  common::TimePoint at = 0;  ///< virtual time of the evaluation
+  SloState from = SloState::kHealthy;
+  SloState to = SloState::kHealthy;
+  double value = 0.0;
+};
+
+/// One SLO's rolling state. update() is called by the monitor at each
+/// evaluation tick with the current value and virtual time.
+class Slo {
+ public:
+  explicit Slo(SloSpec spec) : spec_(std::move(spec)) {}
+
+  SloState update(double value, common::TimePoint now);
+
+  const SloSpec& spec() const { return spec_; }
+  SloState state() const { return state_; }
+  double last_value() const { return last_value_; }
+  common::TimePoint last_evaluated() const { return last_eval_; }
+  const std::vector<SloTransition>& transitions() const { return transitions_; }
+
+ private:
+  void transition_to(SloState next, double value, common::TimePoint now);
+
+  SloSpec spec_;
+  SloState state_ = SloState::kHealthy;
+  double last_value_ = 0.0;
+  common::TimePoint last_eval_ = 0;
+  common::TimePoint crit_since_ = 0;  ///< virtual time value first exceeded crit
+  bool over_crit_ = false;
+  std::size_t healthy_streak_ = 0;
+  std::vector<SloTransition> transitions_;
+};
+
+/// The monitor's set of SLOs. Order of registration is preserved in the
+/// report; worst() is the top-bar light.
+class SloBook {
+ public:
+  Slo& add(SloSpec spec);
+  Slo* find(const std::string& name);
+  const Slo* find(const std::string& name) const;
+
+  /// Update by name; registers implicitly-unknown names as a hard error
+  /// in debug thinking — here it just ignores them and returns Healthy.
+  SloState update(const std::string& name, double value, common::TimePoint now);
+
+  SloState worst() const;
+  const std::vector<std::unique_ptr<Slo>>& all() const { return slos_; }
+  std::size_t total_transitions() const;
+
+ private:
+  std::vector<std::unique_ptr<Slo>> slos_;
+};
+
+}  // namespace oda::observe

@@ -1,0 +1,106 @@
+#include "observe/trace.hpp"
+
+namespace oda::observe {
+
+namespace detail {
+std::atomic<Tracer*> g_tracer{nullptr};
+}
+
+namespace {
+// The per-thread stack of open spans. Plain contexts (not Span*): a Span
+// only needs its own ids to pop itself, and readers only need the top.
+thread_local std::vector<TraceContext> t_span_stack;
+}  // namespace
+
+void SpanStore::add(SpanRecord rec) {
+  std::lock_guard lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+    return;
+  }
+  full_ = true;
+  ring_[next_] = std::move(rec);
+  next_ = (next_ + 1) % capacity_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> SpanStore::snapshot() const {
+  std::lock_guard lk(mu_);
+  if (!full_) return ring_;
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t SpanStore::size() const {
+  std::lock_guard lk(mu_);
+  return ring_.size();
+}
+
+void SpanStore::clear() {
+  std::lock_guard lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  full_ = false;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceContext current_context() {
+  if (installed_tracer() == nullptr) return {};
+  return t_span_stack.empty() ? TraceContext{} : t_span_stack.back();
+}
+
+Span::Span(std::string_view name) { open(name, {}); }
+
+Span::Span(std::string_view name, TraceContext remote) { open(name, remote); }
+
+void Span::open(std::string_view name, TraceContext remote) {
+  tracer_ = installed_tracer();
+  if (tracer_ == nullptr) return;
+  rec_.name.assign(name);
+  rec_.span_id = tracer_->next_id();
+  rec_.virtual_start = virtual_now();
+  if (!t_span_stack.empty()) {
+    // Local parent wins: the remote context, if any, is redundant within
+    // an already-open trace on this thread.
+    rec_.trace_id = t_span_stack.back().trace_id;
+    rec_.parent_id = t_span_stack.back().span_id;
+  } else if (remote.valid()) {
+    rec_.trace_id = remote.trace_id;
+    rec_.parent_id = remote.span_id;
+  } else {
+    rec_.trace_id = rec_.span_id;  // fresh trace, rooted here
+  }
+  t_span_stack.push_back({rec_.trace_id, rec_.span_id});
+  wall_.reset();
+}
+
+void Span::link(TraceContext remote) {
+  if (tracer_ == nullptr || rec_.parent_id != 0 || !remote.valid()) return;
+  rec_.trace_id = remote.trace_id;
+  rec_.parent_id = remote.span_id;
+  // Children opened after this point inherit the adopted trace id.
+  if (!t_span_stack.empty() && t_span_stack.back().span_id == rec_.span_id) {
+    t_span_stack.back().trace_id = rec_.trace_id;
+  }
+}
+
+void Span::tag(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  rec_.tags.emplace_back(std::move(key), std::move(value));
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  rec_.virtual_end = virtual_now();
+  rec_.wall_us = wall_.elapsed_us();
+  if (!t_span_stack.empty() && t_span_stack.back().span_id == rec_.span_id) {
+    t_span_stack.pop_back();
+  }
+  tracer_->store().add(std::move(rec_));
+}
+
+}  // namespace oda::observe

@@ -4,6 +4,7 @@
 
 #include "common/bytes.hpp"
 #include "common/faults.hpp"
+#include "observe/trace.hpp"
 
 namespace oda::pipeline {
 
@@ -11,7 +12,17 @@ using common::Stopwatch;
 using sql::Table;
 
 StreamingQuery::StreamingQuery(QueryConfig config, std::unique_ptr<Source> source)
-    : config_(std::move(config)), source_(std::move(source)) {}
+    : config_(std::move(config)), source_(std::move(source)) {
+  auto& reg = observe::default_registry();
+  const observe::Labels labels{{"query", config_.name}};
+  obs_batches_ = reg.counter("pipeline.batches", labels);
+  obs_failures_ = reg.counter("pipeline.batch.failures", labels);
+  obs_skipped_ = reg.counter("pipeline.batches.skipped", labels);
+  obs_rows_ = reg.counter("pipeline.rows.ingested", labels);
+  obs_batch_seconds_ = reg.histogram("pipeline.batch.seconds", labels);
+  obs_watermark_ = reg.gauge("pipeline.watermark", labels);
+  batch_span_name_ = "query." + config_.name + ".batch";
+}
 
 StreamingQuery& StreamingQuery::add_operator(OperatorPtr op) {
   StageMetrics sm;
@@ -61,6 +72,11 @@ void StreamingQuery::rollback_operator_state() {
 
 std::size_t StreamingQuery::run_once() {
   Stopwatch batch_sw;
+  // The batch span starts a fresh trace unless a span is already open on
+  // this thread; once the pull returns it is re-homed (link) under the
+  // producer span stamped on the first consumed record, continuing the
+  // trace across the broker hop.
+  observe::Span batch_span(batch_span_name_);
   snapshot_operator_state();
   for (Sink* s : sinks_) s->begin_batch();
 
@@ -70,6 +86,7 @@ std::size_t StreamingQuery::run_once() {
     Table input = source_->pull(config_.max_records_per_batch);
     pull_ok = true;
     pulled = input.num_rows();
+    batch_span.link(source_->incoming_trace());
     if (pulled == 0) {
       // Nothing happened; close the empty transaction.
       for (Sink* s : sinks_) s->commit_batch();
@@ -88,6 +105,7 @@ std::size_t StreamingQuery::run_once() {
 
     for (std::size_t i = 0; i < operators_.size(); ++i) {
       Stopwatch sw;
+      observe::Span op_span(operators_[i]->name());
       const std::uint64_t in_rows = batch.table.num_rows();
       batch = operators_[i]->process(std::move(batch));
       StageMetrics& sm = metrics_.stages[i];
@@ -95,7 +113,10 @@ std::size_t StreamingQuery::run_once() {
       sm.rows_in += in_rows;
       sm.rows_out += batch.table.num_rows();
     }
-    for (Sink* s : sinks_) s->write(batch.table);
+    for (Sink* s : sinks_) {
+      observe::Span sink_span("sink.write");
+      s->write(batch.table);
+    }
 
     // Commit order: sinks first (their commits are infallible in-memory
     // bookkeeping), then operator state, then the source offsets. Nothing
@@ -108,10 +129,15 @@ std::size_t StreamingQuery::run_once() {
     ++metrics_.batches;
     consecutive_failures_ = 0;
     metrics_.batch_wall_seconds.add(batch_sw.elapsed_seconds());
+    obs_batches_->inc();
+    obs_rows_->inc(pulled);
+    obs_batch_seconds_->add(batch_sw.elapsed_seconds());
+    obs_watermark_->set(static_cast<double>(watermark_));
     return pulled;
   } catch (const std::exception& e) {
     ++metrics_.failures;
     metrics_.last_error = e.what();
+    obs_failures_->inc();
     rollback_operator_state();
     for (Sink* s : sinks_) s->rollback_batch();
     if (!pull_ok) {
@@ -130,6 +156,7 @@ std::size_t StreamingQuery::run_once() {
       for (Sink* s : sinks_) s->commit_batch();
       source_->commit();
       ++metrics_.batches_skipped;
+      obs_skipped_->inc();
       consecutive_failures_ = 0;
     } else {
       source_->rewind();  // replay on the next run_once()

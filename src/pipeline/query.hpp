@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/time.hpp"
+#include "observe/metrics.hpp"
 #include "pipeline/operator.hpp"
 #include "pipeline/source_sink.hpp"
 
@@ -106,6 +107,16 @@ class StreamingQuery {
   std::vector<std::unique_ptr<Sink>> owned_sinks_;
   std::vector<Sink*> sinks_;
   QueryMetrics metrics_;
+  // Observability: registry handles resolved once at construction, plus
+  // the batch span name ("query.<name>.batch") cached to avoid per-batch
+  // string assembly.
+  observe::Counter* obs_batches_ = nullptr;
+  observe::Counter* obs_failures_ = nullptr;
+  observe::Counter* obs_skipped_ = nullptr;
+  observe::Counter* obs_rows_ = nullptr;
+  observe::Histogram* obs_batch_seconds_ = nullptr;
+  observe::Gauge* obs_watermark_ = nullptr;
+  std::string batch_span_name_;
   common::TimePoint watermark_ = INT64_MIN;
   common::TimePoint watermark_snapshot_ = INT64_MIN;
   FaultPlan faults_;

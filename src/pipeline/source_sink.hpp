@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/faults.hpp"
+#include "observe/trace.hpp"
 #include "sql/table.hpp"
 #include "storage/object_store.hpp"
 #include "storage/tsdb.hpp"
@@ -28,6 +29,10 @@ class Source {
   /// Revert to last committed positions (failure recovery).
   virtual void rewind() = 0;
   virtual std::int64_t lag() const = 0;
+  /// Trace context carried by the most recent pull (the first record's
+  /// stamped producer span), for continuing the producer's trace across
+  /// the broker hop. {} when tracing is off or the batch was empty.
+  virtual observe::TraceContext incoming_trace() const { return {}; }
 };
 
 /// Reads a broker topic through a consumer group. Polls retry under the
@@ -48,17 +53,22 @@ class BrokerSource final : public Source {
     const auto records = retrier_.run(
         "pipeline.pull", [&] { return consumer_.poll(max_records); },
         [&] { consumer_.seek_to_committed(); });
+    incoming_ = records.empty() ? observe::TraceContext{}
+                                : observe::TraceContext{records.front().record.trace_id,
+                                                        records.front().record.span_id};
     return decoder_(records);
   }
   void commit() override { consumer_.commit(); }
   void rewind() override { consumer_.seek_to_committed(); }
   std::int64_t lag() const override { return consumer_.lag(); }
+  observe::TraceContext incoming_trace() const override { return incoming_; }
   const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
 
  private:
   stream::Consumer consumer_;
   RecordDecoder decoder_;
   chaos::Retrier retrier_;
+  observe::TraceContext incoming_;
 };
 
 /// Sinks participate in the micro-batch transaction protocol:

@@ -1,6 +1,7 @@
 #include "storage/object_store.hpp"
 
 #include "common/faults.hpp"
+#include "observe/trace.hpp"
 
 namespace oda::storage {
 
@@ -15,9 +16,14 @@ const char* data_class_name(DataClass c) {
 
 void ObjectStore::put(const std::string& key, std::vector<std::uint8_t> data, const std::string& dataset,
                       DataClass data_class, common::TimePoint now) {
+  static observe::Counter* puts = observe::default_registry().counter("ocean.puts");
+  static observe::Counter* put_bytes = observe::default_registry().counter("ocean.put.bytes");
+  observe::Span span("ocean.put");
   // Fault seam: rejected before the write lands. put is idempotent by key
   // (last write wins), so callers may retry freely.
   chaos::fault_point("ocean.put");
+  puts->inc();
+  put_bytes->inc(data.size());
   std::lock_guard lk(mu_);
   Entry e;
   e.meta = ObjectMeta{key, dataset, data_class, now, data.size()};
@@ -26,7 +32,10 @@ void ObjectStore::put(const std::string& key, std::vector<std::uint8_t> data, co
 }
 
 std::optional<std::vector<std::uint8_t>> ObjectStore::get(const std::string& key) const {
+  static observe::Counter* gets = observe::default_registry().counter("ocean.gets");
+  observe::Span span("ocean.get");
   chaos::fault_point("ocean.get");
+  gets->inc();
   std::lock_guard lk(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return std::nullopt;

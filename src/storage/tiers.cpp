@@ -1,5 +1,8 @@
 #include "storage/tiers.hpp"
 
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
+
 namespace oda::storage {
 
 const char* tier_name(Tier t) {
@@ -17,6 +20,14 @@ TierManager::TierManager(stream::Broker& broker, TimeSeriesDb& lake, ObjectStore
     : broker_(broker), lake_(lake), ocean_(ocean), glacier_(glacier), retention_(retention) {}
 
 TierManager::RetentionOutcome TierManager::enforce(common::TimePoint now) {
+  static observe::Counter* sweeps = observe::default_registry().counter("tiers.sweeps");
+  static observe::Counter* migrated = observe::default_registry().counter("tiers.migrated.objects");
+  static observe::Counter* migrated_bytes =
+      observe::default_registry().counter("tiers.migrated.bytes");
+  static observe::Counter* deferred = observe::default_registry().counter("tiers.migrations.deferred");
+  observe::Span sweep_span("tiers.enforce");
+  sweeps->inc();
+
   RetentionOutcome out;
   // The STREAM tier owns its topics' retention: apply the tier policy
   // before sweeping so per-topic defaults can't outlive the tier config.
@@ -30,6 +41,7 @@ TierManager::RetentionOutcome TierManager::enforce(common::TimePoint now) {
   chaos::Retrier retrier(migration_retry_, /*seed=*/0x71e25ull ^ static_cast<std::uint64_t>(now));
   for (const auto& meta : ocean_.list()) {
     if (meta.created < now - retention_.ocean_age) {
+      observe::Span unit_span("tiers.migrate");
       try {
         retrier.run("tiers.migrate", [&] {
           chaos::fault_point("tiers.migrate");
@@ -38,10 +50,13 @@ TierManager::RetentionOutcome TierManager::enforce(common::TimePoint now) {
             ocean_.remove(meta.key);
             ++out.ocean_objects_migrated;
             out.ocean_bytes_migrated += meta.size_bytes;
+            migrated->inc();
+            migrated_bytes->inc(meta.size_bytes);
           }
         });
       } catch (const std::exception&) {
         ++out.ocean_migrations_deferred;  // stays in OCEAN for the next sweep
+        deferred->inc();
       }
     }
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "observe/metrics.hpp"
+
 namespace oda::storage {
 
 using common::Duration;
@@ -14,6 +16,8 @@ using sql::Table;
 using sql::Value;
 
 void TimeSeriesDb::append(const SeriesKey& key, TimePoint t, double value) {
+  static observe::Counter* appends = observe::default_registry().counter("lake.points.appended");
+  appends->inc();
   std::lock_guard lk(mu_);
   Series& s = series_[key];
   if (!s.times.empty() && t < s.times.back()) {

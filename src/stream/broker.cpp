@@ -5,6 +5,7 @@
 
 #include "common/bytes.hpp"
 #include "common/faults.hpp"
+#include "observe/trace.hpp"
 
 namespace oda::stream {
 
@@ -14,17 +15,30 @@ Topic::Topic(std::string name, TopicConfig config) : name_(std::move(name)), con
   for (std::size_t i = 0; i < config_.num_partitions; ++i) {
     partitions_.push_back(std::make_unique<Partition>(config_.segment_bytes));
   }
+  auto& reg = observe::default_registry();
+  obs_produced_records_ = reg.counter("stream.produced.records", {{"topic", name_}});
+  obs_produced_bytes_ = reg.counter("stream.produced.bytes", {{"topic", name_}});
+  obs_fetched_records_ = reg.counter("stream.fetched.records", {{"topic", name_}});
+  base_produced_records_ = obs_produced_records_->value();
+  base_produced_bytes_ = obs_produced_bytes_->value();
+  base_fetched_records_ = obs_fetched_records_->value();
 }
 
 std::int64_t Topic::produce(Record r) {
   // Fault seam: a produce that faults is rejected before any append, so
   // retrying it can never duplicate the record.
   chaos::fault_point("stream.produce");
+  // Trace continuation: stamp the producer's current span onto the record
+  // so the consuming micro-batch can re-home its span under it.
+  if (const observe::TraceContext ctx = observe::current_context(); ctx.valid()) {
+    r.trace_id = ctx.trace_id;
+    r.span_id = ctx.span_id;
+  }
   const std::size_t p = r.key.empty()
                             ? rr_counter_.fetch_add(1, std::memory_order_relaxed) % partitions_.size()
                             : common::fnv1a(r.key) % partitions_.size();
-  produced_records_.fetch_add(1, std::memory_order_relaxed);
-  produced_bytes_.fetch_add(r.wire_size(), std::memory_order_relaxed);
+  obs_produced_records_->inc_unchecked();
+  obs_produced_bytes_->inc_unchecked(r.wire_size());
   return partitions_[p]->append(std::move(r));
 }
 
@@ -37,9 +51,9 @@ std::size_t Topic::enforce_retention(common::TimePoint now) {
 
 TopicStats Topic::stats() const {
   TopicStats s;
-  s.produced_records = produced_records_.load(std::memory_order_relaxed);
-  s.produced_bytes = produced_bytes_.load(std::memory_order_relaxed);
-  s.fetched_records = fetched_records_.load(std::memory_order_relaxed);
+  s.produced_records = obs_produced_records_->value() - base_produced_records_;
+  s.produced_bytes = obs_produced_bytes_->value() - base_produced_bytes_;
+  s.fetched_records = obs_fetched_records_->value() - base_fetched_records_;
   s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
   for (const auto& p : partitions_) {
     s.retained_records += p->record_count();
@@ -105,6 +119,16 @@ std::optional<std::int64_t> Broker::committed(const std::string& group, const To
   auto it = offsets_.find({group, tp});
   if (it == offsets_.end()) return std::nullopt;
   return it->second;
+}
+
+std::vector<CommittedOffset> Broker::committed_offsets() const {
+  std::lock_guard lk(mu_);
+  std::vector<CommittedOffset> out;
+  out.reserve(offsets_.size());
+  for (const auto& [key, offset] : offsets_) {
+    out.push_back(CommittedOffset{key.first, key.second, offset});
+  }
+  return out;
 }
 
 std::int64_t Broker::lag(const std::string& group, const std::string& topic_name) const {
@@ -216,6 +240,8 @@ std::vector<StoredRecord> GroupMember::poll(std::size_t max_records) {
     if (out.size() >= max_records) break;
     positions_[p] = t.partition(p).fetch(positions_[p], max_records - out.size(), out);
   }
+  // Not counted into fetched stats: TopicStats::fetched_records has always
+  // meant Consumer (whole-topic) fetches, and the registry cell backs it.
   return out;
 }
 
@@ -241,7 +267,7 @@ std::vector<StoredRecord> Consumer::poll(std::size_t max_records) {
     positions_[p] = t.partition(p).fetch(positions_[p], max_records - out.size(), out);
   }
   next_partition_ = (next_partition_ + 1) % positions_.size();
-  t.fetched_records_.fetch_add(out.size(), std::memory_order_relaxed);
+  t.obs_fetched_records_->inc_unchecked(out.size());
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "observe/metrics.hpp"
 #include "stream/partition.hpp"
 #include "stream/record.hpp"
 
@@ -56,11 +57,24 @@ class Topic {
   std::string name_;
   TopicConfig config_;
   std::vector<std::unique_ptr<Partition>> partitions_;
+  // Produced/fetched accounting lives in the observe registry cells and
+  // nowhere else: stats() snapshots the same atomics produce()/poll()
+  // bump (inc_unchecked — they are product accounting, not gated by the
+  // metrics flag), so observability adds zero marginal work to the hot
+  // path. Handles are resolved once here; registry handles are stable for
+  // the process lifetime (see observe/metrics.hpp).
+  observe::Counter* obs_produced_records_ = nullptr;
+  observe::Counter* obs_produced_bytes_ = nullptr;
+  observe::Counter* obs_fetched_records_ = nullptr;
+  // Registry cells are keyed by topic *name* for the process lifetime, so
+  // a re-created topic (fresh Broker in the same process, e.g. across
+  // test cases) resumes the shared cell. stats() subtracts the values at
+  // construction to stay per-instance.
+  std::uint64_t base_produced_records_ = 0;
+  std::uint64_t base_produced_bytes_ = 0;
+  std::uint64_t base_fetched_records_ = 0;
   std::atomic<std::uint64_t> rr_counter_{0};
-  std::atomic<std::uint64_t> produced_records_{0};
-  std::atomic<std::uint64_t> produced_bytes_{0};
   std::atomic<std::uint64_t> evicted_bytes_{0};
-  mutable std::atomic<std::uint64_t> fetched_records_{0};
 
   friend class Broker;
   friend class Consumer;
@@ -70,6 +84,14 @@ struct TopicPartition {
   std::string topic;
   std::size_t partition = 0;
   auto operator<=>(const TopicPartition&) const = default;
+};
+
+/// One row of the broker's committed-offset store, as enumerated for
+/// observability (observe::LagTracker sampling).
+struct CommittedOffset {
+  std::string group;
+  TopicPartition tp;
+  std::int64_t offset = 0;
 };
 
 class Broker {
@@ -91,6 +113,9 @@ class Broker {
   /// Committed-offset store (consumer-group coordination).
   void commit(const std::string& group, const TopicPartition& tp, std::int64_t offset);
   std::optional<std::int64_t> committed(const std::string& group, const TopicPartition& tp) const;
+  /// Every (group, partition, offset) row in the offset store, sorted by
+  /// key — the monitor's raw material for per-group lag tracking.
+  std::vector<CommittedOffset> committed_offsets() const;
 
   // --- group membership (parallel consumption with rebalancing) ---------
   /// Join a consumer group on a topic; returns a member id. Triggers a

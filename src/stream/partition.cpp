@@ -3,16 +3,24 @@
 #include <algorithm>
 
 #include "common/faults.hpp"
+#include "observe/metrics.hpp"
 
 namespace oda::stream {
 
 std::int64_t Partition::append(Record r) {
+  // Aggregate (un-labelled) counter: partitions don't know their topic,
+  // and per-partition labels would be needless cardinality. Appends are
+  // deliberately NOT counted per record — stream.produced.records already
+  // covers them; segment rolls are the per-partition event worth keeping.
+  static observe::Counter* segments =
+      observe::default_registry().counter("stream.partition.segments.rolled");
   std::lock_guard lk(mu_);
   const std::size_t sz = r.wire_size();
   if (segments_.empty() || segments_.back().bytes + sz > segment_bytes_) {
     Segment s;
     s.base_offset = next_offset_;
     segments_.push_back(std::move(s));
+    segments->inc();
   }
   Segment& seg = segments_.back();
   seg.max_ts = std::max(seg.max_ts, r.timestamp);

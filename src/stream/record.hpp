@@ -15,6 +15,14 @@ struct Record {
   std::string key;                  ///< Partitioning key (e.g. host name).
   std::string payload;              ///< Opaque serialized bytes.
 
+  /// Trace continuation (observe::TraceContext flattened to raw ids so
+  /// this header stays observe-free). Stamped by Topic::produce from the
+  /// producer's current span when tracing is on; 0 otherwise. Excluded
+  /// from wire_size and from replay/determinism comparisons — it is
+  /// observability metadata, not data.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
   /// Approximate on-log footprint including per-record overhead
   /// (offset + timestamp + length prefixes), mirroring a log-structured
   /// broker's storage accounting.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "observe/metrics.hpp"
+
 namespace oda::telemetry {
 
 const char* collection_path_name(CollectionPath p) {
@@ -67,6 +69,9 @@ CollectionPlanCost plan_cost(const SystemSpec& spec, CollectionPath path,
 }
 
 bool CollectionChannel::deliver(const std::string& topic, stream::Record rec) {
+  static observe::Counter* delivered =
+      observe::default_registry().counter("telemetry.delivered.records");
+  static observe::Counter* dropped = observe::default_registry().counter("telemetry.dropped.records");
   const std::size_t bytes = rec.wire_size();
   try {
     retrier_.run("telemetry.collect", [&] {
@@ -81,8 +86,10 @@ bool CollectionChannel::deliver(const std::string& topic, stream::Record rec) {
     stats_.dropped_bytes += bytes;
     stats_.retries = retrier_.stats().retries;
     stats_.backoff_total = retrier_.stats().backoff_total;
+    dropped->inc();
     return false;
   }
+  delivered->inc();
   ++stats_.delivered_records;
   stats_.delivered_bytes += bytes;
   stats_.retries = retrier_.stats().retries;

@@ -1,0 +1,505 @@
+// oda::observe coverage: metrics registry snapshot correctness, trace
+// span parent/child structure across a produce → pipeline → sink run,
+// lag tracker agreement with the broker's own offset store, SLO state
+// transitions under injected faults, exporters, and a mini golden-run
+// determinism check with observation fully enabled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/oda_monitor.hpp"
+#include "common/faults.hpp"
+#include "observe/chaos_bridge.hpp"
+#include "observe/export.hpp"
+#include "observe/lag.hpp"
+#include "observe/metrics.hpp"
+#include "observe/slo.hpp"
+#include "observe/trace.hpp"
+#include "pipeline/query.hpp"
+#include "storage/tiers.hpp"
+#include "stream/broker.hpp"
+#include "telemetry/collection.hpp"
+
+namespace oda::observe {
+namespace {
+
+using common::kMinute;
+using common::kSecond;
+using sql::DataType;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+
+// --- metrics registry ----------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersGaugesHistogramsSnapshotCorrectly) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("test.count", {{"topic", "a"}});
+  c->inc();
+  c->inc(4);
+  reg.gauge("test.level")->set(2.5);
+  Histogram* h = reg.histogram("test.lat", {}, {0.1, 1.0, 10.0});
+  h->add(0.05);
+  h->add(0.5);
+  h->add(100.0);  // overflow bucket
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Sorted by name: test.count < test.lat < test.level.
+  EXPECT_EQ(snap[0].name, "test.count");
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap[0].value, 5.0);
+  ASSERT_EQ(snap[0].labels.size(), 1u);
+  EXPECT_EQ(snap[0].labels[0].second, "a");
+
+  EXPECT_EQ(snap[1].name, "test.lat");
+  EXPECT_EQ(snap[1].count, 3u);
+  ASSERT_EQ(snap[1].buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap[1].buckets[0].second, 1u);
+  EXPECT_EQ(snap[1].buckets[1].second, 1u);
+  EXPECT_EQ(snap[1].buckets[3].second, 1u);
+
+  EXPECT_EQ(snap[2].name, "test.level");
+  EXPECT_DOUBLE_EQ(snap[2].value, 2.5);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameHandle) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("dup", {{"k", "v"}});
+  Counter* b = reg.counter("dup", {{"k", "v"}});
+  Counter* c = reg.counter("dup", {{"k", "other"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Label order must not matter (labels are canonicalized).
+  Counter* d = reg.counter("two", {{"x", "1"}, {"a", "2"}});
+  Counter* e = reg.counter("two", {{"a", "2"}, {"x", "1"}});
+  EXPECT_EQ(d, e);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsHandlesValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("persist");
+  c->inc(9);
+  reg.reset_values();
+  EXPECT_EQ(c->value(), 0u);
+  c->inc(2);  // handle still live
+  EXPECT_EQ(c->value(), 2u);
+  EXPECT_EQ(reg.metric_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, DisabledMetricsDropWrites) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("gated");
+  set_metrics_enabled(false);
+  c->inc(100);
+  set_metrics_enabled(true);
+  EXPECT_EQ(c->value(), 0u);
+  c->inc();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(HistogramTest, QuantilesInterpolate) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.add(1.5);  // all in (1, 2]
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 150.0);
+}
+
+// --- trace spans ---------------------------------------------------------
+
+TEST(TraceTest, NestedSpansFormParentChildChain) {
+  Tracer tracer;
+  ScopedTracer scoped(tracer);
+  {
+    Span root("root");
+    EXPECT_TRUE(root.context().valid());
+    {
+      Span child("child");
+      EXPECT_EQ(child.context().trace_id, root.context().trace_id);
+      { Span grand("grand"); }
+    }
+  }
+  const auto spans = tracer.store().snapshot();
+  ASSERT_EQ(spans.size(), 3u);  // completion order: grand, child, root
+  EXPECT_EQ(spans[0].name, "grand");
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[2].name, "root");
+  EXPECT_EQ(spans[2].parent_id, 0u);
+  EXPECT_EQ(spans[1].parent_id, spans[2].span_id);
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+  EXPECT_EQ(spans[0].trace_id, spans[2].trace_id);
+}
+
+TEST(TraceTest, NoTracerMeansInertSpans) {
+  {
+    Span s("orphan");
+    EXPECT_FALSE(s.active());
+    EXPECT_FALSE(s.context().valid());
+  }
+  EXPECT_EQ(current_context().trace_id, 0u);
+}
+
+TEST(TraceTest, LinkReHomesFreshTraceUnderRemote) {
+  Tracer tracer;
+  ScopedTracer scoped(tracer);
+  TraceContext remote;
+  {
+    Span producer("producer");
+    remote = producer.context();
+  }
+  {
+    Span continued("continued");
+    continued.link(remote);
+    EXPECT_EQ(continued.context().trace_id, remote.trace_id);
+    { Span inner("inner"); }  // must inherit the adopted trace id
+  }
+  // Completion order: producer, inner, continued.
+  const auto spans = tracer.store().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[2].name, "continued");
+  EXPECT_EQ(spans[2].parent_id, remote.span_id);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].trace_id, remote.trace_id);
+  EXPECT_EQ(spans[1].parent_id, spans[2].span_id);
+}
+
+TEST(TraceTest, SpanStoreRingEvictsOldest) {
+  SpanStore store(4);
+  for (int i = 0; i < 10; ++i) {
+    SpanRecord r;
+    r.span_id = static_cast<std::uint64_t>(i + 1);
+    r.name = "s" + std::to_string(i);
+    store.add(std::move(r));
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.dropped(), 6u);
+  const auto spans = store.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s6");  // oldest retained
+  EXPECT_EQ(spans.back().name, "s9");
+}
+
+// --- produce → pipeline → sink trace continuity --------------------------
+
+sql::Table decode_simple(std::span<const stream::StoredRecord> records) {
+  Table t{Schema{{"time", DataType::kInt64}, {"v", DataType::kFloat64}}};
+  for (const auto& sr : records) t.append_row({Value(sr.record.timestamp), Value(1.0)});
+  return t;
+}
+
+TEST(TraceTest, TraceContinuesAcrossBrokerHopIntoPipeline) {
+  Tracer tracer;
+  ScopedTracer scoped(tracer);
+
+  stream::Broker broker;
+  broker.create_topic("t", {.num_partitions = 2});
+  TraceContext ingest_ctx;
+  {
+    Span ingest("ingest");
+    ingest_ctx = ingest.context();
+    for (int i = 0; i < 10; ++i) {
+      broker.produce("t", stream::Record{i * kSecond, "k" + std::to_string(i), "x"});
+    }
+  }
+
+  pipeline::QueryConfig qc;
+  qc.name = "obs";
+  pipeline::StreamingQuery q(
+      qc, std::make_unique<pipeline::BrokerSource>(broker, "t", "g", decode_simple));
+  q.add_transform("ident", storage::DataClass::kSilver, [](const Table& t) { return t; });
+  q.add_sink(std::make_unique<pipeline::TableSink>());
+  ASSERT_EQ(q.run_once(), 10u);
+
+  // Records must carry the ingest span's context.
+  std::vector<stream::StoredRecord> raw;
+  broker.topic("t").partition(0).fetch(0, 100, raw);
+  ASSERT_FALSE(raw.empty());
+  EXPECT_EQ(raw.front().record.trace_id, ingest_ctx.trace_id);
+  EXPECT_EQ(raw.front().record.span_id, ingest_ctx.span_id);
+
+  // Span forest: batch re-homed under the producer, operator and sink
+  // spans are children of the batch.
+  std::map<std::string, SpanRecord> by_name;
+  for (const auto& s : tracer.store().snapshot()) by_name[s.name] = s;
+  ASSERT_TRUE(by_name.count("query.obs.batch"));
+  ASSERT_TRUE(by_name.count("ident"));
+  ASSERT_TRUE(by_name.count("sink.write"));
+  const SpanRecord& batch = by_name["query.obs.batch"];
+  EXPECT_EQ(batch.trace_id, ingest_ctx.trace_id);
+  EXPECT_EQ(batch.parent_id, ingest_ctx.span_id);
+  EXPECT_EQ(by_name["ident"].parent_id, batch.span_id);
+  EXPECT_EQ(by_name["sink.write"].parent_id, batch.span_id);
+  EXPECT_EQ(by_name["ident"].trace_id, ingest_ctx.trace_id);
+
+  // The text exporter renders the forest with the root first.
+  const std::string text = spans_to_text(tracer.store().snapshot());
+  EXPECT_NE(text.find("ingest"), std::string::npos);
+  EXPECT_NE(text.find("query.obs.batch"), std::string::npos);
+}
+
+// --- lag tracker vs broker -----------------------------------------------
+
+TEST(LagTrackerTest, AgreesWithBrokerOffsets) {
+  stream::Broker broker;
+  broker.create_topic("lag", {.num_partitions = 4});
+  for (int i = 0; i < 1000; ++i) {
+    broker.produce("lag", stream::Record{i * kSecond, std::to_string(i), "p"});
+  }
+  stream::Consumer consumer(broker, "grp", "lag");
+  const auto consumed = static_cast<std::int64_t>(consumer.poll(300).size());
+  consumer.commit();
+  const std::int64_t expected_lag = 1000 - consumed;
+  ASSERT_GT(expected_lag, 0);
+
+  LagTracker tracker;
+  for (const auto& row : broker.committed_offsets()) {
+    tracker.observe_offsets(row.group, row.tp.topic, row.tp.partition,
+                            broker.topic(row.tp.topic).partition(row.tp.partition).end_offset(),
+                            row.offset);
+  }
+  EXPECT_EQ(tracker.total_lag("grp", "lag"), broker.lag("grp", "lag"));
+  EXPECT_EQ(tracker.total_lag("grp", "lag"), expected_lag);
+  EXPECT_EQ(tracker.fleet_lag(), expected_lag);
+
+  const auto groups = tracker.group_lags();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].partitions.size(), 4u);
+  EXPECT_EQ(groups[0].peak_lag, expected_lag);
+
+  // Drain and re-sample: lag returns to zero, peak is retained.
+  while (!consumer.poll(500).empty()) {
+  }
+  consumer.commit();
+  for (const auto& row : broker.committed_offsets()) {
+    tracker.observe_offsets(row.group, row.tp.topic, row.tp.partition,
+                            broker.topic(row.tp.topic).partition(row.tp.partition).end_offset(),
+                            row.offset);
+  }
+  EXPECT_EQ(tracker.total_lag("grp", "lag"), 0);
+  EXPECT_EQ(tracker.group_lags()[0].peak_lag, expected_lag);
+}
+
+TEST(LagTrackerTest, WatermarkDelayAndNeverAdvanced) {
+  LagTracker tracker;
+  tracker.observe_watermark("q", INT64_MIN, 10 * kSecond);
+  auto ws = tracker.watermark("q");
+  ASSERT_TRUE(ws.has_value());
+  EXPECT_FALSE(ws->ever_advanced);
+  tracker.observe_watermark("q", 7 * kSecond, 10 * kSecond);
+  ws = tracker.watermark("q");
+  EXPECT_TRUE(ws->ever_advanced);
+  EXPECT_EQ(ws->delay, 3 * kSecond);
+}
+
+// --- SLO state machine ---------------------------------------------------
+
+TEST(SloTest, DegradesThenBreachesAfterHold) {
+  Slo slo({.name = "lag",
+           .subject = "t",
+           .unit = "records",
+           .warn = 100,
+           .crit = 1000,
+           .breach_hold = 60 * kSecond,
+           .clear_after = 2});
+  EXPECT_EQ(slo.update(50, 0), SloState::kHealthy);
+  EXPECT_EQ(slo.update(500, 10 * kSecond), SloState::kDegraded);
+  // Over crit, but the hold window hasn't elapsed: still degraded.
+  EXPECT_EQ(slo.update(5000, 20 * kSecond), SloState::kDegraded);
+  EXPECT_EQ(slo.update(5000, 50 * kSecond), SloState::kDegraded);
+  // Hold elapsed (first crit at t=20s, now t=80s): breach.
+  EXPECT_EQ(slo.update(5000, 80 * kSecond), SloState::kBreached);
+  // One healthy sample is not enough (clear_after = 2).
+  EXPECT_EQ(slo.update(10, 90 * kSecond), SloState::kBreached);
+  EXPECT_EQ(slo.update(10, 100 * kSecond), SloState::kHealthy);
+
+  const auto& tr = slo.transitions();
+  ASSERT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr[0].to, SloState::kDegraded);
+  EXPECT_EQ(tr[1].to, SloState::kBreached);
+  EXPECT_EQ(tr[2].to, SloState::kHealthy);
+  EXPECT_EQ(tr[1].at, 80 * kSecond);
+}
+
+TEST(SloTest, BreachDoesNotSoftenToDegraded) {
+  Slo slo({.name = "x", .subject = "t", .unit = "u", .warn = 10, .crit = 20, .breach_hold = 0,
+           .clear_after = 1});
+  EXPECT_EQ(slo.update(25, 1), SloState::kBreached);
+  // Back between warn and crit: a breach must clear via healthy, not decay.
+  EXPECT_EQ(slo.update(15, 2), SloState::kBreached);
+  EXPECT_EQ(slo.update(5, 3), SloState::kHealthy);
+}
+
+TEST(SloTest, TransitionsUnderInjectedFaults) {
+  // Drive the telemetry-drop SLO with real injected faults: a fault plan
+  // that hard-fails collection delivery produces drops, which push the
+  // SLO out of Healthy; recovery clears it.
+  MetricsRegistry reg;
+  ScopedChaosBridge bridge(reg);
+
+  stream::Broker broker;
+  broker.create_topic("telem");
+  chaos::RetryPolicy rp;
+  rp.max_attempts = 2;
+  telemetry::CollectionChannel channel(broker, rp);
+
+  SloBook book;
+  book.add({.name = "drops", .subject = "collection", .unit = "records", .warn = 0.5,
+            .crit = 1e9, .breach_hold = 0, .clear_after = 1});
+
+  chaos::FaultPlan plan(77);
+  chaos::SiteConfig cfg;
+  cfg.hard_p = 1.0;  // every delivery attempt hard-fails
+  plan.configure("telemetry.collect", cfg);
+
+  std::uint64_t dropped = 0;
+  {
+    chaos::ScopedFaultPlan scoped(plan);
+    for (int i = 0; i < 5; ++i) {
+      if (!channel.deliver("telem", stream::Record{i * kSecond, "n", "x"})) ++dropped;
+    }
+  }
+  EXPECT_EQ(dropped, 5u);
+  EXPECT_EQ(book.update("drops", static_cast<double>(dropped), 10 * kSecond),
+            SloState::kDegraded);
+  // The chaos bridge counted the injected faults into the registry.
+  double injected = 0;
+  for (const auto& m : reg.snapshot()) {
+    if (m.name == "chaos.faults.injected") injected += m.value;
+  }
+  EXPECT_GE(injected, 5.0);
+
+  // Faults stop; drop *rate* goes to zero and the SLO clears.
+  EXPECT_EQ(book.update("drops", 0.0, 20 * kSecond), SloState::kHealthy);
+  EXPECT_EQ(book.worst(), SloState::kHealthy);
+  ASSERT_EQ(book.find("drops")->transitions().size(), 2u);
+}
+
+// --- exporters -----------------------------------------------------------
+
+TEST(ExportTest, TextAndJsonAndOneLine) {
+  MetricsRegistry reg;
+  reg.counter("stream.produced.records", {{"topic", "a"}})->inc(10);
+  reg.counter("stream.produced.records", {{"topic", "b"}})->inc(5);
+  reg.counter("pipeline.batches", {{"query", "q"}})->inc(3);
+  reg.gauge("g\"uoted")->set(1.0);
+
+  const auto snap = reg.snapshot();
+  const std::string text = metrics_to_text(snap);
+  EXPECT_NE(text.find("stream.produced.records{topic=a} counter 10"), std::string::npos);
+
+  const std::string json = metrics_to_json(snap);
+  EXPECT_NE(json.find("\"name\":\"stream.produced.records\""), std::string::npos);
+  EXPECT_NE(json.find("g\\\"uoted"), std::string::npos);  // escaping
+
+  const std::string line = one_line_summary(snap);
+  EXPECT_NE(line.find("produced=15"), std::string::npos);
+  EXPECT_NE(line.find("batches=3"), std::string::npos);
+}
+
+TEST(ExportTest, SpanTreeIndentsChildren) {
+  std::vector<SpanRecord> spans;
+  SpanRecord root;
+  root.trace_id = 1;
+  root.span_id = 1;
+  root.name = "root";
+  SpanRecord child;
+  child.trace_id = 1;
+  child.span_id = 2;
+  child.parent_id = 1;
+  child.name = "child";
+  spans.push_back(child);  // completion order: child first
+  spans.push_back(root);
+  const std::string text = spans_to_text(spans);
+  EXPECT_NE(text.find("trace 1:\n  root"), std::string::npos);
+  EXPECT_NE(text.find("\n    child"), std::string::npos);
+}
+
+// --- the monitor app -----------------------------------------------------
+
+TEST(OdaMonitorTest, TicksAndReports) {
+  stream::Broker broker;
+  storage::TimeSeriesDb lake;
+  storage::ObjectStore ocean;
+  storage::TapeArchive glacier;
+  storage::TierManager tiers(broker, lake, ocean, glacier, {});
+
+  broker.create_topic("t", {.num_partitions = 2});
+  for (int i = 0; i < 100; ++i) broker.produce("t", stream::Record{i * kSecond, "", "x"});
+  stream::Consumer consumer(broker, "g", "t");
+  (void)consumer.poll(40);
+  consumer.commit();
+
+  apps::MonitorThresholds th;
+  th.lag_warn = 50;
+  th.lag_crit = 1000;
+  apps::OdaMonitor monitor(broker, tiers, th);
+  monitor.tick(10 * kMinute);
+
+  EXPECT_EQ(monitor.lag().total_lag("g", "t"), broker.lag("g", "t"));
+  EXPECT_EQ(monitor.overall(), SloState::kDegraded);  // 60 > warn of 50
+
+  const std::string report = monitor.render();
+  EXPECT_NE(report.find("stream.lag"), std::string::npos);
+  EXPECT_NE(report.find("consumer lag"), std::string::npos);
+  const std::string json = monitor.to_json();
+  EXPECT_NE(json.find("\"fleet_lag\":60"), std::string::npos);
+  EXPECT_NE(apps::OdaMonitor::one_line().find("oda-metrics:"), std::string::npos);
+}
+
+// --- determinism with observation enabled --------------------------------
+
+std::vector<std::pair<std::string, std::int64_t>> traced_flow_fingerprint(std::uint64_t seed) {
+  Tracer tracer;
+  ScopedTracer scoped(tracer);
+  set_virtual_now(0);
+
+  stream::Broker broker;
+  broker.create_topic("d", {.num_partitions = 3});
+  common::Rng rng(seed);
+  {
+    Span ingest("ingest");
+    for (int i = 0; i < 500; ++i) {
+      broker.produce("d", stream::Record{i * kSecond, std::to_string(rng.next() % 17),
+                                         std::to_string(rng.next() % 1000)});
+    }
+  }
+
+  pipeline::QueryConfig qc;
+  qc.name = "det";
+  qc.max_records_per_batch = 128;
+  pipeline::StreamingQuery q(
+      qc, std::make_unique<pipeline::BrokerSource>(broker, "d", "g", decode_simple));
+  q.add_transform("ident", storage::DataClass::kSilver, [](const Table& t) { return t; });
+  auto sink = std::make_unique<pipeline::TableSink>();
+  const auto* table = sink.get();
+  q.add_sink(std::move(sink));
+  q.run_until_caught_up();
+
+  // Fingerprint: every span's (name, virtual interval) in completion
+  // order, plus the row count that landed. Wall times are excluded — they
+  // are the one non-deterministic field by design.
+  std::vector<std::pair<std::string, std::int64_t>> fp;
+  for (const auto& s : tracer.store().snapshot()) {
+    fp.emplace_back(s.name, s.virtual_end - s.virtual_start);
+  }
+  fp.emplace_back("rows", static_cast<std::int64_t>(table->table().num_rows()));
+  return fp;
+}
+
+TEST(DeterminismTest, GoldenRunEqualWithObservationEnabled) {
+  const auto a = traced_flow_fingerprint(1234);
+  const auto b = traced_flow_fingerprint(1234);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 4u);  // ingest + batches + operators + sinks + rows
+  const auto c = traced_flow_fingerprint(99);
+  EXPECT_EQ(c.back().second, 500);  // all rows always land regardless of seed
+}
+
+}  // namespace
+}  // namespace oda::observe
