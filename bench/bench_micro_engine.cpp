@@ -1,9 +1,21 @@
 // Micro-benchmarks (google-benchmark) of the framework's hot paths:
-// broker produce/consume, Bronze decode, window aggregation, pivot,
-// join, and columnar encode/decode. These are the primitives every
-// figure-level result is built from.
+// broker produce/consume (single and batched), Bronze decode, window
+// aggregation, pivot, join, and columnar encode/decode. These are the
+// primitives every figure-level result is built from. A custom main
+// additionally sweeps the engine's 1/2/4/8-worker ingest scaling curve
+// into BENCH_micro_engine.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/engine.hpp"
+#include "pipeline/query.hpp"
+#include "pipeline/source_sink.hpp"
 #include "sql/agg.hpp"
 #include "sql/ops.hpp"
 #include "storage/codecs.hpp"
@@ -30,28 +42,54 @@ const sql::Table& bronze_sample() {
 void BM_BrokerProduce(benchmark::State& state) {
   stream::Broker broker;
   broker.create_topic("t", {8, 4 << 20, {}});
+  stream::Producer producer = broker.producer("t");  // cached handle: no per-record lookup
   stream::Record rec;
   rec.payload.assign(static_cast<std::size_t>(state.range(0)), 'x');
   std::int64_t i = 0;
   for (auto _ : state) {
     rec.timestamp = i;
     rec.key = "n" + std::to_string(i % 512);
-    benchmark::DoNotOptimize(broker.produce("t", rec));
+    benchmark::DoNotOptimize(producer.produce(rec));
     ++i;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * rec.wire_size());
 }
 BENCHMARK(BM_BrokerProduce)->Arg(64)->Arg(512);
 
+void BM_ProduceBatch(benchmark::State& state) {
+  // Batched appends take each partition lock once per batch; the batch
+  // size is the knob. Keyless records exercise the shared rr cursor.
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  stream::Broker broker;
+  broker.create_topic("t", {8, 64 << 20, {}});
+  stream::Producer producer = broker.producer("t");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    std::vector<stream::Record> batch;
+    batch.reserve(batch_size);
+    for (std::size_t j = 0; j < batch_size; ++j, ++i) {
+      stream::Record r;
+      r.timestamp = i;
+      r.payload.assign(256, 'x');
+      batch.push_back(std::move(r));
+    }
+    benchmark::DoNotOptimize(producer.produce_batch(std::move(batch)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_ProduceBatch)->Arg(64)->Arg(512)->Arg(4096);
+
 void BM_BrokerConsume(benchmark::State& state) {
   stream::Broker broker;
   broker.create_topic("t", {8, 4 << 20, {}});
+  stream::Producer producer = broker.producer("t");
   stream::Record rec;
   rec.payload.assign(256, 'x');
   for (int i = 0; i < 100000; ++i) {
     rec.timestamp = i;
     rec.key = "n" + std::to_string(i % 512);
-    broker.produce("t", rec);
+    producer.produce(rec);
   }
   for (auto _ : state) {
     stream::Consumer c(broker, "g" + std::to_string(state.iterations()), "t");
@@ -155,6 +193,71 @@ void BM_LzCompress(benchmark::State& state) {
 }
 BENCHMARK(BM_LzCompress);
 
+/// Engine scaling curve: drain the same topic through the same query at
+/// 1/2/4/8 workers. Rates land in BENCH_micro_engine.json so CI can diff
+/// the curve across commits; on a single-core host the curve is flat.
+void engine_scaling_curve(bench::JsonReport& report) {
+  constexpr std::size_t kPartitions = 8;
+  constexpr std::size_t kRecords = 100000;
+
+  const auto decode = [](std::span<const stream::StoredRecord> records) {
+    sql::Table t{sql::Schema{{"time", sql::DataType::kInt64},
+                             {"value", sql::DataType::kFloat64}}};
+    for (const auto& sr : records) {
+      t.append_row({sql::Value(sr.record.timestamp),
+                    sql::Value(static_cast<double>(sr.record.payload.size()))});
+    }
+    return t;
+  };
+
+  std::printf("\nengine ingest scaling (%zu records, %zu partitions):\n", kRecords, kPartitions);
+  double base_rate = 0.0;
+  for (const std::size_t workers : {1, 2, 4, 8}) {
+    stream::Broker broker;
+    broker.create_topic("curve", stream::TopicConfig{}.with_partitions(kPartitions));
+    stream::Producer producer = broker.producer("curve");
+    std::vector<stream::Record> batch;
+    batch.reserve(1024);
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      stream::Record r;
+      r.timestamp = static_cast<std::int64_t>(i);
+      r.payload.assign(64 + i % 192, 'x');
+      batch.push_back(std::move(r));
+      if (batch.size() == 1024 || i + 1 == kRecords) {
+        producer.produce_batch(std::move(batch));
+        batch.clear();
+        batch.reserve(1024);
+      }
+    }
+
+    engine::Engine eng(engine::EngineConfig{}.with_workers(workers));
+    auto& q = eng.add_query(
+        pipeline::QueryConfig{}.with_name("curve.q").with_batch_size(16384),
+        eng.make_source(broker, "curve", "curve-group", decode));
+    q.add_sink(std::make_unique<pipeline::TableSink>());
+    eng.run_until_caught_up();
+
+    const engine::EngineStats stats = eng.stats();
+    const double rate = static_cast<double>(stats.rows) / stats.wall_seconds;
+    if (workers == 1) base_rate = rate;
+    std::printf("  workers=%zu  %9.0fk rec/s  speedup %.2fx\n", workers, rate / 1e3,
+                rate / base_rate);
+    const std::string suffix = "workers_" + std::to_string(workers);
+    report.metric("engine.ingest.rate." + suffix, rate, "records/s");
+    report.metric("engine.ingest.speedup." + suffix, rate / base_rate, "x");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  oda::bench::JsonReport report("micro_engine");
+  engine_scaling_curve(report);
+  report.write();
+  return 0;
+}

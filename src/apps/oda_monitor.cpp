@@ -41,6 +41,8 @@ void OdaMonitor::watch_query(const pipeline::StreamingQuery& query) {
   watched_.push_back(&query);
 }
 
+void OdaMonitor::watch_engine(const engine::Engine& engine) { engines_.push_back(&engine); }
+
 void OdaMonitor::tick(common::TimePoint now) {
   last_tick_ = now;
 
@@ -118,6 +120,20 @@ std::string OdaMonitor::render() const {
       out += buf;
     }
   }
+
+  if (!engines_.empty()) {
+    out += "-- engines --\n";
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      const engine::Engine* e = engines_[i];
+      const engine::EngineStats s = e->stats();
+      std::snprintf(buf, sizeof(buf),
+                    "  engine%zu  workers=%zu queries=%zu rounds=%" PRIu64 " batches=%" PRIu64
+                    " rows=%" PRIu64 " wall=%.3fs\n",
+                    i, e->workers(), e->num_queries(), s.rounds, s.batches, s.rows,
+                    s.wall_seconds);
+      out += buf;
+    }
+  }
   return out;
 }
 
@@ -137,6 +153,18 @@ std::string OdaMonitor::to_json() const {
     out += "{\"group\":\"" + observe::json_escape(g.group) + "\",\"topic\":\"" +
            observe::json_escape(g.topic) + "\",\"lag\":" + std::to_string(g.total_lag) +
            ",\"peak\":" + std::to_string(g.peak_lag) + '}';
+  }
+  out += "],\"engines\":[";
+  first = true;
+  for (const engine::Engine* e : engines_) {
+    if (!first) out += ',';
+    first = false;
+    const engine::EngineStats s = e->stats();
+    out += "{\"workers\":" + std::to_string(e->workers()) +
+           ",\"queries\":" + std::to_string(e->num_queries()) +
+           ",\"rounds\":" + std::to_string(s.rounds) +
+           ",\"batches\":" + std::to_string(s.batches) + ",\"rows\":" + std::to_string(s.rows) +
+           '}';
   }
   out += "]}";
   return out;

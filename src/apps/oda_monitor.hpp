@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "observe/lag.hpp"
 #include "observe/slo.hpp"
 #include "pipeline/query.hpp"
@@ -44,6 +45,10 @@ class OdaMonitor {
   /// Watch a query's watermark freshness (non-owning; caller keeps it alive).
   void watch_query(const pipeline::StreamingQuery& query);
 
+  /// Watch an execution engine's scheduling totals (non-owning). Its
+  /// queries still need watch_query() individually for freshness SLOs.
+  void watch_engine(const engine::Engine& engine);
+
   /// Sample everything at facility time `now` and evaluate SLOs.
   void tick(common::TimePoint now);
 
@@ -64,6 +69,7 @@ class OdaMonitor {
   storage::TierManager& tiers_;
   MonitorThresholds thresholds_;
   std::vector<const pipeline::StreamingQuery*> watched_;
+  std::vector<const engine::Engine*> engines_;
   observe::LagTracker lag_;
   observe::SloBook slos_;
   common::TimePoint last_tick_ = 0;

@@ -15,8 +15,10 @@
 
 #include "apps/oda_monitor.hpp"
 #include "core/framework.hpp"
+#include "engine/engine.hpp"
 #include "observe/export.hpp"
 #include "observe/trace.hpp"
+#include "telemetry/codec.hpp"
 
 int main(int argc, char** argv) {
   bool one_line = false;
@@ -46,6 +48,21 @@ int main(int argc, char** argv) {
   monitor.watch_query(to_lake);
 
   fw.advance(2 * oda::common::kMinute);
+
+  // Partition-parallel path: an engine-driven query re-reads the Bronze
+  // power stream into memory through a 2-worker consumer group, so the
+  // report also covers the engine's scheduling totals.
+  const auto topics = oda::telemetry::TopicNames::for_system(sys.spec().name);
+  oda::engine::Engine engine(oda::engine::EngineConfig{}.with_workers(2));
+  auto& mirror = engine.add_query(
+      oda::pipeline::QueryConfig{}.with_name("engine.bronze.mirror"),
+      engine.make_source(fw.broker(), topics.power, "monitor.engine",
+                         oda::telemetry::packets_to_bronze));
+  mirror.add_sink(std::make_unique<oda::pipeline::TableSink>());
+  engine.run_until_caught_up();
+  monitor.watch_query(mirror);
+  monitor.watch_engine(engine);
+
   monitor.tick(fw.now());
 
   if (one_line) {

@@ -53,6 +53,23 @@ class ThreadPool {
     return fut;
   }
 
+  /// Steal one queued task and run it on the calling thread. Returns false
+  /// if the queue was empty. Lets a thread that is blocked waiting on pool
+  /// futures help drain the queue instead of idling — the engine's query
+  /// drivers use this so N queries sharing W workers can't deadlock when
+  /// N > W.
+  bool try_run_one() {
+    std::function<void()> task;
+    {
+      std::lock_guard lk(mu_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    return true;
+  }
+
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;

@@ -1,0 +1,219 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include "common/stats.hpp"
+
+namespace oda::engine {
+
+void EngineConfig::validate() const {
+  if (max_batches_per_round == 0) {
+    throw std::invalid_argument("EngineConfig: max_batches_per_round must be >= 1");
+  }
+}
+
+ParallelBrokerSource::ParallelBrokerSource(stream::Broker& broker, std::string topic,
+                                           std::string group, pipeline::RecordDecoder decoder,
+                                           common::ThreadPool& pool, std::size_t workers,
+                                           chaos::RetryPolicy retry)
+    : broker_(broker),
+      topic_(std::move(topic)),
+      pool_(pool),
+      decoder_(std::move(decoder)),
+      retrier_(retry, /*seed=*/0xe2619eull) {
+  num_partitions_ = broker_.topic(topic_).num_partitions();
+  const std::size_t n = std::clamp<std::size_t>(workers, 1, num_partitions_);
+  members_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members_.push_back(std::make_unique<stream::GroupMember>(broker_, group, topic_));
+  }
+}
+
+std::vector<stream::PartitionBatch> ParallelBrokerSource::fan_out(std::size_t per_partition) {
+  // The calling query's open batch span, carried to the pool threads so
+  // every worker fetch parents under the batch that asked for it.
+  const observe::TraceContext batch_ctx = observe::current_context();
+
+  std::vector<std::future<std::vector<stream::PartitionBatch>>> futs;
+  futs.reserve(members_.size() - 1);
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    stream::GroupMember* m = members_[i].get();
+    futs.push_back(pool_.submit([m, per_partition, batch_ctx] {
+      observe::Span span("engine.fetch", batch_ctx);
+      return m->poll_by_partition(per_partition);
+    }));
+  }
+
+  std::vector<stream::PartitionBatch> all;
+  std::exception_ptr err;
+  try {
+    // Member 0 runs inline on the driver: its span parents naturally
+    // under the open batch span, and one worker's work costs no handoff.
+    observe::Span span("engine.fetch");
+    all = members_[0]->poll_by_partition(per_partition);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      auto batches = f.get();
+      all.insert(all.end(), std::make_move_iterator(batches.begin()),
+                 std::make_move_iterator(batches.end()));
+    } catch (...) {
+      // Keep draining: every member must be quiescent before the retry
+      // path rewinds them, so the first fault is held, not thrown.
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+  return all;
+}
+
+sql::Table ParallelBrokerSource::pull(std::size_t max_records) {
+  // Per-partition cap: makes batch composition a pure function of
+  // committed offsets + partition count (never of worker count).
+  const std::size_t per_partition = std::max<std::size_t>(1, max_records / num_partitions_);
+  auto batches = retrier_.run(
+      "engine.pull", [&] { return fan_out(per_partition); },
+      [&] {
+        for (auto& m : members_) m->seek_to_committed();
+      });
+
+  // Deterministic merge: ascending partition index, offsets already
+  // ascending within each batch. Which member fetched which partition is
+  // invisible in the result.
+  std::sort(batches.begin(), batches.end(),
+            [](const stream::PartitionBatch& a, const stream::PartitionBatch& b) {
+              return a.partition < b.partition;
+            });
+  std::vector<stream::StoredRecord> records;
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.records.size();
+  records.reserve(total);
+  for (auto& b : batches) {
+    records.insert(records.end(), std::make_move_iterator(b.records.begin()),
+                   std::make_move_iterator(b.records.end()));
+  }
+  incoming_ = records.empty() ? observe::TraceContext{}
+                              : observe::TraceContext{records.front().record.trace_id,
+                                                      records.front().record.span_id};
+  return decoder_(records);
+}
+
+void ParallelBrokerSource::commit() {
+  for (auto& m : members_) m->commit();
+}
+
+void ParallelBrokerSource::rewind() {
+  for (auto& m : members_) m->seek_to_committed();
+}
+
+std::int64_t ParallelBrokerSource::lag() const {
+  std::int64_t total = 0;
+  for (const auto& m : members_) total += m->lag();
+  return total;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      pool_(config.workers == 0 ? std::thread::hardware_concurrency() : config.workers) {
+  config_.validate();
+  auto& reg = observe::default_registry();
+  obs_workers_ = reg.gauge("engine.workers");
+  obs_queries_ = reg.gauge("engine.queries");
+  obs_rounds_ = reg.counter("engine.rounds");
+  obs_batches_ = reg.counter("engine.batches");
+  obs_rows_ = reg.counter("engine.rows");
+  obs_workers_->set(static_cast<double>(pool_.size()));
+  obs_queries_->set(0.0);
+}
+
+Engine::~Engine() = default;
+
+std::unique_ptr<ParallelBrokerSource> Engine::make_source(stream::Broker& broker, std::string topic,
+                                                          std::string group,
+                                                          pipeline::RecordDecoder decoder,
+                                                          chaos::RetryPolicy retry) {
+  return std::make_unique<ParallelBrokerSource>(broker, std::move(topic), std::move(group),
+                                                std::move(decoder), pool_, pool_.size(), retry);
+}
+
+pipeline::StreamingQuery& Engine::add_query(pipeline::QueryConfig config,
+                                            std::unique_ptr<pipeline::Source> source) {
+  owned_queries_.push_back(
+      std::make_unique<pipeline::StreamingQuery>(std::move(config), std::move(source)));
+  queries_.push_back(owned_queries_.back().get());
+  obs_queries_->set(static_cast<double>(queries_.size()));
+  return *owned_queries_.back();
+}
+
+void Engine::add_query_ref(pipeline::StreamingQuery& query) {
+  queries_.push_back(&query);
+  obs_queries_->set(static_cast<double>(queries_.size()));
+}
+
+std::uint64_t Engine::run_until_caught_up(std::size_t max_rounds) {
+  common::Stopwatch sw;
+  std::uint64_t total_rows = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t batches = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::atomic<std::uint64_t> round_rows{0};
+    std::atomic<std::uint64_t> round_batches{0};
+    // One driver thread per query: queries are independent state machines
+    // (distinct sources, operators, sinks); only their partition fetches
+    // share the worker pool. run_once never throws on infrastructure
+    // faults, so drivers always join.
+    std::vector<std::thread> drivers;
+    drivers.reserve(queries_.size());
+    for (pipeline::StreamingQuery* q : queries_) {
+      drivers.emplace_back([this, q, &round_rows, &round_batches] {
+        // Progress is measured on *committed* work (run_once also returns
+        // the pulled rows of a failed, rolled-back batch — counting those
+        // would double-bill replays).
+        const pipeline::QueryMetrics& m = q->metrics();
+        const std::uint64_t rows0 = m.rows_ingested;
+        const std::uint64_t batches0 = m.batches;
+        const std::uint64_t skipped0 = m.batches_skipped;
+        for (std::size_t b = 0; b < config_.max_batches_per_round; ++b) {
+          const std::size_t n = q->run_once();
+          if (n == 0 && q->source().lag() == 0) break;  // caught up
+          // n == 0 with lag left (pull failed) burns round budget; a
+          // failed batch (n > 0, rolled back) replays on the next pass.
+        }
+        round_rows.fetch_add(m.rows_ingested - rows0, std::memory_order_relaxed);
+        // Dead-lettered batches count as progress too: they advance the
+        // committed offsets even though no rows landed.
+        round_batches.fetch_add((m.batches - batches0) + (m.batches_skipped - skipped0),
+                                std::memory_order_relaxed);
+      });
+    }
+    for (auto& d : drivers) d.join();
+    ++rounds;
+    batches += round_batches.load();
+    total_rows += round_rows.load();
+    if (round_batches.load() == 0) break;  // quiescent: no query advanced
+  }
+  obs_rounds_->inc(rounds);
+  obs_batches_->inc(batches);
+  obs_rows_->inc(total_rows);
+  {
+    std::lock_guard lk(stats_mu_);
+    stats_.rounds += rounds;
+    stats_.batches += batches;
+    stats_.rows += total_rows;
+    stats_.wall_seconds += sw.elapsed_seconds();
+  }
+  return total_rows;
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace oda::engine

@@ -1,0 +1,180 @@
+// The partition-parallel execution engine — the role Spark's micro-batch
+// scheduler plays in the paper's STREAM→LAKE pipelines (Sec V-B), where
+// 4.2–4.5 TB/day is sustainable only because consumer groups fan
+// partitions out across cores.
+//
+// Two pieces:
+//
+//  * ParallelBrokerSource — a pipeline::Source whose poll fans out across
+//    W consumer-group members on a shared thread pool, one member per
+//    worker, each fetching its assigned partitions. Results merge
+//    deterministically by (partition, offset), so a batch's contents are
+//    a pure function of the group's committed offsets — independent of
+//    worker count, scheduling order, or which worker owns which
+//    partition. That invariant is what lets the golden-run / exactly-once
+//    guarantees survive workers > 1: a workers=4 run commits byte-identical
+//    sink output to a workers=1 run, including under injected faults
+//    (a failed batch rolls back and replays identically).
+//
+//  * Engine — schedules N StreamingQuery pipelines in rounds: each round
+//    runs every query on its own driver thread (queries are independent
+//    state machines), with all queries' partition fetches sharing the
+//    engine's worker pool. Rounds repeat until no query makes progress,
+//    so multi-hop chains (bronze → silver → gold over broker topics)
+//    drain to quiescence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/faults.hpp"
+#include "common/thread_pool.hpp"
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
+#include "pipeline/query.hpp"
+#include "pipeline/source_sink.hpp"
+#include "stream/broker.hpp"
+
+namespace oda::engine {
+
+struct EngineConfig {
+  /// Worker threads for partition fetches. 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Micro-batches one query may run per scheduling round before the
+  /// engine re-checks the other queries (keeps a deep topic from
+  /// starving downstream queries in a chain).
+  std::size_t max_batches_per_round = 64;
+
+  // Fluent construction: EngineConfig{}.with_workers(4).
+  EngineConfig& with_workers(std::size_t n) {
+    workers = n;
+    return *this;
+  }
+  EngineConfig& with_max_batches_per_round(std::size_t n) {
+    max_batches_per_round = n;
+    return *this;
+  }
+
+  /// Throws std::invalid_argument on nonsense (0 batches per round).
+  /// Called by the Engine constructor.
+  void validate() const;
+};
+
+/// Cumulative scheduling totals (monitoring / benches).
+struct EngineStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t batches = 0;   ///< committed micro-batches across queries
+  std::uint64_t rows = 0;      ///< rows pulled across queries
+  double wall_seconds = 0.0;   ///< time spent inside run_until_caught_up
+};
+
+/// Partition-parallel Source: W GroupMembers in one consumer group, polled
+/// concurrently on the engine's pool, merged by (partition, offset).
+///
+/// Per pull, each member fetches up to max_records/P records per assigned
+/// partition (at least 1), so batch composition depends only on committed
+/// offsets and the partition count — not on W. The pull retries whole
+/// ("engine.pull" seam): a faulted fetch may have advanced some members
+/// partway, so every retry first restores all members to the group's
+/// committed offsets, exactly like the single-threaded BrokerSource.
+///
+/// Worker fetches are traced as "engine.fetch" spans parented under the
+/// calling query's batch span (the batch context travels to pool threads
+/// explicitly), so a traced run shows the fan-out per micro-batch.
+class ParallelBrokerSource final : public pipeline::Source {
+ public:
+  /// `workers` is clamped to [1, num_partitions] — extra members would
+  /// own no partitions and just churn the group.
+  ParallelBrokerSource(stream::Broker& broker, std::string topic, std::string group,
+                       pipeline::RecordDecoder decoder, common::ThreadPool& pool,
+                       std::size_t workers, chaos::RetryPolicy retry = {});
+
+  sql::Table pull(std::size_t max_records) override;
+  void commit() override;
+  void rewind() override;
+  std::int64_t lag() const override;
+  observe::TraceContext incoming_trace() const override { return incoming_; }
+
+  std::size_t num_members() const { return members_.size(); }
+  const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
+
+ private:
+  /// One fan-out attempt: poll every member (member 0 inline on the
+  /// caller, the rest on the pool), gather PartitionBatches. Throws the
+  /// first worker fault after all workers finished (members must be
+  /// quiescent before the retry path seeks them).
+  std::vector<stream::PartitionBatch> fan_out(std::size_t per_partition);
+
+  stream::Broker& broker_;
+  std::string topic_;
+  common::ThreadPool& pool_;
+  std::size_t num_partitions_ = 0;
+  std::vector<std::unique_ptr<stream::GroupMember>> members_;
+  pipeline::RecordDecoder decoder_;
+  chaos::Retrier retrier_;
+  observe::TraceContext incoming_;
+};
+
+/// Multi-query scheduler over a shared worker pool. Queries added to the
+/// engine should use sources made by make_source() so their fetches
+/// actually fan out; any pipeline::Source works, it just won't
+/// parallelize.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  std::size_t workers() const { return pool_.size(); }
+  common::ThreadPool& pool() { return pool_; }
+
+  /// A partition-parallel source reading `topic` through consumer group
+  /// `group` with this engine's worker pool. The broker must outlive the
+  /// engine (the source's group members deregister on destruction).
+  std::unique_ptr<ParallelBrokerSource> make_source(stream::Broker& broker, std::string topic,
+                                                    std::string group,
+                                                    pipeline::RecordDecoder decoder,
+                                                    chaos::RetryPolicy retry = {});
+
+  /// Construct a query owned by the engine; returns it for stage chaining.
+  pipeline::StreamingQuery& add_query(pipeline::QueryConfig config,
+                                      std::unique_ptr<pipeline::Source> source);
+  /// Schedule a caller-owned query (must outlive the engine's runs).
+  void add_query_ref(pipeline::StreamingQuery& query);
+
+  std::size_t num_queries() const { return queries_.size(); }
+  pipeline::StreamingQuery& query(std::size_t i) { return *queries_.at(i); }
+
+  /// Run scheduling rounds until every query is caught up (a full round
+  /// makes no progress and all sources report zero lag). Returns total
+  /// rows processed. Each round runs every query on its own driver
+  /// thread, up to max_batches_per_round micro-batches each.
+  std::uint64_t run_until_caught_up(std::size_t max_rounds = SIZE_MAX);
+
+  EngineStats stats() const;
+
+ private:
+  EngineConfig config_;
+  common::ThreadPool pool_;
+  std::vector<std::unique_ptr<pipeline::StreamingQuery>> owned_queries_;
+  std::vector<pipeline::StreamingQuery*> queries_;
+
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+
+  // Engine-level observability: gauges reflect the live configuration,
+  // counters accumulate scheduling work (handles stable for process life).
+  observe::Gauge* obs_workers_ = nullptr;
+  observe::Gauge* obs_queries_ = nullptr;
+  observe::Counter* obs_rounds_ = nullptr;
+  observe::Counter* obs_batches_ = nullptr;
+  observe::Counter* obs_rows_ = nullptr;
+};
+
+}  // namespace oda::engine

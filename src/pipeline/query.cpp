@@ -11,8 +11,21 @@ namespace oda::pipeline {
 using common::Stopwatch;
 using sql::Table;
 
+void QueryConfig::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("QueryConfig: name must not be empty");
+  }
+  if (max_records_per_batch == 0) {
+    throw std::invalid_argument("QueryConfig: max_records_per_batch must be >= 1");
+  }
+  if (time_column.empty()) {
+    throw std::invalid_argument("QueryConfig: time_column must not be empty");
+  }
+}
+
 StreamingQuery::StreamingQuery(QueryConfig config, std::unique_ptr<Source> source)
     : config_(std::move(config)), source_(std::move(source)) {
+  config_.validate();
   auto& reg = observe::default_registry();
   const observe::Labels labels{{"query", config_.name}};
   obs_batches_ = reg.counter("pipeline.batches", labels);

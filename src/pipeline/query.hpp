@@ -44,6 +44,34 @@ struct QueryConfig {
   /// dead-letter policy — prevents a poison batch from livelocking the
   /// pipeline). 0 = never skip (retry forever).
   std::size_t max_retries = 5;
+
+  // Fluent construction:
+  //   QueryConfig{}.with_name("silver").with_batch_size(1024).
+  QueryConfig& with_name(std::string n) {
+    name = std::move(n);
+    return *this;
+  }
+  QueryConfig& with_batch_size(std::size_t max_records) {
+    max_records_per_batch = max_records;
+    return *this;
+  }
+  QueryConfig& with_allowed_lateness(common::Duration lateness) {
+    allowed_lateness = lateness;
+    return *this;
+  }
+  QueryConfig& with_time_column(std::string column) {
+    time_column = std::move(column);
+    return *this;
+  }
+  QueryConfig& with_max_retries(std::size_t retries) {
+    max_retries = retries;
+    return *this;
+  }
+
+  /// Reject nonsense at query construction instead of failing (or silently
+  /// spinning) deep in a run. Throws std::invalid_argument. Called by the
+  /// StreamingQuery constructor.
+  void validate() const;
 };
 
 /// Deterministic fault injector for recovery tests: fail the Nth batch.

@@ -109,7 +109,7 @@ void TopicSink::write(const Table& t) {
   rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
   retrier_.run("pipeline.sink", [&] {
     chaos::fault_point("pipeline.sink");
-    broker_.produce(topic_, rec);  // copy per attempt; produce rejects before append
+    producer_.produce(rec);  // copy per attempt; produce rejects before append
   });
   produced_high_water_ = idx + 1;
 }

@@ -35,37 +35,45 @@ class Source {
   virtual observe::TraceContext incoming_trace() const { return {}; }
 };
 
-/// Reads a broker topic through a consumer group. Polls retry under the
-/// retry policy: a faulted fetch ("stream.fetch") may have advanced the
-/// consumer's positions partway through the topic's partitions, so every
-/// retry first restores the committed positions. Decode happens outside
-/// the retry loop — a payload that cannot decode is poison, not a
-/// transient infrastructure error.
+/// Reads a broker topic through any Subscription — a whole-topic Consumer
+/// (the single-threaded default) or a rebalancing GroupMember (engine
+/// workers), injected by the caller. Polls retry under the retry policy:
+/// a faulted fetch ("stream.fetch") may have advanced the subscription's
+/// positions partway through the topic's partitions, so every retry first
+/// restores the committed positions. Decode happens outside the retry
+/// loop — a payload that cannot decode is poison, not a transient
+/// infrastructure error.
 class BrokerSource final : public Source {
  public:
+  BrokerSource(std::unique_ptr<stream::Subscription> sub, RecordDecoder decoder,
+               chaos::RetryPolicy retry = {})
+      : sub_(std::move(sub)), decoder_(std::move(decoder)), retrier_(retry, /*seed=*/0xb20ce2ull) {}
+
+  /// Convenience: subscribe a whole-topic Consumer (note the historical
+  /// (topic, group) argument order, kept for the many existing call sites).
   BrokerSource(stream::Broker& broker, std::string topic, std::string group, RecordDecoder decoder,
                chaos::RetryPolicy retry = {})
-      : consumer_(broker, std::move(group), std::move(topic)),
-        decoder_(std::move(decoder)),
-        retrier_(retry, /*seed=*/0xb20ce2ull) {}
+      : BrokerSource(std::make_unique<stream::Consumer>(broker, std::move(group), std::move(topic)),
+                     std::move(decoder), retry) {}
 
   sql::Table pull(std::size_t max_records) override {
     const auto records = retrier_.run(
-        "pipeline.pull", [&] { return consumer_.poll(max_records); },
-        [&] { consumer_.seek_to_committed(); });
+        "pipeline.pull", [&] { return sub_->poll(max_records); },
+        [&] { sub_->seek_to_committed(); });
     incoming_ = records.empty() ? observe::TraceContext{}
                                 : observe::TraceContext{records.front().record.trace_id,
                                                         records.front().record.span_id};
     return decoder_(records);
   }
-  void commit() override { consumer_.commit(); }
-  void rewind() override { consumer_.seek_to_committed(); }
-  std::int64_t lag() const override { return consumer_.lag(); }
+  void commit() override { sub_->commit(); }
+  void rewind() override { sub_->seek_to_committed(); }
+  std::int64_t lag() const override { return sub_->lag(); }
   observe::TraceContext incoming_trace() const override { return incoming_; }
   const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
+  stream::Subscription& subscription() { return *sub_; }
 
  private:
-  stream::Consumer consumer_;
+  std::unique_ptr<stream::Subscription> sub_;
   RecordDecoder decoder_;
   chaos::Retrier retrier_;
   observe::TraceContext incoming_;
@@ -235,9 +243,9 @@ class OceanSink final : public Sink {
 class TopicSink final : public Sink {
  public:
   TopicSink(stream::Broker& broker, std::string topic, chaos::RetryPolicy retry = {})
-      : broker_(broker), topic_(std::move(topic)), retrier_(retry, /*seed=*/0x70b1c5ull) {
-    broker_.create_topic(topic_);
-  }
+      : topic_(std::move(topic)),
+        producer_(broker.create_topic(topic_)),
+        retrier_(retry, /*seed=*/0x70b1c5ull) {}
   void write(const sql::Table& t) override;
   void begin_batch() override { writes_this_batch_ = 0; }
   void commit_batch() override {
@@ -252,8 +260,8 @@ class TopicSink final : public Sink {
   const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
 
  private:
-  stream::Broker& broker_;
   std::string topic_;
+  stream::Producer producer_;  ///< cached handle; skips name lookup per write
   chaos::Retrier retrier_;
   std::size_t writes_this_batch_ = 0;
   std::size_t produced_high_water_ = 0;

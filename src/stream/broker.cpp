@@ -9,8 +9,17 @@
 
 namespace oda::stream {
 
+void TopicConfig::validate() const {
+  if (num_partitions == 0) {
+    throw std::invalid_argument("TopicConfig: num_partitions must be >= 1");
+  }
+  if (segment_bytes == 0) {
+    throw std::invalid_argument("TopicConfig: segment_bytes must be >= 1");
+  }
+}
+
 Topic::Topic(std::string name, TopicConfig config) : name_(std::move(name)), config_(config) {
-  if (config_.num_partitions == 0) config_.num_partitions = 1;
+  config_.validate();
   partitions_.reserve(config_.num_partitions);
   for (std::size_t i = 0; i < config_.num_partitions; ++i) {
     partitions_.push_back(std::make_unique<Partition>(config_.segment_bytes));
@@ -40,6 +49,40 @@ std::int64_t Topic::produce(Record r) {
   obs_produced_records_->inc_unchecked();
   obs_produced_bytes_->inc_unchecked(r.wire_size());
   return partitions_[p]->append(std::move(r));
+}
+
+std::size_t Topic::produce_batch(std::vector<Record>&& batch) {
+  if (batch.empty()) return 0;
+  // One fault seam for the whole batch, before any append: a faulted batch
+  // is rejected whole, so a retry can never duplicate part of it.
+  chaos::fault_point("stream.produce");
+  const observe::TraceContext ctx = observe::current_context();
+  // Keyless records draw a contiguous block from the shared round-robin
+  // cursor, so a batch lands on exactly the partitions the equivalent
+  // produce() sequence would have hit.
+  std::size_t keyless = 0;
+  for (const Record& r : batch) keyless += r.key.empty() ? 1 : 0;
+  std::uint64_t rr = keyless == 0 ? 0 : rr_counter_.fetch_add(keyless, std::memory_order_relaxed);
+  std::uint64_t bytes = 0;
+  std::vector<std::vector<Record>> buckets(partitions_.size());
+  for (Record& r : batch) {
+    if (ctx.valid()) {
+      r.trace_id = ctx.trace_id;
+      r.span_id = ctx.span_id;
+    }
+    bytes += r.wire_size();
+    const std::size_t p = r.key.empty() ? rr++ % partitions_.size()
+                                        : common::fnv1a(r.key) % partitions_.size();
+    buckets[p].push_back(std::move(r));
+  }
+  const std::size_t n = batch.size();
+  batch.clear();
+  obs_produced_records_->inc_unchecked(n);
+  obs_produced_bytes_->inc_unchecked(bytes);
+  for (std::size_t p = 0; p < buckets.size(); ++p) {
+    if (!buckets[p].empty()) partitions_[p]->append_batch(std::move(buckets[p]));
+  }
+  return n;
 }
 
 std::size_t Topic::enforce_retention(common::TimePoint now) {
@@ -245,10 +288,45 @@ std::vector<StoredRecord> GroupMember::poll(std::size_t max_records) {
   return out;
 }
 
+std::vector<PartitionBatch> GroupMember::poll_by_partition(std::size_t max_per_partition) {
+  refresh_assignments();
+  Topic& t = broker_.topic(topic_);
+  std::vector<PartitionBatch> out;
+  out.reserve(assigned_.size());
+  for (std::size_t p : assigned_) {
+    PartitionBatch pb;
+    pb.partition = p;
+    positions_[p] = t.partition(p).fetch(positions_[p], max_per_partition, pb.records);
+    if (!pb.records.empty()) out.push_back(std::move(pb));
+  }
+  return out;
+}
+
 void GroupMember::commit() {
   for (const auto& [p, offset] : positions_) {
     broker_.commit(group_, TopicPartition{topic_, p}, offset);
   }
+}
+
+void GroupMember::seek_to_committed() {
+  refresh_assignments();
+  Topic& t = broker_.topic(topic_);
+  for (std::size_t p : assigned_) {
+    positions_[p] =
+        broker_.committed(group_, TopicPartition{topic_, p}).value_or(t.partition(p).start_offset());
+  }
+}
+
+std::int64_t GroupMember::lag() const {
+  const Topic* t = broker_.find_topic(topic_);
+  if (!t) return 0;
+  std::int64_t total = 0;
+  for (std::size_t p : assigned_) {
+    auto it = positions_.find(p);
+    if (it == positions_.end()) continue;
+    total += t->partition(p).end_offset() - it->second;
+  }
+  return total;
 }
 
 Consumer::Consumer(Broker& broker, std::string group, std::string topic)

@@ -23,6 +23,25 @@ struct TopicConfig {
   std::size_t num_partitions = 4;
   std::size_t segment_bytes = 4 << 20;
   RetentionPolicy retention;
+
+  // Fluent construction: TopicConfig{}.with_partitions(8).with_segment_bytes(1 << 20).
+  TopicConfig& with_partitions(std::size_t n) {
+    num_partitions = n;
+    return *this;
+  }
+  TopicConfig& with_segment_bytes(std::size_t bytes) {
+    segment_bytes = bytes;
+    return *this;
+  }
+  TopicConfig& with_retention(RetentionPolicy policy) {
+    retention = policy;
+    return *this;
+  }
+
+  /// Reject nonsense at topic creation instead of failing deep in a run
+  /// (a 0-partition topic cannot place records; a 0-byte segment would
+  /// roll on every append). Throws std::invalid_argument.
+  void validate() const;
 };
 
 struct TopicStats {
@@ -46,6 +65,16 @@ class Topic {
 
   /// Produce: partition chosen by key hash (empty key -> round-robin).
   std::int64_t produce(Record r);
+
+  /// Hot-path batching: append a whole batch taking each partition's lock
+  /// once per partition instead of once per record. Records land exactly
+  /// where the equivalent sequence of produce() calls would (same key
+  /// hash, same shared round-robin cursor), so mixed produce/produce_batch
+  /// traffic stays balanced and batch-vs-single runs are comparable. The
+  /// "stream.produce" fault seam fires once, before any append — a faulted
+  /// batch is rejected whole and can be retried without duplication.
+  /// Returns the number of records appended.
+  std::size_t produce_batch(std::vector<Record>&& batch);
 
   void set_retention(const RetentionPolicy& policy) { config_.retention = policy; }
 
@@ -80,6 +109,29 @@ class Topic {
   friend class Consumer;
 };
 
+/// Cached-handle producer for one topic. Broker::producer() resolves the
+/// name→topic map once; steady-state produce then goes straight to the
+/// Topic, skipping the broker mutex and the string lookup entirely.
+/// Handles are stable for the broker's lifetime (topics are never
+/// destroyed while the broker lives), so a Producer can be kept hot for
+/// the life of a collector or sink. Copyable and cheap.
+class Producer {
+ public:
+  explicit Producer(Topic& topic) : topic_(&topic) {}
+
+  std::int64_t produce(Record r) { return topic_->produce(std::move(r)); }
+  std::size_t produce_batch(std::vector<Record>&& batch) {
+    return topic_->produce_batch(std::move(batch));
+  }
+
+  Topic& topic() { return *topic_; }
+  const Topic& topic() const { return *topic_; }
+  const std::string& topic_name() const { return topic_->name(); }
+
+ private:
+  Topic* topic_;
+};
+
 struct TopicPartition {
   std::string topic;
   std::size_t partition = 0;
@@ -102,7 +154,14 @@ class Broker {
   bool has_topic(const std::string& name) const;
   std::vector<std::string> topic_names() const;
 
+  /// Convenience shim: one name lookup (broker mutex + map walk) per
+  /// record. Hot paths should resolve a Producer once instead.
   std::int64_t produce(const std::string& topic, Record r) { return this->topic(topic).produce(std::move(r)); }
+
+  /// Cached-handle producer for steady-state produce without the name
+  /// lookup. Throws std::out_of_range for an unknown topic — create it
+  /// first.
+  Producer producer(const std::string& topic_name) { return Producer(topic(topic_name)); }
 
   /// Run retention over all topics; returns total evicted bytes.
   std::size_t enforce_retention(common::TimePoint now);
@@ -147,33 +206,55 @@ class Broker {
   std::map<std::pair<std::string, std::string>, GroupState> groups_;  ///< (group, topic)
 };
 
+/// The one polling contract every broker reader implements — whole-topic
+/// Consumer, rebalancing GroupMember, or anything test code fakes. A
+/// pipeline source programs against this interface, so single-threaded
+/// and engine-driven queries share one source type instead of the two
+/// incompatible polling classes they historically wrapped.
+class Subscription {
+ public:
+  virtual ~Subscription() = default;
+
+  /// Fetch up to max_records. Advances in-memory positions only;
+  /// commit() persists them.
+  virtual std::vector<StoredRecord> poll(std::size_t max_records) = 0;
+  /// Persist current positions to the broker's committed-offset store.
+  virtual void commit() = 0;
+  /// Reset positions to the last committed snapshot (failure recovery /
+  /// crash restart). A retried poll after seek_to_committed() must replay
+  /// the exact record sequence of the failed attempt.
+  virtual void seek_to_committed() = 0;
+  /// Records between this subscription's positions and the log end.
+  virtual std::int64_t lag() const = 0;
+};
+
 /// A consumer-group member subscribed to every partition of one topic.
 /// poll() round-robins across partitions; commit() persists progress so
 /// a restarted consumer resumes where the group left off (the paper's
 /// "failure and recovery mechanisms that can be difficult to re-engineer
 /// from scratch").
-class Consumer {
+class Consumer final : public Subscription {
  public:
   Consumer(Broker& broker, std::string group, std::string topic);
 
   /// Fetch up to max_records across partitions. Advances in-memory
   /// positions only; call commit() to persist.
-  std::vector<StoredRecord> poll(std::size_t max_records);
+  std::vector<StoredRecord> poll(std::size_t max_records) override;
 
   /// Persist current positions to the broker's offset store. Also
   /// snapshots the round-robin cursor, so a later seek_to_committed()
   /// replays polls with the exact partition interleave of the original
   /// run — exactly-once pipeline recovery depends on replayed batches
   /// being byte-identical.
-  void commit();
+  void commit() override;
 
   /// Reset positions (and poll cursor) to the last committed snapshot
   /// (crash/restart).
-  void seek_to_committed();
+  void seek_to_committed() override;
   /// Jump every partition position to the first record with ts >= t.
   void seek_to_time(common::TimePoint t);
 
-  std::int64_t lag() const;
+  std::int64_t lag() const override;
   const std::string& group() const { return group_; }
 
  private:
@@ -185,24 +266,42 @@ class Consumer {
   std::size_t committed_next_partition_ = 0;
 };
 
+/// One partition's slice of a poll, kept separate so the engine can merge
+/// worker results deterministically by (partition, offset) regardless of
+/// which worker fetched which partition.
+struct PartitionBatch {
+  std::size_t partition = 0;
+  std::vector<StoredRecord> records;
+};
+
 /// A rebalancing consumer-group member: partitions are split round-robin
 /// across live members and reassigned when members join or leave. Poll
 /// rechecks the group generation, so scaling the consumer fleet up or
 /// down mid-stream is safe — progress is preserved through the shared
 /// committed-offset store.
-class GroupMember {
+class GroupMember final : public Subscription {
  public:
   GroupMember(Broker& broker, std::string group, std::string topic);
-  ~GroupMember();
+  ~GroupMember() override;
 
   GroupMember(const GroupMember&) = delete;
   GroupMember& operator=(const GroupMember&) = delete;
 
   /// Fetch up to max_records from this member's assigned partitions,
   /// resuming each partition from the group's committed offset.
-  std::vector<StoredRecord> poll(std::size_t max_records);
+  std::vector<StoredRecord> poll(std::size_t max_records) override;
+  /// Like poll(), but capped per partition and keeping each partition's
+  /// records in their own PartitionBatch. The engine's merge step sorts
+  /// these by partition index, making batch contents a pure function of
+  /// committed offsets — independent of worker count or fetch order.
+  std::vector<PartitionBatch> poll_by_partition(std::size_t max_per_partition);
   /// Commit progress on the assigned partitions.
-  void commit();
+  void commit() override;
+  /// Drop in-memory positions back to the group's committed offsets for
+  /// every assigned partition (replay after a failed batch).
+  void seek_to_committed() override;
+  /// Sum of (end offset - position) over this member's assigned partitions.
+  std::int64_t lag() const override;
   /// Leave the group explicitly (also done by the destructor).
   void leave();
 

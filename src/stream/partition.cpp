@@ -7,20 +7,25 @@
 
 namespace oda::stream {
 
-std::int64_t Partition::append(Record r) {
-  // Aggregate (un-labelled) counter: partitions don't know their topic,
-  // and per-partition labels would be needless cardinality. Appends are
-  // deliberately NOT counted per record — stream.produced.records already
-  // covers them; segment rolls are the per-partition event worth keeping.
+namespace {
+// Aggregate (un-labelled) counter: partitions don't know their topic,
+// and per-partition labels would be needless cardinality. Appends are
+// deliberately NOT counted per record — stream.produced.records already
+// covers them; segment rolls are the per-partition event worth keeping.
+observe::Counter* segments_rolled_counter() {
   static observe::Counter* segments =
       observe::default_registry().counter("stream.partition.segments.rolled");
-  std::lock_guard lk(mu_);
+  return segments;
+}
+}  // namespace
+
+std::int64_t Partition::append_unlocked(Record r) {
   const std::size_t sz = r.wire_size();
   if (segments_.empty() || segments_.back().bytes + sz > segment_bytes_) {
     Segment s;
     s.base_offset = next_offset_;
     segments_.push_back(std::move(s));
-    segments->inc();
+    segments_rolled_counter()->inc();
   }
   Segment& seg = segments_.back();
   seg.max_ts = std::max(seg.max_ts, r.timestamp);
@@ -28,6 +33,19 @@ std::int64_t Partition::append(Record r) {
   total_bytes_ += sz;
   seg.records.push_back(std::move(r));
   return next_offset_++;
+}
+
+std::int64_t Partition::append(Record r) {
+  std::lock_guard lk(mu_);
+  return append_unlocked(std::move(r));
+}
+
+std::int64_t Partition::append_batch(std::vector<Record>&& batch) {
+  std::lock_guard lk(mu_);
+  const std::int64_t first = next_offset_;
+  for (Record& r : batch) append_unlocked(std::move(r));
+  batch.clear();
+  return first;
 }
 
 std::int64_t Partition::fetch(std::int64_t offset, std::size_t max_records,

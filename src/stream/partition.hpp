@@ -24,6 +24,11 @@ class Partition {
   /// Append a record; returns its offset.
   std::int64_t append(Record r);
 
+  /// Append a whole batch under one lock acquisition, rolling segments
+  /// exactly as the equivalent append() sequence would. Returns the offset
+  /// of the first appended record (records get consecutive offsets).
+  std::int64_t append_batch(std::vector<Record>&& batch);
+
   /// Copy up to `max_records` records starting at `offset` into `out`.
   /// Returns the next offset to poll from. Offsets below the log start
   /// (evicted by retention) snap forward to the log start.
@@ -50,6 +55,7 @@ class Partition {
   };
 
   // Unlocked internals (callers hold mu_).
+  std::int64_t append_unlocked(Record r);
   std::int64_t end_offset_unlocked() const;
 
   mutable std::mutex mu_;

@@ -68,16 +68,27 @@ CollectionPlanCost plan_cost(const SystemSpec& spec, CollectionPath path,
   return cost;
 }
 
+stream::Producer& CollectionChannel::producer_for(const std::string& topic) {
+  auto it = producers_.find(topic);
+  if (it == producers_.end()) {
+    it = producers_.emplace(topic, broker_.producer(topic)).first;
+  }
+  return it->second;
+}
+
 bool CollectionChannel::deliver(const std::string& topic, stream::Record rec) {
   static observe::Counter* delivered =
       observe::default_registry().counter("telemetry.delivered.records");
   static observe::Counter* dropped = observe::default_registry().counter("telemetry.dropped.records");
   const std::size_t bytes = rec.wire_size();
   try {
+    // Resolved inside the try: an unknown topic degrades to a counted
+    // drop, exactly as the string-lookup produce path did.
+    stream::Producer& producer = producer_for(topic);
     retrier_.run("telemetry.collect", [&] {
       chaos::fault_point("telemetry.collect");
       // Copy per attempt: a faulted produce must not leave the record moved-out.
-      broker_.produce(topic, rec);
+      producer.produce(rec);
     });
   } catch (const std::exception&) {
     // Retry budget spent or a hard fault: the sample becomes a collection

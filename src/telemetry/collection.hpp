@@ -5,6 +5,7 @@
 // lesson: plan the path per stream against its downstream use.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -77,9 +78,16 @@ class CollectionChannel {
   const ChannelStats& stats() const { return stats_; }
 
  private:
+  stream::Producer& producer_for(const std::string& topic);
+
   stream::Broker& broker_;
   chaos::Retrier retrier_;
   ChannelStats stats_;
+  // Cached-handle producers: the name→topic lookup (broker mutex + map
+  // walk) happens once per topic per channel, not once per sample. Topic
+  // handles are stable for the broker's lifetime, so cached entries never
+  // go stale.
+  std::map<std::string, stream::Producer> producers_;
 };
 
 }  // namespace oda::telemetry

@@ -1,0 +1,244 @@
+// The engine's headline guarantee: scheduling a query partition-parallel
+// must be invisible in its committed output. workers=4 and workers=1 runs
+// over the same stream — with tracing on and a chaos fault plan active —
+// must commit byte-identical sink tables, because a batch's contents are
+// a pure function of the group's committed offsets, never of worker
+// count or fetch interleaving.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/faults.hpp"
+#include "engine/engine.hpp"
+#include "observe/metrics.hpp"
+#include "observe/trace.hpp"
+#include "pipeline/operator.hpp"
+#include "pipeline/query.hpp"
+#include "pipeline/source_sink.hpp"
+#include "sql/agg.hpp"
+#include "sql/table.hpp"
+#include "storage/columnar.hpp"
+#include "stream/broker.hpp"
+
+namespace oda::engine {
+namespace {
+
+using sql::DataType;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+
+constexpr std::size_t kPartitions = 8;
+constexpr std::size_t kRecords = 6000;
+
+// One record per sensor reading: timestamp = event time, key = node id
+// (hash-partitioned), payload = the reading.
+void fill_topic(stream::Topic& topic) {
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    stream::Record r;
+    r.timestamp = static_cast<common::TimePoint>(i) * common::kSecond / 4;
+    r.key = "node" + std::to_string(i % 32);
+    r.payload = std::to_string(0.5 + static_cast<double>(i % 97));
+    topic.produce(std::move(r));
+  }
+}
+
+Table decode(std::span<const stream::StoredRecord> records) {
+  Table t{Schema{{"time", DataType::kInt64},
+                 {"node", DataType::kString},
+                 {"value", DataType::kFloat64}}};
+  for (const auto& sr : records) {
+    t.append_row({Value(sr.record.timestamp), Value(sr.record.key),
+                  Value(std::stod(sr.record.payload))});
+  }
+  return t;
+}
+
+// Build broker + engine-driven windowed aggregation, run to quiescence,
+// return the committed sink table serialized to bytes. Tracing and the
+// given chaos plan are active for the whole run.
+std::vector<std::uint8_t> run_with_workers(std::size_t workers, chaos::FaultPlan& plan,
+                                           EngineStats* stats_out = nullptr) {
+  stream::Broker broker;
+  auto& topic = broker.create_topic("sensors", stream::TopicConfig{}.with_partitions(kPartitions));
+  fill_topic(topic);
+
+  observe::Tracer tracer;
+  observe::ScopedTracer scoped_tracer(tracer);
+  chaos::ScopedFaultPlan scoped_plan(plan);
+
+  Engine engine(EngineConfig{}.with_workers(workers));
+  chaos::RetryPolicy retry;
+  retry.max_attempts = 50;  // outlast the plan's transient schedule
+  auto source = engine.make_source(broker, "sensors", "agg-group", decode, retry);
+  auto sink = std::make_unique<pipeline::TableSink>();
+  pipeline::TableSink* sink_ptr = sink.get();
+  auto& q = engine.add_query(pipeline::QueryConfig{}
+                                 .with_name("engine.agg")
+                                 .with_batch_size(1000)
+                                 .with_max_retries(0),  // retry forever: no dead-letter
+                             std::move(source));
+  q.add_operator(std::make_unique<pipeline::WindowAggOp>(
+      "window_10s", "time", 10 * common::kSecond, std::vector<std::string>{"node"},
+      std::vector<sql::AggSpec>{{"value", sql::AggKind::kMean, "mean_value"},
+                                {"value", sql::AggKind::kMax, "max_value"},
+                                {"value", sql::AggKind::kCount, "samples"}}));
+  q.add_sink(std::move(sink));
+
+  engine.run_until_caught_up();
+  q.finalize();
+  if (stats_out) *stats_out = engine.stats();
+  return storage::write_columnar(sink_ptr->table());
+}
+
+void configure_plan(chaos::FaultPlan& plan) {
+  chaos::SiteConfig fetch;
+  fetch.transient_p = 0.05;
+  plan.configure("stream.fetch", fetch);
+  chaos::SiteConfig batch;
+  batch.every_nth = 5;
+  plan.configure("pipeline.batch", batch);
+}
+
+TEST(EngineTest, WorkersFourByteIdenticalToWorkersOneUnderChaos) {
+  chaos::FaultPlan plan1(0xc0ffee);
+  chaos::FaultPlan plan4(0xc0ffee);
+  configure_plan(plan1);
+  configure_plan(plan4);
+  EngineStats stats1, stats4;
+  const auto bytes1 = run_with_workers(1, plan1, &stats1);
+  const auto bytes4 = run_with_workers(4, plan4, &stats4);
+
+  EXPECT_GT(bytes1.size(), 0u);
+  EXPECT_EQ(bytes1, bytes4);
+
+  // Teeth: both runs processed every row, and faults actually fired.
+  EXPECT_EQ(stats1.rows, kRecords);
+  EXPECT_EQ(stats4.rows, kRecords);
+  EXPECT_GT(plan1.total_faults(), 0u);
+  EXPECT_GT(plan4.total_faults(), 0u);
+}
+
+TEST(EngineTest, ScalingCurveIsWorkerCountInvariant) {
+  std::vector<std::uint8_t> baseline;
+  for (std::size_t workers : {1, 2, 4, 8}) {
+    chaos::FaultPlan plan(0x5eed);
+    configure_plan(plan);
+    const auto bytes = run_with_workers(workers, plan);
+    if (baseline.empty()) {
+      baseline = bytes;
+    } else {
+      EXPECT_EQ(baseline, bytes) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(EngineTest, MultiQueryChainDrainsAcrossRounds) {
+  // bronze --(re-encode)--> silver topic --> table. The downstream query
+  // only sees data produced by the upstream one, so draining the chain
+  // exercises the engine's round barrier.
+  stream::Broker broker;
+  auto& topic = broker.create_topic("bronze", stream::TopicConfig{}.with_partitions(4));
+  fill_topic(topic);
+
+  Engine engine(EngineConfig{}.with_workers(2));
+  auto& upstream =
+      engine.add_query(pipeline::QueryConfig{}.with_name("chain.bronze").with_batch_size(500),
+                       engine.make_source(broker, "bronze", "chain-b", decode));
+  upstream.add_sink(std::make_unique<pipeline::TopicSink>(broker, "silver"));
+
+  auto sink = std::make_unique<pipeline::TableSink>();
+  pipeline::TableSink* sink_ptr = sink.get();
+  auto& downstream =
+      engine.add_query(pipeline::QueryConfig{}.with_name("chain.silver").with_batch_size(500),
+                       engine.make_source(broker, "silver", "chain-s",
+                                          pipeline::decode_columnar_records));
+  downstream.add_sink(std::move(sink));
+
+  engine.run_until_caught_up();
+
+  EXPECT_EQ(sink_ptr->table().num_rows(), kRecords);
+  const EngineStats stats = engine.stats();
+  EXPECT_GE(stats.rounds, 2u);  // downstream needed at least one later round
+  EXPECT_EQ(stats.rows, 2 * kRecords);
+}
+
+TEST(EngineTest, BrokerSourceAcceptsAnySubscription) {
+  // The redesigned BrokerSource programs against stream::Subscription, so
+  // a single-threaded query can read through a rebalancing GroupMember.
+  stream::Broker broker;
+  auto& topic = broker.create_topic("subs", stream::TopicConfig{}.with_partitions(4));
+  fill_topic(topic);
+
+  auto member = std::make_unique<stream::GroupMember>(broker, "subs-group", "subs");
+  pipeline::StreamingQuery q(pipeline::QueryConfig{}.with_name("subs.query"),
+                             std::make_unique<pipeline::BrokerSource>(std::move(member), decode));
+  auto sink = std::make_unique<pipeline::TableSink>();
+  pipeline::TableSink* sink_ptr = sink.get();
+  q.add_sink(std::move(sink));
+
+  q.run_until_caught_up();
+  EXPECT_EQ(sink_ptr->table().num_rows(), kRecords);
+}
+
+TEST(EngineTest, SourceClampsMembersToPartitionCount) {
+  stream::Broker broker;
+  broker.create_topic("narrow", stream::TopicConfig{}.with_partitions(2));
+  Engine engine(EngineConfig{}.with_workers(8));
+  auto source = engine.make_source(broker, "narrow", "narrow-group", decode);
+  EXPECT_EQ(source->num_members(), 2u);  // extra members would own nothing
+}
+
+TEST(EngineTest, ConfigValidateRejectsNonsense) {
+  EXPECT_THROW(Engine(EngineConfig{}.with_max_batches_per_round(0)), std::invalid_argument);
+  EXPECT_NO_THROW(Engine(EngineConfig{}.with_workers(2)));
+}
+
+TEST(EngineTest, EngineGaugesReflectConfiguration) {
+  // Broker outlives the engine: the engine's group members deregister
+  // from the broker when their queries are destroyed.
+  stream::Broker broker;
+  broker.create_topic("g", stream::TopicConfig{}.with_partitions(2));
+
+  Engine engine(EngineConfig{}.with_workers(3));
+  auto& reg = observe::default_registry();
+  EXPECT_DOUBLE_EQ(reg.gauge("engine.workers")->value(), 3.0);
+
+  engine.add_query(pipeline::QueryConfig{}.with_name("gauge.q"),
+                   engine.make_source(broker, "g", "gauge-group", decode));
+  EXPECT_DOUBLE_EQ(reg.gauge("engine.queries")->value(), 1.0);
+}
+
+TEST(EngineTest, WorkerFetchSpansParentUnderBatchSpan) {
+  // A traced engine run must show "engine.fetch" spans tied to the trace
+  // of the batch that scheduled them — that is how an operator reads the
+  // fan-out of one micro-batch off a trace export.
+  stream::Broker broker;
+  auto& topic = broker.create_topic("traced", stream::TopicConfig{}.with_partitions(4));
+  fill_topic(topic);
+
+  observe::Tracer tracer;
+  observe::ScopedTracer scoped(tracer);
+  Engine engine(EngineConfig{}.with_workers(4));
+  auto& q = engine.add_query(pipeline::QueryConfig{}.with_name("traced.q").with_batch_size(1000),
+                             engine.make_source(broker, "traced", "traced-group", decode));
+  q.add_sink(std::make_unique<pipeline::TableSink>());
+  engine.run_until_caught_up();
+
+  std::uint64_t batch_trace = 0;
+  for (const auto& span : tracer.store().snapshot()) {
+    if (span.name == "query.traced.q.batch") batch_trace = span.trace_id;
+  }
+  ASSERT_NE(batch_trace, 0u);
+  std::size_t fetch_spans_in_batch_trace = 0;
+  for (const auto& span : tracer.store().snapshot()) {
+    if (span.name == "engine.fetch" && span.trace_id == batch_trace) ++fetch_spans_in_batch_trace;
+  }
+  EXPECT_GT(fetch_spans_in_batch_trace, 0u);
+}
+
+}  // namespace
+}  // namespace oda::engine

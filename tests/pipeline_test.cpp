@@ -3,6 +3,8 @@
 // policy, sinks, and batch-vs-stream equivalence.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/rng.hpp"
 #include "pipeline/query.hpp"
 #include "sql/expr.hpp"
@@ -158,6 +160,26 @@ struct QueryRig {
     return q;
   }
 };
+
+TEST(QueryConfigTest, FluentSettersAndValidate) {
+  const QueryConfig qc = QueryConfig{}
+                             .with_name("fluent")
+                             .with_batch_size(256)
+                             .with_time_column("ts")
+                             .with_allowed_lateness(5 * kSecond)
+                             .with_max_retries(2);
+  EXPECT_EQ(qc.name, "fluent");
+  EXPECT_EQ(qc.max_records_per_batch, 256u);
+  EXPECT_EQ(qc.time_column, "ts");
+  EXPECT_NO_THROW(qc.validate());
+
+  QueryRig rig;
+  EXPECT_THROW(rig.make_query(QueryConfig{}.with_name("")), std::invalid_argument);
+  EXPECT_THROW(rig.make_query(QueryConfig{}.with_name("q").with_batch_size(0)),
+               std::invalid_argument);
+  EXPECT_THROW(rig.make_query(QueryConfig{}.with_name("q").with_time_column("")),
+               std::invalid_argument);
+}
 
 TEST(StreamingQueryTest, EndToEndWindowedSum) {
   QueryRig rig;

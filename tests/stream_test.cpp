@@ -2,6 +2,8 @@
 // groups, offset recovery and concurrent produce/consume.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
 #include <thread>
 
 #include "stream/broker.hpp"
@@ -229,6 +231,112 @@ TEST(BrokerTest, ConcurrentProducersAndConsumer) {
     total += batch.size();
   }
   EXPECT_EQ(total, 4u * kPerThread);
+}
+
+TEST(TopicConfigTest, ValidateRejectsNonsense) {
+  Broker b;
+  EXPECT_THROW(b.create_topic("no_parts", TopicConfig{}.with_partitions(0)),
+               std::invalid_argument);
+  EXPECT_THROW(b.create_topic("no_bytes", TopicConfig{}.with_segment_bytes(0)),
+               std::invalid_argument);
+  // Fluent setters chain and survive validation.
+  EXPECT_NO_THROW(b.create_topic(
+      "ok", TopicConfig{}.with_partitions(2).with_segment_bytes(1 << 10).with_retention(
+                RetentionPolicy{0, 1 << 20})));
+  EXPECT_EQ(b.topic("ok").num_partitions(), 2u);
+}
+
+TEST(TopicTest, ProduceBatchMatchesSequentialProduce) {
+  // Same records through produce() one-by-one and through produce_batch()
+  // must land on the same partitions at the same offsets — batching is a
+  // locking optimization, not a placement change.
+  Broker seq_broker;
+  Broker batch_broker;
+  auto& seq_topic = seq_broker.create_topic("t", TopicConfig{}.with_partitions(4));
+  auto& batch_topic = batch_broker.create_topic("t", TopicConfig{}.with_partitions(4));
+
+  std::vector<Record> batch;
+  for (std::size_t i = 0; i < 200; ++i) {
+    // Mix keyed (hash placement) and keyless (round-robin placement).
+    const std::string key = i % 3 == 0 ? "" : "k" + std::to_string(i % 7);
+    seq_topic.produce(make_record(static_cast<common::TimePoint>(i), key));
+    batch.push_back(make_record(static_cast<common::TimePoint>(i), key));
+  }
+  EXPECT_EQ(batch_topic.produce_batch(std::move(batch)), 200u);
+
+  EXPECT_EQ(seq_topic.stats().produced_records, batch_topic.stats().produced_records);
+  EXPECT_EQ(seq_topic.stats().produced_bytes, batch_topic.stats().produced_bytes);
+  for (std::size_t p = 0; p < 4; ++p) {
+    std::vector<StoredRecord> a, b;
+    seq_topic.partition(p).fetch(0, 1000, a);
+    batch_topic.partition(p).fetch(0, 1000, b);
+    ASSERT_EQ(a.size(), b.size()) << "partition " << p;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].offset, b[i].offset);
+      EXPECT_EQ(a[i].record.timestamp, b[i].record.timestamp);
+      EXPECT_EQ(a[i].record.key, b[i].record.key);
+      EXPECT_EQ(a[i].record.payload, b[i].record.payload);
+    }
+  }
+}
+
+TEST(TopicTest, ProduceBatchInterleavesWithSingleProduce) {
+  // The shared round-robin cursor keeps mixed traffic balanced: batch
+  // then singles must cover partitions exactly like all-singles would.
+  Broker b;
+  auto& topic = b.create_topic("t", TopicConfig{}.with_partitions(4));
+  std::vector<Record> batch;
+  for (std::size_t i = 0; i < 6; ++i) batch.push_back(make_record(1));
+  topic.produce_batch(std::move(batch));  // keyless: rr 0..5
+  topic.produce(make_record(1));          // keyless: rr 6
+  topic.produce(make_record(1));          // keyless: rr 7
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(topic.partition(p).record_count(), 2u) << "partition " << p;
+  }
+}
+
+TEST(ProducerTest, CachedHandleProducesAndBatches) {
+  Broker b;
+  b.create_topic("t", TopicConfig{}.with_partitions(2));
+  Producer producer = b.producer("t");
+  EXPECT_EQ(producer.topic_name(), "t");
+  producer.produce(make_record(1, "k"));
+  std::vector<Record> batch;
+  batch.push_back(make_record(2, "k"));
+  batch.push_back(make_record(3, "k"));
+  EXPECT_EQ(producer.produce_batch(std::move(batch)), 2u);
+  EXPECT_EQ(b.topic("t").stats().produced_records, 3u);
+  // Unknown topics still fail fast at handle resolution.
+  EXPECT_THROW(b.producer("missing"), std::out_of_range);
+}
+
+TEST(SubscriptionTest, ConsumerAndGroupMemberShareTheInterface) {
+  Broker b;
+  b.create_topic("t", TopicConfig{}.with_partitions(2));
+  for (std::size_t i = 0; i < 10; ++i) b.produce("t", make_record(1, "k" + std::to_string(i)));
+
+  // Both concrete readers drain the topic through the same base-class API.
+  for (const bool use_group_member : {false, true}) {
+    const std::string group = use_group_member ? "g_member" : "g_consumer";
+    std::unique_ptr<Subscription> sub;
+    if (use_group_member) {
+      sub = std::make_unique<GroupMember>(b, group, "t");
+    } else {
+      sub = std::make_unique<Consumer>(b, group, "t");
+    }
+    EXPECT_EQ(sub->lag(), 10);
+    std::size_t total = 0;
+    for (;;) {
+      const auto polled = sub->poll(4);
+      if (polled.empty()) break;
+      total += polled.size();
+    }
+    EXPECT_EQ(total, 10u);
+    EXPECT_EQ(sub->lag(), 0);
+    sub->commit();
+    sub->seek_to_committed();
+    EXPECT_TRUE(sub->poll(4).empty());  // committed at end: nothing replays
+  }
 }
 
 }  // namespace

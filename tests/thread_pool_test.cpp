@@ -95,4 +95,36 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
 }
 
+TEST(ThreadPoolTest, TryRunOneStealsQueuedWork) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.try_run_one());  // empty queue: nothing to steal
+
+  // Wedge the only worker so further submissions stay queued. Wait until
+  // the worker has actually dequeued the blocker — otherwise try_run_one
+  // below could steal the blocker itself and spin on `release` forever.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit([&] {
+    started.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::atomic<bool> queued_ran{false};
+  std::thread::id ran_on;
+  auto queued = pool.submit([&] {
+    ran_on = std::this_thread::get_id();
+    queued_ran.store(true, std::memory_order_release);
+  });
+
+  // The caller drains the queued task inline while the worker is busy.
+  EXPECT_TRUE(pool.try_run_one());
+  EXPECT_TRUE(queued_ran.load(std::memory_order_acquire));
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+
+  release.store(true, std::memory_order_release);
+  blocker.get();
+  queued.get();
+  EXPECT_FALSE(pool.try_run_one());  // drained
+}
+
 }  // namespace
