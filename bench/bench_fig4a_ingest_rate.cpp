@@ -14,7 +14,9 @@
 #include "common/time.hpp"
 #include "engine/engine.hpp"
 #include "observe/metrics.hpp"
+#include "observe/scraper.hpp"
 #include "pipeline/query.hpp"
+#include "pipeline/self_telemetry.hpp"
 #include "pipeline/source_sink.hpp"
 #include "sql/table.hpp"
 #include "stream/broker.hpp"
@@ -210,6 +212,73 @@ void broker_throughput(oda::bench::JsonReport& report) {
   report.metric("observe.overhead.consume_pct", overhead_cons, "percent");
 }
 
+/// The self-telemetry loop's produce-path cost. Same cached-handle
+/// produce sweep as broker_throughput_once, with live registry writes in
+/// BOTH configurations (counter inc per record, gauge set per 1024) so
+/// the only difference is the Scraper itself: when on, it is polled every
+/// 1024 records with virtual time advancing 1 s per poll, against the
+/// production 15 s cadence — the same poll-often/scrape-on-cadence
+/// relationship the framework's advance loop has.
+double scraper_produce_once(std::size_t n, bool scraper_on) {
+  using namespace oda;
+  stream::Broker broker;
+  broker.create_topic("bench", {8, 4 << 20, {}});
+  stream::Producer producer = broker.producer("bench");
+
+  observe::MetricsRegistry reg;
+  std::unique_ptr<observe::Scraper> scraper;
+  if (scraper_on) {
+    scraper = pipeline::make_scraper(reg, broker, observe::ScraperConfig{});
+  }
+  observe::Counter* produced = reg.counter("bench.produced");
+  observe::Gauge* depth = reg.gauge("bench.queue.depth");
+
+  stream::Record rec;
+  rec.payload.assign(200, 'x');
+  common::Stopwatch sw;
+  common::TimePoint vt = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rec.timestamp = static_cast<common::TimePoint>(i);
+    rec.key = "n" + std::to_string(i % 512);
+    producer.produce(rec);
+    produced->inc();
+    if ((i & 1023) == 0) {
+      depth->set(static_cast<double>(i % 4096));
+      vt += common::kSecond;
+      if (scraper) scraper->poll(vt);
+    }
+  }
+  return static_cast<double>(n) / sw.elapsed_seconds();
+}
+
+void scraper_overhead(oda::bench::JsonReport& report) {
+  using namespace oda;
+  constexpr std::size_t kN = 200000;
+  constexpr int kRuns = 16;
+
+  (void)scraper_produce_once(kN / 4, true);  // warmup
+  double on = 0.0, off = 0.0;
+  for (int r = 0; r < kRuns; ++r) {
+    // Interleave and alternate order, as in broker_throughput: drift
+    // biases neither configuration.
+    const bool on_first = (r % 2) == 0;
+    if (on_first) {
+      on = std::max(on, scraper_produce_once(kN, true));
+      off = std::max(off, scraper_produce_once(kN, false));
+    } else {
+      off = std::max(off, scraper_produce_once(kN, false));
+      on = std::max(on, scraper_produce_once(kN, true));
+    }
+  }
+  const double overhead = (off - on) / off * 100.0;
+  std::printf("\nself-telemetry scraper on the produce path: on %.0fk rec/s, off %.0fk rec/s, "
+              "overhead %+.2f%% (criterion: < 5%%)\n",
+              on / 1e3, off / 1e3, overhead);
+  report.metric("selfobs.produce.rate.scraper_on", on, "records/s");
+  report.metric("selfobs.produce.rate.scraper_off", off, "records/s");
+  report.metric("selfobs.overhead.produce_pct", overhead, "percent");
+}
+
 /// Partition-parallel ingest through the engine: the same windowed query
 /// drains the same pre-filled topic at 1, 2, 4 and 8 workers. Committed
 /// output is worker-count invariant (engine_test proves byte identity),
@@ -286,6 +355,7 @@ int main() {
   report_system(telemetry::mountain_spec(), 0.01, 5 * common::kMinute, report);
   report_system(telemetry::compass_spec(), 0.01, 5 * common::kMinute, report);
   broker_throughput(report);
+  scraper_overhead(report);
   engine_scaling(report);
   report.write();
   return 0;

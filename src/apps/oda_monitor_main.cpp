@@ -1,15 +1,14 @@
 // oda_monitor — the self-observability health app as an executable.
 //
 // Runs a small instrumented facility simulation (collection → broker →
-// Bronze→Silver refinement → LAKE) with tracing enabled, then reports the
-// framework's own health: SLO states, consumer lag, watermark freshness,
-// tier backlogs, and the trace anatomy of the run.
-//
-//   oda_monitor              full console report
-//   oda_monitor --one-line   single-line metrics digest (build-log hook)
-//   oda_monitor --json       machine-readable report
-//   oda_monitor --spans      include the span forest (trace anatomy)
+// Bronze→Silver refinement → LAKE) with tracing and the self-telemetry
+// loop enabled, then reports the framework's own health: SLO states,
+// consumer lag, watermark freshness, tier backlogs, retained metric
+// history, and the trace anatomy of the run.
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -20,16 +19,72 @@
 #include "observe/trace.hpp"
 #include "telemetry/codec.hpp"
 
+namespace {
+
+constexpr const char* kUsage = R"(usage: oda_monitor [options]
+
+Self-observability health app: runs an instrumented demo facility
+(collection -> broker -> Bronze->Silver -> LAKE, plus a 2-worker engine
+mirror) with tracing and the self-telemetry loop on, then reports the
+framework's own health.
+
+options:
+  --help                 print this usage to stdout and exit 0
+  --one-line             single-line metrics digest (build-log hook)
+  --json                 machine-readable report
+  --spans                include the span forest (trace anatomy)
+  --watch [N]            periodic mode: N frames (default 4) of 30s of
+                         facility time each, redrawing SLO state and
+                         HistoryStore sparklines per frame
+  --history <prefix>     tabular range dump (raw + 1m rollups) of every
+                         retained series whose name starts with <prefix>
+  --chrome-trace <file>  write the run's spans as Chrome trace-event JSON
+                         (load in chrome://tracing or Perfetto)
+
+exit status: 0 healthy/degraded, 1 breached, 2 bad usage.
+)";
+
+void print_frame(const oda::apps::OdaMonitor& monitor, const oda::core::OdaFramework& fw,
+                 const oda::observe::HistoryStore& history, int frame) {
+  std::printf("-- watch frame %d  t=%s  overall=%s --\n", frame,
+              oda::common::format_duration(fw.now()).c_str(),
+              oda::observe::slo_state_name(monitor.overall()));
+  std::fputs(oda::observe::history_overview(history).c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool one_line = false;
   bool json = false;
   bool spans = false;
+  bool watch = false;
+  int watch_frames = 4;
+  std::string history_prefix;
+  bool history_mode = false;
+  std::string chrome_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--one-line") == 0) one_line = true;
-    else if (std::strcmp(argv[i], "--json") == 0) json = true;
-    else if (std::strcmp(argv[i], "--spans") == 0) spans = true;
-    else {
-      std::cerr << "usage: oda_monitor [--one-line] [--json] [--spans]\n";
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << kUsage;
+      return 0;
+    } else if (std::strcmp(argv[i], "--one-line") == 0) {
+      one_line = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      spans = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') watch_frames = std::atoi(argv[++i]);
+      if (watch_frames <= 0) watch_frames = 4;
+    } else if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc) {
+      history_mode = true;
+      history_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else {
+      std::cerr << kUsage;
       return 2;
     }
   }
@@ -42,12 +97,25 @@ int main(int argc, char** argv) {
   auto& silver = fw.register_query(fw.make_bronze_to_silver_power(sys.spec().name));
   auto& to_lake = fw.register_query(
       fw.make_silver_to_lake(sys.spec().name, "node.power_w", "node_power_w"));
+  fw.enable_self_telemetry();
 
   oda::apps::OdaMonitor monitor(fw.broker(), fw.tiers());
   monitor.watch_query(silver);
   monitor.watch_query(to_lake);
+  // SLO transitions ride the loop too: each scrape forwards new ones to
+  // the reserved _oda.alerts topic.
+  fw.scraper()->watch_slos(monitor.slos());
 
-  fw.advance(2 * oda::common::kMinute);
+  if (watch) {
+    for (int frame = 1; frame <= watch_frames; ++frame) {
+      fw.advance(30 * oda::common::kSecond);
+      monitor.tick(fw.now());
+      fw.flush_self_telemetry();
+      print_frame(monitor, fw, *fw.history(), frame);
+    }
+  } else {
+    fw.advance(2 * oda::common::kMinute);
+  }
 
   // Partition-parallel path: an engine-driven query re-reads the Bronze
   // power stream into memory through a 2-worker consumer group, so the
@@ -64,6 +132,41 @@ int main(int argc, char** argv) {
   monitor.watch_engine(engine);
 
   monitor.tick(fw.now());
+  // Final flush picks up the engine counters and any SLO transitions the
+  // last tick produced.
+  fw.flush_self_telemetry();
+
+  if (!chrome_path.empty()) {
+    const std::string trace = oda::observe::spans_to_chrome_json(tracer.store().snapshot());
+    std::ofstream f(chrome_path, std::ios::binary);
+    if (!f) {
+      std::cerr << "oda_monitor: cannot write " << chrome_path << "\n";
+      return 2;
+    }
+    f << trace;
+    f.close();
+    std::printf("wrote %zu spans (%zu bytes) to %s\n", tracer.store().size(), trace.size(),
+                chrome_path.c_str());
+    if (!history_mode && !one_line && !json) return 0;
+  }
+
+  if (history_mode) {
+    const auto& history = *fw.history();
+    std::size_t matched = 0;
+    for (const auto& series : history.series_names()) {
+      if (series.rfind(history_prefix, 0) != 0) continue;
+      ++matched;
+      std::cout << oda::observe::history_to_text(history, series, INT64_MIN, INT64_MAX,
+                                                 oda::observe::Resolution::kRaw);
+      std::cout << oda::observe::history_to_text(history, series, INT64_MIN, INT64_MAX,
+                                                 oda::observe::Resolution::kOneMinute);
+    }
+    if (matched == 0) {
+      std::cerr << "oda_monitor: no retained series matches '" << history_prefix << "'\n";
+      return 1;
+    }
+    return 0;
+  }
 
   if (one_line) {
     std::cout << oda::apps::OdaMonitor::one_line() << "\n";
@@ -73,7 +176,9 @@ int main(int argc, char** argv) {
     std::cout << monitor.to_json() << "\n";
     return 0;
   }
-  std::cout << monitor.render();
+  if (!watch) {
+    std::cout << monitor.render();
+  }
   std::cout << oda::apps::OdaMonitor::one_line() << "\n";
   if (spans) {
     std::cout << "\n-- trace anatomy (last " << tracer.store().size() << " spans) --\n";

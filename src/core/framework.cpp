@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "observe/metrics.hpp"
+#include "pipeline/self_telemetry.hpp"
 #include "sql/expr.hpp"
 #include "sql/ops.hpp"
 #include "telemetry/codec.hpp"
@@ -163,6 +164,24 @@ StreamingQuery& OdaFramework::register_query(std::unique_ptr<StreamingQuery> q) 
   return *queries_.back();
 }
 
+void OdaFramework::enable_self_telemetry(observe::ScraperConfig config) {
+  if (scraper_) return;
+  history_ = std::make_unique<observe::HistoryStore>();
+  scraper_ = pipeline::make_scraper(observe::default_registry(), broker_, config);
+  history_query_ = &register_query(pipeline::make_history_query(broker_, *history_));
+}
+
+void OdaFramework::flush_self_telemetry() {
+  if (!scraper_) return;
+  scraper_->scrape(now_);
+  history_query_->run_until_caught_up();
+}
+
+std::size_t OdaFramework::persist_self_telemetry_gold() {
+  if (!history_) return 0;
+  return pipeline::persist_history_gold(*history_, ocean_, "_oda/gold/metrics", now_);
+}
+
 void OdaFramework::advance(Duration dt, Duration step) {
   const TimePoint target = now_ + dt;
   while (now_ < target) {
@@ -172,6 +191,9 @@ void OdaFramework::advance(Duration dt, Duration step) {
     // Mirror the facility clock into the observability layer so spans and
     // SLO evaluations are stamped with deterministic virtual time.
     observe::set_virtual_now(now_);
+    // Self-telemetry scrapes before queries drain, so the _oda.history
+    // query folds this step's samples into the store in the same step.
+    if (scraper_) scraper_->poll(now_);
     for (auto& q : queries_) q->run_until_caught_up();
     if (now_ - last_retention_ >= config_.retention_sweep_period) {
       tiers_.enforce(now_);

@@ -24,6 +24,8 @@
 #include "governance/maturity.hpp"
 #include "ml/profile_classifier.hpp"
 #include "ml/registry.hpp"
+#include "observe/history.hpp"
+#include "observe/scraper.hpp"
 #include "pipeline/query.hpp"
 #include "storage/tiers.hpp"
 #include "telemetry/simulator.hpp"
@@ -97,6 +99,23 @@ class OdaFramework {
   pipeline::StreamingQuery& register_query(std::unique_ptr<pipeline::StreamingQuery> q);
   const std::vector<std::unique_ptr<pipeline::StreamingQuery>>& queries() const { return queries_; }
 
+  // --- self-telemetry loop (DESIGN.md §9) --------------------------------
+  /// Turn on the loop: a Scraper snapshotting the process registry onto
+  /// `_oda.metrics` at config.cadence (polled each advance step), plus a
+  /// registered `_oda.history` query folding the samples into history().
+  /// Idempotent; the config of the first call wins.
+  void enable_self_telemetry(observe::ScraperConfig config = {});
+  bool self_telemetry_enabled() const { return scraper_ != nullptr; }
+  /// Scrape now and drain the history query — the final state flush
+  /// callers run after their last advance/tick (also invoked once per
+  /// advance step implicitly via poll + the query loop).
+  void flush_self_telemetry();
+  /// Persist gold rollups to OCEAN under "_oda/gold/metrics"; returns
+  /// objects written (0 when the loop is off or history is empty).
+  std::size_t persist_self_telemetry_gold();
+  observe::Scraper* scraper() { return scraper_.get(); }
+  observe::HistoryStore* history() { return history_.get(); }
+
   /// Advance facility time: step all systems, drain all queries, and
   /// periodically run tier retention.
   void advance(common::Duration dt, common::Duration step = 15 * common::kSecond);
@@ -128,6 +147,9 @@ class OdaFramework {
   AllocationManager allocations_;
   std::vector<std::unique_ptr<telemetry::FacilitySimulator>> systems_;
   std::vector<std::unique_ptr<pipeline::StreamingQuery>> queries_;
+  std::unique_ptr<observe::Scraper> scraper_;
+  std::unique_ptr<observe::HistoryStore> history_;
+  pipeline::StreamingQuery* history_query_ = nullptr;  ///< owned by queries_
   common::TimePoint now_ = 0;
   common::TimePoint last_retention_ = 0;
 };

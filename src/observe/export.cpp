@@ -1,7 +1,10 @@
 #include "observe/export.hpp"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -35,21 +38,9 @@ std::string format_double(double v) {
 }
 
 double snapshot_quantile(const MetricValue& m, double q) {
-  // Re-derive an interpolated quantile from per-bucket counts.
-  if (m.count == 0 || m.buckets.empty()) return 0.0;
-  const std::uint64_t target =
-      static_cast<std::uint64_t>(q * static_cast<double>(m.count - 1)) + 1;
-  std::uint64_t seen = 0;
-  double lower = 0.0;
-  for (const auto& [bound, n] : m.buckets) {
-    if (seen + n >= target && n > 0) {
-      const double frac = static_cast<double>(target - seen) / static_cast<double>(n);
-      return lower + (bound - lower) * frac;
-    }
-    seen += n;
-    lower = bound;
-  }
-  return lower;
+  // The same interpolation live Histogram handles use — text/JSON numbers
+  // match Histogram::quantile exactly for the snapshot's bucket counts.
+  return quantile_from_buckets(m.buckets, m.count, q);
 }
 
 }  // namespace
@@ -64,9 +55,9 @@ std::string metrics_to_text(const MetricsSnapshot& snap) {
     out += metric_kind_name(m.kind);
     out += ' ';
     if (m.kind == MetricKind::kHistogram) {
-      std::snprintf(buf, sizeof(buf), "count=%" PRIu64 " sum=%s p50=%.3g p99=%.3g", m.count,
-                    format_double(m.value).c_str(), snapshot_quantile(m, 0.50),
-                    snapshot_quantile(m, 0.99));
+      std::snprintf(buf, sizeof(buf), "count=%" PRIu64 " sum=%s p50=%.3g p99=%.3g p999=%.3g",
+                    m.count, format_double(m.value).c_str(), snapshot_quantile(m, 0.50),
+                    snapshot_quantile(m, 0.99), snapshot_quantile(m, 0.999));
       out += buf;
     } else {
       out += format_double(m.value);
@@ -115,13 +106,22 @@ std::string metrics_to_json(const MetricsSnapshot& snap) {
     }
     out += "},\"value\":" + format_double(m.value);
     if (m.kind == MetricKind::kHistogram) {
-      std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64, m.count);
+      std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64 ",\"p50\":%.6g,\"p99\":%.6g,\"p999\":%.6g",
+                    m.count, snapshot_quantile(m, 0.50), snapshot_quantile(m, 0.99),
+                    snapshot_quantile(m, 0.999));
       out += buf;
       out += ",\"buckets\":[";
       for (std::size_t j = 0; j < m.buckets.size(); ++j) {
         if (j != 0) out += ',';
-        std::snprintf(buf, sizeof(buf), "{\"le\":%.6g,\"n\":%" PRIu64 "}", m.buckets[j].first,
-                      m.buckets[j].second);
+        // The +inf overflow bound is not a JSON number; use the
+        // Prometheus string convention so the document stays valid.
+        if (std::isinf(m.buckets[j].first)) {
+          std::snprintf(buf, sizeof(buf), "{\"le\":\"+Inf\",\"n\":%" PRIu64 "}",
+                        m.buckets[j].second);
+        } else {
+          std::snprintf(buf, sizeof(buf), "{\"le\":%.6g,\"n\":%" PRIu64 "}", m.buckets[j].first,
+                        m.buckets[j].second);
+        }
         out += buf;
       }
       out += ']';
@@ -140,15 +140,22 @@ std::string one_line_summary(const MetricsSnapshot& snap) {
     }
     return total;
   };
-  char buf[256];
+  char buf[384];
+  // Engine digest: rounds plus committed batches per worker, so the
+  // per-build line reflects the execution engine, not just totals.
+  const double workers = total_of("engine.workers");
+  const double engine_batches = total_of("engine.batches");
+  const double batches_per_worker = workers > 0.0 ? engine_batches / workers : 0.0;
   std::snprintf(buf, sizeof(buf),
                 "oda-metrics: %zu series | produced=%s consumed=%s batches=%s faults=%s "
-                "retries=%s",
+                "retries=%s | engine: rounds=%s batches/worker=%s",
                 snap.size(), format_double(total_of("stream.produced.records")).c_str(),
                 format_double(total_of("stream.fetched.records")).c_str(),
                 format_double(total_of("pipeline.batches")).c_str(),
                 format_double(total_of("chaos.faults.injected")).c_str(),
-                format_double(total_of("chaos.retries")).c_str());
+                format_double(total_of("chaos.retries")).c_str(),
+                format_double(total_of("engine.rounds")).c_str(),
+                format_double(batches_per_worker).c_str());
   return buf;
 }
 
@@ -226,6 +233,119 @@ std::string spans_to_json(const std::vector<SpanRecord>& spans) {
     out += '}';
   }
   out += "\n]\n";
+  return out;
+}
+
+namespace {
+
+// Full-string numeric tag parse; false leaves *out untouched.
+bool parse_tag_u64(const std::vector<std::pair<std::string, std::string>>& tags,
+                   const char* key, std::uint64_t* out) {
+  for (const auto& [k, v] : tags) {
+    if (k != key || v.empty()) continue;
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() + v.size()) {
+      *out = parsed;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string spans_to_chrome_json(const std::vector<SpanRecord>& spans) {
+  // TimePoint is already microseconds — the trace-event `ts` unit — so
+  // virtual timestamps pass through untouched and stay deterministic.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    if (i != 0) out += ',';
+    std::uint64_t pid = 1;
+    std::uint64_t tid = s.trace_id;
+    parse_tag_u64(s.tags, "pid", &pid);
+    parse_tag_u64(s.tags, "tid", &tid);
+    const std::int64_t dur = s.virtual_end >= s.virtual_start ? s.virtual_end - s.virtual_start : 0;
+    out += "\n  {\"name\":\"" + json_escape(s.name) + "\",\"cat\":\"oda\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ts\":%" PRId64 ",\"dur\":%" PRId64 ",\"pid\":%" PRIu64 ",\"tid\":%" PRIu64,
+                  s.virtual_start, dur, pid, tid);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"trace\":\"%" PRIu64 "\",\"span\":\"%" PRIu64
+                  "\",\"parent\":\"%" PRIu64 "\",\"wall_us\":%.3f",
+                  s.trace_id, s.span_id, s.parent_id, s.wall_us);
+    out += buf;
+    for (const auto& [k, v] : s.tags) {
+      if (k == "pid" || k == "tid") continue;  // already on the event itself
+      out += ",\"" + json_escape(k) + "\":\"" + json_escape(v) + '"';
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty() || width == 0) return "";
+  const std::size_t start = values.size() > width ? values.size() - width : 0;
+  double lo = values[start], hi = values[start];
+  for (std::size_t i = start; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (std::size_t i = start; i < values.size(); ++i) {
+    std::size_t level = 3;  // flat series render mid-height
+    if (hi > lo) {
+      level = static_cast<std::size_t>((values[i] - lo) / (hi - lo) * 7.0 + 0.5);
+      if (level > 7) level = 7;
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string history_to_text(const HistoryStore& store, const std::string& series,
+                            common::TimePoint t0, common::TimePoint t1, Resolution res) {
+  const auto points = store.query(series, t0, t1, res);
+  std::string out = series;
+  out += " (";
+  out += resolution_name(res);
+  out += ", ";
+  out += std::to_string(points.size());
+  out += " points)\n";
+  char buf[256];
+  for (const auto& p : points) {
+    if (res == Resolution::kRaw) {
+      std::snprintf(buf, sizeof(buf), "  %" PRId64 " %.17g\n", p.t, p.last);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  %" PRId64 " min=%.17g avg=%.17g max=%.17g last=%.17g count=%" PRIu64 "\n",
+                    p.t, p.min, p.avg(), p.max, p.last, p.count);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string history_overview(const HistoryStore& store, std::size_t width) {
+  std::string out;
+  char buf[64];
+  for (const auto& name : store.series_names()) {
+    const auto latest = store.latest(name);
+    if (!latest) continue;
+    std::snprintf(buf, sizeof(buf), "%14s  ", format_double(latest->last).c_str());
+    out += buf;
+    out += sparkline(store.recent_values(name, width), width);
+    out += "  ";
+    out += name;
+    out += '\n';
+  }
   return out;
 }
 

@@ -8,13 +8,15 @@
 #include <string>
 #include <vector>
 
+#include "observe/history.hpp"
 #include "observe/metrics.hpp"
 #include "observe/slo.hpp"
 #include "observe/trace.hpp"
 
 namespace oda::observe {
 
-/// `name{k=v,...} kind value [count=N p50=... p99=...]` — one per line.
+/// `name{k=v,...} kind value [count=N p50=... p99=... p999=...]` — one
+/// per line.
 std::string metrics_to_text(const MetricsSnapshot& snap);
 
 /// JSON array of metric objects (name, labels, kind, value, count,
@@ -34,6 +36,15 @@ std::string spans_to_text(const std::vector<SpanRecord>& spans);
 /// JSON array of span objects.
 std::string spans_to_json(const std::vector<SpanRecord>& spans);
 
+/// Chrome trace-event format (the chrome://tracing / Perfetto "JSON
+/// object" flavor): one `ph:"X"` complete event per span, `ts`/`dur` in
+/// microseconds of *virtual* facility time (deterministic across reruns).
+/// pid/tid come from the span's "pid"/"tid" tags when numeric; otherwise
+/// pid defaults to 1 and tid to the span's trace id, so each trace lands
+/// on its own track. Remaining tags (and the wall-clock duration) are
+/// carried in `args`.
+std::string spans_to_chrome_json(const std::vector<SpanRecord>& spans);
+
 /// SLO table: `state name value/crit unit (transitions)`.
 std::string slos_to_text(const SloBook& book);
 std::string slos_to_json(const SloBook& book);
@@ -41,5 +52,20 @@ std::string slos_to_json(const SloBook& book);
 /// Escape a string for embedding in a JSON string literal (quotes not
 /// included).
 std::string json_escape(const std::string& s);
+
+/// Unicode block-element sparkline of `values` (last `width` kept),
+/// normalized min..max; flat series render mid-height. Empty for no data.
+std::string sparkline(const std::vector<double>& values, std::size_t width = 32);
+
+/// Tabular range dump of one series at one resolution: raw rows are
+/// `time value`; rollup rows are `bucket min avg max last count`. Values
+/// print with %.17g so byte comparison proves determinism.
+std::string history_to_text(const HistoryStore& store, const std::string& series,
+                            common::TimePoint t0, common::TimePoint t1,
+                            Resolution res = Resolution::kRaw);
+
+/// One line per retained series: `name latest sparkline` (the --watch
+/// frame body).
+std::string history_overview(const HistoryStore& store, std::size_t width = 32);
 
 }  // namespace oda::observe

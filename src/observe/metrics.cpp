@@ -1,6 +1,7 @@
 #include "observe/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/bytes.hpp"
@@ -26,24 +27,27 @@ Histogram::Histogram(std::vector<double> bounds)
   std::sort(bounds_.begin(), bounds_.end());
 }
 
-double Histogram::quantile(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
+double Histogram::quantile(double q) const { return quantile_from_buckets(bucket_counts(), count(), q); }
+
+double quantile_from_buckets(const std::vector<std::pair<double, std::uint64_t>>& buckets,
+                             std::uint64_t total, double q) {
+  if (total == 0 || buckets.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(n);
+  const double target = q * static_cast<double>(total);
   double cum = 0.0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const auto c = counts_[i].load(std::memory_order_relaxed);
+  double lo = 0.0;
+  for (const auto& [bound, c] : buckets) {
     if (cum + static_cast<double>(c) >= target) {
-      // Interpolate within [lo, hi) of this bucket.
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      const double hi = i < bounds_.size() ? bounds_[i] : lo * 2.0 + 1.0;
+      // Interpolate within [lo, hi) of this bucket; the +inf overflow
+      // bucket interpolates within [lo, 2·lo + 1).
+      const double hi = std::isinf(bound) ? lo * 2.0 + 1.0 : bound;
       const double frac = c ? (target - cum) / static_cast<double>(c) : 0.0;
       return lo + (hi - lo) * frac;
     }
     cum += static_cast<double>(c);
+    if (!std::isinf(bound)) lo = bound;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return lo;
 }
 
 std::vector<std::pair<double, std::uint64_t>> Histogram::bucket_counts() const {

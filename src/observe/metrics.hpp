@@ -155,6 +155,13 @@ class Histogram {
   std::atomic<std::uint64_t> total_{0};
 };
 
+/// Interpolated quantile over (upper_bound, per-bucket count) pairs — the
+/// exact interpolation Histogram::quantile applies, shared with exporters
+/// that only hold a snapshot's buckets. `total` is the observation count;
+/// the final +inf bucket interpolates within [lo, 2·lo + 1).
+double quantile_from_buckets(const std::vector<std::pair<double, std::uint64_t>>& buckets,
+                             std::uint64_t total, double q);
+
 /// Default bounds for second-valued latency histograms: 1µs .. ~100s.
 std::vector<double> default_latency_bounds_seconds();
 /// Default bounds for record/row-count distributions: 1 .. ~1M.

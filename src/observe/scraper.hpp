@@ -1,0 +1,149 @@
+// The self-telemetry loop's front half: a virtual-clock Scraper that
+// periodically snapshots a MetricsRegistry, delta-encodes the series that
+// changed since the previous scrape, and hands the encoded records to
+// produce callbacks — in practice stream::Producer::produce_batch onto
+// the reserved `_oda.metrics` topic (pipeline::make_scraper binds them;
+// this layer cannot link oda_stream, so it only sees the header-only
+// Record type and a std::function seam). SLO state transitions ride the
+// same path onto `_oda.alerts` via watch_slos().
+//
+// Everything is driven by virtual facility time: poll(now) scrapes only
+// when a full cadence has elapsed, so a deterministic run scrapes at
+// deterministic instants and the records' timestamps, order and payloads
+// are byte-identical across reruns (the engine_test golden-run proof
+// extends over this path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "observe/metrics.hpp"
+#include "observe/slo.hpp"
+#include "stream/record.hpp"
+
+namespace oda::observe {
+
+/// One scraped series sample as carried by an `_oda.metrics` record.
+struct MetricSample {
+  std::string series;  ///< canonical `name{k=v,...}` key
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;        ///< cumulative: counter total / gauge level / histogram sum
+  double delta = 0.0;        ///< change since the previously emitted sample (0 on first)
+  std::uint64_t count = 0;   ///< counter total / histogram observation count
+};
+
+/// One SLO transition as carried by an `_oda.alerts` record.
+struct AlertEvent {
+  std::string slo;
+  SloState from = SloState::kHealthy;
+  SloState to = SloState::kHealthy;
+  double value = 0.0;
+};
+
+/// Canonical series key, matching the exporters' `name{k=v,...}` format.
+std::string series_key(const std::string& name, const Labels& labels);
+
+stream::Record encode_metric_sample(const MetricSample& s, common::TimePoint t);
+stream::Record encode_alert_event(const AlertEvent& e, common::TimePoint t);
+/// Strict decoders: false on truncated/corrupt/forged payloads (the
+/// history pipeline skips and counts such records instead of crashing).
+bool decode_metric_sample(const stream::Record& r, MetricSample* out);
+bool decode_alert_event(const stream::Record& r, AlertEvent* out);
+
+/// Produce seam: takes one scrape's whole batch (maps onto
+/// Producer::produce_batch — one partition lock per partition per scrape),
+/// returns records actually produced. May throw; the caller wrapping it
+/// (pipeline::make_scraper) retries under the chaos policy.
+using ProduceFn = std::function<std::size_t(std::vector<stream::Record>&&)>;
+
+struct ScraperConfig {
+  /// Virtual time between scrapes (the paper's 15 s collection interval).
+  common::Duration cadence = 15 * common::kSecond;
+  /// Emit every series each scrape instead of only changed ones.
+  bool full_snapshots = false;
+  /// Skip series whose labels point at `_oda.*` topics (self-exclusion;
+  /// see stream::kInternalTopicPrefix). Disable only in tests.
+  bool exclude_internal = true;
+  /// Partition count pipeline::make_scraper creates `_oda.metrics` with.
+  std::size_t metrics_partitions = 2;
+
+  // Fluent construction: ScraperConfig{}.with_cadence(30 * common::kSecond).
+  ScraperConfig& with_cadence(common::Duration d) {
+    cadence = d;
+    return *this;
+  }
+  ScraperConfig& with_full_snapshots(bool on) {
+    full_snapshots = on;
+    return *this;
+  }
+  ScraperConfig& with_exclude_internal(bool on) {
+    exclude_internal = on;
+    return *this;
+  }
+  ScraperConfig& with_metrics_partitions(std::size_t n) {
+    metrics_partitions = n;
+    return *this;
+  }
+
+  /// Throws std::invalid_argument on nonsense (non-positive cadence,
+  /// zero partitions).
+  void validate() const;
+};
+
+struct ScraperStats {
+  std::uint64_t scrapes = 0;
+  std::uint64_t samples_emitted = 0;
+  std::uint64_t samples_suppressed = 0;  ///< unchanged series skipped
+  std::uint64_t series_excluded = 0;     ///< internal-label series skipped
+  std::uint64_t alerts_emitted = 0;
+};
+
+/// Not thread-safe: poll/scrape from one driver (the framework's advance
+/// loop). The registry it snapshots may be written concurrently — the
+/// snapshot itself is the synchronization point.
+class Scraper {
+ public:
+  Scraper(MetricsRegistry& registry, ProduceFn metrics_out, ProduceFn alerts_out = {},
+          ScraperConfig config = {});
+
+  /// Watch a SloBook (non-owning; must outlive the scraper's use): each
+  /// scrape emits any transitions recorded since the previous scrape to
+  /// the alerts callback, stamped with the transition's own virtual time.
+  void watch_slos(const SloBook& book);
+
+  /// Scrape if at least one cadence has elapsed since the last scrape
+  /// (first poll always scrapes). Returns samples emitted, 0 when not due.
+  std::size_t poll(common::TimePoint now);
+
+  /// Unconditional scrape stamped at `now`; resets the cadence phase.
+  std::size_t scrape(common::TimePoint now);
+
+  const ScraperStats& stats() const { return stats_; }
+  const ScraperConfig& config() const { return config_; }
+
+ private:
+  std::size_t emit_alerts();
+
+  MetricsRegistry& registry_;
+  ProduceFn metrics_out_;
+  ProduceFn alerts_out_;
+  ScraperConfig config_;
+  ScraperStats stats_;
+  bool scraped_once_ = false;
+  common::TimePoint last_scrape_ = 0;
+  /// Per-series (value, count) at last emission — the delta baseline.
+  /// std::map: deterministic iteration is part of the golden-run proof.
+  std::map<std::string, std::pair<double, std::uint64_t>> last_;
+  struct WatchedBook {
+    const SloBook* book;
+    std::map<std::string, std::size_t> emitted;  ///< per-slo transitions already sent
+  };
+  std::vector<WatchedBook> books_;
+};
+
+}  // namespace oda::observe

@@ -5,10 +5,25 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/time.hpp"
 
 namespace oda::stream {
+
+/// Reserved topic namespace for the framework's own telemetry (the
+/// self-telemetry loop of DESIGN.md §9): `_oda.metrics` carries scraped
+/// registry samples, `_oda.alerts` SLO state transitions. Facility data
+/// must not use the prefix; the scraper uses it to exclude its own
+/// produce/fetch accounting from scrapes (otherwise every scrape would
+/// change the very series it just emitted and the loop would never
+/// quiesce).
+inline constexpr std::string_view kInternalTopicPrefix = "_oda.";
+inline constexpr const char* kMetricsTopic = "_oda.metrics";
+inline constexpr const char* kAlertsTopic = "_oda.alerts";
+inline bool is_internal_topic(std::string_view name) {
+  return name.starts_with(kInternalTopicPrefix);
+}
 
 struct Record {
   common::TimePoint timestamp = 0;  ///< Event time (facility timeline).

@@ -6,6 +6,7 @@
 // count or fetch interleaving.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -13,10 +14,14 @@
 
 #include "common/faults.hpp"
 #include "engine/engine.hpp"
+#include "observe/export.hpp"
+#include "observe/history.hpp"
 #include "observe/metrics.hpp"
+#include "observe/scraper.hpp"
 #include "observe/trace.hpp"
 #include "pipeline/operator.hpp"
 #include "pipeline/query.hpp"
+#include "pipeline/self_telemetry.hpp"
 #include "pipeline/source_sink.hpp"
 #include "sql/agg.hpp"
 #include "sql/table.hpp"
@@ -35,9 +40,10 @@ constexpr std::size_t kPartitions = 8;
 constexpr std::size_t kRecords = 6000;
 
 // One record per sensor reading: timestamp = event time, key = node id
-// (hash-partitioned), payload = the reading.
-void fill_topic(stream::Topic& topic) {
-  for (std::size_t i = 0; i < kRecords; ++i) {
+// (hash-partitioned), payload = the reading. [lo, hi) lets the chunked
+// self-telemetry test feed the stream in installments.
+void fill_topic(stream::Topic& topic, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
     stream::Record r;
     r.timestamp = static_cast<common::TimePoint>(i) * common::kSecond / 4;
     r.key = "node" + std::to_string(i % 32);
@@ -45,6 +51,8 @@ void fill_topic(stream::Topic& topic) {
     topic.produce(std::move(r));
   }
 }
+
+void fill_topic(stream::Topic& topic) { fill_topic(topic, 0, kRecords); }
 
 Table decode(std::span<const stream::StoredRecord> records) {
   Table t{Schema{{"time", DataType::kInt64},
@@ -120,6 +128,105 @@ TEST(EngineTest, WorkersFourByteIdenticalToWorkersOneUnderChaos) {
   EXPECT_EQ(stats4.rows, kRecords);
   EXPECT_GT(plan1.total_faults(), 0u);
   EXPECT_GT(plan4.total_faults(), 0u);
+}
+
+// PR 4 extension of the golden-run proof: the self-telemetry loop rides
+// the same chaotic engine run, and the retained HistoryStore must be
+// worker-count invariant too. Input arrives in chunks; only after each
+// chunk is fully caught up — the one engine state that IS invariant
+// across worker counts (mid-run scheduling details depend on per-worker
+// fetch interleaving) — caught-up totals are mirrored into gauges and
+// scraped at a fixed virtual instant. The history query then drains the
+// reserved metrics topic standalone, and the dump rides along in the
+// compared bytes.
+std::vector<std::uint8_t> run_with_history(std::size_t workers, chaos::FaultPlan& plan) {
+  stream::Broker broker;
+  auto& topic = broker.create_topic("sensors", stream::TopicConfig{}.with_partitions(kPartitions));
+
+  observe::Tracer tracer;
+  observe::ScopedTracer scoped_tracer(tracer);
+  chaos::ScopedFaultPlan scoped_plan(plan);
+
+  Engine engine(EngineConfig{}.with_workers(workers));
+  chaos::RetryPolicy retry;
+  retry.max_attempts = 50;  // outlast the plan's transient schedule
+  auto source = engine.make_source(broker, "sensors", "agg-group", decode, retry);
+  auto sink = std::make_unique<pipeline::TableSink>();
+  pipeline::TableSink* sink_ptr = sink.get();
+  auto& q = engine.add_query(pipeline::QueryConfig{}
+                                 .with_name("engine.agg")
+                                 .with_batch_size(1000)
+                                 .with_max_retries(0),
+                             std::move(source));
+  q.add_operator(std::make_unique<pipeline::WindowAggOp>(
+      "window_10s", "time", 10 * common::kSecond, std::vector<std::string>{"node"},
+      std::vector<sql::AggSpec>{{"value", sql::AggKind::kMean, "mean_value"},
+                                {"value", sql::AggKind::kMax, "max_value"},
+                                {"value", sql::AggKind::kCount, "samples"}}));
+  q.add_sink(std::move(sink));
+
+  observe::MetricsRegistry selfreg;  // local: only the mirrored gauges
+  auto scraper = pipeline::make_scraper(selfreg, broker, observe::ScraperConfig{}, retry);
+
+  constexpr std::size_t kChunks = 6;
+  constexpr std::size_t kPerChunk = kRecords / kChunks;
+  for (std::size_t chunk = 0; chunk < kChunks; ++chunk) {
+    fill_topic(topic, chunk * kPerChunk, (chunk + 1) * kPerChunk);
+    engine.run_until_caught_up();
+    selfreg.gauge("selfwatch.rows")->set(static_cast<double>(engine.stats().rows));
+    selfreg.gauge("selfwatch.sink.rows")->set(static_cast<double>(sink_ptr->table().num_rows()));
+    selfreg.gauge("selfwatch.chunk")->set(static_cast<double>(chunk + 1));
+    scraper->scrape(static_cast<common::TimePoint>(chunk + 1) * 15 * common::kSecond);
+  }
+  q.finalize();
+
+  observe::HistoryStore history;
+  auto history_query = pipeline::make_history_query(
+      broker, history, pipeline::QueryConfig{}.with_max_retries(0), retry);
+  history_query->run_until_caught_up();
+
+  std::vector<std::uint8_t> bytes = storage::write_columnar(sink_ptr->table());
+  std::string dump;
+  for (const auto& series : history.series_names()) {
+    dump += observe::history_to_text(history, series, INT64_MIN, INT64_MAX,
+                                     observe::Resolution::kRaw);
+    dump += observe::history_to_text(history, series, INT64_MIN, INT64_MAX,
+                                     observe::Resolution::kOneMinute);
+  }
+  bytes.insert(bytes.end(), dump.begin(), dump.end());
+  return bytes;
+}
+
+void configure_plan_with_selfobs(chaos::FaultPlan& plan) {
+  configure_plan(plan);
+  chaos::SiteConfig produce;
+  produce.transient_p = 0.2;  // the scraper's own produce seam faults too
+  plan.configure("selfobs.produce", produce);
+}
+
+TEST(EngineTest, HistoryRangeQueriesAreWorkerCountInvariantUnderChaos) {
+  std::vector<std::uint8_t> baseline;
+  for (std::size_t workers : {1, 2, 4, 8}) {
+    chaos::FaultPlan plan(0xc0ffee);
+    configure_plan_with_selfobs(plan);
+    const auto bytes = run_with_history(workers, plan);
+    EXPECT_GT(plan.total_faults(), 0u) << "workers=" << workers;
+    if (baseline.empty()) {
+      baseline = bytes;
+    } else {
+      EXPECT_EQ(baseline, bytes) << "workers=" << workers;
+    }
+  }
+  // Same seed, fresh run: byte-identical again.
+  chaos::FaultPlan replay(0xc0ffee);
+  configure_plan_with_selfobs(replay);
+  EXPECT_EQ(baseline, run_with_history(2, replay));
+
+  // Teeth: the compared bytes really contain the history dump.
+  const std::string all(baseline.begin(), baseline.end());
+  EXPECT_NE(all.find("selfwatch.rows (raw, 6 points)"), std::string::npos);
+  EXPECT_NE(all.find("selfwatch.chunk"), std::string::npos);
+  EXPECT_NE(all.find("(1m, "), std::string::npos);
 }
 
 TEST(EngineTest, ScalingCurveIsWorkerCountInvariant) {

@@ -1,0 +1,194 @@
+// Strict JSON validity checker for exporter tests: a dependency-free
+// recursive-descent parser over the full RFC 8259 grammar. Rejects raw
+// control bytes inside strings, bad escapes, malformed numbers, trailing
+// garbage — the properties the json_escape round-trip tests assert.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace oda::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value (plus
+  /// surrounding whitespace). On failure, error() describes where.
+  bool valid() {
+    pos_ = 0;
+    err_.clear();
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+  const std::string& error() const { return err_; }
+
+ private:
+  bool fail(const std::string& what) {
+    if (err_.empty()) err_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool value() {
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected object key");
+      if (!string()) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control byte in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("dangling escape");
+        const char e = s_[pos_];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' || e == 'n' || e == 'r' ||
+            e == 't') {
+          ++pos_;
+          continue;
+        }
+        if (e == 'u') {
+          if (pos_ + 4 >= s_.size()) return fail("truncated \\u escape");
+          for (int i = 1; i <= 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          pos_ += 5;
+          continue;
+        }
+        return fail("unknown escape");
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return fail("bad number");
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return fail("bad fraction");
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return fail("bad exponent");
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+inline bool json_valid(const std::string& text, std::string* error = nullptr) {
+  JsonChecker checker(text);
+  const bool ok = checker.valid();
+  if (!ok && error != nullptr) *error = checker.error();
+  return ok;
+}
+
+}  // namespace oda::testing

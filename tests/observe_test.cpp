@@ -23,6 +23,8 @@
 #include "stream/broker.hpp"
 #include "telemetry/collection.hpp"
 
+#include "json_check.hpp"
+
 namespace oda::observe {
 namespace {
 
@@ -499,6 +501,171 @@ TEST(DeterminismTest, GoldenRunEqualWithObservationEnabled) {
   EXPECT_GT(a.size(), 4u);  // ingest + batches + operators + sinks + rows
   const auto c = traced_flow_fingerprint(99);
   EXPECT_EQ(c.back().second, 500);  // all rows always land regardless of seed
+}
+
+// --- p999 quantile column ------------------------------------------------
+
+TEST(HistogramTest, QuantilesAreMonotonicThroughTheTail) {
+  Histogram h({1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int i = 0; i < 1000; ++i) h.add(1.5);  // bulk in (1, 2]
+  for (int i = 0; i < 20; ++i) h.add(6.0);    // p99 in (4, 8]
+  h.add(100.0);                                // p999 tail in overflow
+  h.add(200.0);
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  const double p999 = h.quantile(0.999);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+
+  // The snapshot-level path (what the exporters use) must agree with the
+  // live handle and stay monotonic too.
+  MetricsRegistry reg;
+  Histogram* rh = reg.histogram("lat", {}, {1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int i = 0; i < 1000; ++i) rh->add(1.5);
+  for (int i = 0; i < 20; ++i) rh->add(6.0);
+  rh->add(100.0);
+  rh->add(200.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const double s50 = quantile_from_buckets(snap[0].buckets, snap[0].count, 0.5);
+  const double s99 = quantile_from_buckets(snap[0].buckets, snap[0].count, 0.99);
+  const double s999 = quantile_from_buckets(snap[0].buckets, snap[0].count, 0.999);
+  EXPECT_DOUBLE_EQ(s50, p50);
+  EXPECT_DOUBLE_EQ(s99, p99);
+  EXPECT_DOUBLE_EQ(s999, p999);
+  EXPECT_LE(s50, s99);
+  EXPECT_LE(s99, s999);
+
+  const std::string text = metrics_to_text(snap);
+  EXPECT_NE(text.find("p999="), std::string::npos);
+  const std::string json = metrics_to_json(snap);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
+// --- json_escape property + strict exporter validity ---------------------
+
+TEST(ExportTest, JsonEscapeHandlesEveryByteValue) {
+  // Property: for every single byte value, embedding the escaped form in
+  // a JSON string literal yields a strictly valid document.
+  for (int b = 0; b < 256; ++b) {
+    std::string s = "pre";
+    s += static_cast<char>(b);
+    s += "post";
+    const std::string doc = "{\"k\":\"" + json_escape(s) + "\"}";
+    std::string err;
+    EXPECT_TRUE(oda::testing::json_valid(doc, &err)) << "byte " << b << ": " << err;
+  }
+  // Multi-byte UTF-8 must pass through unmangled (no per-byte escaping).
+  const std::string utf8 = "naïve – 計測 🎯 ▁▂▃█";
+  EXPECT_EQ(json_escape(utf8), utf8);
+  std::string err;
+  EXPECT_TRUE(oda::testing::json_valid("\"" + json_escape(utf8) + "\"", &err)) << err;
+  // The named escapes render canonically.
+  EXPECT_EQ(json_escape("a\"b\\c\nd\re\tf"), "a\\\"b\\\\c\\nd\\re\\tf");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ExportTest, AllJsonExportersEmitStrictlyValidJson) {
+  MetricsRegistry reg;
+  reg.counter("nasty\"name\\with\nescapes", {{"k\tkey", "v\"val\\"}})->inc(3);
+  reg.gauge(std::string("ctl\x01\x1f") + "gauge")->set(-2.75);
+  Histogram* h = reg.histogram("lat", {{"q", "a\\b"}}, {0.5, 5.0});
+  h->add(0.1);
+  h->add(1.0);
+  h->add(100.0);  // overflow bucket: the infinite bound must render as "+Inf"
+  std::string err;
+  const std::string mj = metrics_to_json(reg.snapshot());
+  EXPECT_TRUE(oda::testing::json_valid(mj, &err)) << err << "\n" << mj;
+  EXPECT_NE(mj.find("\"le\":\"+Inf\""), std::string::npos);
+
+  std::vector<SpanRecord> spans;
+  SpanRecord s;
+  s.trace_id = 7;
+  s.span_id = 1;
+  s.name = "sp\"an\nwith\tcontrol";
+  s.virtual_start = 1000;
+  s.virtual_end = 3500;
+  s.wall_us = 1.5;
+  s.tags = {{"topic", "_oda.metrics"}, {"weird\"tag", "\t\\"}};
+  spans.push_back(s);
+  const std::string sj = spans_to_json(spans);
+  EXPECT_TRUE(oda::testing::json_valid(sj, &err)) << err << "\n" << sj;
+  const std::string cj = spans_to_chrome_json(spans);
+  EXPECT_TRUE(oda::testing::json_valid(cj, &err)) << err << "\n" << cj;
+  EXPECT_TRUE(oda::testing::json_valid(spans_to_chrome_json({}), &err)) << err;
+
+  SloBook book;
+  book.add({.name = "s\"lo", .subject = "x\ny", .unit = "u", .warn = 1, .crit = 2,
+            .breach_hold = 0, .clear_after = 1});
+  book.update("s\"lo", 5.0, kSecond);
+  const std::string lj = slos_to_json(book);
+  EXPECT_TRUE(oda::testing::json_valid(lj, &err)) << err << "\n" << lj;
+}
+
+// --- Chrome trace-event export -------------------------------------------
+
+TEST(ExportTest, ChromeTraceEmitsOneCompleteEventPerSpan) {
+  Tracer tracer;
+  ScopedTracer scoped(tracer);
+  set_virtual_now(10 * kSecond);
+  {
+    Span a("alpha");
+    set_virtual_now(12 * kSecond);
+    {
+      Span b("beta");
+      set_virtual_now(13 * kSecond);
+    }
+    set_virtual_now(15 * kSecond);
+  }
+  const auto spans = tracer.store().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const std::string doc = spans_to_chrome_json(spans);
+  std::string err;
+  ASSERT_TRUE(oda::testing::json_valid(doc, &err)) << err << "\n" << doc;
+
+  std::size_t events = 0;
+  for (std::size_t pos = 0; (pos = doc.find("\"ph\":\"X\"", pos)) != std::string::npos; pos += 8) {
+    ++events;
+  }
+  EXPECT_EQ(events, spans.size());
+  // ts/dur are virtual microseconds passed straight through: beta opened
+  // at 12 s and closed at 13 s of facility time.
+  EXPECT_NE(doc.find("\"ts\":12000000"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":1000000"), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  set_virtual_now(0);
+}
+
+TEST(ExportTest, ChromeTracePidTidComeFromTags) {
+  std::vector<SpanRecord> spans;
+  SpanRecord tagged;
+  tagged.trace_id = 99;
+  tagged.span_id = 5;
+  tagged.name = "tagged";
+  tagged.virtual_start = 0;
+  tagged.virtual_end = 10;
+  tagged.tags = {{"pid", "3"}, {"tid", "12"}, {"note", "x"}};
+  spans.push_back(tagged);
+  SpanRecord fallback;
+  fallback.trace_id = 42;
+  fallback.span_id = 6;
+  fallback.name = "fallback";
+  fallback.virtual_start = 5;
+  fallback.virtual_end = 2;  // clock went nowhere: dur clamps to 0, not negative
+  spans.push_back(fallback);
+
+  const std::string doc = spans_to_chrome_json(spans);
+  std::string err;
+  ASSERT_TRUE(oda::testing::json_valid(doc, &err)) << err;
+  EXPECT_NE(doc.find("\"pid\":3,\"tid\":12"), std::string::npos);
+  // Untagged spans land on pid 1, tid = trace id (one track per trace).
+  EXPECT_NE(doc.find("\"pid\":1,\"tid\":42"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":0"), std::string::npos);
+  EXPECT_EQ(doc.find("\"dur\":-"), std::string::npos);
+  // Non-pid/tid tags ride in args; consumed pid/tid tags are not repeated.
+  EXPECT_NE(doc.find("\"note\":\"x\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"pid\":\"3\""), std::string::npos);
 }
 
 }  // namespace
