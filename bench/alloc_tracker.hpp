@@ -1,0 +1,33 @@
+// Heap-allocation accounting for the bench binaries: the bench CMake
+// function links alloc_tracker.cpp into every bench executable, whose
+// global operator new/delete overrides count every allocation with
+// relaxed atomics (~1 ns per allocation — invisible next to the malloc
+// it wraps). Snapshot around a measured region to report allocations and
+// heap bytes per record; the zero-copy read path's win shows up here as
+// allocations/record, not just records/s.
+#pragma once
+
+#include <cstdint>
+
+namespace oda::bench {
+
+/// Cumulative allocation counters since process start.
+struct AllocSnapshot {
+  std::uint64_t allocs = 0;  ///< operator new calls
+  std::uint64_t bytes = 0;   ///< bytes requested from operator new
+};
+
+/// Current counter values (relaxed reads — exact when the measured region
+/// is single-threaded, a faithful total otherwise).
+AllocSnapshot alloc_snapshot();
+
+/// Counters between two snapshots.
+inline AllocSnapshot alloc_delta(const AllocSnapshot& before, const AllocSnapshot& after) {
+  return {after.allocs - before.allocs, after.bytes - before.bytes};
+}
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss).
+/// Monotonic over the process lifetime; 0 if unavailable.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace oda::bench

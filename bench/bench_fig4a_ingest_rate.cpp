@@ -7,6 +7,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -161,10 +162,10 @@ ThroughputResult broker_throughput_once(std::size_t n) {
 
 /// Best-of-k (peak rate ≈ least interference from the OS) with metrics
 /// enabled vs disabled, reporting the instrumentation overhead.
-void broker_throughput(oda::bench::JsonReport& report) {
+void broker_throughput(oda::bench::JsonReport& report, bool smoke) {
   using namespace oda;
-  constexpr std::size_t kN = 200000;
-  constexpr int kRuns = 24;
+  const std::size_t kN = smoke ? 60000 : 200000;
+  const int kRuns = smoke ? 2 : 24;
 
   // Interleave the on/off runs (on, off, on, off, ...) so thermal drift
   // and scheduler noise hit both configurations equally; keep the best.
@@ -251,10 +252,10 @@ double scraper_produce_once(std::size_t n, bool scraper_on) {
   return static_cast<double>(n) / sw.elapsed_seconds();
 }
 
-void scraper_overhead(oda::bench::JsonReport& report) {
+void scraper_overhead(oda::bench::JsonReport& report, bool smoke) {
   using namespace oda;
-  constexpr std::size_t kN = 200000;
-  constexpr int kRuns = 16;
+  const std::size_t kN = smoke ? 60000 : 200000;
+  const int kRuns = smoke ? 2 : 16;
 
   (void)scraper_produce_once(kN / 4, true);  // warmup
   double on = 0.0, off = 0.0;
@@ -279,24 +280,128 @@ void scraper_overhead(oda::bench::JsonReport& report) {
   report.metric("selfobs.overhead.produce_pct", overhead, "percent");
 }
 
+/// Zero-copy read path on the multi-consumer config: the same pre-filled
+/// topic is drained by kGroups independent consumer groups (the paper's
+/// fan-out, where every team subscribes to the same firehose), once
+/// through the copying poll() and once through the view-returning
+/// poll_view(). The win shows up twice — drain rate, and allocations per
+/// record (poll deep-copies key+payload per record; poll_view hands out
+/// string_views pinned to the immutable segments).
+void consume_view_vs_copy(oda::bench::JsonReport& report, bool smoke) {
+  using namespace oda;
+  const std::size_t kRecords = smoke ? 60000 : 200000;
+  constexpr std::size_t kGroups = 4;
+  const int kRuns = smoke ? 2 : 8;
+
+  stream::Broker broker;
+  broker.create_topic("fanout", {8, 4 << 20, {}});
+  stream::Producer producer = broker.producer("fanout");
+  for (std::size_t i = 0; i < kRecords;) {
+    std::vector<stream::Record> batch;
+    batch.reserve(1024);
+    for (std::size_t j = 0; j < 1024 && i < kRecords; ++j, ++i) {
+      stream::Record r;
+      r.timestamp = static_cast<common::TimePoint>(i);
+      r.key = "n" + std::to_string(i % 512);
+      r.payload.assign(256, 'x');
+      batch.push_back(std::move(r));
+    }
+    producer.produce_batch(std::move(batch));
+  }
+
+  struct DrainResult {
+    double rate = 0.0;
+    double allocs_per_record = 1e300;
+    double heap_bytes_per_record = 1e300;
+  };
+  int generation = 0;
+  auto drain = [&](bool views) {
+    ++generation;  // fresh groups every run: each drain reads the full log
+    std::vector<std::unique_ptr<stream::Consumer>> consumers;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      consumers.push_back(std::make_unique<stream::Consumer>(
+          broker, "fan" + std::to_string(generation) + "_" + std::to_string(g), "fanout"));
+    }
+    const std::size_t want = kRecords * kGroups;
+    std::size_t total = 0;
+    const bench::AllocSnapshot before = bench::alloc_snapshot();
+    common::Stopwatch sw;
+    while (total < want) {
+      std::size_t got = 0;
+      for (auto& c : consumers) {
+        if (views) {
+          got += c->poll_view(8192).size();
+        } else {
+          got += c->poll(8192).size();
+        }
+      }
+      if (got == 0) break;
+      total += got;
+    }
+    const double secs = sw.elapsed_seconds();
+    const bench::AllocSnapshot d = bench::alloc_delta(before, bench::alloc_snapshot());
+    DrainResult r;
+    r.rate = static_cast<double>(total) / secs;
+    r.allocs_per_record = static_cast<double>(d.allocs) / static_cast<double>(total);
+    r.heap_bytes_per_record = static_cast<double>(d.bytes) / static_cast<double>(total);
+    return r;
+  };
+
+  (void)drain(true);  // warmup (allocators, page cache)
+  DrainResult copy, view;
+  auto take_best = [](DrainResult& best, const DrainResult& t) {
+    best.rate = std::max(best.rate, t.rate);
+    best.allocs_per_record = std::min(best.allocs_per_record, t.allocs_per_record);
+    best.heap_bytes_per_record = std::min(best.heap_bytes_per_record, t.heap_bytes_per_record);
+  };
+  for (int r = 0; r < kRuns; ++r) {
+    // Alternate order so drift biases neither mode.
+    const bool view_first = (r % 2) == 0;
+    take_best(view_first ? view : copy, drain(view_first));
+    take_best(view_first ? copy : view, drain(!view_first));
+  }
+
+  std::printf("\nmulti-consumer drain (%zu groups x %zu records):\n", kGroups, kRecords);
+  std::printf("  copy poll():      %9.0fk rec/s, %6.3f allocs/rec, %7.1f heap B/rec\n",
+              copy.rate / 1e3, copy.allocs_per_record, copy.heap_bytes_per_record);
+  std::printf("  zero-copy views:  %9.0fk rec/s, %6.3f allocs/rec, %7.1f heap B/rec\n",
+              view.rate / 1e3, view.allocs_per_record, view.heap_bytes_per_record);
+  std::printf("  speedup %.2fx, allocation reduction %.1fx\n", view.rate / copy.rate,
+              copy.allocs_per_record / view.allocs_per_record);
+
+  report.metric("broker.consume.copy.rate", copy.rate, "records/s");
+  report.metric("broker.consume.view.rate", view.rate, "records/s");
+  report.metric("broker.consume.view_speedup", view.rate / copy.rate, "x");
+  report.metric("broker.consume.copy.allocs_per_record", copy.allocs_per_record,
+                "allocs/record");
+  report.metric("broker.consume.view.allocs_per_record", view.allocs_per_record,
+                "allocs/record");
+  report.metric("broker.consume.copy.heap_bytes_per_record", copy.heap_bytes_per_record,
+                "bytes/record");
+  report.metric("broker.consume.view.heap_bytes_per_record", view.heap_bytes_per_record,
+                "bytes/record");
+  report.metric("broker.consume.alloc_reduction",
+                copy.allocs_per_record / view.allocs_per_record, "x");
+}
+
 /// Partition-parallel ingest through the engine: the same windowed query
 /// drains the same pre-filled topic at 1, 2, 4 and 8 workers. Committed
 /// output is worker-count invariant (engine_test proves byte identity),
 /// so the only thing that may change with workers is the rate reported
 /// here. Speedup saturates at min(workers, partitions, hardware cores).
-void engine_scaling(oda::bench::JsonReport& report) {
+void engine_scaling(oda::bench::JsonReport& report, bool smoke) {
   using namespace oda;
   constexpr std::size_t kPartitions = 8;
-  constexpr std::size_t kRecords = 200000;
+  const std::size_t kRecords = smoke ? 60000 : 200000;
   constexpr std::size_t kBatch = 1024;
 
-  const auto decode = [](std::span<const stream::StoredRecord> records) {
+  const auto decode = [](std::span<const stream::RecordView> records) {
     sql::Table t{sql::Schema{{"time", sql::DataType::kInt64},
                              {"node", sql::DataType::kString},
                              {"value", sql::DataType::kFloat64}}};
-    for (const auto& sr : records) {
-      t.append_row({sql::Value(sr.record.timestamp), sql::Value(sr.record.key),
-                    sql::Value(static_cast<double>(sr.record.payload.size()))});
+    for (const auto& v : records) {
+      t.append_row({sql::Value(v.timestamp), sql::Value(std::string(v.key)),
+                    sql::Value(static_cast<double>(v.payload.size()))});
     }
     return t;
   };
@@ -343,8 +448,14 @@ void engine_scaling(oda::bench::JsonReport& report) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace oda;
+  // --smoke: the seconds-scale slice the perf ctest tier and the
+  // oda_bench_smoke build hook run (fewer best-of runs, smaller sweeps,
+  // shorter simulated span — same sections, same JSON metric names).
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) smoke |= std::string_view(argv[i]) == "--smoke";
+
   bench::header("Fig 4-a -- raw data ingest rate",
                 "Fig 4-a; Sec I: '4.2 to 4.5 Terabytes of data daily'; Sec VII-B: '0.5 TB/day "
                 "for the Frontier supercomputer' power data",
@@ -352,11 +463,13 @@ int main() {
                 "full scale");
 
   bench::JsonReport report("fig4a_ingest_rate");
-  report_system(telemetry::mountain_spec(), 0.01, 5 * common::kMinute, report);
-  report_system(telemetry::compass_spec(), 0.01, 5 * common::kMinute, report);
-  broker_throughput(report);
-  scraper_overhead(report);
-  engine_scaling(report);
+  const common::Duration sim_span = smoke ? common::kMinute : 5 * common::kMinute;
+  report_system(telemetry::mountain_spec(), 0.01, sim_span, report);
+  report_system(telemetry::compass_spec(), 0.01, sim_span, report);
+  broker_throughput(report, smoke);
+  scraper_overhead(report, smoke);
+  consume_view_vs_copy(report, smoke);
+  engine_scaling(report, smoke);
   report.write();
   return 0;
 }

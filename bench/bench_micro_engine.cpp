@@ -6,13 +6,17 @@
 // into BENCH_micro_engine.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/stats.hpp"
 #include "engine/engine.hpp"
 #include "pipeline/query.hpp"
 #include "pipeline/source_sink.hpp"
@@ -105,6 +109,34 @@ void BM_BrokerConsume(benchmark::State& state) {
 }
 BENCHMARK(BM_BrokerConsume);
 
+void BM_BrokerConsumeView(benchmark::State& state) {
+  // Same drain as BM_BrokerConsume through the zero-copy poll_view():
+  // string_views pinned to the immutable segments instead of one owned
+  // Record copy per record.
+  stream::Broker broker;
+  broker.create_topic("t", {8, 4 << 20, {}});
+  stream::Producer producer = broker.producer("t");
+  stream::Record rec;
+  rec.payload.assign(256, 'x');
+  for (int i = 0; i < 100000; ++i) {
+    rec.timestamp = i;
+    rec.key = "n" + std::to_string(i % 512);
+    producer.produce(rec);
+  }
+  for (auto _ : state) {
+    stream::Consumer c(broker, "gv" + std::to_string(state.iterations()), "t");
+    std::size_t total = 0;
+    while (total < 100000) {
+      const stream::FetchView batch = c.poll_view(8192);
+      if (batch.empty()) break;
+      total += batch.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_BrokerConsumeView);
+
 void BM_WindowAggregate(benchmark::State& state) {
   const auto& bronze = bronze_sample();
   const std::vector<std::string> keys{"node_id", "sensor"};
@@ -196,16 +228,16 @@ BENCHMARK(BM_LzCompress);
 /// Engine scaling curve: drain the same topic through the same query at
 /// 1/2/4/8 workers. Rates land in BENCH_micro_engine.json so CI can diff
 /// the curve across commits; on a single-core host the curve is flat.
-void engine_scaling_curve(bench::JsonReport& report) {
+void engine_scaling_curve(bench::JsonReport& report, bool smoke) {
   constexpr std::size_t kPartitions = 8;
-  constexpr std::size_t kRecords = 100000;
+  const std::size_t kRecords = smoke ? 50000 : 100000;
 
-  const auto decode = [](std::span<const stream::StoredRecord> records) {
+  const auto decode = [](std::span<const stream::RecordView> records) {
     sql::Table t{sql::Schema{{"time", sql::DataType::kInt64},
                              {"value", sql::DataType::kFloat64}}};
-    for (const auto& sr : records) {
-      t.append_row({sql::Value(sr.record.timestamp),
-                    sql::Value(static_cast<double>(sr.record.payload.size()))});
+    for (const auto& v : records) {
+      t.append_row({sql::Value(v.timestamp),
+                    sql::Value(static_cast<double>(v.payload.size()))});
     }
     return t;
   };
@@ -248,16 +280,88 @@ void engine_scaling_curve(bench::JsonReport& report) {
   }
 }
 
+/// Copy-vs-view consume cost, as JSON: one consumer group drains the same
+/// pre-filled topic through poll() then poll_view(), with alloc_tracker
+/// deltas around each drain. Lands allocations/record for both paths in
+/// BENCH_micro_engine.json so the zero-copy trajectory is diffable.
+void consume_alloc_profile(bench::JsonReport& report, bool smoke) {
+  const std::size_t kRecords = smoke ? 50000 : 100000;
+  stream::Broker broker;
+  broker.create_topic("prof", {8, 4 << 20, {}});
+  stream::Producer producer = broker.producer("prof");
+  stream::Record rec;
+  rec.payload.assign(256, 'x');
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    rec.timestamp = static_cast<std::int64_t>(i);
+    rec.key = "n" + std::to_string(i % 512);
+    producer.produce(rec);
+  }
+
+  int generation = 0;
+  auto drain = [&](bool views) {
+    ++generation;
+    stream::Consumer c(broker, "prof" + std::to_string(generation), "prof");
+    std::size_t total = 0;
+    const bench::AllocSnapshot before = bench::alloc_snapshot();
+    common::Stopwatch sw;
+    while (total < kRecords) {
+      std::size_t got;
+      if (views) {
+        got = c.poll_view(8192).size();
+      } else {
+        got = c.poll(8192).size();
+      }
+      if (got == 0) break;
+      total += got;
+    }
+    const double rate = static_cast<double>(total) / sw.elapsed_seconds();
+    const bench::AllocSnapshot d = bench::alloc_delta(before, bench::alloc_snapshot());
+    return std::pair<double, bench::AllocSnapshot>(rate, d);
+  };
+
+  (void)drain(true);  // warmup
+  const auto [copy_rate, copy_d] = drain(false);
+  const auto [view_rate, view_d] = drain(true);
+  std::printf("\nconsume alloc profile (%zu records): copy %.0fk rec/s %.3f allocs/rec, "
+              "view %.0fk rec/s %.3f allocs/rec\n",
+              kRecords, copy_rate / 1e3,
+              static_cast<double>(copy_d.allocs) / static_cast<double>(kRecords),
+              view_rate / 1e3,
+              static_cast<double>(view_d.allocs) / static_cast<double>(kRecords));
+  report.metric("consume.copy.rate", copy_rate, "records/s");
+  report.metric("consume.view.rate", view_rate, "records/s");
+  report.alloc_metrics("consume.copy", copy_d, static_cast<double>(kRecords));
+  report.alloc_metrics("consume.view", view_d, static_cast<double>(kRecords));
+  report.metric("consume.alloc_reduction",
+                static_cast<double>(copy_d.allocs) / std::max<double>(1.0, static_cast<double>(view_d.allocs)),
+                "x");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --smoke (stripped before google-benchmark sees argv): skip the
+  // microbenchmark suite and run only the JSON-reported sections at
+  // reduced size — the seconds-scale slice the perf ctest tier runs.
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
   oda::bench::JsonReport report("micro_engine");
-  engine_scaling_curve(report);
+  consume_alloc_profile(report, smoke);
+  engine_scaling_curve(report, smoke);
   report.write();
   return 0;
 }

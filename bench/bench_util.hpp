@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "alloc_tracker.hpp"
 #include "core/framework.hpp"
 #include "telemetry/spec.hpp"
 
@@ -59,16 +60,30 @@ class JsonReport {
     metrics_.push_back({std::move(metric_name), value, std::move(unit)});
   }
 
+  /// Allocation accounting for a measured region: allocations and heap
+  /// bytes per record (alloc_tracker deltas around the timed section).
+  void alloc_metrics(const std::string& prefix, const AllocSnapshot& delta, double records) {
+    if (records <= 0) return;
+    metric(prefix + ".allocs_per_record", static_cast<double>(delta.allocs) / records,
+           "allocs/record");
+    metric(prefix + ".heap_bytes_per_record", static_cast<double>(delta.bytes) / records,
+           "bytes/record");
+  }
+
   /// Write BENCH_<name>.json; returns false (and warns) on I/O failure.
+  /// Every report carries the process peak RSS at write time, and each
+  /// write also appends a one-line record to BENCH_trajectory.jsonl — the
+  /// cross-commit series the perf smoke runs grow build over build.
   bool write() const {
+    const std::uint64_t rss = peak_rss_bytes();
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"commit\":\"%s\",\"metrics\":[", name_.c_str(),
-                 ODA_GIT_COMMIT);
+    std::fprintf(f, "{\"bench\":\"%s\",\"commit\":\"%s\",\"peak_rss_bytes\":%llu,\"metrics\":[",
+                 name_.c_str(), ODA_GIT_COMMIT, static_cast<unsigned long long>(rss));
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const auto& m = metrics_[i];
       std::fprintf(f, "%s\n  {\"name\":\"%s\",\"value\":%.10g,\"unit\":\"%s\"}",
@@ -76,8 +91,22 @@ class JsonReport {
     }
     std::fprintf(f, "\n]}\n");
     std::fclose(f);
-    std::printf("\nwrote %s (%zu metrics, commit %s)\n", path.c_str(), metrics_.size(),
-                ODA_GIT_COMMIT);
+
+    if (std::FILE* traj = std::fopen("BENCH_trajectory.jsonl", "a")) {
+      std::fprintf(traj, "{\"bench\":\"%s\",\"commit\":\"%s\",\"peak_rss_bytes\":%llu,"
+                   "\"metrics\":{", name_.c_str(), ODA_GIT_COMMIT,
+                   static_cast<unsigned long long>(rss));
+      for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        std::fprintf(traj, "%s\"%s\":%.10g", i == 0 ? "" : ",", metrics_[i].name.c_str(),
+                     metrics_[i].value);
+      }
+      std::fprintf(traj, "}}\n");
+      std::fclose(traj);
+    }
+
+    std::printf("\nwrote %s (%zu metrics, commit %s, peak RSS %llu MiB)\n", path.c_str(),
+                metrics_.size(), ODA_GIT_COMMIT,
+                static_cast<unsigned long long>(rss >> 20));
     return true;
   }
 

@@ -77,7 +77,7 @@ int main() {
   // Gather the log events from the broker for the dashboard's context.
   stream::Consumer log_reader(fw.broker(), "ua-dashboard", sys.topics().syslog);
   log_reader.seek_to_time(0);
-  const auto log_records = log_reader.poll(1000000);
+  const auto log_records = log_reader.poll_view(1000000);
   const auto log_table = telemetry::log_events_to_table(log_records);
 
   apps::UaDashboard dashboard(fw.lake(), sys.scheduler().allocation_log(),

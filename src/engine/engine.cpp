@@ -33,28 +33,28 @@ ParallelBrokerSource::ParallelBrokerSource(stream::Broker& broker, std::string t
   }
 }
 
-std::vector<stream::PartitionBatch> ParallelBrokerSource::fan_out(std::size_t per_partition) {
+std::vector<stream::PartitionBatchView> ParallelBrokerSource::fan_out(std::size_t per_partition) {
   // The calling query's open batch span, carried to the pool threads so
   // every worker fetch parents under the batch that asked for it.
   const observe::TraceContext batch_ctx = observe::current_context();
 
-  std::vector<std::future<std::vector<stream::PartitionBatch>>> futs;
+  std::vector<std::future<std::vector<stream::PartitionBatchView>>> futs;
   futs.reserve(members_.size() - 1);
   for (std::size_t i = 1; i < members_.size(); ++i) {
     stream::GroupMember* m = members_[i].get();
     futs.push_back(pool_.submit([m, per_partition, batch_ctx] {
       observe::Span span("engine.fetch", batch_ctx);
-      return m->poll_by_partition(per_partition);
+      return m->poll_by_partition_view(per_partition);
     }));
   }
 
-  std::vector<stream::PartitionBatch> all;
+  std::vector<stream::PartitionBatchView> all;
   std::exception_ptr err;
   try {
     // Member 0 runs inline on the driver: its span parents naturally
     // under the open batch span, and one worker's work costs no handoff.
     observe::Span span("engine.fetch");
-    all = members_[0]->poll_by_partition(per_partition);
+    all = members_[0]->poll_by_partition_view(per_partition);
   } catch (...) {
     err = std::current_exception();
   }
@@ -85,23 +85,21 @@ sql::Table ParallelBrokerSource::pull(std::size_t max_records) {
 
   // Deterministic merge: ascending partition index, offsets already
   // ascending within each batch. Which member fetched which partition is
-  // invisible in the result.
+  // invisible in the result. Views and segment pins splice; no record is
+  // copied between the log and the decoder.
   std::sort(batches.begin(), batches.end(),
-            [](const stream::PartitionBatch& a, const stream::PartitionBatch& b) {
+            [](const stream::PartitionBatchView& a, const stream::PartitionBatchView& b) {
               return a.partition < b.partition;
             });
-  std::vector<stream::StoredRecord> records;
+  stream::FetchView records;
   std::size_t total = 0;
   for (const auto& b : batches) total += b.records.size();
   records.reserve(total);
-  for (auto& b : batches) {
-    records.insert(records.end(), std::make_move_iterator(b.records.begin()),
-                   std::make_move_iterator(b.records.end()));
-  }
-  incoming_ = records.empty() ? observe::TraceContext{}
-                              : observe::TraceContext{records.front().record.trace_id,
-                                                      records.front().record.span_id};
-  return decoder_(records);
+  for (auto& b : batches) records.append(std::move(b.records));
+  incoming_ = records.empty()
+                  ? observe::TraceContext{}
+                  : observe::TraceContext{records.front().trace_id, records.front().span_id};
+  return decoder_(records.records());
 }
 
 void ParallelBrokerSource::commit() {

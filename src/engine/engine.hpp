@@ -104,10 +104,10 @@ class ParallelBrokerSource final : public pipeline::Source {
 
  private:
   /// One fan-out attempt: poll every member (member 0 inline on the
-  /// caller, the rest on the pool), gather PartitionBatches. Throws the
-  /// first worker fault after all workers finished (members must be
-  /// quiescent before the retry path seeks them).
-  std::vector<stream::PartitionBatch> fan_out(std::size_t per_partition);
+  /// caller, the rest on the pool), gather per-partition view batches.
+  /// Throws the first worker fault after all workers finished (members
+  /// must be quiescent before the retry path seeks them).
+  std::vector<stream::PartitionBatchView> fan_out(std::size_t per_partition);
 
   stream::Broker& broker_;
   std::string topic_;

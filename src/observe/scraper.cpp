@@ -60,16 +60,16 @@ bool parse_u64(const std::string& s, std::uint64_t* out) {
   return end == s.c_str() + s.size();
 }
 
-std::vector<std::string> split_fields(const std::string& payload) {
+std::vector<std::string> split_fields(std::string_view payload) {
   std::vector<std::string> out;
   std::size_t start = 0;
   while (true) {
     const std::size_t pos = payload.find(kSep, start);
-    if (pos == std::string::npos) {
-      out.push_back(payload.substr(start));
+    if (pos == std::string_view::npos) {
+      out.emplace_back(payload.substr(start));
       return out;
     }
-    out.push_back(payload.substr(start, pos - start));
+    out.emplace_back(payload.substr(start, pos - start));
     start = pos + 1;
   }
 }
@@ -112,7 +112,11 @@ stream::Record encode_metric_sample(const MetricSample& s, common::TimePoint t) 
 }
 
 bool decode_metric_sample(const stream::Record& r, MetricSample* out) {
-  const auto f = split_fields(r.payload);
+  return decode_metric_sample(std::string_view(r.payload), out);
+}
+
+bool decode_metric_sample(std::string_view payload, MetricSample* out) {
+  const auto f = split_fields(payload);
   if (f.size() != 6 || f[0] != kMetricVersion) return false;
   MetricSample s;
   if (f[1].size() != 1 || !kind_from_char(f[1][0], &s.kind)) return false;

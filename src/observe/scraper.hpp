@@ -53,6 +53,8 @@ stream::Record encode_alert_event(const AlertEvent& e, common::TimePoint t);
 /// Strict decoders: false on truncated/corrupt/forged payloads (the
 /// history pipeline skips and counts such records instead of crashing).
 bool decode_metric_sample(const stream::Record& r, MetricSample* out);
+/// Payload-level decode for the zero-copy path (no owned Record needed).
+bool decode_metric_sample(std::string_view payload, MetricSample* out);
 bool decode_alert_event(const stream::Record& r, AlertEvent* out);
 
 /// Produce seam: takes one scrape's whole batch (maps onto

@@ -20,17 +20,17 @@ sql::Schema metric_sample_schema() {
                 {"delta", DataType::kFloat64}, {"count", DataType::kInt64}};
 }
 
-sql::Table metric_records_to_table(std::span<const stream::StoredRecord> records) {
+sql::Table metric_records_to_table(std::span<const stream::RecordView> records) {
   static observe::Counter* decode_errors =
       observe::default_registry().counter("selfobs.decode.errors");
   Table t{metric_sample_schema()};
-  for (const auto& sr : records) {
+  for (const auto& v : records) {
     observe::MetricSample s;
-    if (!observe::decode_metric_sample(sr.record, &s)) {
+    if (!observe::decode_metric_sample(v.payload, &s)) {
       decode_errors->inc();
       continue;
     }
-    t.append_row({Value(sr.record.timestamp), Value(std::move(s.series)),
+    t.append_row({Value(v.timestamp), Value(std::move(s.series)),
                   Value(std::string(observe::metric_kind_name(s.kind))), Value(s.value),
                   Value(s.delta), Value(static_cast<std::int64_t>(s.count))});
   }

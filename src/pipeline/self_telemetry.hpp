@@ -28,7 +28,7 @@ sql::Schema metric_sample_schema();
 /// RecordDecoder for `_oda.metrics`. Malformed payloads are skipped and
 /// counted on the default registry ("selfobs.decode.errors") — poison
 /// telemetry must never wedge the loop that reports on poison.
-sql::Table metric_records_to_table(std::span<const stream::StoredRecord> records);
+sql::Table metric_records_to_table(std::span<const stream::RecordView> records);
 
 /// Transactional sink appending (time, series, value) rows into a
 /// HistoryStore. Bracketed writes stage and land at commit_batch() so a

@@ -114,12 +114,12 @@ void TopicSink::write(const Table& t) {
   produced_high_water_ = idx + 1;
 }
 
-Table decode_columnar_records(std::span<const stream::StoredRecord> records) {
+Table decode_columnar_records(std::span<const stream::RecordView> records) {
   std::vector<Table> parts;
   parts.reserve(records.size());
-  for (const auto& sr : records) {
+  for (const auto& v : records) {
     parts.push_back(storage::read_columnar(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(sr.record.payload.data()), sr.record.payload.size())));
+        reinterpret_cast<const std::uint8_t*>(v.payload.data()), v.payload.size())));
   }
   if (parts.empty()) return Table{};
   return sql::concat(parts);

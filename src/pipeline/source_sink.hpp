@@ -16,8 +16,11 @@
 
 namespace oda::pipeline {
 
-/// Decodes a batch of raw broker records into a Table.
-using RecordDecoder = std::function<sql::Table(std::span<const stream::StoredRecord>)>;
+/// Decodes a batch of raw broker records into a Table. Decoders read
+/// straight from RecordViews (string_views pinned by the pull's
+/// FetchView) — no owned Record is materialized between the log and the
+/// sql::Table. Code holding owned records adapts with stream::as_views().
+using RecordDecoder = std::function<sql::Table(std::span<const stream::RecordView>)>;
 
 class Source {
  public:
@@ -57,13 +60,15 @@ class BrokerSource final : public Source {
                      std::move(decoder), retry) {}
 
   sql::Table pull(std::size_t max_records) override {
-    const auto records = retrier_.run(
-        "pipeline.pull", [&] { return sub_->poll(max_records); },
+    // Zero-copy pull: the poll returns pinned views; the decoder reads
+    // them in place and only the decoded Table survives this frame.
+    const stream::FetchView records = retrier_.run(
+        "pipeline.pull", [&] { return sub_->poll_view(max_records); },
         [&] { sub_->seek_to_committed(); });
-    incoming_ = records.empty() ? observe::TraceContext{}
-                                : observe::TraceContext{records.front().record.trace_id,
-                                                        records.front().record.span_id};
-    return decoder_(records);
+    incoming_ = records.empty()
+                    ? observe::TraceContext{}
+                    : observe::TraceContext{records.front().trace_id, records.front().span_id};
+    return decoder_(records.records());
   }
   void commit() override { sub_->commit(); }
   void rewind() override { sub_->seek_to_committed(); }
@@ -268,6 +273,6 @@ class TopicSink final : public Sink {
 };
 
 /// Decoder for TopicSink-produced topics (columnar payload per record).
-sql::Table decode_columnar_records(std::span<const stream::StoredRecord> records);
+sql::Table decode_columnar_records(std::span<const stream::RecordView> records);
 
 }  // namespace oda::pipeline

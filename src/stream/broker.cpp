@@ -28,9 +28,11 @@ Topic::Topic(std::string name, TopicConfig config) : name_(std::move(name)), con
   obs_produced_records_ = reg.counter("stream.produced.records", {{"topic", name_}});
   obs_produced_bytes_ = reg.counter("stream.produced.bytes", {{"topic", name_}});
   obs_fetched_records_ = reg.counter("stream.fetched.records", {{"topic", name_}});
+  obs_fetched_bytes_ = reg.counter("stream.fetched.bytes", {{"topic", name_}});
   base_produced_records_ = obs_produced_records_->value();
   base_produced_bytes_ = obs_produced_bytes_->value();
   base_fetched_records_ = obs_fetched_records_->value();
+  base_fetched_bytes_ = obs_fetched_bytes_->value();
 }
 
 std::int64_t Topic::produce(Record r) {
@@ -97,6 +99,7 @@ TopicStats Topic::stats() const {
   s.produced_records = obs_produced_records_->value() - base_produced_records_;
   s.produced_bytes = obs_produced_bytes_->value() - base_produced_bytes_;
   s.fetched_records = obs_fetched_records_->value() - base_fetched_records_;
+  s.fetched_bytes = obs_fetched_bytes_->value() - base_fetched_bytes_;
   s.evicted_bytes = evicted_bytes_.load(std::memory_order_relaxed);
   for (const auto& p : partitions_) {
     s.retained_records += p->record_count();
@@ -155,6 +158,15 @@ void Broker::set_retention_all(const RetentionPolicy& policy) {
 void Broker::commit(const std::string& group, const TopicPartition& tp, std::int64_t offset) {
   std::lock_guard lk(mu_);
   offsets_[{group, tp}] = offset;
+}
+
+bool Broker::commit_fenced(const std::string& group, const TopicPartition& tp, std::int64_t offset,
+                           std::uint64_t generation) {
+  std::lock_guard lk(mu_);
+  auto it = groups_.find({group, tp.topic});
+  if (it == groups_.end() || it->second.generation != generation) return false;
+  offsets_[{group, tp}] = offset;
+  return true;
 }
 
 std::optional<std::int64_t> Broker::committed(const std::string& group, const TopicPartition& tp) const {
@@ -275,13 +287,18 @@ void GroupMember::refresh_assignments() {
 }
 
 std::vector<StoredRecord> GroupMember::poll(std::size_t max_records) {
+  return poll_view(max_records).to_records();
+}
+
+FetchView GroupMember::poll_view(std::size_t max_records) {
   refresh_assignments();
   Topic& t = broker_.topic(topic_);
-  std::vector<StoredRecord> out;
-  out.reserve(max_records);
+  FetchView out;
   for (std::size_t p : assigned_) {
     if (out.size() >= max_records) break;
-    positions_[p] = t.partition(p).fetch(positions_[p], max_records - out.size(), out);
+    // Historical budget accounting (remaining vs total) preserved exactly:
+    // batch composition must not change with the view migration.
+    positions_[p] = t.partition(p).fetch_view(positions_[p], max_records - out.size(), out);
   }
   // Not counted into fetched stats: TopicStats::fetched_records has always
   // meant Consumer (whole-topic) fetches, and the registry cell backs it.
@@ -289,14 +306,24 @@ std::vector<StoredRecord> GroupMember::poll(std::size_t max_records) {
 }
 
 std::vector<PartitionBatch> GroupMember::poll_by_partition(std::size_t max_per_partition) {
+  auto views = poll_by_partition_view(max_per_partition);
+  std::vector<PartitionBatch> out;
+  out.reserve(views.size());
+  for (auto& pv : views) {
+    out.push_back(PartitionBatch{pv.partition, pv.records.to_records()});
+  }
+  return out;
+}
+
+std::vector<PartitionBatchView> GroupMember::poll_by_partition_view(std::size_t max_per_partition) {
   refresh_assignments();
   Topic& t = broker_.topic(topic_);
-  std::vector<PartitionBatch> out;
+  std::vector<PartitionBatchView> out;
   out.reserve(assigned_.size());
   for (std::size_t p : assigned_) {
-    PartitionBatch pb;
+    PartitionBatchView pb;
     pb.partition = p;
-    positions_[p] = t.partition(p).fetch(positions_[p], max_per_partition, pb.records);
+    positions_[p] = t.partition(p).fetch_view(positions_[p], max_per_partition, pb.records);
     if (!pb.records.empty()) out.push_back(std::move(pb));
   }
   return out;
@@ -304,7 +331,10 @@ std::vector<PartitionBatch> GroupMember::poll_by_partition(std::size_t max_per_p
 
 void GroupMember::commit() {
   for (const auto& [p, offset] : positions_) {
-    broker_.commit(group_, TopicPartition{topic_, p}, offset);
+    // Fenced: a rebalance since our last refresh voids these positions —
+    // the new owner re-reads from the last accepted commit instead of
+    // having its progress regressed by ours.
+    broker_.commit_fenced(group_, TopicPartition{topic_, p}, offset, generation_);
   }
 }
 
@@ -337,15 +367,26 @@ Consumer::Consumer(Broker& broker, std::string group, std::string topic)
 }
 
 std::vector<StoredRecord> Consumer::poll(std::size_t max_records) {
+  return poll_view(max_records).to_records();
+}
+
+FetchView Consumer::poll_view(std::size_t max_records) {
   Topic& t = broker_.topic(topic_);
-  std::vector<StoredRecord> out;
-  out.reserve(max_records);
+  FetchView out;
   for (std::size_t i = 0; i < positions_.size() && out.size() < max_records; ++i) {
     const std::size_t p = (next_partition_ + i) % positions_.size();
-    positions_[p] = t.partition(p).fetch(positions_[p], max_records - out.size(), out);
+    // Historical budget accounting (remaining vs total) preserved exactly:
+    // batch composition must not change with the view migration.
+    positions_[p] = t.partition(p).fetch_view(positions_[p], max_records - out.size(), out);
   }
   next_partition_ = (next_partition_ + 1) % positions_.size();
-  t.obs_fetched_records_->inc_unchecked(out.size());
+  // Empty polls (a caught-up consumer's steady state) touch no counters.
+  if (!out.empty()) {
+    t.obs_fetched_records_->inc_unchecked(out.size());
+    std::size_t bytes = 0;
+    for (const RecordView& v : out) bytes += v.wire_size();
+    t.obs_fetched_bytes_->inc_unchecked(bytes);
+  }
   return out;
 }
 

@@ -16,6 +16,7 @@
 #include "observe/metrics.hpp"
 #include "stream/partition.hpp"
 #include "stream/record.hpp"
+#include "stream/view.hpp"
 
 namespace oda::stream {
 
@@ -48,6 +49,7 @@ struct TopicStats {
   std::uint64_t produced_records = 0;
   std::uint64_t produced_bytes = 0;
   std::uint64_t fetched_records = 0;
+  std::uint64_t fetched_bytes = 0;
   std::uint64_t retained_records = 0;
   std::uint64_t retained_bytes = 0;
   std::uint64_t evicted_bytes = 0;
@@ -95,6 +97,7 @@ class Topic {
   observe::Counter* obs_produced_records_ = nullptr;
   observe::Counter* obs_produced_bytes_ = nullptr;
   observe::Counter* obs_fetched_records_ = nullptr;
+  observe::Counter* obs_fetched_bytes_ = nullptr;
   // Registry cells are keyed by topic *name* for the process lifetime, so
   // a re-created topic (fresh Broker in the same process, e.g. across
   // test cases) resumes the shared cell. stats() subtracts the values at
@@ -102,6 +105,7 @@ class Topic {
   std::uint64_t base_produced_records_ = 0;
   std::uint64_t base_produced_bytes_ = 0;
   std::uint64_t base_fetched_records_ = 0;
+  std::uint64_t base_fetched_bytes_ = 0;
   std::atomic<std::uint64_t> rr_counter_{0};
   std::atomic<std::uint64_t> evicted_bytes_{0};
 
@@ -171,6 +175,15 @@ class Broker {
 
   /// Committed-offset store (consumer-group coordination).
   void commit(const std::string& group, const TopicPartition& tp, std::int64_t offset);
+  /// Generation-fenced commit: stores the offset only while `generation`
+  /// is still the group's current generation (check and store are one
+  /// critical section). A member whose poll predates a rebalance cannot
+  /// regress the committed offset past the new owner's progress; the
+  /// fenced member re-delivers those records after its next
+  /// refresh — at-least-once, never lost. Returns whether the commit was
+  /// accepted.
+  bool commit_fenced(const std::string& group, const TopicPartition& tp, std::int64_t offset,
+                     std::uint64_t generation);
   std::optional<std::int64_t> committed(const std::string& group, const TopicPartition& tp) const;
   /// Every (group, partition, offset) row in the offset store, sorted by
   /// key — the monitor's raw material for per-group lag tracking.
@@ -218,6 +231,14 @@ class Subscription {
   /// Fetch up to max_records. Advances in-memory positions only;
   /// commit() persists them.
   virtual std::vector<StoredRecord> poll(std::size_t max_records) = 0;
+  /// Zero-copy variant: views into the broker's refcounted segments,
+  /// pinned for the FetchView's lifetime. Broker-backed subscriptions
+  /// override this with a true view fetch and implement poll() on top of
+  /// it; the default adapts poll() for implementations (test fakes) that
+  /// only provide the copying path.
+  virtual FetchView poll_view(std::size_t max_records) {
+    return FetchView::adopt(poll(max_records));
+  }
   /// Persist current positions to the broker's committed-offset store.
   virtual void commit() = 0;
   /// Reset positions to the last committed snapshot (failure recovery /
@@ -238,8 +259,12 @@ class Consumer final : public Subscription {
   Consumer(Broker& broker, std::string group, std::string topic);
 
   /// Fetch up to max_records across partitions. Advances in-memory
-  /// positions only; call commit() to persist.
+  /// positions only; call commit() to persist. Copying shim over
+  /// poll_view().
   std::vector<StoredRecord> poll(std::size_t max_records) override;
+  /// Zero-copy poll: identical partition interleave and batch composition
+  /// to poll(), returning pinned views instead of owned copies.
+  FetchView poll_view(std::size_t max_records) override;
 
   /// Persist current positions to the broker's offset store. Also
   /// snapshots the round-robin cursor, so a later seek_to_committed()
@@ -274,6 +299,13 @@ struct PartitionBatch {
   std::vector<StoredRecord> records;
 };
 
+/// View flavor of PartitionBatch: the engine's merge step moves these
+/// into one FetchView (views and pins splice; no record is copied).
+struct PartitionBatchView {
+  std::size_t partition = 0;
+  FetchView records;
+};
+
 /// A rebalancing consumer-group member: partitions are split round-robin
 /// across live members and reassigned when members join or leave. Poll
 /// rechecks the group generation, so scaling the consumer fleet up or
@@ -288,14 +320,24 @@ class GroupMember final : public Subscription {
   GroupMember& operator=(const GroupMember&) = delete;
 
   /// Fetch up to max_records from this member's assigned partitions,
-  /// resuming each partition from the group's committed offset.
+  /// resuming each partition from the group's committed offset. Copying
+  /// shim over poll_view().
   std::vector<StoredRecord> poll(std::size_t max_records) override;
+  /// Zero-copy poll over the assigned partitions.
+  FetchView poll_view(std::size_t max_records) override;
   /// Like poll(), but capped per partition and keeping each partition's
   /// records in their own PartitionBatch. The engine's merge step sorts
   /// these by partition index, making batch contents a pure function of
   /// committed offsets — independent of worker count or fetch order.
+  /// Copying shim over poll_by_partition_view().
   std::vector<PartitionBatch> poll_by_partition(std::size_t max_per_partition);
-  /// Commit progress on the assigned partitions.
+  /// Zero-copy variant used by the engine's parallel source.
+  std::vector<PartitionBatchView> poll_by_partition_view(std::size_t max_per_partition);
+  /// Commit progress on the assigned partitions. Fenced by group
+  /// generation: if another member joined or left since this member's
+  /// last poll, the broker drops the commit and the records are
+  /// re-delivered to their new owner (at-least-once across a rebalance,
+  /// never a committed-offset regression).
   void commit() override;
   /// Drop in-memory positions back to the group's committed offsets for
   /// every assigned partition (replay after a failed batch).

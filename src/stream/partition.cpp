@@ -19,54 +19,142 @@ observe::Counter* segments_rolled_counter() {
 }
 }  // namespace
 
-std::int64_t Partition::append_unlocked(Record r) {
+std::uint32_t Partition::KeyDict::intern(std::string& key) {
+  const auto it = ids.find(std::string_view(key));
+  if (it != ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(entries.size());
+  entries.push_back(std::move(key));
+  ids.emplace(std::string_view(entries.back()), id);
+  return id;
+}
+
+std::int64_t Partition::append_unlocked(Record&& r, std::size_t index_hint) {
   const std::size_t sz = r.wire_size();
-  if (segments_.empty() || segments_.back().bytes + sz > segment_bytes_) {
-    Segment s;
-    s.base_offset = next_offset_;
+  // Roll on the wire-size rule (identical placement to the pre-arena
+  // layout), plus a defensive arena-capacity check: the wire rule already
+  // guarantees payload bytes fit the reservation, so the second clause
+  // can only fire if that invariant is ever broken — never silently
+  // reallocate an arena that in-flight views point into.
+  const bool roll = segments_.empty() || segments_.back()->bytes + sz > segment_bytes_ ||
+                    segments_.back()->arena.size() + r.payload.size() >
+                        segments_.back()->arena.capacity();
+  if (roll) {
+    auto s = std::make_shared<Segment>();
+    s->base_offset = next_offset_.load(std::memory_order_relaxed);
+    // Full-capacity reservation up front: the arena must never reallocate
+    // while readers hold views into it. Payload bytes per segment are
+    // bounded by the wire-size roll rule (first record may exceed it).
+    s->arena.reserve(std::max(segment_bytes_, r.payload.size()));
+    if (index_hint > 0) {
+      s->index.reserve(std::min(index_hint, segment_bytes_ / 24 + 1));
+    }
+    s->dict = dict_;
     segments_.push_back(std::move(s));
     segments_rolled_counter()->inc();
   }
-  Segment& seg = segments_.back();
+  Segment& seg = *segments_.back();
+  IndexEntry e;
+  e.timestamp = r.timestamp;
+  e.trace_id = r.trace_id;
+  e.span_id = r.span_id;
+  e.payload_off = seg.arena.size();
+  e.payload_len = static_cast<std::uint32_t>(r.payload.size());
+  e.key_id = r.key.empty() ? kNoKey : dict_->intern(r.key);
+  seg.arena.append(r.payload);
+  seg.index.push_back(e);
   seg.max_ts = std::max(seg.max_ts, r.timestamp);
   seg.bytes += sz;
   total_bytes_ += sz;
-  seg.records.push_back(std::move(r));
-  return next_offset_++;
+  const std::int64_t off = next_offset_.load(std::memory_order_relaxed);
+  next_offset_.store(off + 1, std::memory_order_relaxed);
+  return off;
 }
 
 std::int64_t Partition::append(Record r) {
   std::lock_guard lk(mu_);
-  return append_unlocked(std::move(r));
+  return append_unlocked(std::move(r), /*index_hint=*/0);
 }
 
 std::int64_t Partition::append_batch(std::vector<Record>&& batch) {
   std::lock_guard lk(mu_);
-  const std::int64_t first = next_offset_;
-  for (Record& r : batch) append_unlocked(std::move(r));
+  const std::int64_t first = next_offset_.load(std::memory_order_relaxed);
+  // Pre-reserve from the batch's summed wire size: if the whole batch
+  // fits the active segment (the common scrape/collection case), one
+  // index reserve up front; otherwise each rolled segment gets the
+  // remaining-records hint. Arena capacity is always fully reserved at
+  // segment creation, so payload bytes need no per-batch reserve.
+  std::size_t wire = 0;
+  for (const Record& r : batch) wire += r.wire_size();
+  if (!segments_.empty() && segments_.back()->bytes + wire <= segment_bytes_) {
+    Segment& seg = *segments_.back();
+    seg.index.reserve(seg.index.size() + batch.size());
+  }
+  std::size_t remaining = batch.size();
+  for (Record& r : batch) append_unlocked(std::move(r), remaining--);
   batch.clear();
   return first;
 }
 
 std::int64_t Partition::fetch(std::int64_t offset, std::size_t max_records,
                               std::vector<StoredRecord>& out) const {
-  // Fault seam: fails before copying anything out. A consumer whose poll
+  // Legacy copying shim: same budget accounting as always (max_records
+  // counts against out.size(), which may be non-empty across partitions).
+  const std::size_t budget = max_records > out.size() ? max_records - out.size() : 0;
+  FetchView fv;
+  const std::int64_t next = fetch_view(offset, budget, fv);
+  out.reserve(out.size() + fv.size());
+  for (const RecordView& v : fv) out.push_back(v.to_stored());
+  return next;
+}
+
+std::int64_t Partition::fetch_view(std::int64_t offset, std::size_t max_records,
+                                   FetchView& out) const {
+  // Empty-fetch fast paths: a zero budget or an offset at/past the end
+  // returns without the fault seam, the partition lock, or any counter
+  // work (a caught-up consumer polls this case every round). The relaxed
+  // end read can be stale; that only defers the fetch one poll.
+  if (out.size() >= max_records) {
+    return std::min(offset, next_offset_.load(std::memory_order_relaxed));
+  }
+  if (offset >= next_offset_.load(std::memory_order_relaxed)) {
+    return next_offset_.load(std::memory_order_relaxed);
+  }
+  // Fault seam: fails before handing out anything. A consumer whose poll
   // faulted mid-way must restore its positions before retrying (the
   // BrokerSource retry does this via seek_to_committed).
   chaos::fault_point("stream.fetch");
   std::lock_guard lk(mu_);
-  if (segments_.empty()) return next_offset_;
-  const std::int64_t start = segments_.front().base_offset;
-  if (offset < start) offset = start;   // evicted range: snap forward
-  if (offset > next_offset_) offset = next_offset_;  // past end: clamp back
+  const std::int64_t end = next_offset_.load(std::memory_order_relaxed);
+  if (segments_.empty()) return end;
+  const std::int64_t start = segments_.front()->base_offset;
+  if (offset < start) offset = start;  // evicted range: snap forward
+  if (offset > end) offset = end;      // past end: clamp back
   std::int64_t cur = offset;
-  for (const auto& seg : segments_) {
-    const std::int64_t seg_end = seg.base_offset + static_cast<std::int64_t>(seg.records.size());
+  for (const auto& seg_ptr : segments_) {
+    const Segment& seg = *seg_ptr;
+    const std::int64_t seg_end = seg.base_offset + static_cast<std::int64_t>(seg.index.size());
     if (cur >= seg_end) continue;
     if (cur < seg.base_offset) cur = seg.base_offset;
-    for (std::size_t i = static_cast<std::size_t>(cur - seg.base_offset); i < seg.records.size(); ++i) {
+    // Pin the segment once per fetch: the shared_ptr keeps the arena, the
+    // index and (through Segment::dict) the key bytes alive after
+    // retention pops the segment — and after this partition is destroyed.
+    bool pinned = false;
+    for (std::size_t i = static_cast<std::size_t>(cur - seg.base_offset); i < seg.index.size();
+         ++i) {
       if (out.size() >= max_records) return cur;
-      out.push_back(StoredRecord{cur, seg.records[i]});
+      if (!pinned) {
+        out.pin(seg_ptr);
+        pinned = true;
+      }
+      const IndexEntry& e = seg.index[i];
+      RecordView v;
+      v.offset = cur;
+      v.timestamp = e.timestamp;
+      v.trace_id = e.trace_id;
+      v.span_id = e.span_id;
+      if (e.key_id != kNoKey) v.key = seg.dict->entries[e.key_id];
+      v.payload = std::string_view(seg.arena.data() + e.payload_off, e.payload_len);
+      out.push_back(v);
       ++cur;
     }
   }
@@ -76,20 +164,22 @@ std::int64_t Partition::fetch(std::int64_t offset, std::size_t max_records,
 std::int64_t Partition::offset_for_time(common::TimePoint t) const {
   std::lock_guard lk(mu_);
   for (const auto& seg : segments_) {
-    if (seg.max_ts < t) continue;
-    for (std::size_t i = 0; i < seg.records.size(); ++i) {
-      if (seg.records[i].timestamp >= t) return seg.base_offset + static_cast<std::int64_t>(i);
+    if (seg->max_ts < t) continue;
+    for (std::size_t i = 0; i < seg->index.size(); ++i) {
+      if (seg->index[i].timestamp >= t) return seg->base_offset + static_cast<std::int64_t>(i);
     }
   }
-  return next_offset_;
+  return next_offset_.load(std::memory_order_relaxed);
 }
 
 std::size_t Partition::enforce_retention(const RetentionPolicy& policy, common::TimePoint now) {
   std::lock_guard lk(mu_);
   std::size_t evicted = 0;
-  // Never evict the active (last) segment.
+  // Never evict the active (last) segment. Popping only drops the
+  // partition's reference — readers holding a FetchView pin keep the
+  // segment's bytes alive until they are done.
   while (segments_.size() > 1) {
-    const Segment& head = segments_.front();
+    const Segment& head = *segments_.front();
     const bool too_old = policy.max_age > 0 && head.max_ts < now - policy.max_age;
     const bool too_big = policy.max_bytes >= 0 && static_cast<std::int64_t>(total_bytes_) > policy.max_bytes;
     if (!too_old && !too_big) break;
@@ -102,12 +192,12 @@ std::size_t Partition::enforce_retention(const RetentionPolicy& policy, common::
 
 std::int64_t Partition::start_offset() const {
   std::lock_guard lk(mu_);
-  return segments_.empty() ? next_offset_ : segments_.front().base_offset;
+  return segments_.empty() ? next_offset_.load(std::memory_order_relaxed)
+                           : segments_.front()->base_offset;
 }
 
 std::int64_t Partition::end_offset() const {
-  std::lock_guard lk(mu_);
-  return next_offset_;
+  return next_offset_.load(std::memory_order_relaxed);
 }
 
 std::size_t Partition::size_bytes() const {
@@ -118,10 +208,8 @@ std::size_t Partition::size_bytes() const {
 std::size_t Partition::record_count() const {
   std::lock_guard lk(mu_);
   std::size_t n = 0;
-  for (const auto& s : segments_) n += s.records.size();
+  for (const auto& s : segments_) n += s->index.size();
   return n;
 }
-
-std::int64_t Partition::end_offset_unlocked() const { return next_offset_; }
 
 }  // namespace oda::stream

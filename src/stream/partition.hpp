@@ -1,14 +1,30 @@
 // A partition is a segmented, append-only log with offset addressing and
 // time/size retention — the FIFO buffer role Kafka plays in the paper's
 // multi-project pipelines (Sec V-B).
+//
+// Storage layout (the zero-copy read path): each segment is immutable
+// once rolled and refcounted. Payload bytes live in one contiguous arena
+// per segment, reserved to its full capacity up front so appends never
+// reallocate (in-flight views stay valid); record metadata lives in a
+// fixed-stride index (timestamp, trace ids, payload offset/length, key
+// id); keys are interned in a per-partition dictionary so a host name
+// repeated across millions of records is stored once. fetch_view() hands
+// out string_views into that storage plus a shared_ptr pin per touched
+// segment — retention can pop a segment from the deque while readers
+// holding a FetchView keep it (and the dictionary) alive.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "stream/record.hpp"
+#include "stream/view.hpp"
 
 namespace oda::stream {
 
@@ -31,14 +47,24 @@ class Partition {
 
   /// Copy up to `max_records` records starting at `offset` into `out`.
   /// Returns the next offset to poll from. Offsets below the log start
-  /// (evicted by retention) snap forward to the log start.
+  /// (evicted by retention) snap forward to the log start. Legacy shim
+  /// over fetch_view() — one deep copy per record.
   std::int64_t fetch(std::int64_t offset, std::size_t max_records, std::vector<StoredRecord>& out) const;
+
+  /// Zero-copy fetch: append up to `max_records` (counted against
+  /// out.size(), like fetch) RecordViews into `out`, pinning each touched
+  /// segment so the views outlive retention. Returns the next offset to
+  /// poll from. No locks are held after it returns. Empty fetches
+  /// (max_records already satisfied, or offset at/past the end) return
+  /// without the fault seam or the partition lock.
+  std::int64_t fetch_view(std::int64_t offset, std::size_t max_records, FetchView& out) const;
 
   /// Earliest offset whose record timestamp is >= t (or end offset).
   std::int64_t offset_for_time(common::TimePoint t) const;
 
   /// Drop whole segments that violate the policy given the current time.
-  /// Returns bytes evicted.
+  /// Returns bytes evicted. Evicted segments stay alive while any
+  /// FetchView still pins them.
   std::size_t enforce_retention(const RetentionPolicy& policy, common::TimePoint now);
 
   std::int64_t start_offset() const;
@@ -47,21 +73,53 @@ class Partition {
   std::size_t record_count() const;
 
  private:
-  struct Segment {
-    std::int64_t base_offset = 0;
-    std::vector<Record> records;
-    std::size_t bytes = 0;
-    common::TimePoint max_ts = 0;
+  /// Interned key storage shared by every segment of this partition.
+  /// Entries live in a deque (stable addresses, never erased) and are
+  /// immutable once published under mu_; segments hold a shared_ptr so
+  /// pinned views keep the dictionary alive after the partition dies.
+  /// Trade-off: the dictionary holds the partition's lifetime-distinct
+  /// key set — sized for low-cardinality keys (host/job names), which is
+  /// what partitioning keys are.
+  struct KeyDict {
+    std::deque<std::string> entries;
+    std::unordered_map<std::string_view, std::uint32_t> ids;  ///< views into entries
+
+    std::uint32_t intern(std::string& key);
   };
 
-  // Unlocked internals (callers hold mu_).
-  std::int64_t append_unlocked(Record r);
-  std::int64_t end_offset_unlocked() const;
+  static constexpr std::uint32_t kNoKey = 0xffffffffu;
+
+  /// Fixed-stride per-record metadata; payload bytes are arena slices.
+  struct IndexEntry {
+    common::TimePoint timestamp = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t payload_off = 0;
+    std::uint32_t payload_len = 0;
+    std::uint32_t key_id = kNoKey;
+  };
+
+  struct Segment {
+    std::int64_t base_offset = 0;
+    std::string arena;              ///< reserved once at creation; never reallocates
+    std::vector<IndexEntry> index;
+    std::size_t bytes = 0;          ///< wire-size accounting (matches pre-arena layout)
+    common::TimePoint max_ts = 0;
+    std::shared_ptr<KeyDict> dict;  ///< keeps key bytes alive while pinned
+  };
+
+  // Unlocked internals (callers hold mu_). index_hint pre-sizes a freshly
+  // rolled segment's index (append_batch passes its remaining count).
+  std::int64_t append_unlocked(Record&& r, std::size_t index_hint);
 
   mutable std::mutex mu_;
-  std::deque<Segment> segments_;
+  std::deque<std::shared_ptr<Segment>> segments_;
+  std::shared_ptr<KeyDict> dict_ = std::make_shared<KeyDict>();
   std::size_t segment_bytes_;
-  std::int64_t next_offset_ = 0;
+  /// Written under mu_; read locklessly (relaxed) by the empty-fetch fast
+  /// path and end_offset(). A stale read only makes a poll report "caught
+  /// up" one round early, never yields wrong data.
+  std::atomic<std::int64_t> next_offset_{0};
   std::size_t total_bytes_ = 0;
 };
 

@@ -29,8 +29,12 @@ stream::Record encode_packet(const TelemetryPacket& pkt) {
 }
 
 TelemetryPacket decode_packet(const stream::Record& r) {
-  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(r.payload.data()),
-                                              r.payload.size()));
+  return decode_packet(std::string_view(r.payload));
+}
+
+TelemetryPacket decode_packet(std::string_view payload) {
+  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                                              payload.size()));
   TelemetryPacket pkt;
   pkt.timestamp = br.i64();
   pkt.node_id = br.u32();
@@ -59,10 +63,10 @@ void append_packet_rows(const TelemetryPacket& pkt, Table& bronze) {
   }
 }
 
-Table packets_to_bronze(std::span<const stream::StoredRecord> records) {
+Table packets_to_bronze(std::span<const stream::RecordView> records) {
   Table bronze(bronze_schema());
   bronze.reserve(records.size() * 20);
-  for (const auto& sr : records) append_packet_rows(decode_packet(sr.record), bronze);
+  for (const auto& v : records) append_packet_rows(decode_packet(v.payload), bronze);
   return bronze;
 }
 
@@ -91,13 +95,13 @@ Schema job_event_schema() {
                 {"num_nodes", DataType::kInt64}, {"uses_gpu", DataType::kBool}};
 }
 
-Table job_events_to_table(std::span<const stream::StoredRecord> records) {
+Table job_events_to_table(std::span<const stream::RecordView> records) {
   static const char* kEventNames[] = {"submit", "start", "end"};
   Table t(job_event_schema());
   t.reserve(records.size());
-  for (const auto& sr : records) {
+  for (const auto& v : records) {
     ByteReader br(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(sr.record.payload.data()), sr.record.payload.size()));
+        reinterpret_cast<const std::uint8_t*>(v.payload.data()), v.payload.size()));
     const std::int64_t time = br.i64();
     const std::uint8_t kind = br.u8();
     const std::int64_t job_id = br.i64();
@@ -139,8 +143,12 @@ stream::Record encode_log_event(const LogEvent& ev) {
 }
 
 LogEvent decode_log_event(const stream::Record& r) {
-  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(r.payload.data()),
-                                              r.payload.size()));
+  return decode_log_event(std::string_view(r.payload));
+}
+
+LogEvent decode_log_event(std::string_view payload) {
+  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                                              payload.size()));
   LogEvent ev;
   ev.timestamp = br.i64();
   ev.node_id = br.u32();
@@ -158,11 +166,11 @@ Schema log_event_schema() {
                 {"message", DataType::kString}};
 }
 
-Table log_events_to_table(std::span<const stream::StoredRecord> records) {
+Table log_events_to_table(std::span<const stream::RecordView> records) {
   Table t(log_event_schema());
   t.reserve(records.size());
-  for (const auto& sr : records) {
-    LogEvent ev = decode_log_event(sr.record);
+  for (const auto& v : records) {
+    LogEvent ev = decode_log_event(v.payload);
     t.append_row({Value(ev.timestamp), Value(static_cast<std::int64_t>(ev.node_id)),
                   Value(severity_name(ev.severity)), Value(std::move(ev.subsystem)),
                   Value(std::move(ev.message))});

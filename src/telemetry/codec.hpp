@@ -9,6 +9,7 @@
 
 #include "sql/table.hpp"
 #include "stream/record.hpp"
+#include "stream/view.hpp"
 #include "telemetry/sensors.hpp"
 
 namespace oda::telemetry {
@@ -17,13 +18,16 @@ namespace oda::telemetry {
 /// partitioning; payload = compact binary).
 stream::Record encode_packet(const TelemetryPacket& pkt);
 TelemetryPacket decode_packet(const stream::Record& r);
+/// Payload-level decode for the zero-copy path (no owned Record needed).
+TelemetryPacket decode_packet(std::string_view payload);
 
 /// Schema of the Bronze long-format table:
 /// (time:int64, node_id:int64, sensor:string, value:float64).
 sql::Schema bronze_schema();
 
-/// Decode a batch of broker records into one Bronze long table.
-sql::Table packets_to_bronze(std::span<const stream::StoredRecord> records);
+/// Decode a batch of broker record views into one Bronze long table
+/// (reads payload bytes in place; nothing is copied but the rows).
+sql::Table packets_to_bronze(std::span<const stream::RecordView> records);
 
 /// Append a single packet's readings to a Bronze table (same schema).
 void append_packet_rows(const TelemetryPacket& pkt, sql::Table& bronze);
@@ -35,7 +39,7 @@ stream::Record encode_job_event(const JobScheduler::Event& ev, const Job& job);
 
 /// Schema: (time, event, job_id, project, user, archetype, num_nodes, uses_gpu).
 sql::Schema job_event_schema();
-sql::Table job_events_to_table(std::span<const stream::StoredRecord> records);
+sql::Table job_events_to_table(std::span<const stream::RecordView> records);
 
 // --- syslog events ----------------------------------------------------------
 
@@ -52,7 +56,8 @@ struct LogEvent {
 
 stream::Record encode_log_event(const LogEvent& ev);
 LogEvent decode_log_event(const stream::Record& r);
+LogEvent decode_log_event(std::string_view payload);
 sql::Schema log_event_schema();
-sql::Table log_events_to_table(std::span<const stream::StoredRecord> records);
+sql::Table log_events_to_table(std::span<const stream::RecordView> records);
 
 }  // namespace oda::telemetry

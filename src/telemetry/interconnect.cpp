@@ -102,9 +102,11 @@ stream::Record encode_nic_sample(const NicSample& s) {
   return rec;
 }
 
-NicSample decode_nic_sample(const stream::Record& r) {
-  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(r.payload.data()),
-                                              r.payload.size()));
+NicSample decode_nic_sample(const stream::Record& r) { return decode_nic_sample(std::string_view(r.payload)); }
+
+NicSample decode_nic_sample(std::string_view payload) {
+  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                                              payload.size()));
   NicSample s;
   s.time = br.i64();
   s.node_id = br.u32();
@@ -121,11 +123,11 @@ Schema nic_schema() {
                 {"messages_s", DataType::kFloat64}, {"link_errors", DataType::kInt64}};
 }
 
-Table nic_samples_to_table(std::span<const stream::StoredRecord> records) {
+Table nic_samples_to_table(std::span<const stream::RecordView> records) {
   Table t(nic_schema());
   t.reserve(records.size());
-  for (const auto& sr : records) {
-    const NicSample s = decode_nic_sample(sr.record);
+  for (const auto& v : records) {
+    const NicSample s = decode_nic_sample(v.payload);
     t.append_row({Value(s.time), Value(static_cast<std::int64_t>(s.node_id)), Value(s.tx_bytes_s),
                   Value(s.rx_bytes_s), Value(s.messages_s),
                   Value(static_cast<std::int64_t>(s.link_errors))});
@@ -148,9 +150,11 @@ stream::Record encode_switch_sample(const SwitchSample& s) {
   return rec;
 }
 
-SwitchSample decode_switch_sample(const stream::Record& r) {
-  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(r.payload.data()),
-                                              r.payload.size()));
+SwitchSample decode_switch_sample(const stream::Record& r) { return decode_switch_sample(std::string_view(r.payload)); }
+
+SwitchSample decode_switch_sample(std::string_view payload) {
+  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                                              payload.size()));
   SwitchSample s;
   s.time = br.i64();
   s.switch_id = br.u32();
@@ -168,11 +172,11 @@ Schema switch_schema() {
                 {"congestion_stall_pct", DataType::kFloat64}};
 }
 
-Table switch_samples_to_table(std::span<const stream::StoredRecord> records) {
+Table switch_samples_to_table(std::span<const stream::RecordView> records) {
   Table t(switch_schema());
   t.reserve(records.size());
-  for (const auto& sr : records) {
-    const SwitchSample s = decode_switch_sample(sr.record);
+  for (const auto& v : records) {
+    const SwitchSample s = decode_switch_sample(v.payload);
     t.append_row({Value(s.time), Value(static_cast<std::int64_t>(s.switch_id)),
                   Value(s.throughput_bytes_s), Value(s.utilization),
                   Value(s.congestion_stall_pct)});

@@ -11,6 +11,7 @@
 #include "common/time.hpp"
 #include "sql/table.hpp"
 #include "stream/record.hpp"
+#include "stream/view.hpp"
 #include "telemetry/job.hpp"
 
 namespace oda::telemetry {
@@ -67,14 +68,16 @@ class InterconnectModel {
 
 stream::Record encode_nic_sample(const NicSample& s);
 NicSample decode_nic_sample(const stream::Record& r);
+NicSample decode_nic_sample(std::string_view payload);
 /// Schema: (time, node_id, tx_bytes_s, rx_bytes_s, messages_s, link_errors).
 sql::Schema nic_schema();
-sql::Table nic_samples_to_table(std::span<const stream::StoredRecord> records);
+sql::Table nic_samples_to_table(std::span<const stream::RecordView> records);
 
 stream::Record encode_switch_sample(const SwitchSample& s);
 SwitchSample decode_switch_sample(const stream::Record& r);
+SwitchSample decode_switch_sample(std::string_view payload);
 /// Schema: (time, switch_id, throughput_bytes_s, utilization, congestion_stall_pct).
 sql::Schema switch_schema();
-sql::Table switch_samples_to_table(std::span<const stream::StoredRecord> records);
+sql::Table switch_samples_to_table(std::span<const stream::RecordView> records);
 
 }  // namespace oda::telemetry

@@ -113,9 +113,11 @@ stream::Record encode_io_counters(const IoCounters& c) {
   return rec;
 }
 
-IoCounters decode_io_counters(const stream::Record& r) {
-  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(r.payload.data()),
-                                              r.payload.size()));
+IoCounters decode_io_counters(const stream::Record& r) { return decode_io_counters(std::string_view(r.payload)); }
+
+IoCounters decode_io_counters(std::string_view payload) {
+  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                                              payload.size()));
   IoCounters c;
   c.interval_start = br.i64();
   c.interval = br.i64();
@@ -135,11 +137,11 @@ Schema io_counters_schema() {
                 {"checkpointing", DataType::kBool}};
 }
 
-Table io_counters_to_table(std::span<const stream::StoredRecord> records) {
+Table io_counters_to_table(std::span<const stream::RecordView> records) {
   Table t(io_counters_schema());
   t.reserve(records.size());
-  for (const auto& sr : records) {
-    const IoCounters c = decode_io_counters(sr.record);
+  for (const auto& v : records) {
+    const IoCounters c = decode_io_counters(v.payload);
     t.append_row({Value(c.interval_start), Value(c.job_id), Value(c.bytes_read),
                   Value(c.bytes_written), Value(static_cast<std::int64_t>(c.opens)),
                   Value(static_cast<std::int64_t>(c.metadata_ops)),
@@ -163,9 +165,11 @@ stream::Record encode_ost_sample(const OstSample& s) {
   return rec;
 }
 
-OstSample decode_ost_sample(const stream::Record& r) {
-  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(r.payload.data()),
-                                              r.payload.size()));
+OstSample decode_ost_sample(const stream::Record& r) { return decode_ost_sample(std::string_view(r.payload)); }
+
+OstSample decode_ost_sample(std::string_view payload) {
+  ByteReader br(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                                              payload.size()));
   OstSample s;
   s.time = br.i64();
   s.ost = br.u32();
@@ -183,11 +187,11 @@ Schema ost_schema() {
                 {"latency_ms", DataType::kFloat64}};
 }
 
-Table ost_samples_to_table(std::span<const stream::StoredRecord> records) {
+Table ost_samples_to_table(std::span<const stream::RecordView> records) {
   Table t(ost_schema());
   t.reserve(records.size());
-  for (const auto& sr : records) {
-    const OstSample s = decode_ost_sample(sr.record);
+  for (const auto& v : records) {
+    const OstSample s = decode_ost_sample(v.payload);
     t.append_row({Value(s.time), Value(static_cast<std::int64_t>(s.ost)), Value(s.bytes_s),
                   Value(s.utilization), Value(s.latency_ms)});
   }

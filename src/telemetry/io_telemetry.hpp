@@ -14,6 +14,7 @@
 #include "common/time.hpp"
 #include "sql/table.hpp"
 #include "stream/record.hpp"
+#include "stream/view.hpp"
 #include "telemetry/job.hpp"
 
 namespace oda::telemetry {
@@ -76,14 +77,16 @@ class IoTelemetryModel {
 
 stream::Record encode_io_counters(const IoCounters& c);
 IoCounters decode_io_counters(const stream::Record& r);
+IoCounters decode_io_counters(std::string_view payload);
 /// Schema: (time, job_id, bytes_read, bytes_written, opens, metadata_ops, checkpointing).
 sql::Schema io_counters_schema();
-sql::Table io_counters_to_table(std::span<const stream::StoredRecord> records);
+sql::Table io_counters_to_table(std::span<const stream::RecordView> records);
 
 stream::Record encode_ost_sample(const OstSample& s);
 OstSample decode_ost_sample(const stream::Record& r);
+OstSample decode_ost_sample(std::string_view payload);
 /// Schema: (time, ost, bytes_s, utilization, latency_ms).
 sql::Schema ost_schema();
-sql::Table ost_samples_to_table(std::span<const stream::StoredRecord> records);
+sql::Table ost_samples_to_table(std::span<const stream::RecordView> records);
 
 }  // namespace oda::telemetry

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,9 +53,11 @@ TEST(BrokerStressTest, ProducersConsumerChurnAndRetentionRace) {
   producers.reserve(kProducers);
   for (std::size_t p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
+      auto stress = broker.producer("stress");
+      auto churny = broker.producer("churny");
       for (std::size_t j = 0; j < kPerProducer; ++j) {
-        broker.produce("stress", make_record(p, j));
-        broker.produce("churny", make_record(p, j));
+        stress.produce(make_record(p, j));
+        churny.produce(make_record(p, j));
       }
     });
   }
@@ -182,19 +185,21 @@ TEST(BrokerStressTest, ParallelGroupMembersPartitionTheTopic) {
   TopicConfig tc;
   tc.num_partitions = 6;
   broker.create_topic("shared", tc);
+  auto producer = broker.producer("shared");
   for (std::size_t j = 0; j < 1200; ++j) {
     Record r;
     r.key = "k" + std::to_string(j % 97);
     r.payload = std::to_string(j);
-    broker.produce("shared", std::move(r));
+    producer.produce(std::move(r));
   }
 
   std::atomic<std::uint64_t> consumed{0};
   constexpr std::size_t kMembers = 3;
+  std::vector<std::vector<std::size_t>> seen(kMembers);
   std::vector<std::thread> members;
   members.reserve(kMembers);
   for (std::size_t m = 0; m < kMembers; ++m) {
-    members.emplace_back([&] {
+    members.emplace_back([&, m] {
       GroupMember member(broker, "fleet", "shared");
       std::size_t idle = 0;
       while (idle < 2000) {
@@ -206,15 +211,22 @@ TEST(BrokerStressTest, ParallelGroupMembersPartitionTheTopic) {
         }
         idle = 0;
         consumed.fetch_add(got.size());
+        for (const auto& r : got) seen[m].push_back(std::stoul(r.record.payload));
         member.commit();
       }
     });
   }
   for (auto& t : members) t.join();
 
-  // Every record consumed exactly once across the fleet: the committed
-  // offsets cover the whole topic and the sum matches what was produced.
-  EXPECT_EQ(consumed.load(), 1200u);
+  // Members join while others already poll, so a rebalance can land
+  // between a poll and its commit — the group guarantee is at-least-once,
+  // not exactly-once. Assert what the broker actually promises: nothing
+  // is lost (all 1200 distinct records reach the fleet), re-delivery is
+  // the only slack in the count, and the committed offsets drain the lag.
+  std::set<std::size_t> distinct;
+  for (const auto& s : seen) distinct.insert(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 1200u);
+  EXPECT_GE(consumed.load(), 1200u);
   EXPECT_EQ(broker.lag("fleet", "shared"), 0);
 }
 
@@ -298,6 +310,82 @@ TEST(BrokerStressTest, ProduceBatchRacesRetentionAndReaders) {
   EXPECT_EQ(stats.produced_records, expected);
   EXPECT_EQ(stats.retained_bytes + stats.evicted_bytes, stats.produced_bytes);
   EXPECT_GT(stats.evicted_bytes, 0u);  // retention actually raced the producers
+}
+
+// Property: a pinned RecordView survives concurrent enforce_retention
+// evicting its backing segment, and round-trips byte-identical to the
+// Record that was produced. Every payload encodes its sequence number, so
+// each held view can be checked against the exact bytes its producer
+// wrote — after aggressive retention has swept the topic many times.
+// Run under -DODA_SANITIZE=address / thread to prove the lifetime story.
+TEST(BrokerStressTest, PinnedViewsSurviveConcurrentRetention) {
+  Broker broker;
+  TopicConfig tc;
+  tc.num_partitions = 2;
+  tc.segment_bytes = 1 << 10;  // small segments: eviction is frequent
+  tc.retention = RetentionPolicy{2 * common::kSecond, -1};
+  broker.create_topic("evict", tc);
+
+  constexpr std::size_t kRecords = 4000;
+  std::atomic<bool> produced_all{false};
+
+  std::thread producer_thread([&] {
+    auto producer = broker.producer("evict");
+    for (std::size_t j = 0; j < kRecords; ++j) {
+      Record r;
+      r.timestamp = static_cast<common::TimePoint>(j) * common::kSecond;
+      r.key = "host" + std::to_string(j % 7);
+      r.payload = "payload-" + std::to_string(j);
+      producer.produce(std::move(r));
+    }
+    produced_all.store(true, std::memory_order_release);
+  });
+
+  std::thread retention_thread([&] {
+    common::TimePoint now = 0;
+    while (!produced_all.load(std::memory_order_acquire)) {
+      now += common::kSecond;
+      broker.enforce_retention(now);
+      std::this_thread::yield();
+    }
+    // Final sweep: everything evictable is evicted while views are held.
+    broker.enforce_retention(static_cast<common::TimePoint>(kRecords + 100) * common::kSecond);
+  });
+
+  // The reader holds every FetchView it polls for the whole run, so the
+  // views' segments are evicted out from under them by the sweeps above.
+  std::vector<FetchView> held;
+  {
+    Consumer consumer(broker, "g", "evict");
+    for (;;) {
+      FetchView v = consumer.poll_view(97);
+      if (!v.empty()) {
+        held.push_back(std::move(v));
+      } else if (produced_all.load(std::memory_order_acquire) && consumer.lag() == 0) {
+        break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  producer_thread.join();
+  retention_thread.join();
+
+  std::uint64_t checked = 0;
+  for (const FetchView& fv : held) {
+    for (const RecordView& v : fv) {
+      const std::string payload(v.payload);
+      ASSERT_EQ(payload.rfind("payload-", 0), 0u) << payload;
+      const std::size_t j = std::stoull(payload.substr(8));
+      EXPECT_EQ(v.key, "host" + std::to_string(j % 7));
+      EXPECT_EQ(v.timestamp, static_cast<common::TimePoint>(j) * common::kSecond);
+      const Record round = v.to_record();  // owned round-trip
+      EXPECT_EQ(round.key, v.key);
+      EXPECT_EQ(round.payload, payload);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
 }
 
 }  // namespace

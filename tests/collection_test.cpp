@@ -64,6 +64,7 @@ class BatchSizeInvariance : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(BatchSizeInvariance, WindowedSumsIndependentOfBatching) {
   stream::Broker broker;
   broker.create_topic("in", {1, 1 << 20, {}});
+  auto in_producer = broker.producer("in");
   common::Rng rng(5);
   common::TimePoint t = 0;
   sql::Table all{sql::Schema{{"time", sql::DataType::kInt64}, {"v", sql::DataType::kFloat64}}};
@@ -77,7 +78,7 @@ TEST_P(BatchSizeInvariance, WindowedSumsIndependentOfBatching) {
     rec.timestamp = t;
     const auto blob = storage::write_columnar(row);
     rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
-    broker.produce("in", std::move(rec));
+    in_producer.produce(std::move(rec));
   }
 
   pipeline::QueryConfig qc;
@@ -118,6 +119,7 @@ class FaultPositionInvariance : public ::testing::TestWithParam<std::uint64_t> {
 TEST_P(FaultPositionInvariance, RecoveryPreservesExactlyOnce) {
   stream::Broker broker;
   broker.create_topic("in", {1, 1 << 20, {}});
+  auto in_producer = broker.producer("in");
   for (int i = 0; i < 120; ++i) {
     sql::Table row{sql::Schema{{"time", sql::DataType::kInt64}, {"v", sql::DataType::kFloat64}}};
     row.append_row({sql::Value(static_cast<common::TimePoint>(i) * kSecond), sql::Value(1.0)});
@@ -125,7 +127,7 @@ TEST_P(FaultPositionInvariance, RecoveryPreservesExactlyOnce) {
     rec.timestamp = i * kSecond;
     const auto blob = storage::write_columnar(row);
     rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
-    broker.produce("in", std::move(rec));
+    in_producer.produce(std::move(rec));
   }
   pipeline::QueryConfig qc;
   qc.max_records_per_batch = 10;

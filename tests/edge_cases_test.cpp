@@ -100,6 +100,7 @@ TEST(EwmaOpTest, CheckpointRoundTrip) {
 TEST(EwmaOpTest, InsideStreamingQuery) {
   stream::Broker broker;
   broker.create_topic("in", {1, 1 << 20, {}});
+  auto producer = broker.producer("in");
   for (int i = 0; i < 20; ++i) {
     Table row{Schema{{"time", DataType::kInt64}, {"v", DataType::kFloat64}}};
     row.append_row({Value(static_cast<common::TimePoint>(i) * kSecond),
@@ -108,7 +109,7 @@ TEST(EwmaOpTest, InsideStreamingQuery) {
     rec.timestamp = i * kSecond;
     const auto blob = storage::write_columnar(row);
     rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
-    broker.produce("in", std::move(rec));
+    producer.produce(std::move(rec));
   }
   pipeline::QueryConfig qc;
   qc.name = "smooth";

@@ -54,13 +54,13 @@ void fill_topic(stream::Topic& topic, std::size_t lo, std::size_t hi) {
 
 void fill_topic(stream::Topic& topic) { fill_topic(topic, 0, kRecords); }
 
-Table decode(std::span<const stream::StoredRecord> records) {
+Table decode(std::span<const stream::RecordView> records) {
   Table t{Schema{{"time", DataType::kInt64},
                  {"node", DataType::kString},
                  {"value", DataType::kFloat64}}};
-  for (const auto& sr : records) {
-    t.append_row({Value(sr.record.timestamp), Value(sr.record.key),
-                  Value(std::stod(sr.record.payload))});
+  for (const auto& v : records) {
+    t.append_row({Value(v.timestamp), Value(std::string(v.key)),
+                  Value(std::stod(std::string(v.payload)))});
   }
   return t;
 }

@@ -53,7 +53,7 @@ TEST(InferenceOpTest, AnomalyDetectorInStream) {
 
   stream::Broker broker;
   broker.create_topic("in", {1, 1 << 20, {}});
-  auto produce = [&](double power, double temp) {
+  auto produce = [&, producer = broker.producer("in")](double power, double temp) mutable {
     Table row{Schema{{"time", DataType::kInt64},
                      {"power", DataType::kFloat64},
                      {"temp", DataType::kFloat64}}};
@@ -61,7 +61,7 @@ TEST(InferenceOpTest, AnomalyDetectorInStream) {
     stream::Record rec;
     const auto blob = storage::write_columnar(row);
     rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
-    broker.produce("in", std::move(rec));
+    producer.produce(std::move(rec));
   };
   for (int i = 0; i < 30; ++i) produce(1000 + 2000 * 0.5, 30 + 40 * 0.5);  // healthy
   for (int i = 0; i < 5; ++i) produce(1000 + 2000 * 0.3, 30 + 40 * 0.3 + 18.0);  // runaway temp

@@ -189,9 +189,9 @@ TEST(TraceTest, SpanStoreRingEvictsOldest) {
 
 // --- produce → pipeline → sink trace continuity --------------------------
 
-sql::Table decode_simple(std::span<const stream::StoredRecord> records) {
+sql::Table decode_simple(std::span<const stream::RecordView> records) {
   Table t{Schema{{"time", DataType::kInt64}, {"v", DataType::kFloat64}}};
-  for (const auto& sr : records) t.append_row({Value(sr.record.timestamp), Value(1.0)});
+  for (const auto& v : records) t.append_row({Value(v.timestamp), Value(1.0)});
   return t;
 }
 
@@ -201,12 +201,13 @@ TEST(TraceTest, TraceContinuesAcrossBrokerHopIntoPipeline) {
 
   stream::Broker broker;
   broker.create_topic("t", {.num_partitions = 2});
+  auto producer = broker.producer("t");
   TraceContext ingest_ctx;
   {
     Span ingest("ingest");
     ingest_ctx = ingest.context();
     for (int i = 0; i < 10; ++i) {
-      broker.produce("t", stream::Record{i * kSecond, "k" + std::to_string(i), "x"});
+      producer.produce(stream::Record{i * kSecond, "k" + std::to_string(i), "x"});
     }
   }
 
@@ -250,8 +251,9 @@ TEST(TraceTest, TraceContinuesAcrossBrokerHopIntoPipeline) {
 TEST(LagTrackerTest, AgreesWithBrokerOffsets) {
   stream::Broker broker;
   broker.create_topic("lag", {.num_partitions = 4});
+  auto producer = broker.producer("lag");
   for (int i = 0; i < 1000; ++i) {
-    broker.produce("lag", stream::Record{i * kSecond, std::to_string(i), "p"});
+    producer.produce(stream::Record{i * kSecond, std::to_string(i), "p"});
   }
   stream::Consumer consumer(broker, "grp", "lag");
   const auto consumed = static_cast<std::int64_t>(consumer.poll(300).size());
@@ -432,7 +434,8 @@ TEST(OdaMonitorTest, TicksAndReports) {
   storage::TierManager tiers(broker, lake, ocean, glacier, {});
 
   broker.create_topic("t", {.num_partitions = 2});
-  for (int i = 0; i < 100; ++i) broker.produce("t", stream::Record{i * kSecond, "", "x"});
+  auto producer = broker.producer("t");
+  for (int i = 0; i < 100; ++i) producer.produce(stream::Record{i * kSecond, "", "x"});
   stream::Consumer consumer(broker, "g", "t");
   (void)consumer.poll(40);
   consumer.commit();
@@ -463,12 +466,13 @@ std::vector<std::pair<std::string, std::int64_t>> traced_flow_fingerprint(std::u
 
   stream::Broker broker;
   broker.create_topic("d", {.num_partitions = 3});
+  auto producer = broker.producer("d");
   common::Rng rng(seed);
   {
     Span ingest("ingest");
     for (int i = 0; i < 500; ++i) {
-      broker.produce("d", stream::Record{i * kSecond, std::to_string(rng.next() % 17),
-                                         std::to_string(rng.next() % 1000)});
+      producer.produce(stream::Record{i * kSecond, std::to_string(rng.next() % 17),
+                                      std::to_string(rng.next() % 1000)});
     }
   }
 

@@ -141,18 +141,17 @@ TEST(WindowAggOpTest, CheckpointStateRoundTrips) {
 
 struct QueryRig {
   stream::Broker broker;
-  QueryRig() {
-    // One partition so produce order == consume order (deterministic
-    // batch boundaries for the fault/poison tests).
-    broker.create_topic("in", {1, 1 << 20, {}});
-  }
+  // One partition so produce order == consume order (deterministic
+  // batch boundaries for the fault/poison tests). The cached handle
+  // skips the name lookup on every produced record.
+  stream::Producer in_producer{broker.create_topic("in", {1, 1 << 20, {}})};
   void produce(common::TimePoint t, double v) {
     Table row = rows_at({{t, v}});
     stream::Record rec;
     rec.timestamp = t;
     const auto blob = storage::write_columnar(row);
     rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
-    broker.produce("in", std::move(rec));
+    in_producer.produce(std::move(rec));
   }
   std::unique_ptr<StreamingQuery> make_query(QueryConfig qc = {}) {
     auto q = std::make_unique<StreamingQuery>(
@@ -339,7 +338,7 @@ TEST(SinkTest, TopicSinkRoundTripsThroughDecoder) {
   const auto records = c.poll(10);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].record.timestamp, 6 * kSecond);  // batch max event time
-  const Table back = decode_columnar_records(records);
+  const Table back = decode_columnar_records(stream::as_views(records));
   ASSERT_EQ(back.num_rows(), 2u);
   EXPECT_DOUBLE_EQ(back.column("v").double_at(1), 2.5);
 }

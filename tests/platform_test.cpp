@@ -99,14 +99,14 @@ TEST_F(InterconnectTest, CodecsRoundTrip) {
 TEST(DurableCheckpointTest, RestartResumesWindowState) {
   stream::Broker broker;
   broker.create_topic("in", {1, 1 << 20, {}});
-  auto produce = [&](common::TimePoint t, double v) {
+  auto produce = [&, producer = broker.producer("in")](common::TimePoint t, double v) mutable {
     Table row{Schema{{"time", DataType::kInt64}, {"v", DataType::kFloat64}}};
     row.append_row({Value(t), Value(v)});
     stream::Record rec;
     rec.timestamp = t;
     const auto blob = storage::write_columnar(row);
     rec.payload.assign(reinterpret_cast<const char*>(blob.data()), blob.size());
-    broker.produce("in", std::move(rec));
+    producer.produce(std::move(rec));
   };
   auto make_query = [&] {
     pipeline::QueryConfig qc;

@@ -364,9 +364,9 @@ TEST(SelfTelemetryPipelineTest, PoisonRecordsAreCountedAndSkipped) {
 
   Counter* errors = default_registry().counter("selfobs.decode.errors");
   const double before = static_cast<double>(errors->value());
-  broker.produce(stream::kMetricsTopic, stream::Record{0, "k", "this is not a metric sample"});
-  broker.produce(stream::kMetricsTopic,
-                 encode_metric_sample({"ok", MetricKind::kGauge, 4.0, 0.0, 0}, kSecond));
+  auto metrics = broker.producer(stream::kMetricsTopic);
+  metrics.produce(stream::Record{0, "k", "this is not a metric sample"});
+  metrics.produce(encode_metric_sample({"ok", MetricKind::kGauge, 4.0, 0.0, 0}, kSecond));
   query->run_until_caught_up();
 
   EXPECT_EQ(static_cast<double>(errors->value()) - before, 1.0);

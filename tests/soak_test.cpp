@@ -26,12 +26,13 @@ TEST(SoakTest, BrokerSustainsProducersConsumersAndRetention) {
   std::vector<std::thread> producers;
   for (int tid = 0; tid < 3; ++tid) {
     producers.emplace_back([&, tid] {
+      auto producer = broker.producer("soak");
       stream::Record r;
       r.payload.assign(64, 'x');
       for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
         r.timestamp = static_cast<common::TimePoint>(i) * kSecond;
         r.key = "k" + std::to_string(tid * 1000 + i % 97);
-        broker.produce("soak", r);
+        producer.produce(r);
         produced.fetch_add(1, std::memory_order_relaxed);
       }
     });

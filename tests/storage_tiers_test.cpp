@@ -200,11 +200,12 @@ TEST(TierManagerTest, ReportCoversAllFourTiers) {
 TEST(TierManagerTest, StreamRetentionAppliedThroughTierPolicy) {
   stream::Broker broker;
   broker.create_topic("t", {1, 256, {365 * kDay, -1}});  // generous topic default
+  auto producer = broker.producer("t");
   for (int i = 0; i < 200; ++i) {
     stream::Record r;
     r.timestamp = i * kSecond;
     r.payload.assign(16, 'x');
-    broker.produce("t", std::move(r));
+    producer.produce(std::move(r));
   }
   TimeSeriesDb lake;
   ObjectStore ocean;

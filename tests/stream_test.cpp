@@ -87,6 +87,122 @@ TEST(PartitionTest, FetchSnapsForwardAfterEviction) {
   EXPECT_EQ(out.front().offset, p.start_offset());
 }
 
+// ---- zero-copy view fetches -------------------------------------------
+
+TEST(PartitionViewTest, FetchViewMatchesFetchByteForByte) {
+  Partition p(256);  // several segments
+  for (int i = 0; i < 40; ++i) p.append(make_record(i, "key" + std::to_string(i % 3), 24));
+  std::vector<StoredRecord> owned;
+  const std::int64_t next_owned = p.fetch(5, 20, owned);
+  FetchView views;
+  const std::int64_t next_view = p.fetch_view(5, 20, views);
+  EXPECT_EQ(next_owned, next_view);
+  ASSERT_EQ(owned.size(), views.size());
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    EXPECT_EQ(views[i].offset, owned[i].offset);
+    EXPECT_EQ(views[i].timestamp, owned[i].record.timestamp);
+    EXPECT_EQ(views[i].key, owned[i].record.key);
+    EXPECT_EQ(views[i].payload, owned[i].record.payload);
+    EXPECT_EQ(views[i].wire_size(), owned[i].record.wire_size());
+    const Record round = views[i].to_record();
+    EXPECT_EQ(round.key, owned[i].record.key);
+    EXPECT_EQ(round.payload, owned[i].record.payload);
+    EXPECT_EQ(round.timestamp, owned[i].record.timestamp);
+  }
+  EXPECT_GT(views.pin_count(), 1u);  // the range spans segment boundaries
+}
+
+TEST(PartitionViewTest, PinnedViewSurvivesSegmentEviction) {
+  Partition p(200);
+  std::vector<Record> originals;
+  for (int i = 0; i < 50; ++i) {
+    Record r = make_record(i * common::kSecond, "host" + std::to_string(i % 4));
+    r.payload = "payload-" + std::to_string(i);
+    originals.push_back(r);
+    p.append(std::move(r));
+  }
+  FetchView v;
+  p.fetch_view(0, 10, v);
+  ASSERT_EQ(v.size(), 10u);
+  // Evict everything but the active segment; the pinned bytes must stay
+  // readable and byte-identical.
+  p.enforce_retention({1 * common::kSecond, -1}, 1000 * common::kSecond);
+  EXPECT_GT(p.start_offset(), v.front().offset);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i].key, originals[i].key);
+    EXPECT_EQ(v[i].payload, originals[i].payload);
+  }
+}
+
+TEST(PartitionViewTest, ViewsOutliveThePartition) {
+  FetchView v;
+  {
+    Partition p;
+    Record r = make_record(7, "node42");
+    r.payload = "the payload";
+    p.append(std::move(r));
+    p.fetch_view(0, 10, v);
+  }  // partition (segments, key dictionary) now only owned via the pins
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].key, "node42");
+  EXPECT_EQ(v[0].payload, "the payload");
+}
+
+TEST(PartitionViewTest, RepeatedKeysShareDictionaryStorage) {
+  Partition p(128);  // several segments, one interned key
+  for (int i = 0; i < 30; ++i) p.append(make_record(i, "shared-host", 8));
+  FetchView v;
+  p.fetch_view(0, 30, v);
+  ASSERT_GE(v.size(), 2u);
+  const char* interned = v[0].key.data();
+  for (const RecordView& rv : v) EXPECT_EQ(rv.key.data(), interned);
+}
+
+TEST(PartitionViewTest, ZeroBudgetAndAtEndFetchesAreFree) {
+  Partition p;
+  for (int i = 0; i < 5; ++i) p.append(make_record(i));
+  FetchView v;
+  // Zero budget: nothing fetched, no pins taken, offset handed back.
+  EXPECT_EQ(p.fetch_view(2, 0, v), 2);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.pin_count(), 0u);
+  // At the end: reports the end offset without views or pins.
+  EXPECT_EQ(p.fetch_view(5, 100, v), 5);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.pin_count(), 0u);
+  // Past the end: snaps back to the end offset.
+  EXPECT_EQ(p.fetch_view(99, 100, v), 5);
+  EXPECT_TRUE(v.empty());
+  // The copying shim shares the fast paths.
+  std::vector<StoredRecord> out;
+  EXPECT_EQ(p.fetch(2, 0, out), 2);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(p.fetch(5, 10, out), 5);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TopicTest, EmptyPollLeavesFetchCountersUntouched) {
+  Broker b;
+  b.create_topic("t", TopicConfig{}.with_partitions(2));
+  Consumer c(b, "g", "t");
+  EXPECT_TRUE(c.poll(10).empty());  // nothing produced yet
+  EXPECT_TRUE(c.poll_view(10).empty());
+  const TopicStats s0 = b.topic("t").stats();
+  EXPECT_EQ(s0.fetched_records, 0u);
+  EXPECT_EQ(s0.fetched_bytes, 0u);
+
+  auto producer = b.producer("t");
+  Record r = make_record(1, "k");
+  const std::size_t wire = r.wire_size();
+  producer.produce(std::move(r));
+  EXPECT_TRUE(c.poll(0).empty());  // zero-budget poll: still free
+  EXPECT_EQ(b.topic("t").stats().fetched_records, 0u);
+  EXPECT_EQ(c.poll_view(10).size(), 1u);
+  const TopicStats s1 = b.topic("t").stats();
+  EXPECT_EQ(s1.fetched_records, 1u);
+  EXPECT_EQ(s1.fetched_bytes, wire);
+}
+
 TEST(TopicTest, KeyHashingIsStable) {
   Topic t("x", {4, 1 << 20, {}});
   t.produce(make_record(1, "nodeA"));
@@ -131,7 +247,8 @@ TEST(BrokerTest, CreateTopicIdempotent) {
 TEST(ConsumerTest, PollsAllRecordsAcrossPartitions) {
   Broker b;
   b.create_topic("t", {4, 1 << 20, {}});
-  for (int i = 0; i < 100; ++i) b.produce("t", make_record(i, "k" + std::to_string(i)));
+  auto producer = b.producer("t");
+  for (int i = 0; i < 100; ++i) producer.produce(make_record(i, "k" + std::to_string(i)));
   Consumer c(b, "g", "t");
   std::size_t total = 0;
   for (;;) {
@@ -146,7 +263,8 @@ TEST(ConsumerTest, PollsAllRecordsAcrossPartitions) {
 TEST(ConsumerTest, CommitAndResumeFromCommitted) {
   Broker b;
   b.create_topic("t", {2, 1 << 20, {}});
-  for (int i = 0; i < 20; ++i) b.produce("t", make_record(i, "k" + std::to_string(i)));
+  auto producer = b.producer("t");
+  for (int i = 0; i < 20; ++i) producer.produce(make_record(i, "k" + std::to_string(i)));
 
   Consumer c1(b, "g", "t");
   const auto first = c1.poll(10);
@@ -168,7 +286,8 @@ TEST(ConsumerTest, CommitAndResumeFromCommitted) {
 TEST(ConsumerTest, IndependentGroupsSeeFullStream) {
   Broker b;
   b.create_topic("t", {2, 1 << 20, {}});
-  for (int i = 0; i < 30; ++i) b.produce("t", make_record(i));
+  auto producer = b.producer("t");
+  for (int i = 0; i < 30; ++i) producer.produce(make_record(i));
   Consumer a(b, "groupA", "t"), c(b, "groupB", "t");
   EXPECT_EQ(a.poll(100).size(), 30u);
   EXPECT_EQ(c.poll(100).size(), 30u);  // fan-out: each group gets everything
@@ -177,7 +296,8 @@ TEST(ConsumerTest, IndependentGroupsSeeFullStream) {
 TEST(ConsumerTest, SeekToTime) {
   Broker b;
   b.create_topic("t", {1, 1 << 20, {}});
-  for (int i = 0; i < 10; ++i) b.produce("t", make_record(i * common::kMinute));
+  auto producer = b.producer("t");
+  for (int i = 0; i < 10; ++i) producer.produce(make_record(i * common::kMinute));
   Consumer c(b, "g", "t");
   c.seek_to_time(5 * common::kMinute);
   const auto batch = c.poll(100);
@@ -188,7 +308,8 @@ TEST(ConsumerTest, SeekToTime) {
 TEST(BrokerTest, LagAccountsCommittedOffsets) {
   Broker b;
   b.create_topic("t", {2, 1 << 20, {}});
-  for (int i = 0; i < 10; ++i) b.produce("t", make_record(i));
+  auto producer = b.producer("t");
+  for (int i = 0; i < 10; ++i) producer.produce(make_record(i));
   EXPECT_EQ(b.lag("g", "t"), 10);
   Consumer c(b, "g", "t");
   (void)c.poll(4);
@@ -200,9 +321,11 @@ TEST(BrokerTest, RetentionAllTopics) {
   Broker b;
   b.create_topic("a", {1, 128, {}});
   b.create_topic("x", {1, 128, {}});
+  auto pa = b.producer("a");
+  auto px = b.producer("x");
   for (int i = 0; i < 100; ++i) {
-    b.produce("a", make_record(i * common::kSecond));
-    b.produce("x", make_record(i * common::kSecond));
+    pa.produce(make_record(i * common::kSecond));
+    px.produce(make_record(i * common::kSecond));
   }
   b.set_retention_all({10 * common::kSecond, -1});
   const std::size_t evicted = b.enforce_retention(200 * common::kSecond);
@@ -216,8 +339,9 @@ TEST(BrokerTest, ConcurrentProducersAndConsumer) {
   std::vector<std::thread> producers;
   for (int tid = 0; tid < 4; ++tid) {
     producers.emplace_back([&b, tid] {
+      auto producer = b.producer("t");
       for (int i = 0; i < kPerThread; ++i) {
-        b.produce("t", make_record(i, "t" + std::to_string(tid) + "_" + std::to_string(i)));
+        producer.produce(make_record(i, "t" + std::to_string(tid) + "_" + std::to_string(i)));
       }
     });
   }
@@ -313,7 +437,8 @@ TEST(ProducerTest, CachedHandleProducesAndBatches) {
 TEST(SubscriptionTest, ConsumerAndGroupMemberShareTheInterface) {
   Broker b;
   b.create_topic("t", TopicConfig{}.with_partitions(2));
-  for (std::size_t i = 0; i < 10; ++i) b.produce("t", make_record(1, "k" + std::to_string(i)));
+  auto producer = b.producer("t");
+  for (std::size_t i = 0; i < 10; ++i) producer.produce(make_record(1, "k" + std::to_string(i)));
 
   // Both concrete readers drain the topic through the same base-class API.
   for (const bool use_group_member : {false, true}) {

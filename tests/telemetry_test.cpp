@@ -263,7 +263,7 @@ TEST(CodecTest, PacketsToBronzeLongFormat) {
   pkt.node_id = 3;
   pkt.readings = {{SensorId{ComponentKind::kCpu, 0, SensorKind::kPowerW}.encode(), 150.0}};
   std::vector<stream::StoredRecord> records{{0, encode_packet(pkt)}};
-  const auto bronze = packets_to_bronze(records);
+  const auto bronze = packets_to_bronze(stream::as_views(records));
   ASSERT_EQ(bronze.num_rows(), 1u);
   EXPECT_EQ(bronze.column("sensor").str_at(0), "cpu0.power_w");
   EXPECT_EQ(bronze.column("node_id").int_at(0), 3);
