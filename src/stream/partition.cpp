@@ -22,6 +22,11 @@ observe::Counter* segments_rolled_counter() {
 std::uint32_t Partition::KeyDict::intern(std::string& key) {
   const auto it = ids.find(std::string_view(key));
   if (it != ids.end()) return it->second;
+  // Cardinality cap: past kMaxDictKeys distinct keys the dictionary stops
+  // growing and the caller inlines the key in the segment arena instead —
+  // a high-cardinality key stream (unique request ids as keys) must not
+  // leak memory for the partition's lifetime.
+  if (entries.size() >= kMaxDictKeys) return kNoKey;
   const auto id = static_cast<std::uint32_t>(entries.size());
   entries.push_back(std::move(key));
   ids.emplace(std::string_view(entries.back()), id);
@@ -30,21 +35,30 @@ std::uint32_t Partition::KeyDict::intern(std::string& key) {
 
 std::int64_t Partition::append_unlocked(Record&& r, std::size_t index_hint) {
   const std::size_t sz = r.wire_size();
+  // Key placement is decided before the roll check so the arena-byte need
+  // is known: interned keys cost no arena bytes; once the dictionary hits
+  // its cap, new keys are inlined in the arena ahead of the payload.
+  // (intern() moves the key into the dictionary when it accepts it.)
+  const bool has_key = !r.key.empty();
+  const std::uint32_t key_id = has_key ? dict_->intern(r.key) : kNoKey;
+  const bool inline_key = has_key && key_id == kNoKey;
+  const std::size_t arena_need = r.payload.size() + (inline_key ? r.key.size() : 0);
   // Roll on the wire-size rule (identical placement to the pre-arena
   // layout), plus a defensive arena-capacity check: the wire rule already
-  // guarantees payload bytes fit the reservation, so the second clause
-  // can only fire if that invariant is ever broken — never silently
-  // reallocate an arena that in-flight views point into.
+  // guarantees arena bytes (payload + any inline key <= wire size) fit
+  // the reservation, so the second clause can only fire if that invariant
+  // is ever broken — never silently reallocate an arena that in-flight
+  // views point into.
   const bool roll = segments_.empty() || segments_.back()->bytes + sz > segment_bytes_ ||
-                    segments_.back()->arena.size() + r.payload.size() >
+                    segments_.back()->arena.size() + arena_need >
                         segments_.back()->arena.capacity();
   if (roll) {
     auto s = std::make_shared<Segment>();
     s->base_offset = next_offset_.load(std::memory_order_relaxed);
     // Full-capacity reservation up front: the arena must never reallocate
-    // while readers hold views into it. Payload bytes per segment are
+    // while readers hold views into it. Arena bytes per segment are
     // bounded by the wire-size roll rule (first record may exceed it).
-    s->arena.reserve(std::max(segment_bytes_, r.payload.size()));
+    s->arena.reserve(std::max(segment_bytes_, arena_need));
     if (index_hint > 0) {
       s->index.reserve(std::min(index_hint, segment_bytes_ / 24 + 1));
     }
@@ -57,10 +71,14 @@ std::int64_t Partition::append_unlocked(Record&& r, std::size_t index_hint) {
   e.timestamp = r.timestamp;
   e.trace_id = r.trace_id;
   e.span_id = r.span_id;
+  e.key_id = key_id;
+  if (inline_key) {
+    seg.arena.insert(seg.arena.end(), r.key.begin(), r.key.end());
+    e.key_len = static_cast<std::uint32_t>(r.key.size());
+  }
   e.payload_off = seg.arena.size();
   e.payload_len = static_cast<std::uint32_t>(r.payload.size());
-  e.key_id = r.key.empty() ? kNoKey : dict_->intern(r.key);
-  seg.arena.append(r.payload);
+  seg.arena.insert(seg.arena.end(), r.payload.begin(), r.payload.end());
   seg.index.push_back(e);
   seg.max_ts = std::max(seg.max_ts, r.timestamp);
   seg.bytes += sz;
@@ -116,9 +134,13 @@ std::int64_t Partition::fetch_view(std::int64_t offset, std::size_t max_records,
   if (out.size() >= max_records) {
     return std::min(offset, next_offset_.load(std::memory_order_relaxed));
   }
-  if (offset >= next_offset_.load(std::memory_order_relaxed)) {
-    return next_offset_.load(std::memory_order_relaxed);
-  }
+  // Single load for both the check and the return value: callers store
+  // the result as their next position, so returning a *re-loaded* end
+  // (which a concurrent append may have advanced) would skip the records
+  // appended between the two loads — silent loss that commit() then
+  // persists. min() keeps the returned position <= the snapshot end.
+  const std::int64_t at_end = next_offset_.load(std::memory_order_relaxed);
+  if (offset >= at_end) return std::min(offset, at_end);
   // Fault seam: fails before handing out anything. A consumer whose poll
   // faulted mid-way must restore its positions before retrying (the
   // BrokerSource retry does this via seek_to_committed).
@@ -152,7 +174,12 @@ std::int64_t Partition::fetch_view(std::int64_t offset, std::size_t max_records,
       v.timestamp = e.timestamp;
       v.trace_id = e.trace_id;
       v.span_id = e.span_id;
-      if (e.key_id != kNoKey) v.key = seg.dict->entries[e.key_id];
+      if (e.key_id != kNoKey) {
+        v.key = seg.dict->entries[e.key_id];
+      } else if (e.key_len > 0) {
+        // Dictionary-cap overflow: key bytes inlined just before the payload.
+        v.key = std::string_view(seg.arena.data() + e.payload_off - e.key_len, e.key_len);
+      }
       v.payload = std::string_view(seg.arena.data() + e.payload_off, e.payload_len);
       out.push_back(v);
       ++cur;
@@ -203,6 +230,11 @@ std::int64_t Partition::end_offset() const {
 std::size_t Partition::size_bytes() const {
   std::lock_guard lk(mu_);
   return total_bytes_;
+}
+
+std::size_t Partition::key_dict_size() const {
+  std::lock_guard lk(mu_);
+  return dict_->entries.size();
 }
 
 std::size_t Partition::record_count() const {

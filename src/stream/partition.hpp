@@ -62,6 +62,18 @@ class Partition {
   /// Earliest offset whose record timestamp is >= t (or end offset).
   std::int64_t offset_for_time(common::TimePoint t) const;
 
+  /// Hard cap on distinct interned keys per partition. Keys past the cap
+  /// are stored inline in the segment arena instead (still zero-copy on
+  /// read, just not deduplicated), so a high-cardinality key stream
+  /// degrades to per-record key storage rather than leaking dictionary
+  /// memory for the partition's lifetime.
+  static constexpr std::size_t kMaxDictKeys = 1 << 16;
+
+  /// Distinct keys currently interned (<= kMaxDictKeys). Surfaced through
+  /// TopicStats::key_dict_entries so a key stream approaching the cap is
+  /// observable.
+  std::size_t key_dict_size() const;
+
   /// Drop whole segments that violate the policy given the current time.
   /// Returns bytes evicted. Evicted segments stay alive while any
   /// FetchView still pins them.
@@ -77,19 +89,25 @@ class Partition {
   /// Entries live in a deque (stable addresses, never erased) and are
   /// immutable once published under mu_; segments hold a shared_ptr so
   /// pinned views keep the dictionary alive after the partition dies.
-  /// Trade-off: the dictionary holds the partition's lifetime-distinct
-  /// key set — sized for low-cardinality keys (host/job names), which is
-  /// what partitioning keys are.
+  /// Sized for low-cardinality partitioning keys (host/job names); growth
+  /// is bounded by kMaxDictKeys — intern() declines past the cap and the
+  /// caller falls back to inlining the key in the segment arena.
   struct KeyDict {
     std::deque<std::string> entries;
     std::unordered_map<std::string_view, std::uint32_t> ids;  ///< views into entries
 
+    /// Returns the key's id, interning it (key is moved from) if new and
+    /// the dictionary has room; returns kNoKey (key untouched) once
+    /// kMaxDictKeys distinct entries exist.
     std::uint32_t intern(std::string& key);
   };
 
   static constexpr std::uint32_t kNoKey = 0xffffffffu;
 
   /// Fixed-stride per-record metadata; payload bytes are arena slices.
+  /// Keys are either interned (key_id != kNoKey) or inlined in the arena
+  /// immediately before the payload (key_id == kNoKey, key_len > 0 —
+  /// the dictionary-cap overflow path).
   struct IndexEntry {
     common::TimePoint timestamp = 0;
     std::uint64_t trace_id = 0;
@@ -97,11 +115,15 @@ class Partition {
     std::uint64_t payload_off = 0;
     std::uint32_t payload_len = 0;
     std::uint32_t key_id = kNoKey;
+    std::uint32_t key_len = 0;  ///< inline-key bytes at payload_off - key_len
   };
 
   struct Segment {
     std::int64_t base_offset = 0;
-    std::string arena;              ///< reserved once at creation; never reallocates
+    /// Reserved once at creation; never reallocates. A vector (not a
+    /// string) because the standard only guarantees no-reallocation-
+    /// below-capacity for vector — in-flight views alias data().
+    std::vector<char> arena;
     std::vector<IndexEntry> index;
     std::size_t bytes = 0;          ///< wire-size accounting (matches pre-arena layout)
     common::TimePoint max_ts = 0;

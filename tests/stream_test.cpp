@@ -158,6 +158,55 @@ TEST(PartitionViewTest, RepeatedKeysShareDictionaryStorage) {
   for (const RecordView& rv : v) EXPECT_EQ(rv.key.data(), interned);
 }
 
+TEST(PartitionViewTest, KeyDictionaryCapsAndInlinesOverflowKeys) {
+  Partition p(/*segment_bytes=*/8192);  // many segments across the fill
+  // Fill the dictionary to its cap with distinct keys.
+  for (std::size_t i = 0; i < Partition::kMaxDictKeys; ++i) {
+    p.append(make_record(static_cast<common::TimePoint>(i), "k" + std::to_string(i), 4));
+  }
+  EXPECT_EQ(p.key_dict_size(), Partition::kMaxDictKeys);
+  // Past the cap: new keys are not interned (no unbounded dictionary
+  // growth) but still round-trip byte-identically via both read paths.
+  const std::int64_t first_overflow = p.end_offset();
+  for (int i = 0; i < 10; ++i) {
+    Record r = make_record(1000000 + i, "overflow-key-" + std::to_string(i));
+    r.payload = "overflow-payload-" + std::to_string(i);
+    p.append(std::move(r));
+  }
+  EXPECT_EQ(p.key_dict_size(), Partition::kMaxDictKeys);
+  EXPECT_EQ(p.record_count(), Partition::kMaxDictKeys + 10);
+
+  FetchView v;
+  p.fetch_view(first_overflow, 10, v);
+  std::vector<StoredRecord> owned;
+  p.fetch(first_overflow, 10, owned);
+  ASSERT_EQ(v.size(), 10u);
+  ASSERT_EQ(owned.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(v[i].key, "overflow-key-" + std::to_string(i));
+    EXPECT_EQ(v[i].payload, "overflow-payload-" + std::to_string(i));
+    EXPECT_EQ(owned[i].record.key, v[i].key);
+    EXPECT_EQ(owned[i].record.payload, v[i].payload);
+  }
+  // An already-interned key still resolves through the dictionary.
+  FetchView interned;
+  p.fetch_view(0, 1, interned);
+  ASSERT_EQ(interned.size(), 1u);
+  EXPECT_EQ(interned[0].key, "k0");
+  // Inline keys live in the pinned arena, so views survive eviction of
+  // their segment exactly like interned-key views do. Big keyless records
+  // first roll the log past the overflow segment (the active segment is
+  // never evicted).
+  for (int i = 0; i < 3; ++i) p.append(make_record(1000100 + i, "", 6000));
+  p.enforce_retention({/*max_age=*/1, /*max_bytes=*/-1},
+                      /*now=*/2000000 + Partition::kMaxDictKeys);
+  EXPECT_GT(p.start_offset(), first_overflow);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(v[i].key, "overflow-key-" + std::to_string(i));
+    EXPECT_EQ(v[i].payload, "overflow-payload-" + std::to_string(i));
+  }
+}
+
 TEST(PartitionViewTest, ZeroBudgetAndAtEndFetchesAreFree) {
   Partition p;
   for (int i = 0; i < 5; ++i) p.append(make_record(i));
@@ -231,6 +280,7 @@ TEST(TopicTest, StatsTrackProducedAndRetained) {
   EXPECT_EQ(s.produced_records, 10u);
   EXPECT_EQ(s.retained_records, 10u);
   EXPECT_GT(s.produced_bytes, 0u);
+  EXPECT_EQ(s.key_dict_entries, 10u);  // ten distinct keys interned
 }
 
 TEST(BrokerTest, CreateTopicIdempotent) {
