@@ -97,25 +97,33 @@ void report_system(const oda::telemetry::SystemSpec& full_spec, double scale,
 }
 
 struct ThroughputResult {
-  double produce_rate = 0.0;        ///< records/s, cached-handle single produce
-  double produce_batch_rate = 0.0;  ///< records/s, produce_batch
-  double consume_rate = 0.0;        ///< records/s
+  double produce_rate = 0.0;         ///< records/s, cached-handle single produce
+  double produce_staged_rate = 0.0;  ///< records/s, staged encode + group-commit flush
+  double produce_record_batch_rate = 0.0;  ///< records/s, legacy vector<Record> batch
+  double consume_rate = 0.0;               ///< records/s
+  double produce_allocs_per_record = 1e300;         ///< per-record path
+  double produce_heap_bytes_per_record = 1e300;     ///< per-record path
+  double staged_allocs_per_record = 1e300;          ///< staged path
+  double staged_heap_bytes_per_record = 1e300;      ///< staged path
 };
 
 /// One produce+consume sweep over a fresh topic. The observe registry
 /// counters are live (or gated off) exactly as in production — this is
 /// the path the <5% instrumentation-overhead criterion is measured on.
 /// Produces through a cached Producer handle (one name lookup total);
-/// also sweeps the batched path, which takes each partition lock once
-/// per batch instead of once per record.
+/// then sweeps the zero-copy staged path (encode into the staging arena
+/// INSIDE the timed loop, flush every 512 with one group-committed append
+/// per touched partition) and the legacy owned-Record batch path.
 ThroughputResult broker_throughput_once(std::size_t n) {
   using namespace oda;
+  ThroughputResult res;
   stream::Broker broker;
   broker.create_topic("bench", {8, 4 << 20, {}});
   stream::Producer producer = broker.producer("bench");
   stream::Record rec;
   rec.payload.assign(200, 'x');
 
+  const bench::AllocSnapshot prod_before = bench::alloc_snapshot();
   common::Stopwatch sw;
   for (std::size_t i = 0; i < n; ++i) {
     rec.timestamp = static_cast<common::TimePoint>(i);
@@ -123,10 +131,41 @@ ThroughputResult broker_throughput_once(std::size_t n) {
     producer.produce(rec);
   }
   const double prod_s = sw.elapsed_seconds();
+  const bench::AllocSnapshot prod_d = bench::alloc_delta(prod_before, bench::alloc_snapshot());
+  res.produce_rate = static_cast<double>(n) / prod_s;
+  res.produce_allocs_per_record = static_cast<double>(prod_d.allocs) / static_cast<double>(n);
+  res.produce_heap_bytes_per_record = static_cast<double>(prod_d.bytes) / static_cast<double>(n);
 
-  // Pre-build the batches so the timer sees only the append path — the
-  // same work the per-record loop above times (it reuses one Record).
+  // Staged path: the timed region covers the FULL producer-side cost —
+  // key + payload encoded straight into the staging arena, flushed every
+  // kBatch records. This is the write path the ROADMAP target (batch >=
+  // 3x per-record) is measured on.
   constexpr std::size_t kBatch = 512;
+  broker.create_topic("bench-staged", {8, 4 << 20, {}});
+  stream::Producer staged_producer = broker.producer("bench-staged");
+  stream::BatchBuilder& staging = staged_producer.staging();
+  const std::string_view payload(rec.payload);
+  const bench::AllocSnapshot staged_before = bench::alloc_snapshot();
+  sw.reset();
+  for (std::size_t i = 0; i < n; ++i) {
+    common::ByteWriter& w = staging.begin_record(static_cast<common::TimePoint>(i));
+    w.raw("n", 1);
+    w.text_u64(i % 512);
+    staging.begin_payload();
+    w.raw(payload.data(), payload.size());
+    staging.end_record();
+    if (staging.pending() >= kBatch) staged_producer.flush();
+  }
+  staged_producer.flush();
+  const double staged_s = sw.elapsed_seconds();
+  const bench::AllocSnapshot staged_d =
+      bench::alloc_delta(staged_before, bench::alloc_snapshot());
+  res.produce_staged_rate = static_cast<double>(n) / staged_s;
+  res.staged_allocs_per_record = static_cast<double>(staged_d.allocs) / static_cast<double>(n);
+  res.staged_heap_bytes_per_record = static_cast<double>(staged_d.bytes) / static_cast<double>(n);
+
+  // Legacy owned-Record batch path, pre-built outside the timer (the
+  // append cost alone, as this sweep has always measured).
   broker.create_topic("bench-batched", {8, 4 << 20, {}});
   stream::Producer batched = broker.producer("bench-batched");
   std::vector<std::vector<stream::Record>> batches;
@@ -146,6 +185,7 @@ ThroughputResult broker_throughput_once(std::size_t n) {
   sw.reset();
   for (auto& batch : batches) batched.produce_batch(std::move(batch));
   const double batch_s = sw.elapsed_seconds();
+  res.produce_record_batch_rate = static_cast<double>(n) / batch_s;
 
   stream::Consumer consumer(broker, "bench-group", "bench");
   sw.reset();
@@ -156,13 +196,15 @@ ThroughputResult broker_throughput_once(std::size_t n) {
     consumed += batch.size();
   }
   const double cons_s = sw.elapsed_seconds();
-  return {static_cast<double>(n) / prod_s, static_cast<double>(n) / batch_s,
-          static_cast<double>(consumed) / cons_s};
+  res.consume_rate = static_cast<double>(consumed) / cons_s;
+  return res;
 }
 
 /// Best-of-k (peak rate ≈ least interference from the OS) with metrics
-/// enabled vs disabled, reporting the instrumentation overhead.
-void broker_throughput(oda::bench::JsonReport& report, bool smoke) {
+/// enabled vs disabled, reporting the instrumentation overhead. Returns
+/// the staged-batch vs per-record speedup — main() gates the build on it
+/// staying >= 1.0 so the write path cannot silently re-regress.
+double broker_throughput(oda::bench::JsonReport& report, bool smoke) {
   using namespace oda;
   const std::size_t kN = smoke ? 60000 : 200000;
   const int kRuns = smoke ? 2 : 24;
@@ -171,8 +213,18 @@ void broker_throughput(oda::bench::JsonReport& report, bool smoke) {
   // and scheduler noise hit both configurations equally; keep the best.
   auto take_best = [](ThroughputResult& best, const ThroughputResult& t) {
     best.produce_rate = std::max(best.produce_rate, t.produce_rate);
-    best.produce_batch_rate = std::max(best.produce_batch_rate, t.produce_batch_rate);
+    best.produce_staged_rate = std::max(best.produce_staged_rate, t.produce_staged_rate);
+    best.produce_record_batch_rate =
+        std::max(best.produce_record_batch_rate, t.produce_record_batch_rate);
     best.consume_rate = std::max(best.consume_rate, t.consume_rate);
+    best.produce_allocs_per_record =
+        std::min(best.produce_allocs_per_record, t.produce_allocs_per_record);
+    best.produce_heap_bytes_per_record =
+        std::min(best.produce_heap_bytes_per_record, t.produce_heap_bytes_per_record);
+    best.staged_allocs_per_record =
+        std::min(best.staged_allocs_per_record, t.staged_allocs_per_record);
+    best.staged_heap_bytes_per_record =
+        std::min(best.staged_heap_bytes_per_record, t.staged_heap_bytes_per_record);
   };
   (void)broker_throughput_once(kN / 4);  // warmup (allocators, page faults)
   ThroughputResult on, off;
@@ -191,26 +243,49 @@ void broker_throughput(oda::bench::JsonReport& report, bool smoke) {
   const double mbs_on = on.produce_rate * wire / (1024.0 * 1024.0);
   const double overhead_prod = (off.produce_rate - on.produce_rate) / off.produce_rate * 100.0;
   const double overhead_cons = (off.consume_rate - on.consume_rate) / off.consume_rate * 100.0;
+  const double batch_speedup = on.produce_staged_rate / on.produce_rate;
+  // Guard the reduction ratio: the staged path can measure 0 allocs/rec.
+  const double alloc_reduction =
+      on.produce_allocs_per_record / std::max(on.staged_allocs_per_record, 1e-6);
 
   std::printf("\nbroker throughput (metrics ON):  produce %.0fk rec/s (%.0f MB/s), "
-              "produce_batch %.0fk rec/s, consume %.0fk rec/s\n",
-              on.produce_rate / 1e3, mbs_on, on.produce_batch_rate / 1e3,
-              on.consume_rate / 1e3);
+              "staged batch %.0fk rec/s, record batch %.0fk rec/s, consume %.0fk rec/s\n",
+              on.produce_rate / 1e3, mbs_on, on.produce_staged_rate / 1e3,
+              on.produce_record_batch_rate / 1e3, on.consume_rate / 1e3);
   std::printf("broker throughput (metrics OFF): produce %.0fk rec/s, consume %.0fk rec/s\n",
               off.produce_rate / 1e3, off.consume_rate / 1e3);
-  std::printf("batched produce speedup: %.2fx over per-record produce\n",
-              on.produce_batch_rate / on.produce_rate);
+  std::printf("batched produce speedup: %.2fx over per-record produce (gate: >= 1.0)\n",
+              batch_speedup);
+  std::printf("produce allocations: per-record %.3f allocs/rec (%.1f heap B/rec), "
+              "staged %.4f allocs/rec (%.2f heap B/rec), reduction %.0fx\n",
+              on.produce_allocs_per_record, on.produce_heap_bytes_per_record,
+              on.staged_allocs_per_record, on.staged_heap_bytes_per_record, alloc_reduction);
   std::printf("instrumentation overhead: produce %+.2f%%, consume %+.2f%% (criterion: < 5%%)\n",
               overhead_prod, overhead_cons);
 
   report.metric("broker.produce.rate.metrics_on", on.produce_rate, "records/s");
   report.metric("broker.produce.rate.metrics_off", off.produce_rate, "records/s");
-  report.metric("broker.produce_batch.rate.metrics_on", on.produce_batch_rate, "records/s");
-  report.metric("broker.produce_batch.speedup", on.produce_batch_rate / on.produce_rate, "x");
+  // produce_batch.* carries the staged write path (the produce_batch
+  // story after the arena-encode redesign); the legacy owned-Record batch
+  // keeps its own series for comparison.
+  report.metric("broker.produce_batch.rate.metrics_on", on.produce_staged_rate, "records/s");
+  report.metric("broker.produce_batch.speedup", batch_speedup, "x");
+  report.metric("broker.produce_record_batch.rate.metrics_on", on.produce_record_batch_rate,
+                "records/s");
+  report.metric("broker.produce.allocs_per_record", on.produce_allocs_per_record,
+                "allocs/record");
+  report.metric("broker.produce.heap_bytes_per_record", on.produce_heap_bytes_per_record,
+                "bytes/record");
+  report.metric("broker.produce_staged.allocs_per_record", on.staged_allocs_per_record,
+                "allocs/record");
+  report.metric("broker.produce_staged.heap_bytes_per_record", on.staged_heap_bytes_per_record,
+                "bytes/record");
+  report.metric("broker.produce.alloc_reduction", alloc_reduction, "x");
   report.metric("broker.consume.rate.metrics_on", on.consume_rate, "records/s");
   report.metric("broker.consume.rate.metrics_off", off.consume_rate, "records/s");
   report.metric("observe.overhead.produce_pct", overhead_prod, "percent");
   report.metric("observe.overhead.consume_pct", overhead_cons, "percent");
+  return batch_speedup;
 }
 
 /// The self-telemetry loop's produce-path cost. Same cached-handle
@@ -466,10 +541,20 @@ int main(int argc, char** argv) {
   const common::Duration sim_span = smoke ? common::kMinute : 5 * common::kMinute;
   report_system(telemetry::mountain_spec(), 0.01, sim_span, report);
   report_system(telemetry::compass_spec(), 0.01, sim_span, report);
-  broker_throughput(report, smoke);
+  const double batch_speedup = broker_throughput(report, smoke);
   scraper_overhead(report, smoke);
   consume_view_vs_copy(report, smoke);
   engine_scaling(report, smoke);
   report.write();
+  // Regression gate: oda_bench_smoke runs as part of the default build,
+  // so a write path whose batched produce falls back below the per-record
+  // rate fails the build, not just a dashboard.
+  if (batch_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: produce_batch_vs_per_record = %.2fx < 1.0 — the staged write path "
+                 "regressed below per-record produce\n",
+                 batch_speedup);
+    return 1;
+  }
   return 0;
 }

@@ -84,6 +84,33 @@ void BM_ProduceBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ProduceBatch)->Arg(64)->Arg(512)->Arg(4096);
 
+void BM_ProduceStaged(benchmark::State& state) {
+  // The zero-copy write path: encode key+payload straight into the
+  // producer's staging arena, flush every batch_size records with one
+  // group-committed append per touched partition. The timed region
+  // includes the encoding — this is the full producer-side cost.
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  stream::Broker broker;
+  broker.create_topic("t", {8, 64 << 20, {}});
+  stream::Producer producer = broker.producer("t");
+  stream::BatchBuilder& staging = producer.staging();
+  const std::string payload(256, 'x');
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    common::ByteWriter& w = staging.begin_record(i);
+    w.raw("n", 1);
+    w.text_u64(static_cast<std::uint64_t>(i % 512));
+    staging.begin_payload();
+    w.raw(payload.data(), payload.size());
+    staging.end_record();
+    if (staging.pending() >= batch_size) benchmark::DoNotOptimize(producer.flush());
+    ++i;
+  }
+  producer.flush();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProduceStaged)->Arg(64)->Arg(512)->Arg(4096);
+
 void BM_BrokerConsume(benchmark::State& state) {
   stream::Broker broker;
   broker.create_topic("t", {8, 4 << 20, {}});
@@ -337,6 +364,75 @@ void consume_alloc_profile(bench::JsonReport& report, bool smoke) {
                 "x");
 }
 
+/// Produce-side dual of consume_alloc_profile: the same record stream
+/// pushed through per-record produce() and through the staged
+/// encode-into-arena path (encode + flush inside the measured region),
+/// with alloc_tracker deltas around each. Lands the produce-side
+/// allocations/record series in BENCH_micro_engine.json and the
+/// trajectory log.
+void produce_alloc_profile(bench::JsonReport& report, bool smoke) {
+  const std::size_t kRecords = smoke ? 50000 : 100000;
+  constexpr std::size_t kBatch = 512;
+
+  auto per_record = [&] {
+    stream::Broker broker;
+    broker.create_topic("wprof", {8, 4 << 20, {}});
+    stream::Producer producer = broker.producer("wprof");
+    stream::Record rec;
+    rec.payload.assign(256, 'x');
+    const bench::AllocSnapshot before = bench::alloc_snapshot();
+    common::Stopwatch sw;
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      rec.timestamp = static_cast<std::int64_t>(i);
+      rec.key = "n" + std::to_string(i % 512);
+      producer.produce(rec);
+    }
+    const double rate = static_cast<double>(kRecords) / sw.elapsed_seconds();
+    return std::pair<double, bench::AllocSnapshot>(
+        rate, bench::alloc_delta(before, bench::alloc_snapshot()));
+  };
+
+  auto staged = [&] {
+    stream::Broker broker;
+    broker.create_topic("wprof", {8, 4 << 20, {}});
+    stream::Producer producer = broker.producer("wprof");
+    stream::BatchBuilder& staging = producer.staging();
+    const std::string payload(256, 'x');
+    const bench::AllocSnapshot before = bench::alloc_snapshot();
+    common::Stopwatch sw;
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      common::ByteWriter& w = staging.begin_record(static_cast<std::int64_t>(i));
+      w.raw("n", 1);
+      w.text_u64(i % 512);
+      staging.begin_payload();
+      w.raw(payload.data(), payload.size());
+      staging.end_record();
+      if (staging.pending() >= kBatch) producer.flush();
+    }
+    producer.flush();
+    const double rate = static_cast<double>(kRecords) / sw.elapsed_seconds();
+    return std::pair<double, bench::AllocSnapshot>(
+        rate, bench::alloc_delta(before, bench::alloc_snapshot()));
+  };
+
+  (void)staged();  // warmup (allocators, registry cells)
+  const auto [rec_rate, rec_d] = per_record();
+  const auto [staged_rate, staged_d] = staged();
+  std::printf("\nproduce alloc profile (%zu records): per-record %.0fk rec/s %.3f allocs/rec, "
+              "staged %.0fk rec/s %.4f allocs/rec\n",
+              kRecords, rec_rate / 1e3,
+              static_cast<double>(rec_d.allocs) / static_cast<double>(kRecords),
+              staged_rate / 1e3,
+              static_cast<double>(staged_d.allocs) / static_cast<double>(kRecords));
+  report.metric("produce.record.rate", rec_rate, "records/s");
+  report.metric("produce.staged.rate", staged_rate, "records/s");
+  report.alloc_metrics("produce.record", rec_d, static_cast<double>(kRecords));
+  report.alloc_metrics("produce.staged", staged_d, static_cast<double>(kRecords));
+  report.metric("produce.alloc_reduction",
+                static_cast<double>(rec_d.allocs) / std::max<double>(1.0, static_cast<double>(staged_d.allocs)),
+                "x");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,6 +457,7 @@ int main(int argc, char** argv) {
 
   oda::bench::JsonReport report("micro_engine");
   consume_alloc_profile(report, smoke);
+  produce_alloc_profile(report, smoke);
   engine_scaling_curve(report, smoke);
   report.write();
   return 0;

@@ -3,6 +3,7 @@
 // varints, zigzag and raw buffers.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -13,9 +14,28 @@
 
 namespace oda::common {
 
+/// Default-constructed writers own their buffer (take() hands it off).
+/// The external-sink constructor instead appends into a caller-owned
+/// vector — the encode-into-arena mode the stream staging buffer uses, so
+/// codecs serialize straight into a reusable arena with no intermediate
+/// buffer or per-record allocation. Non-copyable (two writers on one sink
+/// would interleave); moves re-point an owning writer at its own storage.
 class ByteWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  ByteWriter() = default;
+  explicit ByteWriter(std::vector<std::uint8_t>& sink) : buf_(&sink) {}
+
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+  ByteWriter(ByteWriter&& o) noexcept
+      : owned_(std::move(o.owned_)), buf_(o.buf_ == &o.owned_ ? &owned_ : o.buf_) {}
+  ByteWriter& operator=(ByteWriter&& o) noexcept {
+    owned_ = std::move(o.owned_);
+    buf_ = o.buf_ == &o.owned_ ? &owned_ : o.buf_;
+    return *this;
+  }
+
+  void u8(std::uint8_t v) { buf_->push_back(v); }
   void u16(std::uint16_t v) { fixed(v); }
   void u32(std::uint32_t v) { fixed(v); }
   void u64(std::uint64_t v) { fixed(v); }
@@ -29,10 +49,10 @@ class ByteWriter {
   /// LEB128-style unsigned varint.
   void varint(std::uint64_t v) {
     while (v >= 0x80) {
-      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      buf_->push_back(static_cast<std::uint8_t>(v) | 0x80);
       v >>= 7;
     }
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_->push_back(static_cast<std::uint8_t>(v));
   }
 
   /// Zigzag-encoded signed varint.
@@ -47,22 +67,39 @@ class ByteWriter {
 
   void raw(const void* data, std::size_t n) {
     const auto* p = static_cast<const std::uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + n);
+    buf_->insert(buf_->end(), p, p + n);
   }
 
-  std::size_t size() const { return buf_.size(); }
-  const std::vector<std::uint8_t>& bytes() const { return buf_; }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  /// ASCII decimal, no allocation — staged encoders build keys like
+  /// "n1042" directly in the staging arena.
+  void text_u64(std::uint64_t v) {
+    char tmp[20];
+    const auto res = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    raw(tmp, static_cast<std::size_t>(res.ptr - tmp));
+  }
+  void text_i64(std::int64_t v) {
+    char tmp[21];
+    const auto res = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    raw(tmp, static_cast<std::size_t>(res.ptr - tmp));
+  }
+
+  std::size_t size() const { return buf_->size(); }
+  const std::vector<std::uint8_t>& bytes() const { return *buf_; }
+  /// Owning mode only: hands off the buffer. An external-sink writer's
+  /// bytes belong to the sink — take() there returns the (empty) owned
+  /// buffer, which is never what a caller wants.
+  std::vector<std::uint8_t> take() { return std::move(owned_); }
 
  private:
   template <typename T>
   void fixed(T v) {
     std::uint8_t tmp[sizeof(T)];
     std::memcpy(tmp, &v, sizeof(T));
-    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+    buf_->insert(buf_->end(), tmp, tmp + sizeof(T));
   }
 
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> owned_;
+  std::vector<std::uint8_t>* buf_ = &owned_;
 };
 
 class ByteReader {

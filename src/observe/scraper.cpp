@@ -46,6 +46,20 @@ std::string format_exact(double v) {
   return buf;
 }
 
+// Staged-path formatters use the SAME snprintf formats as the Record path
+// (not std::to_chars), so byte-identity holds by construction.
+void write_exact(common::ByteWriter& w, double v) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  w.raw(buf, static_cast<std::size_t>(n));
+}
+
+void write_u64(common::ByteWriter& w, std::uint64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  w.raw(buf, static_cast<std::size_t>(n));
+}
+
 bool parse_double(const std::string& s, double* out) {
   if (s.empty()) return false;
   char* end = nullptr;
@@ -111,6 +125,25 @@ stream::Record encode_metric_sample(const MetricSample& s, common::TimePoint t) 
   return r;
 }
 
+void encode_metric_sample_into(const MetricSample& s, common::TimePoint t,
+                               stream::BatchBuilder& staged) {
+  common::ByteWriter& w = staged.begin_record(t);
+  w.raw(s.series.data(), s.series.size());
+  staged.begin_payload();
+  w.raw(kMetricVersion, 2);
+  w.u8(static_cast<std::uint8_t>(kSep));
+  w.u8(static_cast<std::uint8_t>(kind_char(s.kind)));
+  w.u8(static_cast<std::uint8_t>(kSep));
+  w.raw(s.series.data(), s.series.size());
+  w.u8(static_cast<std::uint8_t>(kSep));
+  write_exact(w, s.value);
+  w.u8(static_cast<std::uint8_t>(kSep));
+  write_exact(w, s.delta);
+  w.u8(static_cast<std::uint8_t>(kSep));
+  write_u64(w, s.count);
+  staged.end_record();
+}
+
 bool decode_metric_sample(const stream::Record& r, MetricSample* out) {
   return decode_metric_sample(std::string_view(r.payload), out);
 }
@@ -145,6 +178,25 @@ stream::Record encode_alert_event(const AlertEvent& e, common::TimePoint t) {
   return r;
 }
 
+void encode_alert_event_into(const AlertEvent& e, common::TimePoint t,
+                             stream::BatchBuilder& staged) {
+  common::ByteWriter& w = staged.begin_record(t);
+  w.raw(e.slo.data(), e.slo.size());
+  staged.begin_payload();
+  w.raw(kAlertVersion, 2);
+  w.u8(static_cast<std::uint8_t>(kSep));
+  w.raw(e.slo.data(), e.slo.size());
+  w.u8(static_cast<std::uint8_t>(kSep));
+  const std::string_view from = slo_state_name(e.from);
+  w.raw(from.data(), from.size());
+  w.u8(static_cast<std::uint8_t>(kSep));
+  const std::string_view to = slo_state_name(e.to);
+  w.raw(to.data(), to.size());
+  w.u8(static_cast<std::uint8_t>(kSep));
+  write_exact(w, e.value);
+  staged.end_record();
+}
+
 bool decode_alert_event(const stream::Record& r, AlertEvent* out) {
   const auto f = split_fields(r.payload);
   if (f.size() != 5 || f[0] != kAlertVersion) return false;
@@ -174,6 +226,15 @@ Scraper::Scraper(MetricsRegistry& registry, ProduceFn metrics_out, ProduceFn ale
   config_.validate();
 }
 
+Scraper::Scraper(MetricsRegistry& registry, StagedProduceFn metrics_out,
+                 StagedProduceFn alerts_out, ScraperConfig config)
+    : registry_(registry),
+      staged_metrics_out_(std::move(metrics_out)),
+      staged_alerts_out_(std::move(alerts_out)),
+      config_(config) {
+  config_.validate();
+}
+
 void Scraper::watch_slos(const SloBook& book) { books_.push_back({&book, {}}); }
 
 std::size_t Scraper::poll(common::TimePoint now) {
@@ -186,6 +247,10 @@ std::size_t Scraper::scrape(common::TimePoint now) {
   last_scrape_ = now;
   ++stats_.scrapes;
 
+  // Staged mode encodes each sample straight into the reusable staging
+  // arena; legacy mode builds owned Records. Same samples, same bytes.
+  const bool staged_mode = static_cast<bool>(staged_metrics_out_);
+  if (staged_mode) metrics_staging_.clear();
   std::vector<stream::Record> batch;
   for (const auto& m : registry_.snapshot()) {
     if (config_.exclude_internal) {
@@ -215,12 +280,21 @@ std::size_t Scraper::scrape(common::TimePoint now) {
     s.value = m.value;
     s.delta = is_new ? 0.0 : m.value - it->second.first;
     s.count = m.count;
-    batch.push_back(encode_metric_sample(s, now));
+    if (staged_mode) {
+      encode_metric_sample_into(s, now, metrics_staging_);
+    } else {
+      batch.push_back(encode_metric_sample(s, now));
+    }
     last_[key] = {m.value, m.count};
   }
 
   std::size_t emitted = 0;
-  if (!batch.empty() && metrics_out_) {
+  if (staged_mode) {
+    if (!metrics_staging_.empty()) {
+      emitted = staged_metrics_out_(metrics_staging_);
+      stats_.samples_emitted += emitted;
+    }
+  } else if (!batch.empty() && metrics_out_) {
     emitted = metrics_out_(std::move(batch));
     stats_.samples_emitted += emitted;
   }
@@ -229,7 +303,9 @@ std::size_t Scraper::scrape(common::TimePoint now) {
 }
 
 std::size_t Scraper::emit_alerts() {
-  if (!alerts_out_) return 0;
+  const bool staged_mode = static_cast<bool>(staged_alerts_out_);
+  if (!staged_mode && !alerts_out_) return 0;
+  if (staged_mode) alerts_staging_.clear();
   std::vector<stream::Record> batch;
   for (auto& watched : books_) {
     for (const auto& slo : watched.book->all()) {
@@ -237,11 +313,22 @@ std::size_t Scraper::emit_alerts() {
       std::size_t& sent = watched.emitted[slo->spec().name];
       for (std::size_t i = sent; i < transitions.size(); ++i) {
         const auto& tr = transitions[i];
-        batch.push_back(
-            encode_alert_event({slo->spec().name, tr.from, tr.to, tr.value}, tr.at));
+        if (staged_mode) {
+          encode_alert_event_into({slo->spec().name, tr.from, tr.to, tr.value}, tr.at,
+                                  alerts_staging_);
+        } else {
+          batch.push_back(
+              encode_alert_event({slo->spec().name, tr.from, tr.to, tr.value}, tr.at));
+        }
       }
       sent = transitions.size();
     }
+  }
+  if (staged_mode) {
+    if (alerts_staging_.empty()) return 0;
+    const std::size_t n = staged_alerts_out_(alerts_staging_);
+    stats_.alerts_emitted += n;
+    return n;
   }
   if (batch.empty()) return 0;
   const std::size_t n = alerts_out_(std::move(batch));

@@ -25,6 +25,7 @@
 #include "observe/metrics.hpp"
 #include "observe/slo.hpp"
 #include "stream/record.hpp"
+#include "stream/staging.hpp"
 
 namespace oda::observe {
 
@@ -50,6 +51,14 @@ std::string series_key(const std::string& name, const Labels& labels);
 
 stream::Record encode_metric_sample(const MetricSample& s, common::TimePoint t);
 stream::Record encode_alert_event(const AlertEvent& e, common::TimePoint t);
+/// Zero-copy variants: serialize straight into a staging buffer. Key and
+/// payload bytes are byte-identical to the Record-building encoders (the
+/// golden-run proof depends on it), but nothing is materialized outside
+/// the staging arena.
+void encode_metric_sample_into(const MetricSample& s, common::TimePoint t,
+                               stream::BatchBuilder& staged);
+void encode_alert_event_into(const AlertEvent& e, common::TimePoint t,
+                             stream::BatchBuilder& staged);
 /// Strict decoders: false on truncated/corrupt/forged payloads (the
 /// history pipeline skips and counts such records instead of crashing).
 bool decode_metric_sample(const stream::Record& r, MetricSample* out);
@@ -62,6 +71,13 @@ bool decode_alert_event(const stream::Record& r, AlertEvent* out);
 /// returns records actually produced. May throw; the caller wrapping it
 /// (pipeline::make_scraper) retries under the chaos policy.
 using ProduceFn = std::function<std::size_t(std::vector<stream::Record>&&)>;
+
+/// Zero-copy produce seam: the scrape is handed over as a staging buffer
+/// (maps onto Producer::produce_staged — bytes flow from the staging arena
+/// straight into segment arenas, no Record ever exists). The callback must
+/// leave the builder intact when it throws (produce_staged does), so the
+/// caller's retry re-flushes the identical batch.
+using StagedProduceFn = std::function<std::size_t(stream::BatchBuilder&)>;
 
 struct ScraperConfig {
   /// Virtual time between scrapes (the paper's 15 s collection interval).
@@ -112,6 +128,11 @@ class Scraper {
  public:
   Scraper(MetricsRegistry& registry, ProduceFn metrics_out, ProduceFn alerts_out = {},
           ScraperConfig config = {});
+  /// Staged mode: scrapes encode into internal staging buffers and flush
+  /// through the StagedProduceFn seams — the zero-copy write path. Emitted
+  /// record bytes are identical to the legacy mode's.
+  Scraper(MetricsRegistry& registry, StagedProduceFn metrics_out, StagedProduceFn alerts_out = {},
+          ScraperConfig config = {});
 
   /// Watch a SloBook (non-owning; must outlive the scraper's use): each
   /// scrape emits any transitions recorded since the previous scrape to
@@ -134,6 +155,15 @@ class Scraper {
   MetricsRegistry& registry_;
   ProduceFn metrics_out_;
   ProduceFn alerts_out_;
+  // Staged mode (exactly one of metrics_out_/staged_metrics_out_ is
+  // bound): reusable staging buffers, cleared at the start of each scrape
+  // so records orphaned by an exhausted-retry flush cannot leak into the
+  // next batch (matching the legacy mode, which destroys its moved-from
+  // vector on throw).
+  StagedProduceFn staged_metrics_out_;
+  StagedProduceFn staged_alerts_out_;
+  stream::BatchBuilder metrics_staging_;
+  stream::BatchBuilder alerts_staging_;
   ScraperConfig config_;
   ScraperStats stats_;
   bool scraped_once_ = false;

@@ -67,19 +67,20 @@ std::unique_ptr<observe::Scraper> make_scraper(observe::MetricsRegistry& registr
   broker.create_topic(stream::kAlertsTopic, stream::TopicConfig{}.with_partitions(1));
 
   // Each callback owns a cached Producer and a seeded Retrier. A produce
-  // attempt that faults ("selfobs.produce" seam inside produce_batch's
-  // "stream.produce" site or our own wrapper) rejected the batch whole,
-  // so the retry re-offers a copy without duplication.
-  auto bind = [&broker, retry](const char* topic, std::uint64_t seed) -> observe::ProduceFn {
+  // attempt that faults ("selfobs.produce" seam or produce_staged's own
+  // "stream.produce" site) rejects the batch whole and leaves the staging
+  // buffer intact, so the retry re-flushes the identical bytes — no
+  // per-attempt batch copy, no re-encode, no duplication.
+  auto bind = [&broker, retry](const char* topic,
+                               std::uint64_t seed) -> observe::StagedProduceFn {
     return [producer = broker.producer(topic),
             retrier = std::make_shared<chaos::Retrier>(retry, seed)](
-               std::vector<stream::Record>&& batch) mutable -> std::size_t {
+               stream::BatchBuilder& staged) mutable -> std::size_t {
       return retrier->run("selfobs.produce", [&] {
         // Fires before any append, so a faulted attempt leaves nothing
-        // behind and the retry's re-offer cannot duplicate.
+        // behind and the retry cannot duplicate.
         chaos::fault_point("selfobs.produce");
-        auto copy = batch;
-        return producer.produce_batch(std::move(copy));
+        return producer.produce_staged(staged);
       });
     };
   };

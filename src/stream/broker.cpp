@@ -66,8 +66,12 @@ std::size_t Topic::produce_batch(std::vector<Record>&& batch) {
   for (const Record& r : batch) keyless += r.key.empty() ? 1 : 0;
   std::uint64_t rr = keyless == 0 ? 0 : rr_counter_.fetch_add(keyless, std::memory_order_relaxed);
   std::uint64_t bytes = 0;
-  std::vector<std::vector<Record>> buckets(partitions_.size());
-  for (Record& r : batch) {
+  // Route borrowed views, not moved Records: the owned strings stay in
+  // `batch` (alive until after the appends) and each partition copies the
+  // bytes into its arena exactly once.
+  std::vector<std::vector<EncodedRecord>> buckets(partitions_.size());
+  for (const Record& rec : batch) {
+    EncodedRecord r = as_encoded(rec);
     if (ctx.valid()) {
       r.trace_id = ctx.trace_id;
       r.span_id = ctx.span_id;
@@ -75,15 +79,54 @@ std::size_t Topic::produce_batch(std::vector<Record>&& batch) {
     bytes += r.wire_size();
     const std::size_t p = r.key.empty() ? rr++ % partitions_.size()
                                         : common::fnv1a(r.key) % partitions_.size();
-    buckets[p].push_back(std::move(r));
+    buckets[p].push_back(r);
   }
   const std::size_t n = batch.size();
-  batch.clear();
   obs_produced_records_->inc_unchecked(n);
   obs_produced_bytes_->inc_unchecked(bytes);
   for (std::size_t p = 0; p < buckets.size(); ++p) {
-    if (!buckets[p].empty()) partitions_[p]->append_batch(std::move(buckets[p]));
+    if (!buckets[p].empty()) partitions_[p]->append_encoded_batch(buckets[p]);
   }
+  batch.clear();
+  return n;
+}
+
+std::size_t Topic::produce_staged(BatchBuilder& staged) {
+  if (staged.empty()) return 0;
+  // Fault seam before any append AND before the builder is touched: a
+  // faulted flush leaves the staged batch intact, so the retry re-flushes
+  // the identical bytes — no re-encode, no partial duplication.
+  chaos::fault_point("stream.produce");
+  const observe::TraceContext ctx = observe::current_context();
+  // Trace stamping happens at flush time (records staged earlier carry no
+  // ids of their own), matching produce_batch's batch-wide stamp.
+  const std::uint64_t trace_id = ctx.valid() ? ctx.trace_id : 0;
+  const std::uint64_t span_id = ctx.valid() ? ctx.span_id : 0;
+  std::size_t keyless = 0;
+  for (const auto& e : staged.entries_) keyless += e.key_len == 0 ? 1 : 0;
+  std::uint64_t rr = keyless == 0 ? 0 : rr_counter_.fetch_add(keyless, std::memory_order_relaxed);
+  // Routing scratch lives in the builder so steady-state flushes reuse its
+  // per-partition capacity and allocate nothing.
+  auto& route = staged.route_;
+  route.resize(partitions_.size());
+  for (auto& bucket : route) bucket.clear();
+  std::uint64_t bytes = 0;
+  for (const auto& e : staged.entries_) {
+    EncodedRecord r = staged.view(e);
+    r.trace_id = trace_id;
+    r.span_id = span_id;
+    bytes += r.wire_size();
+    const std::size_t p = r.key.empty() ? rr++ % partitions_.size()
+                                        : common::fnv1a(r.key) % partitions_.size();
+    route[p].push_back(r);
+  }
+  const std::size_t n = staged.entries_.size();
+  obs_produced_records_->inc_unchecked(n);
+  obs_produced_bytes_->inc_unchecked(bytes);
+  for (std::size_t p = 0; p < route.size(); ++p) {
+    if (!route[p].empty()) partitions_[p]->append_encoded_batch(route[p]);
+  }
+  staged.clear();
   return n;
 }
 

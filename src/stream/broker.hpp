@@ -16,6 +16,7 @@
 #include "observe/metrics.hpp"
 #include "stream/partition.hpp"
 #include "stream/record.hpp"
+#include "stream/staging.hpp"
 #include "stream/view.hpp"
 
 namespace oda::stream {
@@ -80,8 +81,19 @@ class Topic {
   /// traffic stays balanced and batch-vs-single runs are comparable. The
   /// "stream.produce" fault seam fires once, before any append — a faulted
   /// batch is rejected whole and can be retried without duplication.
-  /// Returns the number of records appended.
+  /// Implemented on the encoded path: the Records' bytes are borrowed, not
+  /// moved, and each partition's share lands via one group-committed
+  /// append. Returns the number of records appended.
   std::size_t produce_batch(std::vector<Record>&& batch);
+
+  /// The zero-copy flush: route a staging buffer's records to partitions
+  /// and group-commit each partition's share, borrowing bytes straight
+  /// from the staging arena (no Record is ever materialized). Same
+  /// placement, fault-seam and trace-stamp semantics as produce_batch; the
+  /// builder is cleared on success and left INTACT when the fault seam
+  /// throws, so a retry re-flushes the identical batch without re-encoding
+  /// or duplication. Returns the number of records appended.
+  std::size_t produce_staged(BatchBuilder& staged);
 
   void set_retention(const RetentionPolicy& policy) { config_.retention = policy; }
 
@@ -133,12 +145,32 @@ class Producer {
     return topic_->produce_batch(std::move(batch));
   }
 
+  /// Flush a caller-owned staging buffer (cleared on success, intact on a
+  /// fault-seam throw — see Topic::produce_staged).
+  std::size_t produce_staged(BatchBuilder& staged) { return topic_->produce_staged(staged); }
+
+  /// This producer's own staging buffer, created lazily. Stage records
+  /// with staging().add(...) or the begin_record/begin_payload writer API,
+  /// then flush(). Copies of a Producer SHARE the buffer (it is held by
+  /// shared_ptr) — keep one Producer per producing thread, as ever.
+  BatchBuilder& staging() {
+    if (!staging_) staging_ = std::make_shared<BatchBuilder>();
+    return *staging_;
+  }
+
+  /// Flush this producer's staging buffer; returns records appended
+  /// (0 when nothing is staged).
+  std::size_t flush() {
+    return staging_ && !staging_->empty() ? topic_->produce_staged(*staging_) : 0;
+  }
+
   Topic& topic() { return *topic_; }
   const Topic& topic() const { return *topic_; }
   const std::string& topic_name() const { return topic_->name(); }
 
  private:
   Topic* topic_;
+  std::shared_ptr<BatchBuilder> staging_;  ///< lazy; shared across copies
 };
 
 struct TopicPartition {
@@ -162,10 +194,6 @@ class Broker {
   const Topic* find_topic(const std::string& name) const;
   bool has_topic(const std::string& name) const;
   std::vector<std::string> topic_names() const;
-
-  /// Convenience shim: one name lookup (broker mutex + map walk) per
-  /// record. Hot paths should resolve a Producer once instead.
-  std::int64_t produce(const std::string& topic, Record r) { return this->topic(topic).produce(std::move(r)); }
 
   /// Cached-handle producer for steady-state produce without the name
   /// lookup. Throws std::out_of_range for an unknown topic — create it

@@ -19,28 +19,45 @@ observe::Counter* segments_rolled_counter() {
 }
 }  // namespace
 
-std::uint32_t Partition::KeyDict::intern(std::string& key) {
-  const auto it = ids.find(std::string_view(key));
-  if (it != ids.end()) return it->second;
+std::uint32_t Partition::KeyDict::intern_view(std::string_view key) {
+  const std::size_t mask = slots.size() - 1;  // slots.size() is a power of 2
+  std::size_t i = static_cast<std::size_t>(common::fnv1a(key)) & mask;
+  while (slots[i] != 0) {
+    const std::uint32_t id = slots[i] - 1;
+    if (entries[id] == key) return id;
+    i = (i + 1) & mask;
+  }
   // Cardinality cap: past kMaxDictKeys distinct keys the dictionary stops
   // growing and the caller inlines the key in the segment arena instead —
   // a high-cardinality key stream (unique request ids as keys) must not
   // leak memory for the partition's lifetime.
   if (entries.size() >= kMaxDictKeys) return kNoKey;
   const auto id = static_cast<std::uint32_t>(entries.size());
-  entries.push_back(std::move(key));
-  ids.emplace(std::string_view(entries.back()), id);
+  entries.emplace_back(key);
+  if ((entries.size() + 1) * 4 > slots.size() * 3) {
+    // Past 75% load: double the table and reinsert every id.
+    std::vector<std::uint32_t> grown(slots.size() * 2, 0);
+    const std::size_t gmask = grown.size() - 1;
+    for (std::uint32_t e = 0; e < entries.size(); ++e) {
+      std::size_t g = static_cast<std::size_t>(common::fnv1a(entries[e])) & gmask;
+      while (grown[g] != 0) g = (g + 1) & gmask;
+      grown[g] = e + 1;
+    }
+    slots.swap(grown);
+  } else {
+    slots[i] = id + 1;
+  }
   return id;
 }
 
-std::int64_t Partition::append_unlocked(Record&& r, std::size_t index_hint) {
+void Partition::append_one_unlocked(const EncodedRecord& r, std::int64_t off,
+                                    std::size_t index_hint) {
   const std::size_t sz = r.wire_size();
   // Key placement is decided before the roll check so the arena-byte need
   // is known: interned keys cost no arena bytes; once the dictionary hits
   // its cap, new keys are inlined in the arena ahead of the payload.
-  // (intern() moves the key into the dictionary when it accepts it.)
   const bool has_key = !r.key.empty();
-  const std::uint32_t key_id = has_key ? dict_->intern(r.key) : kNoKey;
+  const std::uint32_t key_id = has_key ? dict_->intern_view(r.key) : kNoKey;
   const bool inline_key = has_key && key_id == kNoKey;
   const std::size_t arena_need = r.payload.size() + (inline_key ? r.key.size() : 0);
   // Roll on the wire-size rule (identical placement to the pre-arena
@@ -54,7 +71,7 @@ std::int64_t Partition::append_unlocked(Record&& r, std::size_t index_hint) {
                         segments_.back()->arena.capacity();
   if (roll) {
     auto s = std::make_shared<Segment>();
-    s->base_offset = next_offset_.load(std::memory_order_relaxed);
+    s->base_offset = off;
     // Full-capacity reservation up front: the arena must never reallocate
     // while readers hold views into it. Arena bytes per segment are
     // bounded by the wire-size roll rule (first record may exceed it).
@@ -66,13 +83,19 @@ std::int64_t Partition::append_unlocked(Record&& r, std::size_t index_hint) {
     segments_.push_back(std::move(s));
     segments_rolled_counter()->inc();
   }
-  Segment& seg = *segments_.back();
+  write_record_unlocked(*segments_.back(), r, key_id);
+  segments_.back()->bytes += sz;
+  total_bytes_ += sz;
+}
+
+void Partition::write_record_unlocked(Segment& seg, const EncodedRecord& r,
+                                      std::uint32_t key_id) {
   IndexEntry e;
   e.timestamp = r.timestamp;
   e.trace_id = r.trace_id;
   e.span_id = r.span_id;
   e.key_id = key_id;
-  if (inline_key) {
+  if (key_id == kNoKey && !r.key.empty()) {
     seg.arena.insert(seg.arena.end(), r.key.begin(), r.key.end());
     e.key_len = static_cast<std::uint32_t>(r.key.size());
   }
@@ -80,35 +103,67 @@ std::int64_t Partition::append_unlocked(Record&& r, std::size_t index_hint) {
   e.payload_len = static_cast<std::uint32_t>(r.payload.size());
   seg.arena.insert(seg.arena.end(), r.payload.begin(), r.payload.end());
   seg.index.push_back(e);
-  seg.max_ts = std::max(seg.max_ts, r.timestamp);
-  seg.bytes += sz;
-  total_bytes_ += sz;
-  const std::int64_t off = next_offset_.load(std::memory_order_relaxed);
-  next_offset_.store(off + 1, std::memory_order_relaxed);
-  return off;
+  if (r.timestamp > seg.max_ts) seg.max_ts = r.timestamp;
 }
 
 std::int64_t Partition::append(Record r) {
   std::lock_guard lk(mu_);
-  return append_unlocked(std::move(r), /*index_hint=*/0);
+  const std::int64_t off = next_offset_.load(std::memory_order_relaxed);
+  append_one_unlocked(as_encoded(r), off, /*index_hint=*/0);
+  next_offset_.store(off + 1, std::memory_order_relaxed);
+  return off;
 }
 
-std::int64_t Partition::append_batch(std::vector<Record>&& batch) {
+std::int64_t Partition::append_encoded_batch(std::span<const EncodedRecord> batch) {
   std::lock_guard lk(mu_);
   const std::int64_t first = next_offset_.load(std::memory_order_relaxed);
-  // Pre-reserve from the batch's summed wire size: if the whole batch
-  // fits the active segment (the common scrape/collection case), one
-  // index reserve up front; otherwise each rolled segment gets the
+  if (batch.empty()) return first;
+  // One index reservation from the batch's summed wire size: if the whole
+  // batch fits the active segment (the common staged-flush case), reserve
+  // its index up front; otherwise each rolled segment gets the
   // remaining-records hint. Arena capacity is always fully reserved at
   // segment creation, so payload bytes need no per-batch reserve.
   std::size_t wire = 0;
-  for (const Record& r : batch) wire += r.wire_size();
+  for (const EncodedRecord& r : batch) wire += r.wire_size();
   if (!segments_.empty() && segments_.back()->bytes + wire <= segment_bytes_) {
+    // Fast path: the whole batch fits the active segment, so no record
+    // can roll (cumulative bytes never cross segment_bytes_, and arena
+    // capacity >= segment_bytes_ covers the payload/inline-key bytes).
+    // Per-record roll checks and byte accounting are hoisted out of the
+    // loop — this is the produce-side hot path.
     Segment& seg = *segments_.back();
-    seg.index.reserve(seg.index.size() + batch.size());
+    const std::size_t want = seg.index.size() + batch.size();
+    if (want > seg.index.capacity()) {
+      // Grow geometrically: reserve(want) alone would resize to the exact
+      // count on every flush, turning repeated small batches into O(n^2)
+      // index copies.
+      seg.index.reserve(std::max(want, seg.index.capacity() * 2));
+    }
+    for (const EncodedRecord& r : batch) {
+      const std::uint32_t key_id = r.key.empty() ? kNoKey : dict_->intern_view(r.key);
+      write_record_unlocked(seg, r, key_id);
+    }
+    seg.bytes += wire;
+    total_bytes_ += wire;
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      append_one_unlocked(batch[i], first + static_cast<std::int64_t>(i), batch.size() - i);
+    }
   }
-  std::size_t remaining = batch.size();
-  for (Record& r : batch) append_unlocked(std::move(r), remaining--);
+  // Group commit: readers (fetch_view's lockless end check, end_offset())
+  // see the whole batch become visible at once.
+  next_offset_.store(first + static_cast<std::int64_t>(batch.size()),
+                     std::memory_order_relaxed);
+  return first;
+}
+
+std::int64_t Partition::append_batch(std::vector<Record>&& batch) {
+  // Owned-Record shim over the encoded path: the Records stay alive for
+  // the duration of the call, so borrowing their bytes is safe.
+  std::vector<EncodedRecord> views;
+  views.reserve(batch.size());
+  for (const Record& r : batch) views.push_back(as_encoded(r));
+  const std::int64_t first = append_encoded_batch(views);
   batch.clear();
   return first;
 }

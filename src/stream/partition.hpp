@@ -19,10 +19,11 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "stream/record.hpp"
 #include "stream/view.hpp"
 
@@ -44,6 +45,16 @@ class Partition {
   /// exactly as the equivalent append() sequence would. Returns the offset
   /// of the first appended record (records get consecutive offsets).
   std::int64_t append_batch(std::vector<Record>&& batch);
+
+  /// The zero-copy write path: append records whose bytes live in
+  /// caller-owned storage (a producer's staging arena). One lock
+  /// acquisition, one index reservation sized from the summed wire sizes,
+  /// and a group-committed publish — next_offset_ is stored ONCE after
+  /// the whole batch is in the arena, so concurrent readers see either
+  /// none or all of the batch (visibility ordering and committed_offsets
+  /// semantics unchanged). Segment placement is identical to the
+  /// equivalent append() sequence. Returns the first offset.
+  std::int64_t append_encoded_batch(std::span<const EncodedRecord> batch);
 
   /// Copy up to `max_records` records starting at `offset` into `out`.
   /// Returns the next offset to poll from. Offsets below the log start
@@ -94,12 +105,16 @@ class Partition {
   /// caller falls back to inlining the key in the segment arena.
   struct KeyDict {
     std::deque<std::string> entries;
-    std::unordered_map<std::string_view, std::uint32_t> ids;  ///< views into entries
+    /// Open-addressing id index over `entries` (linear probing, <=75%
+    /// load, slot value = id + 1 so 0 marks empty). The lookup is on the
+    /// per-record produce hot path, where an unordered_map's node chase
+    /// costs more than the whole arena memcpy for small records.
+    std::vector<std::uint32_t> slots = std::vector<std::uint32_t>(1024, 0);
 
-    /// Returns the key's id, interning it (key is moved from) if new and
-    /// the dictionary has room; returns kNoKey (key untouched) once
-    /// kMaxDictKeys distinct entries exist.
-    std::uint32_t intern(std::string& key);
+    /// Returns the key's id, interning a copy if new and the dictionary
+    /// has room; returns kNoKey once kMaxDictKeys distinct entries exist
+    /// (the caller then inlines the key in the segment arena).
+    std::uint32_t intern_view(std::string_view key);
   };
 
   static constexpr std::uint32_t kNoKey = 0xffffffffu;
@@ -130,9 +145,18 @@ class Partition {
     std::shared_ptr<KeyDict> dict;  ///< keeps key bytes alive while pinned
   };
 
-  // Unlocked internals (callers hold mu_). index_hint pre-sizes a freshly
-  // rolled segment's index (append_batch passes its remaining count).
-  std::int64_t append_unlocked(Record&& r, std::size_t index_hint);
+  // Unlocked internals (callers hold mu_). `off` is the record's offset —
+  // passed in (not read from next_offset_) because batch appends only
+  // publish next_offset_ once at the end, yet a segment rolled mid-batch
+  // needs the RUNNING offset as its base_offset. index_hint pre-sizes a
+  // freshly rolled segment's index (batch appends pass the remaining
+  // count). Does NOT advance next_offset_; the caller group-commits.
+  void append_one_unlocked(const EncodedRecord& r, std::int64_t off, std::size_t index_hint);
+
+  // Arena bytes + index entry for one record whose segment and key id are
+  // already decided; skips roll checks and byte accounting (the caller
+  // owns both). The hot inner loop of the batch fast path.
+  void write_record_unlocked(Segment& seg, const EncodedRecord& r, std::uint32_t key_id);
 
   mutable std::mutex mu_;
   std::deque<std::shared_ptr<Segment>> segments_;

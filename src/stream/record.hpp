@@ -50,4 +50,25 @@ struct StoredRecord {
   Record record;
 };
 
+/// A record to append whose bytes live in caller-owned storage — the
+/// write-side dual of RecordView. Producers encode straight into a
+/// staging arena (BatchBuilder) or borrow an owned Record's strings, and
+/// the partition copies the bytes into its segment arena exactly once.
+/// The referenced bytes must stay alive until the append returns.
+struct EncodedRecord {
+  common::TimePoint timestamp = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::string_view key;
+  std::string_view payload;
+
+  /// Same accounting as Record::wire_size().
+  std::size_t wire_size() const { return key.size() + payload.size() + 24; }
+};
+
+/// Borrowed encoded view of an owned Record (the produce_batch shim).
+inline EncodedRecord as_encoded(const Record& r) {
+  return EncodedRecord{r.timestamp, r.trace_id, r.span_id, r.key, r.payload};
+}
+
 }  // namespace oda::stream

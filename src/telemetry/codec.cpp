@@ -28,6 +28,21 @@ stream::Record encode_packet(const TelemetryPacket& pkt) {
   return rec;
 }
 
+void encode_packet_into(const TelemetryPacket& pkt, stream::BatchBuilder& staged) {
+  ByteWriter& w = staged.begin_record(pkt.timestamp);
+  w.raw("n", 1);
+  w.text_u64(pkt.node_id);
+  staged.begin_payload();
+  w.i64(pkt.timestamp);
+  w.u32(pkt.node_id);
+  w.varint(pkt.readings.size());
+  for (const auto& r : pkt.readings) {
+    w.u16(r.sensor);
+    w.f64(r.value);
+  }
+  staged.end_record();
+}
+
 TelemetryPacket decode_packet(const stream::Record& r) {
   return decode_packet(std::string_view(r.payload));
 }
@@ -88,6 +103,23 @@ stream::Record encode_job_event(const JobScheduler::Event& ev, const Job& job) {
   return rec;
 }
 
+void encode_job_event_into(const JobScheduler::Event& ev, const Job& job,
+                           stream::BatchBuilder& staged) {
+  ByteWriter& w = staged.begin_record(ev.time);
+  w.raw("j", 1);
+  w.text_i64(job.job_id);
+  staged.begin_payload();
+  w.i64(ev.time);
+  w.u8(static_cast<std::uint8_t>(ev.kind));
+  w.i64(job.job_id);
+  w.str(job.project);
+  w.str(job.user);
+  w.u8(static_cast<std::uint8_t>(job.archetype));
+  w.varint(job.num_nodes);
+  w.u8(job.uses_gpu ? 1 : 0);
+  staged.end_record();
+}
+
 Schema job_event_schema() {
   return Schema{{"time", DataType::kInt64},    {"event", DataType::kString},
                 {"job_id", DataType::kInt64},  {"project", DataType::kString},
@@ -140,6 +172,19 @@ stream::Record encode_log_event(const LogEvent& ev) {
   auto bytes = w.take();
   rec.payload.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
   return rec;
+}
+
+void encode_log_event_into(const LogEvent& ev, stream::BatchBuilder& staged) {
+  ByteWriter& w = staged.begin_record(ev.timestamp);
+  w.raw("n", 1);
+  w.text_u64(ev.node_id);
+  staged.begin_payload();
+  w.i64(ev.timestamp);
+  w.u32(ev.node_id);
+  w.u8(static_cast<std::uint8_t>(ev.severity));
+  w.str(ev.subsystem);
+  w.str(ev.message);
+  staged.end_record();
 }
 
 LogEvent decode_log_event(const stream::Record& r) {

@@ -9,6 +9,7 @@
 
 #include "sql/table.hpp"
 #include "stream/record.hpp"
+#include "stream/staging.hpp"
 #include "stream/view.hpp"
 #include "telemetry/sensors.hpp"
 
@@ -17,6 +18,10 @@ namespace oda::telemetry {
 /// Serialize a packet into a broker Record (key = node id for stable
 /// partitioning; payload = compact binary).
 stream::Record encode_packet(const TelemetryPacket& pkt);
+/// Zero-copy variant: serialize straight into a staging buffer — key and
+/// payload bytes are byte-identical to encode_packet's, but no Record (or
+/// any intermediate buffer) is materialized.
+void encode_packet_into(const TelemetryPacket& pkt, stream::BatchBuilder& staged);
 TelemetryPacket decode_packet(const stream::Record& r);
 /// Payload-level decode for the zero-copy path (no owned Record needed).
 TelemetryPacket decode_packet(std::string_view payload);
@@ -36,6 +41,9 @@ void append_packet_rows(const TelemetryPacket& pkt, sql::Table& bronze);
 
 /// Serialize a scheduler event referencing the job metadata.
 stream::Record encode_job_event(const JobScheduler::Event& ev, const Job& job);
+/// Zero-copy variant (byte-identical key/payload, no Record).
+void encode_job_event_into(const JobScheduler::Event& ev, const Job& job,
+                           stream::BatchBuilder& staged);
 
 /// Schema: (time, event, job_id, project, user, archetype, num_nodes, uses_gpu).
 sql::Schema job_event_schema();
@@ -55,6 +63,8 @@ struct LogEvent {
 };
 
 stream::Record encode_log_event(const LogEvent& ev);
+/// Zero-copy variant (byte-identical key/payload, no Record).
+void encode_log_event_into(const LogEvent& ev, stream::BatchBuilder& staged);
 LogEvent decode_log_event(const stream::Record& r);
 LogEvent decode_log_event(std::string_view payload);
 sql::Schema log_event_schema();

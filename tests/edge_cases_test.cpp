@@ -196,7 +196,7 @@ TEST(EdgeTest, BrokerSinglePartitionSingleRecord) {
   stream::Record r;
   r.timestamp = 5;
   r.payload = "x";
-  b.produce("t", std::move(r));
+  b.producer("t").produce(std::move(r));
   stream::Consumer c(b, "g", "t");
   const auto batch = c.poll(10);
   ASSERT_EQ(batch.size(), 1u);

@@ -7,6 +7,7 @@
 // tier), and the sparkline/history renderers.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "common/faults.hpp"
+#include "common/rng.hpp"
 #include "core/framework.hpp"
 #include "observe/export.hpp"
 #include "observe/history.hpp"
@@ -103,6 +105,53 @@ TEST(SelfObsCodecTest, MalformedPayloadsAreRejectedNotCrashed) {
   EXPECT_FALSE(decode_alert_event(encoded, &aout));  // metric payload is not an alert
 }
 
+// Property test for the zero-copy write path: the staged selfobs
+// encoders must produce byte-identical key/payload to the Record
+// encoders for arbitrary samples — the golden-run invariant rests on
+// the two paths being indistinguishable on the wire.
+TEST(SelfObsCodecTest, StagedEncodersMatchRecordEncodersByteForByte) {
+  common::Rng rng(0x5e1f0b5);
+  const auto random_value = [&rng]() {
+    const double mant = static_cast<double>(rng.uniform_int(0, 1 << 30));
+    const double v = std::ldexp(mant, static_cast<int>(rng.uniform_int(-60, 60)));
+    return rng.bernoulli(0.5) ? -v : v;
+  };
+
+  stream::BatchBuilder staged;
+  std::vector<stream::Record> want;
+  for (int i = 0; i < 300; ++i) {
+    const auto t = static_cast<TimePoint>(rng.uniform_int(0, 1 << 30));
+    MetricSample s;
+    s.series = "series." + std::to_string(rng.uniform_index(64));
+    if (rng.bernoulli(0.3)) {
+      s.series += "{topic=t" + std::to_string(rng.uniform_index(8)) + "}";
+    }
+    s.kind = static_cast<MetricKind>(rng.uniform_index(3));
+    s.value = random_value();
+    s.delta = rng.bernoulli(0.2) ? 0.0 : random_value();
+    s.count = rng.next();
+    want.push_back(encode_metric_sample(s, t));
+    encode_metric_sample_into(s, t, staged);
+
+    AlertEvent e;
+    e.slo = "slo." + std::to_string(rng.uniform_index(16));
+    e.from = static_cast<SloState>(rng.uniform_index(3));
+    e.to = static_cast<SloState>(rng.uniform_index(3));
+    e.value = random_value();
+    want.push_back(encode_alert_event(e, t));
+    encode_alert_event_into(e, t, staged);
+  }
+
+  std::vector<stream::EncodedRecord> got;
+  staged.snapshot(got);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].timestamp, want[i].timestamp) << "record " << i;
+    EXPECT_EQ(got[i].key, want[i].key) << "record " << i;
+    EXPECT_EQ(got[i].payload, want[i].payload) << "record " << i;
+  }
+}
+
 // --- the scraper ---------------------------------------------------------
 
 struct CapturedRecords {
@@ -115,6 +164,74 @@ struct CapturedRecords {
     };
   }
 };
+
+// Staged-mode capture obeying the StagedProduceFn contract: drain the
+// builder on success (materializing owned Records for comparison).
+struct CapturedStaged {
+  std::vector<stream::Record> all;
+  StagedProduceFn fn() {
+    return [this](stream::BatchBuilder& staged) {
+      std::vector<stream::EncodedRecord> got;
+      staged.snapshot(got);
+      for (const auto& r : got) {
+        stream::Record rec;
+        rec.timestamp = r.timestamp;
+        rec.key = std::string(r.key);
+        rec.payload = std::string(r.payload);
+        all.push_back(std::move(rec));
+      }
+      const std::size_t n = got.size();
+      staged.clear();
+      return n;
+    };
+  }
+};
+
+// A staged-mode Scraper must emit the same record bytes, in the same
+// order, as a legacy-mode Scraper observing the same registry and SLO
+// book — including delta suppression and alert forwarding.
+TEST(ScraperTest, StagedScraperMatchesLegacyByteForByte) {
+  MetricsRegistry reg;
+  SloBook book;
+  book.add({.name = "lag", .subject = "q", .unit = "records", .warn = 10, .crit = 100,
+            .breach_hold = 0, .clear_after = 1});
+
+  CapturedRecords legacy_metrics, legacy_alerts;
+  Scraper legacy(reg, legacy_metrics.fn(), legacy_alerts.fn());
+  legacy.watch_slos(book);
+
+  CapturedStaged staged_metrics, staged_alerts;
+  Scraper staged(reg, staged_metrics.fn(), staged_alerts.fn());
+  staged.watch_slos(book);
+
+  Counter* c = reg.counter("work.done");
+  Gauge* g = reg.gauge("queue.depth");
+  const double slo_values[] = {1, 50, 50, 500, 2};  // healthy→degraded→breached→healthy
+  for (int round = 0; round < 5; ++round) {
+    c->inc(round + 1);
+    if (round != 2) g->set(round * 2.5);  // round 2: unchanged, delta-suppressed
+    const auto t = static_cast<TimePoint>(round * 30) * kSecond;
+    book.update("lag", slo_values[round], t);
+    legacy.scrape(t);
+    staged.scrape(t);
+  }
+
+  ASSERT_EQ(staged_metrics.all.size(), legacy_metrics.all.size());
+  for (std::size_t i = 0; i < staged_metrics.all.size(); ++i) {
+    EXPECT_EQ(staged_metrics.all[i].timestamp, legacy_metrics.all[i].timestamp);
+    EXPECT_EQ(staged_metrics.all[i].key, legacy_metrics.all[i].key);
+    EXPECT_EQ(staged_metrics.all[i].payload, legacy_metrics.all[i].payload);
+  }
+  ASSERT_EQ(staged_alerts.all.size(), legacy_alerts.all.size());
+  EXPECT_GT(staged_alerts.all.size(), 0u);  // the SLO walk produced transitions
+  for (std::size_t i = 0; i < staged_alerts.all.size(); ++i) {
+    EXPECT_EQ(staged_alerts.all[i].timestamp, legacy_alerts.all[i].timestamp);
+    EXPECT_EQ(staged_alerts.all[i].key, legacy_alerts.all[i].key);
+    EXPECT_EQ(staged_alerts.all[i].payload, legacy_alerts.all[i].payload);
+  }
+  EXPECT_EQ(staged.stats().samples_emitted, legacy.stats().samples_emitted);
+  EXPECT_EQ(staged.stats().alerts_emitted, legacy.stats().alerts_emitted);
+}
 
 TEST(ScraperTest, DeltaEncodingSuppressesUnchangedSeries) {
   MetricsRegistry reg;

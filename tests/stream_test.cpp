@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "stream/broker.hpp"
 
 namespace oda::stream {
@@ -482,6 +484,172 @@ TEST(ProducerTest, CachedHandleProducesAndBatches) {
   EXPECT_EQ(b.topic("t").stats().produced_records, 3u);
   // Unknown topics still fail fast at handle resolution.
   EXPECT_THROW(b.producer("missing"), std::out_of_range);
+}
+
+TEST(StagedProduceTest, MatchesProduceBatchByteForByte) {
+  // The zero-copy staged flush must be indistinguishable from the owned-
+  // Record batch: same partition placement, same offsets, same bytes.
+  Broker batch_broker;
+  Broker staged_broker;
+  auto& batch_topic = batch_broker.create_topic("t", TopicConfig{}.with_partitions(4));
+  auto& staged_topic = staged_broker.create_topic("t", TopicConfig{}.with_partitions(4));
+
+  common::Rng rng(0x57a6ed);
+  std::vector<Record> batch;
+  BatchBuilder staging;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const std::string key = i % 3 == 0 ? "" : "k" + std::to_string(rng.uniform_index(7));
+    std::string payload(rng.uniform_index(64) + 1, 'a');
+    for (char& c : payload) c = static_cast<char>('a' + rng.uniform_index(26));
+    batch.push_back(Record{static_cast<common::TimePoint>(i), key, payload});
+    staging.add(static_cast<common::TimePoint>(i), key, payload);
+  }
+  EXPECT_EQ(batch_topic.produce_batch(std::move(batch)), 300u);
+  EXPECT_EQ(staged_topic.produce_staged(staging), 300u);
+  EXPECT_TRUE(staging.empty());  // consumed on success
+
+  EXPECT_EQ(batch_topic.stats().produced_records, staged_topic.stats().produced_records);
+  EXPECT_EQ(batch_topic.stats().produced_bytes, staged_topic.stats().produced_bytes);
+  for (std::size_t p = 0; p < 4; ++p) {
+    std::vector<StoredRecord> a, b;
+    batch_topic.partition(p).fetch(0, 1000, a);
+    staged_topic.partition(p).fetch(0, 1000, b);
+    ASSERT_EQ(a.size(), b.size()) << "partition " << p;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].offset, b[i].offset);
+      EXPECT_EQ(a[i].record.timestamp, b[i].record.timestamp);
+      EXPECT_EQ(a[i].record.key, b[i].record.key);
+      EXPECT_EQ(a[i].record.payload, b[i].record.payload);
+    }
+  }
+}
+
+TEST(StagedProduceTest, WriterApiMatchesAddApi) {
+  // begin_record/begin_payload/end_record encodes the same bytes add()
+  // copies in.
+  BatchBuilder via_add;
+  BatchBuilder via_writer;
+  via_add.add(7, "key7", "payload-bytes");
+  common::ByteWriter& w = via_writer.begin_record(7);
+  w.raw("key", 3);
+  w.raw("7", 1);
+  via_writer.begin_payload();
+  w.raw("payload-bytes", 13);
+  via_writer.end_record();
+
+  std::vector<EncodedRecord> a, b;
+  via_add.snapshot(a);
+  via_writer.snapshot(b);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].timestamp, b[0].timestamp);
+  EXPECT_EQ(a[0].key, b[0].key);
+  EXPECT_EQ(a[0].payload, b[0].payload);
+}
+
+TEST(StagedProduceTest, EncodedBatchRoundTripsAcrossTheDictionaryCap) {
+  // Property: randomized payloads with MORE distinct keys than the
+  // dictionary cap round-trip byte-identically — interned keys below the
+  // cap, arena-inlined keys above it, with a mid-stream repeat mix.
+  const std::size_t kKeys = Partition::kMaxDictKeys + 5000;
+  Partition part(1 << 20);
+  common::Rng rng(0xd1c7);
+  std::vector<Record> originals;
+  originals.reserve(kKeys);
+  std::vector<EncodedRecord> encoded;
+  encoded.reserve(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    Record r;
+    r.timestamp = static_cast<common::TimePoint>(i);
+    // Distinct keys march past the cap; every 10th record repeats an
+    // early (interned) key to interleave the two storage modes.
+    r.key = i % 10 == 0 ? "k" + std::to_string(i % 97) : "key-" + std::to_string(i);
+    r.payload.assign(rng.uniform_index(24) + 1,
+                     static_cast<char>('a' + rng.uniform_index(26)));
+    originals.push_back(std::move(r));
+  }
+  for (const Record& r : originals) encoded.push_back(as_encoded(r));
+  // Split into uneven batches, including empty ones.
+  std::size_t at = 0;
+  std::int64_t expect_first = 0;
+  while (at < encoded.size()) {
+    const std::size_t take = std::min<std::size_t>(rng.uniform_index(4096), encoded.size() - at);
+    const std::int64_t first =
+        part.append_encoded_batch(std::span<const EncodedRecord>(encoded).subspan(at, take));
+    EXPECT_EQ(first, expect_first);
+    expect_first += static_cast<std::int64_t>(take);
+    at += take;
+  }
+  EXPECT_GT(part.key_dict_size(), 0u);
+  EXPECT_LE(part.key_dict_size(), Partition::kMaxDictKeys);
+
+  FetchView out;
+  std::int64_t cursor = 0;
+  std::size_t seen = 0;
+  while (true) {
+    FetchView chunk;
+    const std::int64_t next = part.fetch_view(cursor, 8192, chunk);
+    if (chunk.empty()) break;
+    for (const RecordView& v : chunk) {
+      const Record& orig = originals[seen];
+      ASSERT_EQ(v.offset, static_cast<std::int64_t>(seen));
+      EXPECT_EQ(v.timestamp, orig.timestamp);
+      EXPECT_EQ(v.key, orig.key);
+      EXPECT_EQ(v.payload, orig.payload);
+      ++seen;
+    }
+    cursor = next;
+  }
+  EXPECT_EQ(seen, kKeys);
+}
+
+TEST(StagedProduceTest, EmptyBatchesAndFlushesAreNoOps) {
+  Broker b;
+  auto& topic = b.create_topic("t", TopicConfig{}.with_partitions(2));
+  Producer producer = b.producer("t");
+  EXPECT_EQ(producer.flush(), 0u);  // nothing staged, no builder yet
+  BatchBuilder empty;
+  EXPECT_EQ(topic.produce_staged(empty), 0u);
+  std::vector<Record> no_records;
+  EXPECT_EQ(topic.produce_batch(std::move(no_records)), 0u);
+  Partition part;
+  EXPECT_EQ(part.append_encoded_batch({}), 0);
+  EXPECT_EQ(topic.stats().produced_records, 0u);
+  EXPECT_EQ(part.end_offset(), 0);
+}
+
+TEST(StagedProduceTest, ProducerStagingFlushInterleavesWithRoundRobin) {
+  // Staged keyless records draw from the SAME shared rr cursor as
+  // produce(), so mixed staged/single traffic stays balanced.
+  Broker b;
+  auto& topic = b.create_topic("t", TopicConfig{}.with_partitions(4));
+  Producer producer = b.producer("t");
+  for (std::size_t i = 0; i < 6; ++i) producer.staging().add(1, "", "x");
+  EXPECT_EQ(producer.flush(), 6u);  // keyless: rr 0..5
+  producer.produce(make_record(1));  // rr 6
+  producer.produce(make_record(1));  // rr 7
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(topic.partition(p).record_count(), 2u) << "partition " << p;
+  }
+}
+
+TEST(StagedProduceTest, BuilderCapacityIsReusedAcrossFlushes) {
+  // Steady-state staging must not allocate per record: after the first
+  // flush cycle the arena and entry table retain capacity.
+  Broker b;
+  b.create_topic("t", TopicConfig{}.with_partitions(2));
+  Producer producer = b.producer("t");
+  BatchBuilder& staging = producer.staging();
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      staging.add(static_cast<common::TimePoint>(i), "k", "0123456789abcdef");
+    }
+    EXPECT_EQ(staging.pending(), 100u);
+    EXPECT_EQ(producer.flush(), 100u);
+    EXPECT_TRUE(staging.empty());
+    EXPECT_EQ(staging.pending_bytes(), 0u);
+  }
+  EXPECT_EQ(b.topic("t").stats().produced_records, 300u);
 }
 
 TEST(SubscriptionTest, ConsumerAndGroupMemberShareTheInterface) {

@@ -2,6 +2,7 @@
 // physics, wire codecs and event generation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "telemetry/events.hpp"
@@ -282,6 +283,68 @@ TEST(CodecTest, LogEventRoundTrip) {
   EXPECT_EQ(back.severity, Severity::kCritical);
   EXPECT_EQ(back.subsystem, "gpu-xid");
   EXPECT_EQ(back.message, "xid 63");
+}
+
+// Property test for the zero-copy write path: every `_into` encoder must
+// produce byte-identical key and payload to its Record-materializing
+// twin — golden runs depend on the two paths being indistinguishable.
+TEST(CodecTest, StagedEncodersMatchRecordEncodersByteForByte) {
+  common::Rng rng(0xc0dec);
+  // Random doubles spanning signs, magnitudes and exponents.
+  const auto random_value = [&rng]() {
+    const double mant = static_cast<double>(rng.uniform_int(0, 1 << 30));
+    const double v = std::ldexp(mant, static_cast<int>(rng.uniform_int(-40, 40)));
+    return rng.bernoulli(0.5) ? -v : v;
+  };
+  const char* subsystems[] = {"lustre", "slingshot", "gpu-xid", "kernel", ""};
+  const char* projects[] = {"AST051", "CHM027", "", "FUS112"};
+
+  stream::BatchBuilder staged;
+  std::vector<stream::Record> want;
+  for (int i = 0; i < 200; ++i) {
+    TelemetryPacket pkt;
+    pkt.timestamp = static_cast<common::TimePoint>(rng.uniform_int(0, 1 << 30));
+    pkt.node_id = static_cast<std::uint32_t>(rng.uniform_index(1u << 20));
+    const std::size_t readings = rng.uniform_index(6);  // includes empty packets
+    for (std::size_t s = 0; s < readings; ++s) {
+      pkt.readings.push_back(
+          {static_cast<std::uint16_t>(rng.uniform_index(1 << 16)), random_value()});
+    }
+    want.push_back(encode_packet(pkt));
+    encode_packet_into(pkt, staged);
+
+    Job job;
+    job.job_id = rng.uniform_int(0, 1 << 24);
+    job.project = projects[rng.uniform_index(4)];
+    job.user = "u" + std::to_string(rng.uniform_index(1000));
+    job.archetype = static_cast<JobArchetype>(rng.uniform_index(kNumArchetypes));
+    job.num_nodes = rng.uniform_index(4608);
+    job.uses_gpu = rng.bernoulli(0.5);
+    JobScheduler::Event ev;
+    ev.kind = static_cast<JobScheduler::EventKind>(rng.uniform_index(3));
+    ev.time = static_cast<common::TimePoint>(rng.uniform_int(0, 1 << 30));
+    ev.job_id = job.job_id;
+    want.push_back(encode_job_event(ev, job));
+    encode_job_event_into(ev, job, staged);
+
+    LogEvent log;
+    log.timestamp = static_cast<common::TimePoint>(rng.uniform_int(0, 1 << 30));
+    log.node_id = static_cast<std::uint32_t>(rng.uniform_index(1u << 20));
+    log.severity = static_cast<Severity>(rng.uniform_index(4));
+    log.subsystem = subsystems[rng.uniform_index(5)];
+    log.message = "m" + std::to_string(rng.next());
+    want.push_back(encode_log_event(log));
+    encode_log_event_into(log, staged);
+  }
+
+  std::vector<stream::EncodedRecord> got;
+  staged.snapshot(got);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].timestamp, want[i].timestamp) << "record " << i;
+    EXPECT_EQ(got[i].key, want[i].key) << "record " << i;
+    EXPECT_EQ(got[i].payload, want[i].payload) << "record " << i;
+  }
 }
 
 TEST(EventGeneratorTest, EventsSortedAndInRange) {
