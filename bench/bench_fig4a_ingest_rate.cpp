@@ -358,9 +358,9 @@ void scraper_overhead(oda::bench::JsonReport& report, bool smoke) {
 /// Zero-copy read path on the multi-consumer config: the same pre-filled
 /// topic is drained by kGroups independent consumer groups (the paper's
 /// fan-out, where every team subscribes to the same firehose), once
-/// through the copying poll() and once through the view-returning
-/// poll_view(). The win shows up twice — drain rate, and allocations per
-/// record (poll deep-copies key+payload per record; poll_view hands out
+/// through the copying fetch_copy() and once through the view-returning
+/// poll(). The win shows up twice — drain rate, and allocations per
+/// record (fetch_copy deep-copies key+payload per record; poll hands out
 /// string_views pinned to the immutable segments).
 void consume_view_vs_copy(oda::bench::JsonReport& report, bool smoke) {
   using namespace oda;
@@ -405,9 +405,9 @@ void consume_view_vs_copy(oda::bench::JsonReport& report, bool smoke) {
       std::size_t got = 0;
       for (auto& c : consumers) {
         if (views) {
-          got += c->poll_view(8192).size();
-        } else {
           got += c->poll(8192).size();
+        } else {
+          got += c->fetch_copy(8192).size();
         }
       }
       if (got == 0) break;
@@ -505,7 +505,7 @@ void engine_scaling(oda::bench::JsonReport& report, bool smoke) {
     engine::Engine eng(engine::EngineConfig{}.with_workers(workers));
     auto& q = eng.add_query(
         pipeline::QueryConfig{}.with_name("scale.ingest").with_batch_size(16384),
-        eng.make_source(broker, "scale", "scale-group", decode));
+        engine::SourceSpec{&broker, "scale", "scale-group", decode});
     q.add_sink(std::make_unique<pipeline::TableSink>());
     eng.run_until_caught_up();
 

@@ -26,7 +26,7 @@ int main() {
 
   // Materialize the context tables the dashboard uses.
   stream::Consumer log_reader(fw.broker(), "ua-bench", rig.sys->topics().syslog);
-  const auto log_table = telemetry::log_events_to_table(log_reader.poll_view(1000000));
+  const auto log_table = telemetry::log_events_to_table(log_reader.poll(1000000));
   apps::UaDashboard dashboard(fw.lake(), rig.sys->scheduler().allocation_log(),
                               rig.sys->scheduler().node_allocation_log(), log_table);
 
@@ -34,7 +34,7 @@ int main() {
   stream::Consumer bronze_reader(fw.broker(), "ua-bench-bronze", rig.sys->topics().power);
   sql::Table bronze;
   for (;;) {
-    const auto recs = bronze_reader.poll_view(65536);
+    const auto recs = bronze_reader.poll(65536);
     if (recs.empty()) break;
     sql::Table part = telemetry::packets_to_bronze(recs);
     if (bronze.num_columns() == 0) bronze = sql::Table(part.schema());

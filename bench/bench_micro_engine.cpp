@@ -12,6 +12,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -126,7 +127,7 @@ void BM_BrokerConsume(benchmark::State& state) {
     stream::Consumer c(broker, "g" + std::to_string(state.iterations()), "t");
     std::size_t total = 0;
     while (total < 100000) {
-      const auto batch = c.poll(8192);
+      const auto batch = c.fetch_copy(8192);
       if (batch.empty()) break;
       total += batch.size();
     }
@@ -137,7 +138,7 @@ void BM_BrokerConsume(benchmark::State& state) {
 BENCHMARK(BM_BrokerConsume);
 
 void BM_BrokerConsumeView(benchmark::State& state) {
-  // Same drain as BM_BrokerConsume through the zero-copy poll_view():
+  // Same drain as BM_BrokerConsume through the zero-copy poll():
   // string_views pinned to the immutable segments instead of one owned
   // Record copy per record.
   stream::Broker broker;
@@ -154,7 +155,7 @@ void BM_BrokerConsumeView(benchmark::State& state) {
     stream::Consumer c(broker, "gv" + std::to_string(state.iterations()), "t");
     std::size_t total = 0;
     while (total < 100000) {
-      const stream::FetchView batch = c.poll_view(8192);
+      const stream::FetchView batch = c.poll(8192);
       if (batch.empty()) break;
       total += batch.size();
     }
@@ -253,10 +254,13 @@ void BM_LzCompress(benchmark::State& state) {
 BENCHMARK(BM_LzCompress);
 
 /// Engine scaling curve: drain the same topic through the same query at
-/// 1/2/4/8 workers. Rates land in BENCH_micro_engine.json so CI can diff
-/// the curve across commits; on a single-core host the curve is flat.
-void engine_scaling_curve(bench::JsonReport& report, bool smoke) {
-  constexpr std::size_t kPartitions = 8;
+/// 1/2/4/8/16 workers under partition ownership. Rates, speedups, and
+/// scaling efficiency ((rate_N / N) / rate_1) land in
+/// BENCH_micro_engine.json so CI can diff the curve across commits; on a
+/// single-core host the curve is flat. Returns the 4-worker speedup so
+/// main() can gate on it where the hardware can express parallelism.
+double engine_scaling_curve(bench::JsonReport& report, bool smoke) {
+  constexpr std::size_t kPartitions = 16;
   const std::size_t kRecords = smoke ? 50000 : 100000;
 
   const auto decode = [](std::span<const stream::RecordView> records) {
@@ -271,7 +275,8 @@ void engine_scaling_curve(bench::JsonReport& report, bool smoke) {
 
   std::printf("\nengine ingest scaling (%zu records, %zu partitions):\n", kRecords, kPartitions);
   double base_rate = 0.0;
-  for (const std::size_t workers : {1, 2, 4, 8}) {
+  double speedup_4 = 0.0;
+  for (const std::size_t workers : {1, 2, 4, 8, 16}) {
     stream::Broker broker;
     broker.create_topic("curve", stream::TopicConfig{}.with_partitions(kPartitions));
     stream::Producer producer = broker.producer("curve");
@@ -289,26 +294,33 @@ void engine_scaling_curve(bench::JsonReport& report, bool smoke) {
       }
     }
 
-    engine::Engine eng(engine::EngineConfig{}.with_workers(workers));
+    engine::Engine eng(engine::EngineConfig{}
+                           .with_workers(workers)
+                           .with_ownership(engine::OwnershipConfig{}.with_partitions(kPartitions)));
     auto& q = eng.add_query(
         pipeline::QueryConfig{}.with_name("curve.q").with_batch_size(16384),
-        eng.make_source(broker, "curve", "curve-group", decode));
+        engine::SourceSpec{&broker, "curve", "curve-group", decode});
     q.add_sink(std::make_unique<pipeline::TableSink>());
     eng.run_until_caught_up();
 
     const engine::EngineStats stats = eng.stats();
     const double rate = static_cast<double>(stats.rows) / stats.wall_seconds;
     if (workers == 1) base_rate = rate;
-    std::printf("  workers=%zu  %9.0fk rec/s  speedup %.2fx\n", workers, rate / 1e3,
-                rate / base_rate);
+    const double speedup = rate / base_rate;
+    const double efficiency = speedup / static_cast<double>(workers);
+    if (workers == 4) speedup_4 = speedup;
+    std::printf("  workers=%2zu  %9.0fk rec/s  speedup %.2fx  efficiency %.2f\n", workers,
+                rate / 1e3, speedup, efficiency);
     const std::string suffix = "workers_" + std::to_string(workers);
     report.metric("engine.ingest.rate." + suffix, rate, "records/s");
-    report.metric("engine.ingest.speedup." + suffix, rate / base_rate, "x");
+    report.metric("engine.ingest.speedup." + suffix, speedup, "x");
+    report.metric("engine.scaling_efficiency." + suffix, efficiency, "ratio");
   }
+  return speedup_4;
 }
 
 /// Copy-vs-view consume cost, as JSON: one consumer group drains the same
-/// pre-filled topic through poll() then poll_view(), with alloc_tracker
+/// pre-filled topic through fetch_copy() then poll(), with alloc_tracker
 /// deltas around each drain. Lands allocations/record for both paths in
 /// BENCH_micro_engine.json so the zero-copy trajectory is diffable.
 void consume_alloc_profile(bench::JsonReport& report, bool smoke) {
@@ -334,9 +346,9 @@ void consume_alloc_profile(bench::JsonReport& report, bool smoke) {
     while (total < kRecords) {
       std::size_t got;
       if (views) {
-        got = c.poll_view(8192).size();
-      } else {
         got = c.poll(8192).size();
+      } else {
+        got = c.fetch_copy(8192).size();
       }
       if (got == 0) break;
       total += got;
@@ -458,7 +470,25 @@ int main(int argc, char** argv) {
   oda::bench::JsonReport report("micro_engine");
   consume_alloc_profile(report, smoke);
   produce_alloc_profile(report, smoke);
-  engine_scaling_curve(report, smoke);
+  const double speedup_4 = engine_scaling_curve(report, smoke);
   report.write();
+
+  // Hard gate: the shared-nothing engine must show real scaling where the
+  // hardware can express it. On narrow hosts (CI containers pinned to 1-2
+  // cores) the curve is flat by construction, so the gate only arms when
+  // at least 4 hardware threads are available.
+  if (std::thread::hardware_concurrency() >= 4) {
+    if (speedup_4 < 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: 4-worker engine scaling %.2fx < 1.50x gate "
+                   "(hardware_concurrency=%u)\n",
+                   speedup_4, std::thread::hardware_concurrency());
+      return 1;
+    }
+    std::printf("engine scaling gate: 4-worker speedup %.2fx >= 1.50x\n", speedup_4);
+  } else {
+    std::printf("engine scaling gate: skipped (hardware_concurrency=%u < 4)\n",
+                std::thread::hardware_concurrency());
+  }
   return 0;
 }

@@ -47,7 +47,7 @@ int main() {
     const auto records = syslog_feed.poll(100000);
     std::vector<telemetry::LogEvent> events;
     events.reserve(records.size());
-    for (const auto& r : records) events.push_back(telemetry::decode_log_event(r.record));
+    for (const auto& r : records) events.push_back(telemetry::decode_log_event(r.payload));
     for (const auto& alert : copacetic.process(events, &sys.scheduler())) {
       std::printf("[ALERT] t=%s rule=%s node=%u count=%zu job=%lld\n",
                   common::format_time(alert.time).c_str(), alert.rule.c_str(), alert.node_id,
@@ -77,7 +77,7 @@ int main() {
   // Gather the log events from the broker for the dashboard's context.
   stream::Consumer log_reader(fw.broker(), "ua-dashboard", sys.topics().syslog);
   log_reader.seek_to_time(0);
-  const auto log_records = log_reader.poll_view(1000000);
+  const auto log_records = log_reader.poll(1000000);
   const auto log_table = telemetry::log_events_to_table(log_records);
 
   apps::UaDashboard dashboard(fw.lake(), sys.scheduler().allocation_log(),

@@ -41,6 +41,8 @@ void OdaMonitor::watch_query(const pipeline::StreamingQuery& query) {
   watched_.push_back(&query);
 }
 
+void OdaMonitor::watch_query(const engine::Query& query) { watched_engine_.push_back(&query); }
+
 void OdaMonitor::watch_engine(const engine::Engine& engine) { engines_.push_back(&engine); }
 
 void OdaMonitor::tick(common::TimePoint now) {
@@ -60,6 +62,9 @@ void OdaMonitor::tick(common::TimePoint now) {
   for (const pipeline::StreamingQuery* q : watched_) {
     lag_.observe_watermark(q->name(), q->watermark(), now);
   }
+  for (const engine::Query* q : watched_engine_) {
+    lag_.observe_watermark(q->name(), q->watermark(), now);
+  }
 
   // Tier backlogs from the tier manager's own report.
   for (const auto& r : tiers_.report()) {
@@ -70,7 +75,7 @@ void OdaMonitor::tick(common::TimePoint now) {
   slos_.update("stream.lag", static_cast<double>(lag_.fleet_lag()), now);
   common::Duration worst_delay = 0;
   for (const auto& ws : lag_.watermarks()) worst_delay = std::max(worst_delay, ws.delay);
-  if (!watched_.empty()) {
+  if (!watched_.empty() || !watched_engine_.empty()) {
     slos_.update("pipeline.freshness", static_cast<double>(worst_delay), now);
   }
   const double drops = static_cast<double>(
@@ -132,6 +137,16 @@ std::string OdaMonitor::render() const {
                     i, e->workers(), e->num_queries(), s.rounds, s.batches, s.rows,
                     s.wall_seconds);
       out += buf;
+      // Ownership view: which worker owns how many partitions, how many
+      // lane results it handed to the merge point, and whether it is
+      // still alive (rebalances show up as owned moving between rows).
+      for (const auto& [query, ws] : e->worker_info()) {
+        std::snprintf(buf, sizeof(buf),
+                      "    %-24s worker%zu %s owned=%zu rows=%" PRIu64 " handoffs=%" PRIu64 "\n",
+                      query.c_str(), ws.worker, ws.alive ? "up  " : "dead", ws.owned_partitions,
+                      ws.rows_fetched, ws.handoffs);
+        out += buf;
+      }
     }
   }
   return out;
@@ -164,7 +179,19 @@ std::string OdaMonitor::to_json() const {
            ",\"queries\":" + std::to_string(e->num_queries()) +
            ",\"rounds\":" + std::to_string(s.rounds) +
            ",\"batches\":" + std::to_string(s.batches) + ",\"rows\":" + std::to_string(s.rows) +
-           '}';
+           ",\"worker_info\":[";
+    bool first_w = true;
+    for (const auto& [query, ws] : e->worker_info()) {
+      if (!first_w) out += ',';
+      first_w = false;
+      out += "{\"query\":\"" + observe::json_escape(query) +
+             "\",\"worker\":" + std::to_string(ws.worker) +
+             ",\"alive\":" + (ws.alive ? "true" : "false") +
+             ",\"owned\":" + std::to_string(ws.owned_partitions) +
+             ",\"rows\":" + std::to_string(ws.rows_fetched) +
+             ",\"handoffs\":" + std::to_string(ws.handoffs) + '}';
+    }
+    out += "]}";
   }
   out += "]}";
   return out;

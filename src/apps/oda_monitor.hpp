@@ -44,9 +44,13 @@ class OdaMonitor {
 
   /// Watch a query's watermark freshness (non-owning; caller keeps it alive).
   void watch_query(const pipeline::StreamingQuery& query);
+  /// Same, for a sharded engine query.
+  void watch_query(const engine::Query& query);
 
-  /// Watch an execution engine's scheduling totals (non-owning). Its
-  /// queries still need watch_query() individually for freshness SLOs.
+  /// Watch an execution engine (non-owning): scheduling totals plus the
+  /// per-worker ownership view (owned partitions, handoff counts) from
+  /// Engine::worker_info(). Its queries still need watch_query()
+  /// individually for freshness SLOs.
   void watch_engine(const engine::Engine& engine);
 
   /// Sample everything at facility time `now` and evaluate SLOs.
@@ -69,6 +73,7 @@ class OdaMonitor {
   storage::TierManager& tiers_;
   MonitorThresholds thresholds_;
   std::vector<const pipeline::StreamingQuery*> watched_;
+  std::vector<const engine::Query*> watched_engine_;
   std::vector<const engine::Engine*> engines_;
   observe::LagTracker lag_;
   observe::SloBook slos_;

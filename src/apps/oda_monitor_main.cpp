@@ -124,8 +124,8 @@ int main(int argc, char** argv) {
   oda::engine::Engine engine(oda::engine::EngineConfig{}.with_workers(2));
   auto& mirror = engine.add_query(
       oda::pipeline::QueryConfig{}.with_name("engine.bronze.mirror"),
-      engine.make_source(fw.broker(), topics.power, "monitor.engine",
-                         oda::telemetry::packets_to_bronze));
+      oda::engine::SourceSpec{&fw.broker(), topics.power, "monitor.engine",
+                              oda::telemetry::packets_to_bronze});
   mirror.add_sink(std::make_unique<oda::pipeline::TableSink>());
   engine.run_until_caught_up();
   monitor.watch_query(mirror);

@@ -2,199 +2,611 @@
 
 #include <algorithm>
 #include <exception>
-#include <future>
+#include <optional>
 #include <stdexcept>
-#include <thread>
 
 #include "common/stats.hpp"
 
 namespace oda::engine {
 
+using common::Stopwatch;
+
 void EngineConfig::validate() const {
   if (max_batches_per_round == 0) {
     throw std::invalid_argument("EngineConfig: max_batches_per_round must be >= 1");
   }
-}
-
-ParallelBrokerSource::ParallelBrokerSource(stream::Broker& broker, std::string topic,
-                                           std::string group, pipeline::RecordDecoder decoder,
-                                           common::ThreadPool& pool, std::size_t workers,
-                                           chaos::RetryPolicy retry)
-    : broker_(broker),
-      topic_(std::move(topic)),
-      pool_(pool),
-      decoder_(std::move(decoder)),
-      retrier_(retry, /*seed=*/0xe2619eull) {
-  num_partitions_ = broker_.topic(topic_).num_partitions();
-  const std::size_t n = std::clamp<std::size_t>(workers, 1, num_partitions_);
-  members_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    members_.push_back(std::make_unique<stream::GroupMember>(broker_, group, topic_));
+  // Oversubscription is only an error when the caller DECLARED the scale:
+  // an explicit worker count above an explicit partition count means every
+  // extra worker owns nothing. workers == 0 (auto) still clamps per query.
+  if (ownership.partitions != 0 && workers > ownership.partitions) {
+    throw std::invalid_argument(
+        "EngineConfig: " + std::to_string(workers) + " workers oversubscribe " +
+        std::to_string(ownership.partitions) + " partitions (workers must be <= partitions)");
   }
 }
 
-std::vector<stream::PartitionBatchView> ParallelBrokerSource::fan_out(std::size_t per_partition) {
-  // The calling query's open batch span, carried to the pool threads so
-  // every worker fetch parents under the batch that asked for it.
-  const observe::TraceContext batch_ctx = observe::current_context();
+// ---------------------------------------------------------------------------
+// Query: construction and stage registration
+// ---------------------------------------------------------------------------
 
-  std::vector<std::future<std::vector<stream::PartitionBatchView>>> futs;
-  futs.reserve(members_.size() - 1);
-  for (std::size_t i = 1; i < members_.size(); ++i) {
-    stream::GroupMember* m = members_[i].get();
-    futs.push_back(pool_.submit([m, per_partition, batch_ctx] {
-      observe::Span span("engine.fetch", batch_ctx);
-      return m->poll_by_partition_view(per_partition);
-    }));
-  }
+Query::Query(pipeline::QueryConfig config, const SourceSpec& spec, std::size_t workers)
+    : config_(std::move(config)),
+      broker_(spec.broker),
+      topic_(spec.topic),
+      decoder_(spec.decoder),
+      retrier_(spec.retry, /*seed=*/0xe2619eull) {
+  config_.validate();
+  if (!broker_) throw std::invalid_argument("SourceSpec: broker must be set");
+  if (!decoder_) throw std::invalid_argument("SourceSpec: decoder must be set");
+  const std::size_t num_partitions = broker_->topic(topic_).num_partitions();
+  lanes_.resize(num_partitions);
+  // Per-partition fetch budget: a function of batch size and partition
+  // count ONLY — never of worker count. This is one leg of the
+  // byte-identity invariant.
+  budget_ = std::max<std::size_t>(1, config_.max_records_per_batch / num_partitions);
 
-  std::vector<stream::PartitionBatchView> all;
-  std::exception_ptr err;
-  try {
-    // Member 0 runs inline on the driver: its span parents naturally
-    // under the open batch span, and one worker's work costs no handoff.
-    observe::Span span("engine.fetch");
-    all = members_[0]->poll_by_partition_view(per_partition);
-  } catch (...) {
-    err = std::current_exception();
+  auto& reg = observe::default_registry();
+  const observe::Labels labels{{"query", config_.name}};
+  obs_batches_ = reg.counter("pipeline.batches", labels);
+  obs_failures_ = reg.counter("pipeline.batch.failures", labels);
+  obs_skipped_ = reg.counter("pipeline.batches.skipped", labels);
+  obs_rows_ = reg.counter("pipeline.rows.ingested", labels);
+  obs_batch_seconds_ = reg.histogram("pipeline.batch.seconds", labels);
+  obs_watermark_ = reg.gauge("pipeline.watermark", labels);
+  obs_worker_rows_ = reg.sharded_counter("engine.worker.rows", labels);
+  batch_span_name_ = "query." + config_.name + ".batch";
+
+  const std::size_t team = std::clamp<std::size_t>(workers, 1, num_partitions);
+  workers_.reserve(team);
+  for (std::size_t i = 0; i < team; ++i) {
+    auto wk = std::make_unique<Worker>();
+    wk->member = std::make_unique<stream::GroupMember>(*broker_, spec.group, topic_);
+    const observe::Labels wl{{"query", config_.name}, {"worker", std::to_string(i)}};
+    wk->obs_owned = reg.gauge("engine.worker.owned_partitions", wl);
+    wk->obs_handoff = reg.gauge("engine.worker.handoff", wl);
+    workers_.push_back(std::move(wk));
   }
-  for (auto& f : futs) {
-    try {
-      auto batches = f.get();
-      all.insert(all.end(), std::make_move_iterator(batches.begin()),
-                 std::make_move_iterator(batches.end()));
-    } catch (...) {
-      // Keep draining: every member must be quiescent before the retry
-      // path rewinds them, so the first fault is held, not thrown.
-      if (!err) err = std::current_exception();
+  // Worker 0 shares the driver thread (one worker's lanes cost no
+  // handoff, and a team of 1 never touches the barrier machinery).
+  live_threads_ = team - 1;
+  for (std::size_t i = 1; i < team; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+Query::~Query() {
+  {
+    std::lock_guard lk(phase_mu_);
+    phase_ = Phase::kExit;
+    ++phase_seq_;
+    phase_cv_.notify_all();
+  }
+  for (auto& wk : workers_) {
+    if (wk->thread.joinable()) wk->thread.join();
+  }
+}
+
+Query& Query::add_operator(const OperatorFactory& factory) {
+  for (Lane& lane : lanes_) {
+    lane.ops.push_back(factory());
+    lane.stage_wall.push_back(0.0);
+    lane.stage_rows_in.push_back(0);
+    lane.stage_rows_out.push_back(0);
+  }
+  pipeline::StageMetrics sm;
+  sm.name = lanes_.front().ops.back()->name();
+  sm.output_class = lanes_.front().ops.back()->output_class();
+  metrics_.stages.push_back(std::move(sm));
+  return *this;
+}
+
+Query& Query::add_transform(std::string name, storage::DataClass out_class,
+                            std::function<sql::Table(const sql::Table&)> fn) {
+  return add_operator([name = std::move(name), out_class, fn = std::move(fn)] {
+    return std::make_unique<pipeline::TransformOp>(name, out_class, fn);
+  });
+}
+
+Query& Query::add_sink(std::unique_ptr<pipeline::Sink> sink) {
+  sinks_.push_back(sink.get());
+  owned_sinks_.push_back(std::move(sink));
+  return *this;
+}
+
+Query& Query::add_sink_ref(pipeline::Sink& sink) {
+  sinks_.push_back(&sink);
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Query: generation barriers
+// ---------------------------------------------------------------------------
+
+void Query::worker_loop(std::size_t w) {
+  Worker& wk = *workers_[w];
+  std::uint64_t seen = 0;
+  for (;;) {
+    Phase p;
+    {
+      std::unique_lock lk(phase_mu_);
+      phase_cv_.wait(lk, [&] { return phase_seq_ != seen || wk.die.load(std::memory_order_relaxed); });
+      if (wk.die.load(std::memory_order_relaxed)) return;
+      seen = phase_seq_;
+      p = phase_;
+    }
+    if (p == Phase::kExit) return;
+    run_phase_on(w, p);
+    {
+      std::lock_guard lk(phase_mu_);
+      if (--remaining_ == 0) done_cv_.notify_one();
     }
   }
-  if (err) std::rethrow_exception(err);
-  return all;
 }
 
-sql::Table ParallelBrokerSource::pull(std::size_t max_records) {
-  // Per-partition cap: makes batch composition a pure function of
-  // committed offsets + partition count (never of worker count).
-  const std::size_t per_partition = std::max<std::size_t>(1, max_records / num_partitions_);
-  auto batches = retrier_.run(
-      "engine.pull", [&] { return fan_out(per_partition); },
-      [&] {
-        for (auto& m : members_) m->seek_to_committed();
-      });
+void Query::run_phase(Phase p) {
+  {
+    std::lock_guard lk(phase_mu_);
+    phase_ = p;
+    ++phase_seq_;
+    remaining_ = live_threads_;
+    phase_cv_.notify_all();
+  }
+  run_phase_on(0, p);
+  std::unique_lock lk(phase_mu_);
+  done_cv_.wait(lk, [&] { return remaining_ == 0; });
+}
 
-  // Deterministic merge: ascending partition index, offsets already
-  // ascending within each batch. Which member fetched which partition is
-  // invisible in the result. Views and segment pins splice; no record is
-  // copied between the log and the decoder.
-  std::sort(batches.begin(), batches.end(),
-            [](const stream::PartitionBatchView& a, const stream::PartitionBatchView& b) {
-              return a.partition < b.partition;
-            });
-  stream::FetchView records;
+void Query::run_phase_on(std::size_t w, Phase p) {
+  Worker& wk = *workers_[w];
+  if (!wk.alive) return;
+  try {
+    switch (p) {
+      case Phase::kFetch: fetch_lanes(w); break;
+      case Phase::kDecode: decode_lanes(w); break;
+      case Phase::kOperate: operate_lanes(w); break;
+      default: break;
+    }
+  } catch (...) {
+    // Held, not thrown: the barrier must drain (every worker quiescent)
+    // before the driver's retry path reseeks the members.
+    wk.error = std::current_exception();
+  }
+}
+
+void Query::check_worker_errors() {
+  std::exception_ptr first;
+  for (auto& wk : workers_) {
+    if (wk->error && !first) first = wk->error;
+    wk->error = nullptr;
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+// ---------------------------------------------------------------------------
+// Query: worker-side phases (owned lanes only — no shared state, no locks)
+// ---------------------------------------------------------------------------
+
+void Query::fetch_lanes(std::size_t w) {
+  Worker& wk = *workers_[w];
+  // Worker 0 runs on the driver thread, so its span parents naturally
+  // under the open batch span; thread workers carry the batch context
+  // over explicitly.
+  std::optional<observe::Span> span;
+  if (w == 0) {
+    span.emplace("engine.fetch");
+  } else {
+    span.emplace("engine.fetch", batch_ctx_);
+  }
+  auto batches = wk.member->poll_by_partition(budget_);
+  std::size_t rows = 0;
+  for (auto& pb : batches) {
+    Lane& lane = lanes_[pb.partition];
+    lane.pulled = pb.records.size();
+    rows += lane.pulled;
+    lane.views = std::move(pb.records);
+  }
+  wk.handoffs.fetch_add(batches.size(), std::memory_order_relaxed);
+  wk.rows_fetched.fetch_add(rows, std::memory_order_relaxed);
+  obs_worker_rows_->inc(w, rows);
+  wk.obs_owned->set(static_cast<double>(wk.member->assigned_partitions().size()));
+  wk.obs_handoff->set(static_cast<double>(batches.size()));
+}
+
+void Query::decode_lanes(std::size_t w) {
+  Worker& wk = *workers_[w];
+  for (std::size_t p : wk.member->assigned_partitions()) {
+    Lane& lane = lanes_[p];
+    if (lane.pulled == 0) continue;
+    lane.table = decoder_(lane.views.records());
+    lane.views.clear();
+    // Lane-local event-time maximum; the driver max-reduces these into
+    // the query watermark before any lane operates, so windowing sees
+    // the same watermark a single-threaded run would.
+    const std::size_t tc = lane.table.schema().index_of(config_.time_column);
+    if (tc != sql::Schema::npos) {
+      const auto& col = lane.table.column(tc);
+      for (std::size_t r = 0; r < lane.table.num_rows(); ++r) {
+        if (!col.is_null(r)) lane.max_ts = std::max(lane.max_ts, col.int_at(r));
+      }
+    }
+  }
+}
+
+void Query::operate_lanes(std::size_t w) {
+  Worker& wk = *workers_[w];
+  for (std::size_t p : wk.member->assigned_partitions()) {
+    Lane& lane = lanes_[p];
+    // begin_batch is in-memory bookkeeping and cannot meaningfully throw;
+    // setting began right after keeps commit/rollback strictly paired.
+    for (auto& op : lane.ops) op->begin_batch();
+    lane.began = true;
+    if (lane.pulled == 0) continue;  // idle lane: state untouched this batch
+    pipeline::Batch b{std::move(lane.table), op_watermark_};
+    for (std::size_t i = 0; i < lane.ops.size(); ++i) {
+      Stopwatch sw;
+      const std::uint64_t in_rows = b.table.num_rows();
+      b = lane.ops[i]->process(std::move(b));
+      lane.stage_wall[i] += sw.elapsed_seconds();
+      lane.stage_rows_in[i] += in_rows;
+      lane.stage_rows_out[i] += b.table.num_rows();
+    }
+    lane.table = std::move(b.table);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query: driver-side transaction pieces
+// ---------------------------------------------------------------------------
+
+std::size_t Query::fetch_generation() {
+  for (Lane& lane : lanes_) {
+    lane.views.clear();
+    lane.table = sql::Table{};
+    lane.pulled = 0;
+    lane.max_ts = INT64_MIN;
+    std::fill(lane.stage_wall.begin(), lane.stage_wall.end(), 0.0);
+    std::fill(lane.stage_rows_in.begin(), lane.stage_rows_in.end(), 0);
+    std::fill(lane.stage_rows_out.begin(), lane.stage_rows_out.end(), 0);
+  }
+  run_phase(Phase::kFetch);
+  check_worker_errors();
   std::size_t total = 0;
-  for (const auto& b : batches) total += b.records.size();
-  records.reserve(total);
-  for (auto& b : batches) records.append(std::move(b.records));
-  incoming_ = records.empty()
-                  ? observe::TraceContext{}
-                  : observe::TraceContext{records.front().trace_id, records.front().span_id};
-  return decoder_(records.records());
-}
-
-void ParallelBrokerSource::commit() {
-  for (auto& m : members_) m->commit();
-}
-
-void ParallelBrokerSource::rewind() {
-  for (auto& m : members_) m->seek_to_committed();
-}
-
-std::int64_t ParallelBrokerSource::lag() const {
-  std::int64_t total = 0;
-  for (const auto& m : members_) total += m->lag();
+  for (const Lane& lane : lanes_) total += lane.pulled;
   return total;
 }
 
-Engine::Engine(EngineConfig config)
-    : config_(config),
-      pool_(config.workers == 0 ? std::thread::hardware_concurrency() : config.workers) {
+void Query::seek_all_members() {
+  for (auto& wk : workers_) {
+    if (wk->alive) wk->member->seek_to_committed();
+  }
+}
+
+void Query::commit_all_members() {
+  for (auto& wk : workers_) {
+    if (wk->alive) wk->member->commit();
+  }
+}
+
+void Query::commit_all_lanes() {
+  for (Lane& lane : lanes_) {
+    if (!lane.began) continue;
+    for (auto& op : lane.ops) op->commit_batch();
+    lane.began = false;
+  }
+}
+
+void Query::rollback_all_lanes() {
+  for (Lane& lane : lanes_) {
+    if (!lane.began) continue;
+    for (auto& op : lane.ops) op->rollback_batch();
+    lane.began = false;
+  }
+}
+
+sql::Table Query::merge_lanes() {
+  // The deterministic merge point: ascending partition index, offsets
+  // already ascending within each lane. Which worker ran a lane is
+  // invisible here.
+  sql::Table out;
+  for (Lane& lane : lanes_) {
+    if (lane.table.num_rows() == 0) {
+      lane.table = sql::Table{};
+      continue;
+    }
+    if (out.num_columns() == 0) {
+      out = std::move(lane.table);
+    } else {
+      out.append_table(lane.table);
+    }
+    lane.table = sql::Table{};
+  }
+  return out;
+}
+
+std::size_t Query::run_once() {
+  Stopwatch batch_sw;
+  observe::Span batch_span(batch_span_name_);
+  for (pipeline::Sink* s : sinks_) s->begin_batch();
+
+  std::size_t pulled = 0;
+  bool pull_ok = false;
+  bool ops_began = false;
+  watermark_snapshot_ = watermark_;
+  try {
+    batch_ctx_ = observe::current_context();
+    // Fetch phase, retried whole under the "engine.pull" seam: a faulted
+    // fetch may have advanced some members partway, so every retry first
+    // restores all members to the group's committed offsets.
+    pulled = retrier_.run(
+        "engine.pull", [&] { return fetch_generation(); }, [&] { seek_all_members(); });
+    pull_ok = true;
+    if (pulled == 0) {
+      for (pipeline::Sink* s : sinks_) s->commit_batch();
+      return 0;
+    }
+    // Re-home the batch span under the producer span stamped on the first
+    // record of the lowest non-empty partition (merge order, so the link
+    // target is worker-count invariant too).
+    for (const Lane& lane : lanes_) {
+      if (!lane.views.empty()) {
+        batch_span.link(
+            observe::TraceContext{lane.views.front().trace_id, lane.views.front().span_id});
+        break;
+      }
+    }
+
+    chaos::fault_point("pipeline.batch");
+    if (faults_.fail_on_batch && metrics_.batches == *faults_.fail_on_batch) {
+      faults_.fail_on_batch.reset();
+      throw std::runtime_error("injected fault");
+    }
+
+    run_phase(Phase::kDecode);
+    check_worker_errors();
+    // Rows are accounted in decoded-table terms (chunked topics pack many
+    // rows per record), matching StreamingQuery's rows_ingested.
+    pulled = 0;
+    for (const Lane& lane : lanes_) pulled += lane.table.num_rows();
+    // Global watermark reduction: max over lane maxima. Every lane then
+    // operates against the same watermark a workers=1 run would compute.
+    common::TimePoint mx = INT64_MIN;
+    for (const Lane& lane : lanes_) mx = std::max(mx, lane.max_ts);
+    if (mx != INT64_MIN) watermark_ = std::max(watermark_, mx - config_.allowed_lateness);
+    op_watermark_ = watermark_;
+
+    ops_began = true;
+    run_phase(Phase::kOperate);
+    check_worker_errors();
+
+    // Merge the lanes' stage accounting (one RunningStats sample per
+    // generation, summed across lanes — comparable to the single-chain
+    // numbers StreamingQuery reports).
+    for (std::size_t i = 0; i < metrics_.stages.size(); ++i) {
+      double wall = 0.0;
+      std::uint64_t in_rows = 0;
+      std::uint64_t out_rows = 0;
+      for (const Lane& lane : lanes_) {
+        wall += lane.stage_wall[i];
+        in_rows += lane.stage_rows_in[i];
+        out_rows += lane.stage_rows_out[i];
+      }
+      pipeline::StageMetrics& sm = metrics_.stages[i];
+      sm.wall_seconds.add(wall);
+      sm.rows_in += in_rows;
+      sm.rows_out += out_rows;
+    }
+
+    sql::Table out = merge_lanes();
+    if (out.num_rows() > 0) {
+      for (pipeline::Sink* s : sinks_) {
+        observe::Span sink_span("sink.write");
+        s->write(out);
+      }
+    }
+
+    // Commit order: sinks first (infallible in-memory bookkeeping), then
+    // lane operator state, then the members' offsets. Nothing after the
+    // sink writes can throw, so a generation fully lands or fully rolls
+    // back.
+    for (pipeline::Sink* s : sinks_) s->commit_batch();
+    commit_all_lanes();
+    commit_all_members();
+    metrics_.rows_ingested += pulled;
+    ++metrics_.batches;
+    consecutive_failures_ = 0;
+    metrics_.batch_wall_seconds.add(batch_sw.elapsed_seconds());
+    obs_batches_->inc();
+    obs_rows_->inc(pulled);
+    obs_batch_seconds_->add(batch_sw.elapsed_seconds());
+    obs_watermark_->set(static_cast<double>(watermark_));
+    return pulled;
+  } catch (const std::exception& e) {
+    ++metrics_.failures;
+    metrics_.last_error = e.what();
+    obs_failures_->inc();
+    if (ops_began) rollback_all_lanes();
+    watermark_ = watermark_snapshot_;
+    for (pipeline::Sink* s : sinks_) s->rollback_batch();
+    if (!pull_ok) {
+      // The fetch itself gave up (outage outlasting the retry budget).
+      // Members may have phantom-advanced; restore them and report "no
+      // progress" — the batch was never observed, nothing to dead-letter.
+      seek_all_members();
+      return 0;
+    }
+    if (config_.max_retries > 0 && ++consecutive_failures_ >= config_.max_retries) {
+      // Dead-letter the poison generation: commit past it so the pipeline
+      // makes progress (at-most-once for this batch only). Members'
+      // positions still sit past the poison records — committing them is
+      // exactly the skip.
+      for (pipeline::Sink* s : sinks_) s->commit_batch();
+      commit_all_members();
+      ++metrics_.batches_skipped;
+      obs_skipped_->inc();
+      consecutive_failures_ = 0;
+    } else {
+      seek_all_members();  // replay on the next run_once()
+    }
+    return pulled;
+  }
+}
+
+std::uint64_t Query::run_until_caught_up(std::size_t max_batches) {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < max_batches; ++b) {
+    const std::size_t n = run_once();
+    if (n == 0 && lag() == 0) break;
+    total += n;
+  }
+  return total;
+}
+
+void Query::finalize() {
+  // Drain stateful lane operators in ascending partition order: flush op
+  // i, push the result through the remaining stages, then op i+1 — twice,
+  // because downstream stateful ops may still hold the pushed rows.
+  // Same recipe as StreamingQuery::finalize, per lane, so the output is a
+  // pure function of lane state (worker count invisible).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Lane& lane : lanes_) {
+      for (std::size_t i = 0; i < lane.ops.size(); ++i) {
+        pipeline::Batch b = lane.ops[i]->flush();
+        if (b.table.num_rows() == 0) continue;
+        for (std::size_t j = i + 1; j < lane.ops.size(); ++j) {
+          b = lane.ops[j]->process(std::move(b));
+        }
+        for (pipeline::Sink* s : sinks_) s->write(b.table);
+      }
+    }
+  }
+  for (pipeline::Sink* s : sinks_) s->flush();
+}
+
+std::int64_t Query::lag() const {
+  std::int64_t total = 0;
+  for (const auto& wk : workers_) {
+    if (wk->alive) total += wk->member->lag();
+  }
+  return total;
+}
+
+std::size_t Query::num_workers() const {
+  std::size_t n = 0;
+  for (const auto& wk : workers_) n += wk->alive ? 1 : 0;
+  return n;
+}
+
+void Query::kill_worker(std::size_t w) {
+  if (w >= workers_.size()) throw std::out_of_range("Query::kill_worker: no such worker");
+  Worker& wk = *workers_[w];
+  if (!wk.alive) return;
+  if (num_workers() == 1) {
+    throw std::invalid_argument("Query::kill_worker: cannot kill the last worker");
+  }
+  if (wk.thread.joinable()) {
+    {
+      std::lock_guard lk(phase_mu_);
+      wk.die.store(true, std::memory_order_relaxed);
+      phase_cv_.notify_all();
+    }
+    wk.thread.join();
+    --live_threads_;
+  }
+  wk.alive = false;
+  // Leaving bumps the group generation; survivors observe it through the
+  // broker's lock-free cell on their next fetch and absorb the freed
+  // partitions. Stale in-flight positions the dead worker held are voided
+  // by the fenced commit.
+  wk.member->leave();
+  wk.obs_owned->set(0.0);
+  wk.obs_handoff->set(0.0);
+}
+
+std::vector<WorkerStats> Query::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& wk = *workers_[i];
+    WorkerStats s;
+    s.worker = i;
+    s.alive = wk.alive;
+    s.owned_partitions = wk.alive ? wk.member->assigned_partitions().size() : 0;
+    s.rows_fetched = wk.rows_fetched.load(std::memory_order_relaxed);
+    s.handoffs = wk.handoffs.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(EngineConfig config) : config_(config) {
   config_.validate();
+  workers_ = config_.workers == 0
+                 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                 : config_.workers;
   auto& reg = observe::default_registry();
   obs_workers_ = reg.gauge("engine.workers");
   obs_queries_ = reg.gauge("engine.queries");
   obs_rounds_ = reg.counter("engine.rounds");
   obs_batches_ = reg.counter("engine.batches");
   obs_rows_ = reg.counter("engine.rows");
-  obs_workers_->set(static_cast<double>(pool_.size()));
+  obs_workers_->set(static_cast<double>(workers_));
   obs_queries_->set(0.0);
 }
 
 Engine::~Engine() = default;
 
-std::unique_ptr<ParallelBrokerSource> Engine::make_source(stream::Broker& broker, std::string topic,
-                                                          std::string group,
-                                                          pipeline::RecordDecoder decoder,
-                                                          chaos::RetryPolicy retry) {
-  return std::make_unique<ParallelBrokerSource>(broker, std::move(topic), std::move(group),
-                                                std::move(decoder), pool_, pool_.size(), retry);
-}
-
-pipeline::StreamingQuery& Engine::add_query(pipeline::QueryConfig config,
-                                            std::unique_ptr<pipeline::Source> source) {
-  owned_queries_.push_back(
-      std::make_unique<pipeline::StreamingQuery>(std::move(config), std::move(source)));
-  queries_.push_back(owned_queries_.back().get());
+Query& Engine::add_query(pipeline::QueryConfig config, SourceSpec spec) {
+  if (!spec.broker) throw std::invalid_argument("SourceSpec: broker must be set");
+  const std::size_t num_partitions = spec.broker->topic(spec.topic).num_partitions();
+  if (config_.ownership.partitions != 0 && config_.ownership.partitions != num_partitions) {
+    throw std::invalid_argument("Engine: topic '" + spec.topic + "' has " +
+                                std::to_string(num_partitions) +
+                                " partitions but the ownership config declares " +
+                                std::to_string(config_.ownership.partitions));
+  }
+  queries_.push_back(std::make_unique<Query>(std::move(config), spec, workers_));
   obs_queries_->set(static_cast<double>(queries_.size()));
-  return *owned_queries_.back();
-}
-
-void Engine::add_query_ref(pipeline::StreamingQuery& query) {
-  queries_.push_back(&query);
-  obs_queries_->set(static_cast<double>(queries_.size()));
+  return *queries_.back();
 }
 
 std::uint64_t Engine::run_until_caught_up(std::size_t max_rounds) {
-  common::Stopwatch sw;
+  Stopwatch sw;
   std::uint64_t total_rows = 0;
   std::uint64_t rounds = 0;
   std::uint64_t batches = 0;
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    std::atomic<std::uint64_t> round_rows{0};
-    std::atomic<std::uint64_t> round_batches{0};
-    // One driver thread per query: queries are independent state machines
-    // (distinct sources, operators, sinks); only their partition fetches
-    // share the worker pool. run_once never throws on infrastructure
-    // faults, so drivers always join.
-    std::vector<std::thread> drivers;
-    drivers.reserve(queries_.size());
-    for (pipeline::StreamingQuery* q : queries_) {
-      drivers.emplace_back([this, q, &round_rows, &round_batches] {
-        // Progress is measured on *committed* work (run_once also returns
-        // the pulled rows of a failed, rolled-back batch — counting those
-        // would double-bill replays).
-        const pipeline::QueryMetrics& m = q->metrics();
-        const std::uint64_t rows0 = m.rows_ingested;
-        const std::uint64_t batches0 = m.batches;
-        const std::uint64_t skipped0 = m.batches_skipped;
-        for (std::size_t b = 0; b < config_.max_batches_per_round; ++b) {
-          const std::size_t n = q->run_once();
-          if (n == 0 && q->source().lag() == 0) break;  // caught up
-          // n == 0 with lag left (pull failed) burns round budget; a
-          // failed batch (n > 0, rolled back) replays on the next pass.
-        }
-        round_rows.fetch_add(m.rows_ingested - rows0, std::memory_order_relaxed);
-        // Dead-lettered batches count as progress too: they advance the
-        // committed offsets even though no rows landed.
-        round_batches.fetch_add((m.batches - batches0) + (m.batches_skipped - skipped0),
-                                std::memory_order_relaxed);
-      });
+    std::uint64_t round_rows = 0;
+    std::uint64_t round_batches = 0;
+    // Queries run in add order; parallelism lives inside each query's
+    // worker team now, so the round loop itself is deterministic. Rounds
+    // repeat until no query makes progress, draining multi-hop chains.
+    for (auto& q : queries_) {
+      // Progress is measured on *committed* work (run_once also returns
+      // the pulled rows of a failed, rolled-back batch — counting those
+      // would double-bill replays).
+      const pipeline::QueryMetrics& m = q->metrics();
+      const std::uint64_t rows0 = m.rows_ingested;
+      const std::uint64_t batches0 = m.batches;
+      const std::uint64_t skipped0 = m.batches_skipped;
+      for (std::size_t b = 0; b < config_.max_batches_per_round; ++b) {
+        const std::size_t n = q->run_once();
+        if (n == 0 && q->lag() == 0) break;  // caught up
+        // n == 0 with lag left (pull failed) burns round budget; a
+        // failed batch (n > 0, rolled back) replays on the next pass.
+      }
+      round_rows += m.rows_ingested - rows0;
+      // Dead-lettered batches count as progress too: they advance the
+      // committed offsets even though no rows landed.
+      round_batches += (m.batches - batches0) + (m.batches_skipped - skipped0);
     }
-    for (auto& d : drivers) d.join();
     ++rounds;
-    batches += round_batches.load();
-    total_rows += round_rows.load();
-    if (round_batches.load() == 0) break;  // quiescent: no query advanced
+    batches += round_batches;
+    total_rows += round_rows;
+    if (round_batches == 0) break;  // quiescent: no query advanced
   }
   obs_rounds_->inc(rounds);
   obs_batches_->inc(batches);
@@ -212,6 +624,14 @@ std::uint64_t Engine::run_until_caught_up(std::size_t max_rounds) {
 EngineStats Engine::stats() const {
   std::lock_guard lk(stats_mu_);
   return stats_;
+}
+
+std::vector<std::pair<std::string, WorkerStats>> Engine::worker_info() const {
+  std::vector<std::pair<std::string, WorkerStats>> out;
+  for (const auto& q : queries_) {
+    for (const WorkerStats& ws : q->worker_stats()) out.emplace_back(q->name(), ws);
+  }
+  return out;
 }
 
 }  // namespace oda::engine

@@ -1,55 +1,90 @@
-// The partition-parallel execution engine — the role Spark's micro-batch
-// scheduler plays in the paper's STREAM→LAKE pipelines (Sec V-B), where
-// 4.2–4.5 TB/day is sustainable only because consumer groups fan
-// partitions out across cores.
+// The shared-nothing sharded execution engine — the role Spark's
+// micro-batch scheduler plays in the paper's STREAM→LAKE pipelines
+// (Sec V-B), where 4.2–4.5 TB/day is sustainable only because consumer
+// groups fan partitions out across cores.
 //
-// Two pieces:
+// Ownership model (the DCDB/ALICE shape: shared-nothing slices over
+// refcounted transport buffers):
 //
-//  * ParallelBrokerSource — a pipeline::Source whose poll fans out across
-//    W consumer-group members on a shared thread pool, one member per
-//    worker, each fetching its assigned partitions. Results merge
-//    deterministically by (partition, offset), so a batch's contents are
-//    a pure function of the group's committed offsets — independent of
-//    worker count, scheduling order, or which worker owns which
-//    partition. That invariant is what lets the golden-run / exactly-once
-//    guarantees survive workers > 1: a workers=4 run commits byte-identical
-//    sink output to a workers=1 run, including under injected faults
-//    (a failed batch rolls back and replays identically).
+//  * Every query gets a team of long-lived workers. Each worker holds one
+//    long-lived stream::GroupMember whose round-robin assignment IS the
+//    worker's owned partition set — no per-round re-fan-out, no shared
+//    thread pool, and (via the broker's lock-free generation cell) no
+//    broker mutex on the poll hot path.
 //
-//  * Engine — schedules N StreamingQuery pipelines in rounds: each round
-//    runs every query on its own driver thread (queries are independent
-//    state machines), with all queries' partition fetches sharing the
-//    engine's worker pool. Rounds repeat until no query makes progress,
-//    so multi-hop chains (bronze → silver → gold over broker topics)
-//    drain to quiescence.
+//  * Each partition is a "lane": its own operator chain (built from
+//    operator factories, so stateful operators shard by PARTITION, never
+//    by worker) plus a handoff slot for pre-committed results. A worker
+//    runs its owned lanes end-to-end — fetch_view → decode → operate —
+//    touching nothing another worker touches.
+//
+//  * Workers meet the driver only at generation barriers. One micro-batch
+//    ("generation") is: fetch phase (retryable under the "engine.pull"
+//    seam), decode phase, a global watermark reduction, operate phase,
+//    then a single-threaded merge in ascending partition order into the
+//    sinks, followed by the usual sinks→operators→offsets commit.
+//
+// Why committed sink output is byte-identical at ANY worker count (the
+// crown-jewel invariant): per-partition fetch budget is a function of
+// batch size and partition count only; lanes (and their operator state)
+// are keyed by partition, not worker; the watermark is reduced globally
+// before any lane operates; and the merge orders by (partition, offset).
+// Worker count decides only which thread runs a lane — invisible in the
+// output, including under injected faults (a failed generation rolls
+// back every lane and replays identically from committed offsets).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/faults.hpp"
-#include "common/thread_pool.hpp"
 #include "observe/metrics.hpp"
 #include "observe/trace.hpp"
+#include "pipeline/operator.hpp"
 #include "pipeline/query.hpp"
 #include "pipeline/source_sink.hpp"
 #include "stream/broker.hpp"
 
 namespace oda::engine {
 
+/// Partition-ownership knobs. Today ownership is always strict round-
+/// robin via the consumer group; the config carries the expected scale so
+/// misconfigurations fail at validate() instead of deep in a run.
+struct OwnershipConfig {
+  /// Expected partition count of the topics this engine will own. When
+  /// set (> 0), EngineConfig::validate() rejects worker>partition
+  /// oversubscription at configuration time, and add_query() rejects a
+  /// topic whose real partition count differs. 0 = derive per query
+  /// (workers silently clamp to each topic's partition count).
+  std::size_t partitions = 0;
+
+  OwnershipConfig& with_partitions(std::size_t n) {
+    partitions = n;
+    return *this;
+  }
+};
+
 struct EngineConfig {
-  /// Worker threads for partition fetches. 0 = hardware concurrency.
+  /// Worker threads per query team. 0 = hardware concurrency. Teams are
+  /// clamped to [1, num_partitions] per query — an extra member would own
+  /// no partitions and just churn the group.
   std::size_t workers = 0;
   /// Micro-batches one query may run per scheduling round before the
   /// engine re-checks the other queries (keeps a deep topic from
   /// starving downstream queries in a chain).
   std::size_t max_batches_per_round = 64;
+  OwnershipConfig ownership;
 
-  // Fluent construction: EngineConfig{}.with_workers(4).
+  // Fluent construction:
+  //   EngineConfig{}.with_workers(4).with_ownership(
+  //       OwnershipConfig{}.with_partitions(8)).
   EngineConfig& with_workers(std::size_t n) {
     workers = n;
     return *this;
@@ -58,9 +93,16 @@ struct EngineConfig {
     max_batches_per_round = n;
     return *this;
   }
+  EngineConfig& with_ownership(OwnershipConfig o) {
+    ownership = o;
+    return *this;
+  }
 
-  /// Throws std::invalid_argument on nonsense (0 batches per round).
-  /// Called by the Engine constructor.
+  /// Throws std::invalid_argument on nonsense: 0 batches per round, or —
+  /// when an ownership partition count is declared — more workers than
+  /// partitions (oversubscribed workers would own nothing; declaring the
+  /// scale means you want that caught, not clamped). Called by the
+  /// Engine constructor.
   void validate() const;
 };
 
@@ -72,57 +114,200 @@ struct EngineStats {
   double wall_seconds = 0.0;   ///< time spent inside run_until_caught_up
 };
 
-/// Partition-parallel Source: W GroupMembers in one consumer group, polled
-/// concurrently on the engine's pool, merged by (partition, offset).
-///
-/// Per pull, each member fetches up to max_records/P records per assigned
-/// partition (at least 1), so batch composition depends only on committed
-/// offsets and the partition count — not on W. The pull retries whole
-/// ("engine.pull" seam): a faulted fetch may have advanced some members
-/// partway, so every retry first restores all members to the group's
-/// committed offsets, exactly like the single-threaded BrokerSource.
-///
-/// Worker fetches are traced as "engine.fetch" spans parented under the
-/// calling query's batch span (the batch context travels to pool threads
-/// explicitly), so a traced run shows the fan-out per micro-batch.
-class ParallelBrokerSource final : public pipeline::Source {
- public:
-  /// `workers` is clamped to [1, num_partitions] — extra members would
-  /// own no partitions and just churn the group.
-  ParallelBrokerSource(stream::Broker& broker, std::string topic, std::string group,
-                       pipeline::RecordDecoder decoder, common::ThreadPool& pool,
-                       std::size_t workers, chaos::RetryPolicy retry = {});
-
-  sql::Table pull(std::size_t max_records) override;
-  void commit() override;
-  void rewind() override;
-  std::int64_t lag() const override;
-  observe::TraceContext incoming_trace() const override { return incoming_; }
-
-  std::size_t num_members() const { return members_.size(); }
-  const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
-
- private:
-  /// One fan-out attempt: poll every member (member 0 inline on the
-  /// caller, the rest on the pool), gather per-partition view batches.
-  /// Throws the first worker fault after all workers finished (members
-  /// must be quiescent before the retry path seeks them).
-  std::vector<stream::PartitionBatchView> fan_out(std::size_t per_partition);
-
-  stream::Broker& broker_;
-  std::string topic_;
-  common::ThreadPool& pool_;
-  std::size_t num_partitions_ = 0;
-  std::vector<std::unique_ptr<stream::GroupMember>> members_;
-  pipeline::RecordDecoder decoder_;
-  chaos::Retrier retrier_;
-  observe::TraceContext incoming_;
+/// Named-field source description for add_query(). The query's worker
+/// team builds its own GroupMembers from this spec — one per worker,
+/// long-lived, each owning a disjoint partition set.
+struct SourceSpec {
+  stream::Broker* broker = nullptr;
+  std::string topic;
+  std::string group;
+  pipeline::RecordDecoder decoder;
+  chaos::RetryPolicy retry{};
 };
 
-/// Multi-query scheduler over a shared worker pool. Queries added to the
-/// engine should use sources made by make_source() so their fetches
-/// actually fan out; any pipeline::Source works, it just won't
-/// parallelize.
+/// Factory for one lane's instance of an operator. The engine builds one
+/// operator chain per PARTITION (not per worker), so stateful operators
+/// shard by the same key the broker already partitions by — worker count
+/// and rebalances never move operator state between lanes.
+using OperatorFactory = std::function<pipeline::OperatorPtr()>;
+
+/// Per-worker snapshot for monitoring (owned partitions, handoff depth).
+struct WorkerStats {
+  std::size_t worker = 0;
+  bool alive = true;
+  std::size_t owned_partitions = 0;
+  std::uint64_t rows_fetched = 0;  ///< rows this worker pulled (pre-commit)
+  std::uint64_t handoffs = 0;      ///< lane results handed to the merge point
+};
+
+/// One sharded pipeline: a worker team owning a topic's partitions
+/// end-to-end, per-partition operator chains, and a deterministic merge
+/// point feeding the sinks. Construction happens through
+/// Engine::add_query(); stages chain fluently like StreamingQuery's.
+///
+/// run_once() is a transaction with exactly the StreamingQuery contract:
+/// sinks begin before the pull; any failure (worker exception, injected
+/// chaos fault, legacy FaultPlan) rolls back every lane's operator
+/// state and sink output and reseeks the members, so the replay
+/// re-produces byte-identical output; a batch that keeps failing is
+/// dead-lettered after max_retries. Never throws on infrastructure
+/// faults. Drive it from ONE thread (the engine's scheduler does);
+/// kill_worker() and stats accessors are driver-thread calls too.
+class Query {
+ public:
+  Query(pipeline::QueryConfig config, const SourceSpec& spec, std::size_t workers);
+  ~Query();
+
+  Query(const Query&) = delete;
+  Query& operator=(const Query&) = delete;
+
+  /// Chainable per-lane stage registration (in execution order). The
+  /// factory runs once per partition, immediately.
+  Query& add_operator(const OperatorFactory& factory);
+  Query& add_transform(std::string name, storage::DataClass out_class,
+                       std::function<sql::Table(const sql::Table&)> fn);
+  Query& add_sink(std::unique_ptr<pipeline::Sink> sink);
+  /// Keep a non-owning sink (owned by caller, e.g. a LAKE shared sink).
+  Query& add_sink_ref(pipeline::Sink& sink);
+
+  /// Process one generation (micro-batch). Returns rows pulled (0 =
+  /// caught up, or the pull failed after retries). See class comment for
+  /// the transaction contract.
+  std::size_t run_once();
+
+  /// Drain until the members are caught up; returns total rows processed.
+  std::uint64_t run_until_caught_up(std::size_t max_batches = SIZE_MAX);
+
+  /// Flush stateful lane operators through the remaining stages to the
+  /// sinks, in ascending partition order (end of stream).
+  void finalize();
+
+  const pipeline::QueryMetrics& metrics() const { return metrics_; }
+  const std::string& name() const { return config_.name; }
+  common::TimePoint watermark() const { return watermark_; }
+  void set_fault_plan(pipeline::FaultPlan plan) { faults_ = plan; }
+  const chaos::RetryStats& retry_stats() const { return retrier_.stats(); }
+
+  std::int64_t lag() const;
+  std::size_t num_partitions() const { return lanes_.size(); }
+  /// Workers still alive in the team (kill_worker shrinks this).
+  std::size_t num_workers() const;
+  std::size_t team_size() const { return workers_.size(); }
+
+  /// Kill one worker: its member leaves the group (generation bump), the
+  /// survivors observe the new generation through the broker's lock-free
+  /// cell on their next fetch and absorb the freed partitions. Any
+  /// in-flight positions the dead worker held are voided by the fenced
+  /// commit. Driver-thread call, between generations — the test hook for
+  /// the ownership-rebalance story.
+  void kill_worker(std::size_t w);
+
+  std::vector<WorkerStats> worker_stats() const;
+
+ private:
+  enum class Phase : std::uint8_t { kIdle = 0, kFetch, kDecode, kOperate, kExit };
+
+  /// One partition's shard: operator chain + handoff slot. A lane is
+  /// touched by exactly one worker during a phase (disjoint ownership)
+  /// and by the driver between barriers.
+  struct Lane {
+    std::vector<pipeline::OperatorPtr> ops;
+    stream::FetchView views;     ///< fetch-phase handoff
+    sql::Table table;            ///< decode/operate-phase handoff
+    std::size_t pulled = 0;
+    common::TimePoint max_ts = INT64_MIN;
+    /// Ops began this generation — commit/rollback are strictly paired
+    /// with begin (an unpaired rollback would restore a stale snapshot).
+    bool began = false;
+    // Per-generation stage accounting, merged by the driver.
+    std::vector<double> stage_wall;
+    std::vector<std::uint64_t> stage_rows_in;
+    std::vector<std::uint64_t> stage_rows_out;
+  };
+
+  struct Worker {
+    std::unique_ptr<stream::GroupMember> member;
+    std::thread thread;  ///< not started for worker 0 (runs on the driver)
+    std::atomic<bool> die{false};
+    bool alive = true;
+    std::exception_ptr error;  ///< set during a phase, read after the barrier
+    std::atomic<std::uint64_t> rows_fetched{0};
+    std::atomic<std::uint64_t> handoffs{0};
+    observe::Gauge* obs_owned = nullptr;
+    observe::Gauge* obs_handoff = nullptr;
+  };
+
+  // --- generation protocol (driver side) --------------------------------
+  void run_phase(Phase p);
+  void run_phase_on(std::size_t w, Phase p);
+  void worker_loop(std::size_t w);
+  /// Reset lanes + fetch phase; returns rows pulled. One attempt of the
+  /// "engine.pull" retry seam.
+  std::size_t fetch_generation();
+  /// Rethrow the first worker error recorded during the last phase (all
+  /// workers are quiescent at the barrier, so the retry path may reseek).
+  void check_worker_errors();
+  void seek_all_members();
+  void commit_all_members();
+  void commit_all_lanes();
+  void rollback_all_lanes();
+  sql::Table merge_lanes();
+
+  // --- worker side (inside a phase; touches owned lanes only) -----------
+  void fetch_lanes(std::size_t w);
+  void decode_lanes(std::size_t w);
+  void operate_lanes(std::size_t w);
+
+  pipeline::QueryConfig config_;
+  stream::Broker* broker_ = nullptr;
+  std::string topic_;
+  pipeline::RecordDecoder decoder_;
+  chaos::Retrier retrier_;
+  std::size_t budget_ = 1;  ///< per-partition fetch cap: f(batch size, P) only
+
+  std::vector<Lane> lanes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<pipeline::Sink>> owned_sinks_;
+  std::vector<pipeline::Sink*> sinks_;
+
+  // Barrier state. phase_seq_ bumps once per phase; workers wait on it,
+  // the driver waits for remaining_ to drain. The mutex handshake is the
+  // happens-before edge that lets the driver touch lanes exclusively
+  // between barriers and workers touch owned lanes during one.
+  std::mutex phase_mu_;
+  std::condition_variable phase_cv_;  ///< workers wait here
+  std::condition_variable done_cv_;   ///< the driver waits here
+  std::uint64_t phase_seq_ = 0;
+  Phase phase_ = Phase::kIdle;
+  std::size_t remaining_ = 0;
+  std::size_t live_threads_ = 0;  ///< worker threads participating in barriers
+  observe::TraceContext batch_ctx_;     ///< driver → workers, set before a phase
+  common::TimePoint op_watermark_ = 0;  ///< driver → workers, set before operate
+
+  pipeline::QueryMetrics metrics_;
+  common::TimePoint watermark_ = INT64_MIN;
+  common::TimePoint watermark_snapshot_ = INT64_MIN;
+  pipeline::FaultPlan faults_;
+  std::size_t consecutive_failures_ = 0;
+
+  observe::Counter* obs_batches_ = nullptr;
+  observe::Counter* obs_failures_ = nullptr;
+  observe::Counter* obs_skipped_ = nullptr;
+  observe::Counter* obs_rows_ = nullptr;
+  observe::Histogram* obs_batch_seconds_ = nullptr;
+  observe::Gauge* obs_watermark_ = nullptr;
+  /// Per-worker fetched-row accounting on the hot path: each worker bumps
+  /// its own cache-line slot; scrapes merge (observe::ShardedCounter).
+  observe::ShardedCounter* obs_worker_rows_ = nullptr;
+  std::string batch_span_name_;
+
+  friend class Engine;
+};
+
+/// Multi-query scheduler. Each query owns its worker team; the engine
+/// runs queries in rounds (sequentially — parallelism lives inside each
+/// query's team now) until no query makes progress, so multi-hop chains
+/// (bronze → silver → gold over broker topics) drain to quiescence.
 class Engine {
  public:
   explicit Engine(EngineConfig config = {});
@@ -131,45 +316,40 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  std::size_t workers() const { return pool_.size(); }
-  common::ThreadPool& pool() { return pool_; }
+  /// Configured team size (0 resolved to hardware concurrency). Actual
+  /// teams clamp to each query's partition count.
+  std::size_t workers() const { return workers_; }
 
-  /// A partition-parallel source reading `topic` through consumer group
-  /// `group` with this engine's worker pool. The broker must outlive the
-  /// engine (the source's group members deregister on destruction).
-  std::unique_ptr<ParallelBrokerSource> make_source(stream::Broker& broker, std::string topic,
-                                                    std::string group,
-                                                    pipeline::RecordDecoder decoder,
-                                                    chaos::RetryPolicy retry = {});
-
-  /// Construct a query owned by the engine; returns it for stage chaining.
-  pipeline::StreamingQuery& add_query(pipeline::QueryConfig config,
-                                      std::unique_ptr<pipeline::Source> source);
-  /// Schedule a caller-owned query (must outlive the engine's runs).
-  void add_query_ref(pipeline::StreamingQuery& query);
+  /// Construct a sharded query owned by the engine; returns it for stage
+  /// chaining. The spec's broker must outlive the engine (members
+  /// deregister on destruction). Throws std::invalid_argument when the
+  /// ownership config declares a partition count and the topic's real
+  /// count differs.
+  Query& add_query(pipeline::QueryConfig config, SourceSpec spec);
 
   std::size_t num_queries() const { return queries_.size(); }
-  pipeline::StreamingQuery& query(std::size_t i) { return *queries_.at(i); }
+  Query& query(std::size_t i) { return *queries_.at(i); }
 
   /// Run scheduling rounds until every query is caught up (a full round
-  /// makes no progress and all sources report zero lag). Returns total
-  /// rows processed. Each round runs every query on its own driver
-  /// thread, up to max_batches_per_round micro-batches each.
+  /// makes no progress and all members report zero lag). Returns total
+  /// rows processed. Rounds visit queries in add order; each query runs
+  /// up to max_batches_per_round generations per round.
   std::uint64_t run_until_caught_up(std::size_t max_rounds = SIZE_MAX);
 
   EngineStats stats() const;
 
+  /// Per-worker ownership/handoff snapshot across all queries, for the
+  /// monitor's watch_engine view. Driver-thread call.
+  std::vector<std::pair<std::string, WorkerStats>> worker_info() const;
+
  private:
   EngineConfig config_;
-  common::ThreadPool pool_;
-  std::vector<std::unique_ptr<pipeline::StreamingQuery>> owned_queries_;
-  std::vector<pipeline::StreamingQuery*> queries_;
+  std::size_t workers_ = 1;
+  std::vector<std::unique_ptr<Query>> queries_;
 
   mutable std::mutex stats_mu_;
   EngineStats stats_;
 
-  // Engine-level observability: gauges reflect the live configuration,
-  // counters accumulate scheduling work (handles stable for process life).
   observe::Gauge* obs_workers_ = nullptr;
   observe::Gauge* obs_queries_ = nullptr;
   observe::Counter* obs_rounds_ = nullptr;

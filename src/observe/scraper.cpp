@@ -252,6 +252,10 @@ std::size_t Scraper::scrape(common::TimePoint now) {
   const bool staged_mode = static_cast<bool>(staged_metrics_out_);
   if (staged_mode) metrics_staging_.clear();
   std::vector<stream::Record> batch;
+  // Per-worker sharded counters (engine hot paths) arrive pre-merged:
+  // the registry sums their slots inside snapshot(), so a sharded cell
+  // is one series here with the same delta-suppression semantics as any
+  // plain counter — the scrape cost is per metric, not per worker slot.
   for (const auto& m : registry_.snapshot()) {
     if (config_.exclude_internal) {
       bool internal = false;

@@ -63,7 +63,7 @@ class BrokerSource final : public Source {
     // Zero-copy pull: the poll returns pinned views; the decoder reads
     // them in place and only the decoded Table survives this frame.
     const stream::FetchView records = retrier_.run(
-        "pipeline.pull", [&] { return sub_->poll_view(max_records); },
+        "pipeline.pull", [&] { return sub_->poll(max_records); },
         [&] { sub_->seek_to_committed(); });
     incoming_ = records.empty()
                     ? observe::TraceContext{}

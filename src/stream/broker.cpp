@@ -258,6 +258,7 @@ std::uint64_t Broker::join_group(const std::string& group, const std::string& to
   const std::uint64_t id = gs.next_member_id++;
   gs.members.push_back(id);
   ++gs.generation;
+  gs.gen_cell->store(gs.generation, std::memory_order_release);
   return id;
 }
 
@@ -271,6 +272,14 @@ void Broker::leave_group(const std::string& group, const std::string& topic,
   if (pos == members.end()) return;
   members.erase(pos);
   ++it->second.generation;
+  it->second.gen_cell->store(it->second.generation, std::memory_order_release);
+}
+
+std::shared_ptr<const std::atomic<std::uint64_t>> Broker::generation_cell(
+    const std::string& group, const std::string& topic) const {
+  std::lock_guard lk(mu_);
+  auto it = groups_.find({group, topic});
+  return it == groups_.end() ? nullptr : it->second.gen_cell;
 }
 
 std::vector<std::size_t> Broker::assignments(const std::string& group, const std::string& topic,
@@ -304,6 +313,7 @@ std::uint64_t Broker::group_generation(const std::string& group, const std::stri
 GroupMember::GroupMember(Broker& broker, std::string group, std::string topic)
     : broker_(broker), group_(std::move(group)), topic_(std::move(topic)) {
   member_id_ = broker_.join_group(group_, topic_);
+  gen_cell_ = broker_.generation_cell(group_, topic_);
   refresh_assignments();
 }
 
@@ -316,6 +326,12 @@ void GroupMember::leave() {
 }
 
 void GroupMember::refresh_assignments() {
+  // Fast path: one relaxed load against the broker's shared generation
+  // cell. Long-lived engine workers poll through here every micro-batch;
+  // the broker mutex is only taken when a rebalance actually moved the
+  // generation. A stale read at worst delays the re-assignment by one
+  // poll — exactly the window the fenced commit already guards.
+  if (gen_cell_ && gen_cell_->load(std::memory_order_acquire) == generation_) return;
   std::uint64_t generation = 0;
   auto assigned = broker_.assignments(group_, topic_, member_id_, &generation);
   if (generation == generation_) return;
@@ -330,11 +346,7 @@ void GroupMember::refresh_assignments() {
   }
 }
 
-std::vector<StoredRecord> GroupMember::poll(std::size_t max_records) {
-  return poll_view(max_records).to_records();
-}
-
-FetchView GroupMember::poll_view(std::size_t max_records) {
+FetchView GroupMember::poll(std::size_t max_records) {
   refresh_assignments();
   Topic& t = broker_.topic(topic_);
   FetchView out;
@@ -349,17 +361,7 @@ FetchView GroupMember::poll_view(std::size_t max_records) {
   return out;
 }
 
-std::vector<PartitionBatch> GroupMember::poll_by_partition(std::size_t max_per_partition) {
-  auto views = poll_by_partition_view(max_per_partition);
-  std::vector<PartitionBatch> out;
-  out.reserve(views.size());
-  for (auto& pv : views) {
-    out.push_back(PartitionBatch{pv.partition, pv.records.to_records()});
-  }
-  return out;
-}
-
-std::vector<PartitionBatchView> GroupMember::poll_by_partition_view(std::size_t max_per_partition) {
+std::vector<PartitionBatchView> GroupMember::poll_by_partition(std::size_t max_per_partition) {
   refresh_assignments();
   Topic& t = broker_.topic(topic_);
   std::vector<PartitionBatchView> out;
@@ -410,11 +412,7 @@ Consumer::Consumer(Broker& broker, std::string group, std::string topic)
   seek_to_committed();
 }
 
-std::vector<StoredRecord> Consumer::poll(std::size_t max_records) {
-  return poll_view(max_records).to_records();
-}
-
-FetchView Consumer::poll_view(std::size_t max_records) {
+FetchView Consumer::poll(std::size_t max_records) {
   Topic& t = broker_.topic(topic_);
   FetchView out;
   for (std::size_t i = 0; i < positions_.size() && out.size() < max_records; ++i) {

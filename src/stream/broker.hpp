@@ -233,6 +233,14 @@ class Broker {
   std::vector<std::size_t> assignments(const std::string& group, const std::string& topic,
                                        std::uint64_t member_id, std::uint64_t* generation_out) const;
   std::uint64_t group_generation(const std::string& group, const std::string& topic) const;
+  /// Shared cell mirroring the group's generation, updated (release) on
+  /// every join/leave under the broker mutex. Members cache it and check
+  /// their assignments with ONE relaxed atomic load per poll instead of
+  /// taking the broker mutex — the broker lock leaves the engine's fetch
+  /// hot path entirely; the mutex is only touched on an actual rebalance.
+  /// Returns nullptr for a group nobody has joined yet.
+  std::shared_ptr<const std::atomic<std::uint64_t>> generation_cell(const std::string& group,
+                                                                    const std::string& topic) const;
 
   /// Sum over partitions of (end offset - committed offset) for a group.
   std::int64_t lag(const std::string& group, const std::string& topic) const;
@@ -244,6 +252,10 @@ class Broker {
     std::vector<std::uint64_t> members;  ///< join order
     std::uint64_t next_member_id = 1;
     std::uint64_t generation = 0;
+    /// Lock-free mirror of `generation` for the members' per-poll
+    /// rebalance check (see generation_cell()). Written under mu_.
+    std::shared_ptr<std::atomic<std::uint64_t>> gen_cell =
+        std::make_shared<std::atomic<std::uint64_t>>(0);
   };
 
   mutable std::mutex mu_;
@@ -257,20 +269,25 @@ class Broker {
 /// pipeline source programs against this interface, so single-threaded
 /// and engine-driven queries share one source type instead of the two
 /// incompatible polling classes they historically wrapped.
+///
+/// Polling is view-based, full stop: poll() returns pinned views into
+/// the broker's refcounted segments and is the ONLY polling virtual.
+/// The historical copying poll and the poll_view/adopt dual surface are
+/// gone; code that genuinely needs owned records (audit maps, replay
+/// snapshots held across polls) uses the non-virtual fetch_copy()
+/// escape hatch and pays its one deep copy explicitly.
 class Subscription {
  public:
   virtual ~Subscription() = default;
 
-  /// Fetch up to max_records. Advances in-memory positions only;
-  /// commit() persists them.
-  virtual std::vector<StoredRecord> poll(std::size_t max_records) = 0;
-  /// Zero-copy variant: views into the broker's refcounted segments,
-  /// pinned for the FetchView's lifetime. Broker-backed subscriptions
-  /// override this with a true view fetch and implement poll() on top of
-  /// it; the default adapts poll() for implementations (test fakes) that
-  /// only provide the copying path.
-  virtual FetchView poll_view(std::size_t max_records) {
-    return FetchView::adopt(poll(max_records));
+  /// Fetch up to max_records as views into the broker's refcounted
+  /// segments, pinned for the FetchView's lifetime. Advances in-memory
+  /// positions only; commit() persists them.
+  virtual FetchView poll(std::size_t max_records) = 0;
+  /// Copying escape hatch over poll(): owned records that outlive any
+  /// segment pin. One deep copy per record — hot paths use poll().
+  std::vector<StoredRecord> fetch_copy(std::size_t max_records) {
+    return poll(max_records).to_records();
   }
   /// Persist current positions to the broker's committed-offset store.
   virtual void commit() = 0;
@@ -291,13 +308,10 @@ class Consumer final : public Subscription {
  public:
   Consumer(Broker& broker, std::string group, std::string topic);
 
-  /// Fetch up to max_records across partitions. Advances in-memory
-  /// positions only; call commit() to persist. Copying shim over
-  /// poll_view().
-  std::vector<StoredRecord> poll(std::size_t max_records) override;
-  /// Zero-copy poll: identical partition interleave and batch composition
-  /// to poll(), returning pinned views instead of owned copies.
-  FetchView poll_view(std::size_t max_records) override;
+  /// Zero-copy fetch of up to max_records across partitions (round-robin
+  /// interleave). Advances in-memory positions only; call commit() to
+  /// persist.
+  FetchView poll(std::size_t max_records) override;
 
   /// Persist current positions to the broker's offset store. Also
   /// snapshots the round-robin cursor, so a later seek_to_committed()
@@ -326,14 +340,8 @@ class Consumer final : public Subscription {
 
 /// One partition's slice of a poll, kept separate so the engine can merge
 /// worker results deterministically by (partition, offset) regardless of
-/// which worker fetched which partition.
-struct PartitionBatch {
-  std::size_t partition = 0;
-  std::vector<StoredRecord> records;
-};
-
-/// View flavor of PartitionBatch: the engine's merge step moves these
-/// into one FetchView (views and pins splice; no record is copied).
+/// which worker owns which partition. Views and segment pins move into
+/// the engine's per-partition lanes; no record is copied.
 struct PartitionBatchView {
   std::size_t partition = 0;
   FetchView records;
@@ -352,20 +360,16 @@ class GroupMember final : public Subscription {
   GroupMember(const GroupMember&) = delete;
   GroupMember& operator=(const GroupMember&) = delete;
 
-  /// Fetch up to max_records from this member's assigned partitions,
-  /// resuming each partition from the group's committed offset. Copying
-  /// shim over poll_view().
-  std::vector<StoredRecord> poll(std::size_t max_records) override;
-  /// Zero-copy poll over the assigned partitions.
-  FetchView poll_view(std::size_t max_records) override;
+  /// Zero-copy fetch of up to max_records from this member's assigned
+  /// partitions, resuming each partition from the group's committed
+  /// offset.
+  FetchView poll(std::size_t max_records) override;
   /// Like poll(), but capped per partition and keeping each partition's
-  /// records in their own PartitionBatch. The engine's merge step sorts
-  /// these by partition index, making batch contents a pure function of
-  /// committed offsets — independent of worker count or fetch order.
-  /// Copying shim over poll_by_partition_view().
-  std::vector<PartitionBatch> poll_by_partition(std::size_t max_per_partition);
-  /// Zero-copy variant used by the engine's parallel source.
-  std::vector<PartitionBatchView> poll_by_partition_view(std::size_t max_per_partition);
+  /// records in their own PartitionBatchView. The engine's merge step
+  /// orders these by partition index, making batch contents a pure
+  /// function of committed offsets — independent of worker count or
+  /// fetch order.
+  std::vector<PartitionBatchView> poll_by_partition(std::size_t max_per_partition);
   /// Commit progress on the assigned partitions. Fenced by group
   /// generation: if another member joined or left since this member's
   /// last poll, the broker drops the commit and the records are
@@ -384,6 +388,10 @@ class GroupMember final : public Subscription {
   std::uint64_t member_id() const { return member_id_; }
 
  private:
+  /// Re-pull assignments if the group generation moved. Fast path is one
+  /// relaxed load of the broker's shared generation cell — no broker
+  /// mutex unless a rebalance actually happened, which is what keeps
+  /// long-lived engine workers off any shared lock while polling.
   void refresh_assignments();
 
   Broker& broker_;
@@ -391,6 +399,7 @@ class GroupMember final : public Subscription {
   std::string topic_;
   std::uint64_t member_id_ = 0;
   std::uint64_t generation_ = static_cast<std::uint64_t>(-1);
+  std::shared_ptr<const std::atomic<std::uint64_t>> gen_cell_;
   std::vector<std::size_t> assigned_;
   std::map<std::size_t, std::int64_t> positions_;
   bool left_ = false;

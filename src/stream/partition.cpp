@@ -168,9 +168,9 @@ std::int64_t Partition::append_batch(std::vector<Record>&& batch) {
   return first;
 }
 
-std::int64_t Partition::fetch(std::int64_t offset, std::size_t max_records,
-                              std::vector<StoredRecord>& out) const {
-  // Legacy copying shim: same budget accounting as always (max_records
+std::int64_t Partition::fetch_copy(std::int64_t offset, std::size_t max_records,
+                                   std::vector<StoredRecord>& out) const {
+  // Copying escape hatch: same budget accounting as always (max_records
   // counts against out.size(), which may be non-empty across partitions).
   const std::size_t budget = max_records > out.size() ? max_records - out.size() : 0;
   FetchView fv;

@@ -56,11 +56,13 @@ class Partition {
   /// equivalent append() sequence. Returns the first offset.
   std::int64_t append_encoded_batch(std::span<const EncodedRecord> batch);
 
-  /// Copy up to `max_records` records starting at `offset` into `out`.
-  /// Returns the next offset to poll from. Offsets below the log start
-  /// (evicted by retention) snap forward to the log start. Legacy shim
-  /// over fetch_view() — one deep copy per record.
-  std::int64_t fetch(std::int64_t offset, std::size_t max_records, std::vector<StoredRecord>& out) const;
+  /// Copying escape hatch: copy up to `max_records` records starting at
+  /// `offset` into `out`. Returns the next offset to poll from. Offsets
+  /// below the log start (evicted by retention) snap forward to the log
+  /// start. Shim over fetch_view() — one deep copy per record — for the
+  /// few call sites that need records outliving any view pin.
+  std::int64_t fetch_copy(std::int64_t offset, std::size_t max_records,
+                          std::vector<StoredRecord>& out) const;
 
   /// Zero-copy fetch: append up to `max_records` (counted against
   /// out.size(), like fetch) RecordViews into `out`, pinning each touched

@@ -47,10 +47,9 @@ struct RecordView {
 };
 
 /// The result of a view fetch: a flat run of RecordViews plus the
-/// refcounted owners (segments, or an adopted record vector) that keep
-/// their bytes alive. Move-only in spirit but copyable (copies share the
-/// pins); destroying the last FetchView referencing an evicted segment
-/// frees it.
+/// refcounted owners (segments) that keep their bytes alive. Move-only
+/// in spirit but copyable (copies share the pins); destroying the last
+/// FetchView referencing an evicted segment frees it.
 class FetchView {
  public:
   FetchView() = default;
@@ -88,28 +87,14 @@ class FetchView {
     pins_.clear();
   }
 
-  /// Deep-copy shim for the legacy owned-record API.
+  /// Deep copy at an ownership boundary — the implementation behind
+  /// Subscription::fetch_copy, the one named escape hatch from the
+  /// view-based polling contract.
   std::vector<StoredRecord> to_records() const {
     std::vector<StoredRecord> out;
     out.reserve(views_.size());
     for (const RecordView& v : views_) out.push_back(v.to_stored());
     return out;
-  }
-
-  /// Wrap an owned record vector as a view set (the default
-  /// Subscription::poll_view for implementations that only provide the
-  /// copying poll): the vector moves into a refcounted pin and the views
-  /// borrow from it.
-  static FetchView adopt(std::vector<StoredRecord>&& owned) {
-    FetchView fv;
-    auto keep = std::make_shared<std::vector<StoredRecord>>(std::move(owned));
-    fv.views_.reserve(keep->size());
-    for (const StoredRecord& sr : *keep) {
-      fv.views_.push_back(RecordView{sr.offset, sr.record.timestamp, sr.record.trace_id,
-                                     sr.record.span_id, sr.record.key, sr.record.payload});
-    }
-    if (!keep->empty()) fv.pins_.push_back(std::move(keep));
-    return fv;
   }
 
  private:

@@ -250,14 +250,14 @@ TEST_F(AppsIntegration, LvaPushdownSkipsObjects) {
 TEST_F(AppsIntegration, DashboardDiagnosisMatchesManual) {
   // Materialize context tables.
   stream::Consumer log_reader(fw_.broker(), "t", sys_->topics().syslog);
-  const auto logs = telemetry::log_events_to_table(log_reader.poll_view(100000));
+  const auto logs = telemetry::log_events_to_table(log_reader.poll(100000));
   UaDashboard dash(fw_.lake(), sys_->scheduler().allocation_log(),
                    sys_->scheduler().node_allocation_log(), logs);
 
   stream::Consumer bronze_reader(fw_.broker(), "t2", sys_->topics().power);
   Table bronze;
   for (;;) {
-    const auto recs = bronze_reader.poll_view(65536);
+    const auto recs = bronze_reader.poll(65536);
     if (recs.empty()) break;
     Table part = telemetry::packets_to_bronze(recs);
     if (bronze.num_columns() == 0) bronze = Table(part.schema());

@@ -90,7 +90,7 @@ TEST(BrokerStressTest, ProducersConsumerChurnAndRetentionRace) {
     while (!stop_aux.load(std::memory_order_acquire)) {
       const auto got = c.poll(128);
       for (const auto& sr : got) {
-        auto [it, fresh] = last_offset.emplace(sr.record.key, sr.offset);
+        auto [it, fresh] = last_offset.emplace(std::string(sr.key), sr.offset);
         if (!fresh) {
           // Eviction may skip offsets forward, never backward or equal.
           if (sr.offset <= it->second) monotonicity_violations.fetch_add(1);
@@ -122,13 +122,13 @@ TEST(BrokerStressTest, ProducersConsumerChurnAndRetentionRace) {
     for (const auto& sr : got) {
       // Strictly increasing offsets per producer key (a producer's records
       // all land in one partition thanks to key hashing).
-      auto [it, fresh] = last_offset.emplace(sr.record.key, sr.offset);
+      auto [it, fresh] = last_offset.emplace(std::string(sr.key), sr.offset);
       if (!fresh) {
         EXPECT_GT(sr.offset, it->second);
         it->second = sr.offset;
       }
       std::size_t producer = 0, seq = 0;
-      ASSERT_EQ(std::sscanf(sr.record.payload.c_str(), "%zu:%zu", &producer, &seq), 2);
+      ASSERT_EQ(std::sscanf(std::string(sr.payload).c_str(), "%zu:%zu", &producer, &seq), 2);
       ASSERT_LT(producer, kProducers);
       ASSERT_LT(seq, kPerProducer);
       if (seen[producer][seq]) {
@@ -148,7 +148,7 @@ TEST(BrokerStressTest, ProducersConsumerChurnAndRetentionRace) {
   while (consumer.lag() > 0) {
     for (const auto& sr : consumer.poll(256)) {
       std::size_t producer = 0, seq = 0;
-      if (std::sscanf(sr.record.payload.c_str(), "%zu:%zu", &producer, &seq) == 2 &&
+      if (std::sscanf(std::string(sr.payload).c_str(), "%zu:%zu", &producer, &seq) == 2 &&
           producer < kProducers && seq < kPerProducer && !seen[producer][seq]) {
         seen[producer][seq] = 1;
         ++received;
@@ -211,7 +211,7 @@ TEST(BrokerStressTest, ParallelGroupMembersPartitionTheTopic) {
         }
         idle = 0;
         consumed.fetch_add(got.size());
-        for (const auto& r : got) seen[m].push_back(std::stoul(r.record.payload));
+        for (const auto& r : got) seen[m].push_back(std::stoul(std::string(r.payload)));
         member.commit();
       }
     });
@@ -298,7 +298,7 @@ TEST(BrokerStressTest, ProduceBatchRacesRetentionAndReaders) {
   auto& topic = broker.topic("batched");
   for (std::size_t p = 0; p < topic.num_partitions(); ++p) {
     std::vector<StoredRecord> got;
-    topic.partition(p).fetch(topic.partition(p).start_offset(), 1 << 20, got);
+    topic.partition(p).fetch_copy(topic.partition(p).start_offset(), 1 << 20, got);
     for (std::size_t i = 1; i < got.size(); ++i) {
       if (got[i].offset != got[i - 1].offset + 1) monotonicity_violations.fetch_add(1);
     }
@@ -358,7 +358,7 @@ TEST(BrokerStressTest, PinnedViewsSurviveConcurrentRetention) {
   {
     Consumer consumer(broker, "g", "evict");
     for (;;) {
-      FetchView v = consumer.poll_view(97);
+      FetchView v = consumer.poll(97);
       if (!v.empty()) {
         held.push_back(std::move(v));
       } else if (produced_all.load(std::memory_order_acquire) && consumer.lag() == 0) {
@@ -458,7 +458,7 @@ TEST(BrokerStressTest, StagedProducersRaceConsumersAndRetention) {
   std::thread pinning_reader([&] {
     Consumer consumer(broker, "pin", "staged");
     while (!producers_done.load(std::memory_order_acquire) || consumer.lag() > 0) {
-      FetchView v = consumer.poll_view(128);
+      FetchView v = consumer.poll(128);
       if (v.empty()) {
         std::this_thread::yield();
         continue;
@@ -483,7 +483,7 @@ TEST(BrokerStressTest, StagedProducersRaceConsumersAndRetention) {
   std::thread churn_reader([&] {
     Consumer consumer(broker, "churn", "staged-churn");
     while (!producers_done.load(std::memory_order_acquire)) {
-      consumer.poll_view(64);  // races eviction; gaps are fine here
+      consumer.poll(64);  // races eviction; gaps are fine here
       std::this_thread::yield();
     }
   });
@@ -502,7 +502,7 @@ TEST(BrokerStressTest, StagedProducersRaceConsumersAndRetention) {
   std::uint64_t total = 0, duplicates = 0;
   for (std::size_t p = 0; p < topic.num_partitions(); ++p) {
     std::vector<StoredRecord> got;
-    topic.partition(p).fetch(topic.partition(p).start_offset(), 1 << 20, got);
+    topic.partition(p).fetch_copy(topic.partition(p).start_offset(), 1 << 20, got);
     for (std::size_t i = 0; i < got.size(); ++i) {
       if (i > 0) EXPECT_EQ(got[i].offset, got[i - 1].offset + 1);
       const std::string& payload = got[i].record.payload;

@@ -36,7 +36,7 @@ SimulatorConfig config_with_seed(std::uint64_t seed) {
 
 std::vector<stream::StoredRecord> drain_partition(const stream::Partition& p) {
   std::vector<stream::StoredRecord> out;
-  p.fetch(p.start_offset(), p.record_count(), out);
+  p.fetch_copy(p.start_offset(), p.record_count(), out);
   return out;
 }
 

@@ -1,9 +1,12 @@
 // The engine's headline guarantee: scheduling a query partition-parallel
-// must be invisible in its committed output. workers=4 and workers=1 runs
+// must be invisible in its committed output. Runs at any worker count
 // over the same stream — with tracing on and a chaos fault plan active —
 // must commit byte-identical sink tables, because a batch's contents are
 // a pure function of the group's committed offsets, never of worker
-// count or fetch interleaving.
+// count or fetch interleaving. The shared-nothing redesign adds the
+// ownership story: each worker's GroupMember assignment IS its partition
+// set, lanes (operator state) shard by partition, and kill_worker()
+// exercises rebalancing mid-stream.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -80,14 +83,25 @@ Table decode(std::span<const stream::RecordView> records) {
   return t;
 }
 
+OperatorFactory window_agg_factory() {
+  return [] {
+    return std::make_unique<pipeline::WindowAggOp>(
+        "window_10s", "time", 10 * common::kSecond, std::vector<std::string>{"node"},
+        std::vector<sql::AggSpec>{{"value", sql::AggKind::kMean, "mean_value"},
+                                  {"value", sql::AggKind::kMax, "max_value"},
+                                  {"value", sql::AggKind::kCount, "samples"}});
+  };
+}
+
 // Build broker + engine-driven windowed aggregation, run to quiescence,
 // return the committed sink table serialized to bytes. Tracing and the
 // given chaos plan are active for the whole run.
 std::vector<std::uint8_t> run_with_workers(std::size_t workers, chaos::FaultPlan& plan,
                                            EngineStats* stats_out = nullptr,
-                                           bool staged_fill = false) {
+                                           bool staged_fill = false,
+                                           std::size_t partitions = kPartitions) {
   stream::Broker broker;
-  auto& topic = broker.create_topic("sensors", stream::TopicConfig{}.with_partitions(kPartitions));
+  auto& topic = broker.create_topic("sensors", stream::TopicConfig{}.with_partitions(partitions));
   if (staged_fill) {
     fill_topic_staged(broker, "sensors");
   } else {
@@ -98,22 +112,18 @@ std::vector<std::uint8_t> run_with_workers(std::size_t workers, chaos::FaultPlan
   observe::ScopedTracer scoped_tracer(tracer);
   chaos::ScopedFaultPlan scoped_plan(plan);
 
-  Engine engine(EngineConfig{}.with_workers(workers));
+  Engine engine(EngineConfig{}.with_workers(workers).with_ownership(
+      OwnershipConfig{}.with_partitions(partitions)));
   chaos::RetryPolicy retry;
   retry.max_attempts = 50;  // outlast the plan's transient schedule
-  auto source = engine.make_source(broker, "sensors", "agg-group", decode, retry);
   auto sink = std::make_unique<pipeline::TableSink>();
   pipeline::TableSink* sink_ptr = sink.get();
   auto& q = engine.add_query(pipeline::QueryConfig{}
                                  .with_name("engine.agg")
                                  .with_batch_size(1000)
                                  .with_max_retries(0),  // retry forever: no dead-letter
-                             std::move(source));
-  q.add_operator(std::make_unique<pipeline::WindowAggOp>(
-      "window_10s", "time", 10 * common::kSecond, std::vector<std::string>{"node"},
-      std::vector<sql::AggSpec>{{"value", sql::AggKind::kMean, "mean_value"},
-                                {"value", sql::AggKind::kMax, "max_value"},
-                                {"value", sql::AggKind::kCount, "samples"}}));
+                             SourceSpec{&broker, "sensors", "agg-group", decode, retry});
+  q.add_operator(window_agg_factory());
   q.add_sink(std::move(sink));
 
   engine.run_until_caught_up();
@@ -171,6 +181,28 @@ TEST(EngineTest, StagedFillByteIdenticalAcrossWorkerCounts) {
   }
 }
 
+// Wide-team extension: over a 32-partition topic, teams of 16 and 32
+// owned workers (real threads, real concurrent lane execution) still
+// commit byte-identical output under chaos with tracing on.
+TEST(EngineTest, ByteIdenticalUpToThirtyTwoWorkersUnderChaos) {
+  std::vector<std::uint8_t> baseline;
+  for (std::size_t workers : {1, 4, 16, 32}) {
+    chaos::FaultPlan plan(0xfeedbeef);
+    configure_plan(plan);
+    EngineStats stats;
+    const auto bytes = run_with_workers(workers, plan, &stats, /*staged_fill=*/false,
+                                        /*partitions=*/32);
+    EXPECT_EQ(stats.rows, kRecords) << "workers=" << workers;
+    EXPECT_GT(plan.total_faults(), 0u) << "workers=" << workers;
+    if (baseline.empty()) {
+      EXPECT_GT(bytes.size(), 0u);
+      baseline = bytes;
+    } else {
+      EXPECT_EQ(baseline, bytes) << "workers=" << workers;
+    }
+  }
+}
+
 // PR 4 extension of the golden-run proof: the self-telemetry loop rides
 // the same chaotic engine run, and the retained HistoryStore must be
 // worker-count invariant too. Input arrives in chunks; only after each
@@ -191,19 +223,14 @@ std::vector<std::uint8_t> run_with_history(std::size_t workers, chaos::FaultPlan
   Engine engine(EngineConfig{}.with_workers(workers));
   chaos::RetryPolicy retry;
   retry.max_attempts = 50;  // outlast the plan's transient schedule
-  auto source = engine.make_source(broker, "sensors", "agg-group", decode, retry);
   auto sink = std::make_unique<pipeline::TableSink>();
   pipeline::TableSink* sink_ptr = sink.get();
   auto& q = engine.add_query(pipeline::QueryConfig{}
                                  .with_name("engine.agg")
                                  .with_batch_size(1000)
                                  .with_max_retries(0),
-                             std::move(source));
-  q.add_operator(std::make_unique<pipeline::WindowAggOp>(
-      "window_10s", "time", 10 * common::kSecond, std::vector<std::string>{"node"},
-      std::vector<sql::AggSpec>{{"value", sql::AggKind::kMean, "mean_value"},
-                                {"value", sql::AggKind::kMax, "max_value"},
-                                {"value", sql::AggKind::kCount, "samples"}}));
+                             SourceSpec{&broker, "sensors", "agg-group", decode, retry});
+  q.add_operator(window_agg_factory());
   q.add_sink(std::move(sink));
 
   observe::MetricsRegistry selfreg;  // local: only the mirrored gauges
@@ -287,7 +314,7 @@ TEST(EngineTest, ScalingCurveIsWorkerCountInvariant) {
 TEST(EngineTest, MultiQueryChainDrainsAcrossRounds) {
   // bronze --(re-encode)--> silver topic --> table. The downstream query
   // only sees data produced by the upstream one, so draining the chain
-  // exercises the engine's round barrier.
+  // exercises the engine's round loop.
   stream::Broker broker;
   auto& topic = broker.create_topic("bronze", stream::TopicConfig{}.with_partitions(4));
   fill_topic(topic);
@@ -295,15 +322,14 @@ TEST(EngineTest, MultiQueryChainDrainsAcrossRounds) {
   Engine engine(EngineConfig{}.with_workers(2));
   auto& upstream =
       engine.add_query(pipeline::QueryConfig{}.with_name("chain.bronze").with_batch_size(500),
-                       engine.make_source(broker, "bronze", "chain-b", decode));
+                       SourceSpec{&broker, "bronze", "chain-b", decode});
   upstream.add_sink(std::make_unique<pipeline::TopicSink>(broker, "silver"));
 
   auto sink = std::make_unique<pipeline::TableSink>();
   pipeline::TableSink* sink_ptr = sink.get();
   auto& downstream =
       engine.add_query(pipeline::QueryConfig{}.with_name("chain.silver").with_batch_size(500),
-                       engine.make_source(broker, "silver", "chain-s",
-                                          pipeline::decode_columnar_records));
+                       SourceSpec{&broker, "silver", "chain-s", pipeline::decode_columnar_records});
   downstream.add_sink(std::move(sink));
 
   engine.run_until_caught_up();
@@ -315,8 +341,8 @@ TEST(EngineTest, MultiQueryChainDrainsAcrossRounds) {
 }
 
 TEST(EngineTest, BrokerSourceAcceptsAnySubscription) {
-  // The redesigned BrokerSource programs against stream::Subscription, so
-  // a single-threaded query can read through a rebalancing GroupMember.
+  // BrokerSource programs against stream::Subscription, so a
+  // single-threaded query can read through a rebalancing GroupMember.
   stream::Broker broker;
   auto& topic = broker.create_topic("subs", stream::TopicConfig{}.with_partitions(4));
   fill_topic(topic);
@@ -332,17 +358,36 @@ TEST(EngineTest, BrokerSourceAcceptsAnySubscription) {
   EXPECT_EQ(sink_ptr->table().num_rows(), kRecords);
 }
 
-TEST(EngineTest, SourceClampsMembersToPartitionCount) {
+TEST(EngineTest, TeamClampsToPartitionCount) {
   stream::Broker broker;
   broker.create_topic("narrow", stream::TopicConfig{}.with_partitions(2));
   Engine engine(EngineConfig{}.with_workers(8));
-  auto source = engine.make_source(broker, "narrow", "narrow-group", decode);
-  EXPECT_EQ(source->num_members(), 2u);  // extra members would own nothing
+  auto& q = engine.add_query(pipeline::QueryConfig{}.with_name("narrow.q"),
+                             SourceSpec{&broker, "narrow", "narrow-group", decode});
+  EXPECT_EQ(q.team_size(), 2u);  // extra workers would own nothing
+  EXPECT_EQ(q.num_partitions(), 2u);
 }
 
 TEST(EngineTest, ConfigValidateRejectsNonsense) {
   EXPECT_THROW(Engine(EngineConfig{}.with_max_batches_per_round(0)), std::invalid_argument);
   EXPECT_NO_THROW(Engine(EngineConfig{}.with_workers(2)));
+  // Declared ownership makes oversubscription a configuration error
+  // instead of a silent clamp.
+  EXPECT_THROW(Engine(EngineConfig{}.with_workers(4).with_ownership(
+                   OwnershipConfig{}.with_partitions(2))),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Engine(EngineConfig{}.with_workers(2).with_ownership(
+      OwnershipConfig{}.with_partitions(2))));
+}
+
+TEST(EngineTest, AddQueryRejectsOwnershipPartitionMismatch) {
+  stream::Broker broker;
+  broker.create_topic("p4", stream::TopicConfig{}.with_partitions(4));
+  Engine engine(EngineConfig{}.with_workers(2).with_ownership(
+      OwnershipConfig{}.with_partitions(8)));
+  EXPECT_THROW(engine.add_query(pipeline::QueryConfig{}.with_name("mismatch.q"),
+                                SourceSpec{&broker, "p4", "mismatch-group", decode}),
+               std::invalid_argument);
 }
 
 TEST(EngineTest, EngineGaugesReflectConfiguration) {
@@ -355,9 +400,72 @@ TEST(EngineTest, EngineGaugesReflectConfiguration) {
   auto& reg = observe::default_registry();
   EXPECT_DOUBLE_EQ(reg.gauge("engine.workers")->value(), 3.0);
 
-  engine.add_query(pipeline::QueryConfig{}.with_name("gauge.q"),
-                   engine.make_source(broker, "g", "gauge-group", decode));
+  auto& q = engine.add_query(pipeline::QueryConfig{}.with_name("gauge.q"),
+                             SourceSpec{&broker, "g", "gauge-group", decode});
   EXPECT_DOUBLE_EQ(reg.gauge("engine.queries")->value(), 1.0);
+  EXPECT_EQ(q.team_size(), 2u);
+}
+
+// Ownership rebalance: killing a worker mid-stream hands its partitions
+// to the survivors through the consumer-group generation bump, and the
+// fenced commit protocol guarantees no record is lost or duplicated
+// across the handover.
+TEST(EngineTest, KillWorkerRebalancesOwnershipWithoutLossOrDuplication) {
+  stream::Broker broker;
+  auto& topic = broker.create_topic("reb", stream::TopicConfig{}.with_partitions(kPartitions));
+  fill_topic(topic, 0, kRecords / 2);
+
+  Engine engine(EngineConfig{}.with_workers(4).with_ownership(
+      OwnershipConfig{}.with_partitions(kPartitions)));
+  auto sink = std::make_unique<pipeline::TableSink>();
+  pipeline::TableSink* sink_ptr = sink.get();
+  auto& q = engine.add_query(pipeline::QueryConfig{}.with_name("reb.q").with_batch_size(500),
+                             SourceSpec{&broker, "reb", "reb-group", decode});
+  q.add_sink(std::move(sink));
+
+  engine.run_until_caught_up();
+  EXPECT_EQ(sink_ptr->table().num_rows(), kRecords / 2);
+  ASSERT_EQ(q.num_workers(), 4u);
+  {
+    std::size_t owned = 0;
+    for (const WorkerStats& ws : q.worker_stats()) {
+      EXPECT_TRUE(ws.alive);
+      owned += ws.owned_partitions;
+    }
+    EXPECT_EQ(owned, kPartitions);  // full coverage, 2 lanes per worker
+  }
+
+  // Kill one threaded worker and one more; survivors absorb the freed
+  // partitions on their next fetch (generation observed through the
+  // broker's lock-free cell).
+  q.kill_worker(3);
+  q.kill_worker(1);
+  EXPECT_EQ(q.num_workers(), 2u);
+  EXPECT_EQ(q.team_size(), 4u);  // dead members stay visible in stats
+
+  fill_topic(topic, kRecords / 2, kRecords);
+  engine.run_until_caught_up();
+
+  // Exactly every record, exactly once — committed offsets never
+  // regressed across the rebalance.
+  EXPECT_EQ(sink_ptr->table().num_rows(), kRecords);
+  std::size_t owned = 0;
+  for (const WorkerStats& ws : q.worker_stats()) {
+    if (ws.worker == 1 || ws.worker == 3) {
+      EXPECT_FALSE(ws.alive);
+      EXPECT_EQ(ws.owned_partitions, 0u);
+    } else {
+      EXPECT_TRUE(ws.alive);
+      EXPECT_GT(ws.rows_fetched, 0u);
+    }
+    owned += ws.owned_partitions;
+  }
+  EXPECT_EQ(owned, kPartitions);  // survivors own everything
+
+  // The last alive worker is not killable (the query would deadlock).
+  q.kill_worker(2);
+  EXPECT_THROW(q.kill_worker(0), std::invalid_argument);
+  EXPECT_EQ(q.num_workers(), 1u);
 }
 
 TEST(EngineTest, WorkerFetchSpansParentUnderBatchSpan) {
@@ -372,7 +480,7 @@ TEST(EngineTest, WorkerFetchSpansParentUnderBatchSpan) {
   observe::ScopedTracer scoped(tracer);
   Engine engine(EngineConfig{}.with_workers(4));
   auto& q = engine.add_query(pipeline::QueryConfig{}.with_name("traced.q").with_batch_size(1000),
-                             engine.make_source(broker, "traced", "traced-group", decode));
+                             SourceSpec{&broker, "traced", "traced-group", decode});
   q.add_sink(std::make_unique<pipeline::TableSink>());
   engine.run_until_caught_up();
 

@@ -323,7 +323,7 @@ TEST(ReliabilityTest, EndToEndWithInjectedFailures) {
   sim.run_until(2 * kHour);
 
   stream::Consumer logs(broker, "rel", sim.topics().syslog);
-  const auto table = telemetry::log_events_to_table(logs.poll_view(2000000));
+  const auto table = telemetry::log_events_to_table(logs.poll(2000000));
   apps::ReliabilityReport report(table);
 
   const auto by_subsystem = report.failures_by_subsystem();

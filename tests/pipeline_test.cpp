@@ -337,8 +337,8 @@ TEST(SinkTest, TopicSinkRoundTripsThroughDecoder) {
   stream::Consumer c(broker, "g", "out");
   const auto records = c.poll(10);
   ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0].record.timestamp, 6 * kSecond);  // batch max event time
-  const Table back = decode_columnar_records(stream::as_views(records));
+  EXPECT_EQ(records[0].timestamp, 6 * kSecond);  // batch max event time
+  const Table back = decode_columnar_records(records.records());
   ASSERT_EQ(back.num_rows(), 2u);
   EXPECT_DOUBLE_EQ(back.column("v").double_at(1), 2.5);
 }

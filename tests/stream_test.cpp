@@ -34,7 +34,7 @@ TEST(PartitionTest, FetchFromOffsetAndLimit) {
   Partition p;
   for (int i = 0; i < 10; ++i) p.append(make_record(i));
   std::vector<StoredRecord> out;
-  const std::int64_t next = p.fetch(3, 4, out);
+  const std::int64_t next = p.fetch_copy(3, 4, out);
   EXPECT_EQ(next, 7);
   ASSERT_EQ(out.size(), 4u);
   EXPECT_EQ(out[0].offset, 3);
@@ -45,7 +45,7 @@ TEST(PartitionTest, FetchPastEndReturnsNothing) {
   Partition p;
   p.append(make_record(1));
   std::vector<StoredRecord> out;
-  EXPECT_EQ(p.fetch(5, 10, out), 1);
+  EXPECT_EQ(p.fetch_copy(5, 10, out), 1);
   EXPECT_TRUE(out.empty());
 }
 
@@ -66,7 +66,7 @@ TEST(PartitionTest, RetentionByAgeDropsWholeSegmentsOnly) {
   EXPECT_GT(p.start_offset(), 0);
   // Everything older than cutoff minus at most one segment is gone.
   std::vector<StoredRecord> out;
-  p.fetch(0, 100, out);
+  p.fetch_copy(0, 100, out);
   ASSERT_FALSE(out.empty());
   EXPECT_GE(out.front().offset, p.start_offset());
 }
@@ -84,7 +84,7 @@ TEST(PartitionTest, FetchSnapsForwardAfterEviction) {
   for (int i = 0; i < 50; ++i) p.append(make_record(i * common::kSecond));
   p.enforce_retention({5 * common::kSecond, -1}, 100 * common::kSecond);
   std::vector<StoredRecord> out;
-  p.fetch(0, 5, out);  // offset 0 evicted
+  p.fetch_copy(0, 5, out);  // offset 0 evicted
   ASSERT_FALSE(out.empty());
   EXPECT_EQ(out.front().offset, p.start_offset());
 }
@@ -95,7 +95,7 @@ TEST(PartitionViewTest, FetchViewMatchesFetchByteForByte) {
   Partition p(256);  // several segments
   for (int i = 0; i < 40; ++i) p.append(make_record(i, "key" + std::to_string(i % 3), 24));
   std::vector<StoredRecord> owned;
-  const std::int64_t next_owned = p.fetch(5, 20, owned);
+  const std::int64_t next_owned = p.fetch_copy(5, 20, owned);
   FetchView views;
   const std::int64_t next_view = p.fetch_view(5, 20, views);
   EXPECT_EQ(next_owned, next_view);
@@ -181,7 +181,7 @@ TEST(PartitionViewTest, KeyDictionaryCapsAndInlinesOverflowKeys) {
   FetchView v;
   p.fetch_view(first_overflow, 10, v);
   std::vector<StoredRecord> owned;
-  p.fetch(first_overflow, 10, owned);
+  p.fetch_copy(first_overflow, 10, owned);
   ASSERT_EQ(v.size(), 10u);
   ASSERT_EQ(owned.size(), 10u);
   for (std::size_t i = 0; i < 10; ++i) {
@@ -226,9 +226,9 @@ TEST(PartitionViewTest, ZeroBudgetAndAtEndFetchesAreFree) {
   EXPECT_TRUE(v.empty());
   // The copying shim shares the fast paths.
   std::vector<StoredRecord> out;
-  EXPECT_EQ(p.fetch(2, 0, out), 2);
+  EXPECT_EQ(p.fetch_copy(2, 0, out), 2);
   EXPECT_TRUE(out.empty());
-  EXPECT_EQ(p.fetch(5, 10, out), 5);
+  EXPECT_EQ(p.fetch_copy(5, 10, out), 5);
   EXPECT_TRUE(out.empty());
 }
 
@@ -237,7 +237,7 @@ TEST(TopicTest, EmptyPollLeavesFetchCountersUntouched) {
   b.create_topic("t", TopicConfig{}.with_partitions(2));
   Consumer c(b, "g", "t");
   EXPECT_TRUE(c.poll(10).empty());  // nothing produced yet
-  EXPECT_TRUE(c.poll_view(10).empty());
+  EXPECT_TRUE(c.poll(10).empty());
   const TopicStats s0 = b.topic("t").stats();
   EXPECT_EQ(s0.fetched_records, 0u);
   EXPECT_EQ(s0.fetched_bytes, 0u);
@@ -248,7 +248,7 @@ TEST(TopicTest, EmptyPollLeavesFetchCountersUntouched) {
   producer.produce(std::move(r));
   EXPECT_TRUE(c.poll(0).empty());  // zero-budget poll: still free
   EXPECT_EQ(b.topic("t").stats().fetched_records, 0u);
-  EXPECT_EQ(c.poll_view(10).size(), 1u);
+  EXPECT_EQ(c.poll(10).size(), 1u);
   const TopicStats s1 = b.topic("t").stats();
   EXPECT_EQ(s1.fetched_records, 1u);
   EXPECT_EQ(s1.fetched_bytes, wire);
@@ -354,7 +354,7 @@ TEST(ConsumerTest, SeekToTime) {
   c.seek_to_time(5 * common::kMinute);
   const auto batch = c.poll(100);
   ASSERT_EQ(batch.size(), 5u);
-  EXPECT_EQ(batch.front().record.timestamp, 5 * common::kMinute);
+  EXPECT_EQ(batch.front().timestamp, 5 * common::kMinute);
 }
 
 TEST(BrokerTest, LagAccountsCommittedOffsets) {
@@ -444,8 +444,8 @@ TEST(TopicTest, ProduceBatchMatchesSequentialProduce) {
   EXPECT_EQ(seq_topic.stats().produced_bytes, batch_topic.stats().produced_bytes);
   for (std::size_t p = 0; p < 4; ++p) {
     std::vector<StoredRecord> a, b;
-    seq_topic.partition(p).fetch(0, 1000, a);
-    batch_topic.partition(p).fetch(0, 1000, b);
+    seq_topic.partition(p).fetch_copy(0, 1000, a);
+    batch_topic.partition(p).fetch_copy(0, 1000, b);
     ASSERT_EQ(a.size(), b.size()) << "partition " << p;
     for (std::size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].offset, b[i].offset);
@@ -512,8 +512,8 @@ TEST(StagedProduceTest, MatchesProduceBatchByteForByte) {
   EXPECT_EQ(batch_topic.stats().produced_bytes, staged_topic.stats().produced_bytes);
   for (std::size_t p = 0; p < 4; ++p) {
     std::vector<StoredRecord> a, b;
-    batch_topic.partition(p).fetch(0, 1000, a);
-    staged_topic.partition(p).fetch(0, 1000, b);
+    batch_topic.partition(p).fetch_copy(0, 1000, a);
+    staged_topic.partition(p).fetch_copy(0, 1000, b);
     ASSERT_EQ(a.size(), b.size()) << "partition " << p;
     for (std::size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i].offset, b[i].offset);
