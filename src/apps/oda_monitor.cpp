@@ -1,8 +1,11 @@
 #include "apps/oda_monitor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "common/stats.hpp"
 #include "observe/export.hpp"
@@ -199,6 +202,210 @@ std::string OdaMonitor::to_json() const {
 
 std::string OdaMonitor::one_line() {
   return observe::one_line_summary(observe::default_registry().snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Flight-dump viewer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Scanners over flight_to_json's fixed key order. They only need to read
+// back what the exporter writes, so "not found" is a format error.
+[[noreturn]] void bad_flight(const std::string& why) {
+  throw std::runtime_error("oda_monitor: not a flight dump (" + why + ")");
+}
+
+double scan_number(const std::string& s, const std::string& key, std::size_t from) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = s.find(needle, from);
+  if (at == std::string::npos) bad_flight("missing \"" + key + "\"");
+  return std::strtod(s.c_str() + at + needle.size(), nullptr);
+}
+
+std::string scan_string(const std::string& s, const std::string& key, std::size_t from) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = s.find(needle, from);
+  if (at == std::string::npos) bad_flight("missing \"" + key + "\"");
+  std::string out;
+  for (std::size_t i = at + needle.size(); i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '"') return out;
+    if (c == '\\' && i + 1 < s.size()) {
+      c = s[++i];
+      switch (c) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // json_escape only \u-encodes control bytes; decode the low byte.
+          if (i + 4 < s.size()) {
+            out += static_cast<char>(std::strtol(s.substr(i + 1, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += c;  // \" and
+      }
+    } else {
+      out += c;
+    }
+  }
+  bad_flight("unterminated string for \"" + key + "\"");
+}
+
+observe::FlightEventType scan_event_type(const std::string& name) {
+  using observe::FlightEventType;
+  for (int t = 0; t <= static_cast<int>(FlightEventType::kMark); ++t) {
+    const auto et = static_cast<FlightEventType>(t);
+    if (name == observe::flight_event_type_name(et)) return et;
+  }
+  bad_flight("unknown event type '" + name + "'");
+}
+
+observe::FlightPhase scan_phase(const std::string& name) {
+  using observe::FlightPhase;
+  for (int p = 0; p < static_cast<int>(observe::kFlightPhases); ++p) {
+    const auto fp = static_cast<FlightPhase>(p);
+    if (name == observe::flight_phase_name(fp)) return fp;
+  }
+  bad_flight("unknown phase '" + name + "'");
+}
+
+}  // namespace
+
+observe::FlightDump parse_flight_json(const std::string& text) {
+  if (text.find("{\"flight\":{") == std::string::npos) bad_flight("no {\"flight\":...} header");
+  observe::FlightDump d;
+  d.trigger = scan_string(text, "trigger", 0);
+  d.vt = static_cast<common::TimePoint>(scan_number(text, "vt", 0));
+  d.capacity = static_cast<std::size_t>(scan_number(text, "capacity", 0));
+  d.emitted = static_cast<std::uint64_t>(scan_number(text, "emitted", 0));
+  d.dropped = static_cast<std::uint64_t>(scan_number(text, "dropped", 0));
+
+  const std::size_t rings_at = text.find("\"rings\":[");
+  if (rings_at == std::string::npos) bad_flight("missing \"rings\"");
+  for (std::size_t i = rings_at + 9; i < text.size() && text[i] != ']';) {
+    if (text[i] == '"') {
+      std::size_t end = i + 1;
+      while (end < text.size() && text[end] != '"') end += text[end] == '\\' ? 2 : 1;
+      d.ring_names.push_back(text.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      ++i;
+    }
+  }
+
+  d.labels.emplace_back();  // id 0 = ""
+  // One event object per line — split on the '\n' the exporter emits
+  // before each "{\"ring\":...}".
+  std::size_t pos = text.find("\"events\":[");
+  if (pos == std::string::npos) bad_flight("missing \"events\"");
+  while ((pos = text.find("\n{\"ring\":", pos)) != std::string::npos) {
+    const std::size_t eol = text.find('\n', pos + 1);
+    const std::string line = text.substr(pos + 1, eol == std::string::npos ? std::string::npos
+                                                                           : eol - pos - 1);
+    observe::FlightEvent e;
+    e.ring = static_cast<std::uint32_t>(scan_number(line, "ring", 0));
+    e.seq = static_cast<std::uint64_t>(scan_number(line, "seq", 0));
+    e.type = scan_event_type(scan_string(line, "type", 0));
+    e.phase = scan_phase(scan_string(line, "phase", 0));
+    e.vt = static_cast<common::TimePoint>(scan_number(line, "vt", 0));
+    e.wall_ns = static_cast<std::uint64_t>(scan_number(line, "wall_us", 0) * 1e3);
+    e.arg = static_cast<std::uint64_t>(scan_number(line, "arg", 0));
+    const std::string label = scan_string(line, "label", 0);
+    if (!label.empty()) {
+      std::size_t id = 0;
+      for (; id < d.labels.size(); ++id) {
+        if (d.labels[id] == label) break;
+      }
+      if (id == d.labels.size()) d.labels.push_back(label);
+      e.label = static_cast<std::uint32_t>(id);
+    }
+    d.events.push_back(e);
+    pos = eol == std::string::npos ? text.size() : eol;
+  }
+  return d;
+}
+
+std::string render_flight(const observe::FlightDump& d, std::size_t tail) {
+  using observe::FlightEventType;
+  using observe::FlightPhase;
+  std::string out;
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "=== flight dump  trigger=%s  vt=%" PRId64 "  events=%zu (emitted=%" PRIu64
+                " dropped=%" PRIu64 ", %zu rings x %zu slots) ===\n",
+                d.trigger.c_str(), d.vt, d.events.size(), d.emitted, d.dropped,
+                d.ring_names.size(), d.capacity);
+  out += buf;
+
+  // Per-ring wall time per phase: pair begin/end in timeline order (the
+  // dump is already ordered, and pairs never interleave within one ring).
+  const std::size_t rings = d.ring_names.size();
+  std::vector<std::array<double, observe::kFlightPhases>> phase_ms(rings);
+  std::vector<std::array<std::uint64_t, observe::kFlightPhases>> open_ns(rings);
+  std::vector<std::uint64_t> faults(rings, 0), retries(rings, 0), rebalances(rings, 0);
+  std::vector<std::uint64_t> counts(rings, 0);
+  for (auto& a : phase_ms) a.fill(0.0);
+  for (auto& a : open_ns) a.fill(UINT64_MAX);
+  for (const observe::FlightEvent& e : d.events) {
+    if (e.ring >= rings) continue;
+    ++counts[e.ring];
+    const auto p = static_cast<std::size_t>(e.phase);
+    switch (e.type) {
+      case FlightEventType::kPhaseBegin: open_ns[e.ring][p] = e.wall_ns; break;
+      case FlightEventType::kPhaseEnd:
+        if (open_ns[e.ring][p] != UINT64_MAX && e.wall_ns >= open_ns[e.ring][p]) {
+          phase_ms[e.ring][p] += static_cast<double>(e.wall_ns - open_ns[e.ring][p]) / 1e6;
+        }
+        open_ns[e.ring][p] = UINT64_MAX;
+        break;
+      case FlightEventType::kFault: ++faults[e.ring]; break;
+      case FlightEventType::kRetry: ++retries[e.ring]; break;
+      case FlightEventType::kRebalance: ++rebalances[e.ring]; break;
+      default: break;
+    }
+  }
+  out += "-- phase timeline (wall ms; [barrier] = stall waiting on the team) --\n";
+  std::snprintf(buf, sizeof(buf), "  %-8s %10s %10s %10s %12s %10s %10s %6s %6s %6s %6s\n", "ring",
+                "fetch", "decode", "operate", "[barrier]", "merge", "commit", "fault", "retry",
+                "rebal", "evts");
+  out += buf;
+  for (std::size_t r = 0; r < rings; ++r) {
+    const auto& ms = phase_ms[r];
+    char barrier[16];
+    std::snprintf(barrier, sizeof(barrier), "[%.3f]",
+                  ms[static_cast<std::size_t>(FlightPhase::kBarrier)]);
+    std::snprintf(buf, sizeof(buf),
+                  "  %-8s %10.3f %10.3f %10.3f %12s %10.3f %10.3f %6" PRIu64 " %6" PRIu64
+                  " %6" PRIu64 " %6" PRIu64 "\n",
+                  d.ring_name(static_cast<std::uint32_t>(r)).c_str(),
+                  ms[static_cast<std::size_t>(FlightPhase::kFetch)],
+                  ms[static_cast<std::size_t>(FlightPhase::kDecode)],
+                  ms[static_cast<std::size_t>(FlightPhase::kOperate)], barrier,
+                  ms[static_cast<std::size_t>(FlightPhase::kMerge)],
+                  ms[static_cast<std::size_t>(FlightPhase::kCommit)], faults[r], retries[r],
+                  rebalances[r], counts[r]);
+    out += buf;
+  }
+
+  if (tail > 0 && !d.events.empty()) {
+    const std::size_t n = std::min(tail, d.events.size());
+    std::snprintf(buf, sizeof(buf), "-- last %zu events --\n", n);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  %12s %-8s %-12s %-8s %10s  %s\n", "wall_us", "ring", "type",
+                  "phase", "arg", "label");
+    out += buf;
+    for (std::size_t i = d.events.size() - n; i < d.events.size(); ++i) {
+      const observe::FlightEvent& e = d.events[i];
+      std::snprintf(buf, sizeof(buf), "  %12.3f %-8s %-12s %-8s %10" PRIu64 "  %s\n",
+                    static_cast<double>(e.wall_ns) / 1e3, d.ring_name(e.ring).c_str(),
+                    observe::flight_event_type_name(e.type), observe::flight_phase_name(e.phase),
+                    e.arg, d.label_text(e.label).c_str());
+      out += buf;
+    }
+  }
+  return out;
 }
 
 }  // namespace oda::apps

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "observe/flight.hpp"
 #include "observe/lag.hpp"
 #include "observe/slo.hpp"
 #include "pipeline/query.hpp"
@@ -79,5 +80,18 @@ class OdaMonitor {
   observe::SloBook slos_;
   common::TimePoint last_tick_ = 0;
 };
+
+/// Parse a dump written by observe::flight_to_json back into a
+/// FlightDump. Line-based: the exporter emits one event object per line
+/// with a fixed key order, so this is a scanner, not a general JSON
+/// parser. Event label strings are re-interned into the dump's label
+/// table. Throws std::runtime_error on input that is not a flight dump.
+observe::FlightDump parse_flight_json(const std::string& text);
+
+/// The `--flight` console view: one aligned row per ring (wall ms per
+/// phase, with the barrier stall column bracketed so it jumps out),
+/// fault/retry/rebalance counts, then the newest `tail` events of the
+/// merged timeline.
+std::string render_flight(const observe::FlightDump& d, std::size_t tail = 12);
 
 }  // namespace oda::apps

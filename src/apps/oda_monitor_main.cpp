@@ -10,7 +10,9 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "apps/oda_monitor.hpp"
 #include "core/framework.hpp"
@@ -40,16 +42,51 @@ options:
                          retained series whose name starts with <prefix>
   --chrome-trace <file>  write the run's spans as Chrome trace-event JSON
                          (load in chrome://tracing or Perfetto)
+  --flight <dump.json>   standalone viewer: render a flight dump written
+                         by --flight-dump (or Engine::dump_flight) as a
+                         per-worker phase timeline; with --json, re-emit
+                         the parsed dump as normalized JSON
+  --flight-dump <file>   run the demo with a chaos fault injected into
+                         the engine mirror, then write the engine's
+                         flight recorder as JSON to <file>
 
 exit status: 0 healthy/degraded, 1 breached, 2 bad usage.
 )";
 
+// Merged p-th quantile of every stream.e2e_latency series in the
+// process registry (one label set per query; summing per-bucket counts
+// merges them into one distribution).
+double e2e_quantile(double q) {
+  std::vector<std::pair<double, std::uint64_t>> merged;
+  std::uint64_t total = 0;
+  for (const auto& m : oda::observe::default_registry().snapshot()) {
+    if (m.name != "stream.e2e_latency" || m.kind != oda::observe::MetricKind::kHistogram) continue;
+    if (merged.empty()) {
+      merged = m.buckets;
+    } else {
+      for (std::size_t i = 0; i < merged.size() && i < m.buckets.size(); ++i) {
+        merged[i].second += m.buckets[i].second;
+      }
+    }
+    total += m.count;
+  }
+  if (total == 0) return 0.0;
+  return oda::observe::quantile_from_buckets(merged, total, q);
+}
+
 void print_frame(const oda::apps::OdaMonitor& monitor, const oda::core::OdaFramework& fw,
-                 const oda::observe::HistoryStore& history, int frame) {
+                 const oda::observe::HistoryStore& history, int frame,
+                 const std::vector<double>& e2e_p50, const std::vector<double>& e2e_p99) {
   std::printf("-- watch frame %d  t=%s  overall=%s --\n", frame,
               oda::common::format_duration(fw.now()).c_str(),
               oda::observe::slo_state_name(monitor.overall()));
   std::fputs(oda::observe::history_overview(history).c_str(), stdout);
+  if (!e2e_p50.empty()) {
+    std::printf("  %-28s %12.6f %s\n", "stream.e2e_latency.p50", e2e_p50.back(),
+                oda::observe::sparkline(e2e_p50).c_str());
+    std::printf("  %-28s %12.6f %s\n", "stream.e2e_latency.p99", e2e_p99.back(),
+                oda::observe::sparkline(e2e_p99).c_str());
+  }
   std::printf("\n");
 }
 
@@ -64,6 +101,8 @@ int main(int argc, char** argv) {
   std::string history_prefix;
   bool history_mode = false;
   std::string chrome_path;
+  std::string flight_path;
+  std::string flight_dump_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       std::cout << kUsage;
@@ -83,10 +122,37 @@ int main(int argc, char** argv) {
       history_prefix = argv[++i];
     } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
       chrome_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight") == 0 && i + 1 < argc) {
+      flight_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
+      flight_dump_path = argv[++i];
     } else {
       std::cerr << kUsage;
       return 2;
     }
+  }
+
+  // Standalone flight viewer: no demo run, just parse and render the
+  // dump (the post-mortem half of the flight-recorder loop).
+  if (!flight_path.empty()) {
+    std::ifstream f(flight_path, std::ios::binary);
+    if (!f) {
+      std::cerr << "oda_monitor: cannot read " << flight_path << "\n";
+      return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    try {
+      const oda::observe::FlightDump dump = oda::apps::parse_flight_json(text);
+      if (json) {
+        std::cout << oda::observe::flight_to_json(dump);
+      } else {
+        std::cout << oda::apps::render_flight(dump);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    return 0;
   }
 
   oda::observe::Tracer tracer;
@@ -106,12 +172,16 @@ int main(int argc, char** argv) {
   // the reserved _oda.alerts topic.
   fw.scraper()->watch_slos(monitor.slos());
 
+  std::vector<double> e2e_p50;
+  std::vector<double> e2e_p99;
   if (watch) {
     for (int frame = 1; frame <= watch_frames; ++frame) {
       fw.advance(30 * oda::common::kSecond);
       monitor.tick(fw.now());
       fw.flush_self_telemetry();
-      print_frame(monitor, fw, *fw.history(), frame);
+      e2e_p50.push_back(e2e_quantile(0.5));
+      e2e_p99.push_back(e2e_quantile(0.99));
+      print_frame(monitor, fw, *fw.history(), frame, e2e_p50, e2e_p99);
     }
   } else {
     fw.advance(2 * oda::common::kMinute);
@@ -127,6 +197,12 @@ int main(int argc, char** argv) {
       oda::engine::SourceSpec{&fw.broker(), topics.power, "monitor.engine",
                               oda::telemetry::packets_to_bronze});
   mirror.add_sink(std::make_unique<oda::pipeline::TableSink>());
+  // A flight dump of a clean run is a boring flight dump: when one was
+  // asked for, fail the first generation so the timeline shows the fault
+  // instant, the rollback, and the byte-identical replay.
+  if (!flight_dump_path.empty()) {
+    mirror.set_fault_plan(oda::pipeline::FaultPlan{.fail_on_batch = 0});
+  }
   engine.run_until_caught_up();
   monitor.watch_query(mirror);
   monitor.watch_engine(engine);
@@ -135,6 +211,20 @@ int main(int argc, char** argv) {
   // Final flush picks up the engine counters and any SLO transitions the
   // last tick produced.
   fw.flush_self_telemetry();
+
+  if (!flight_dump_path.empty()) {
+    const std::string dump_json = oda::observe::flight_to_json(engine.dump_flight());
+    std::ofstream f(flight_dump_path, std::ios::binary);
+    if (!f) {
+      std::cerr << "oda_monitor: cannot write " << flight_dump_path << "\n";
+      return 2;
+    }
+    f << dump_json;
+    f.close();
+    std::printf("wrote flight dump (%zu bytes) to %s\n", dump_json.size(),
+                flight_dump_path.c_str());
+    if (!history_mode && !one_line && !json && chrome_path.empty()) return 0;
+  }
 
   if (!chrome_path.empty()) {
     const std::string trace = oda::observe::spans_to_chrome_json(tracer.store().snapshot());

@@ -29,12 +29,14 @@ void EngineConfig::validate() const {
 // Query: construction and stage registration
 // ---------------------------------------------------------------------------
 
-Query::Query(pipeline::QueryConfig config, const SourceSpec& spec, std::size_t workers)
+Query::Query(pipeline::QueryConfig config, const SourceSpec& spec, std::size_t workers,
+             observe::FlightRecorder* flight)
     : config_(std::move(config)),
       broker_(spec.broker),
       topic_(spec.topic),
       decoder_(spec.decoder),
-      retrier_(spec.retry, /*seed=*/0xe2619eull) {
+      retrier_(spec.retry, /*seed=*/0xe2619eull),
+      flight_(flight) {
   config_.validate();
   if (!broker_) throw std::invalid_argument("SourceSpec: broker must be set");
   if (!decoder_) throw std::invalid_argument("SourceSpec: decoder must be set");
@@ -54,6 +56,25 @@ Query::Query(pipeline::QueryConfig config, const SourceSpec& spec, std::size_t w
   obs_batch_seconds_ = reg.histogram("pipeline.batch.seconds", labels);
   obs_watermark_ = reg.gauge("pipeline.watermark", labels);
   obs_worker_rows_ = reg.sharded_counter("engine.worker.rows", labels);
+  obs_e2e_ = reg.histogram("stream.e2e_latency", labels);
+  using observe::FlightPhase;
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kFetch)] =
+      reg.gauge("engine.phase.fetch_pct", labels);
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kDecode)] =
+      reg.gauge("engine.phase.decode_pct", labels);
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kOperate)] =
+      reg.gauge("engine.phase.operate_pct", labels);
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kBarrier)] =
+      reg.gauge("engine.phase.barrier_pct", labels);
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kMerge)] =
+      reg.gauge("engine.phase.merge_pct", labels);
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kCommit)] =
+      reg.gauge("engine.phase.commit_pct", labels);
+  if (flight_ != nullptr) {
+    label_query_ = flight_->intern(config_.name);
+    label_generation_ = flight_->intern("generation");
+    label_dead_letter_ = flight_->intern("dead-letter");
+  }
   batch_span_name_ = "query." + config_.name + ".batch";
 
   const std::size_t team = std::clamp<std::size_t>(workers, 1, num_partitions);
@@ -123,10 +144,18 @@ Query& Query::add_sink_ref(pipeline::Sink& sink) {
 // ---------------------------------------------------------------------------
 
 void Query::worker_loop(std::size_t w) {
+  using observe::FlightEventType;
+  using observe::FlightPhase;
   Worker& wk = *workers_[w];
   std::uint64_t seen = 0;
   for (;;) {
     Phase p;
+    // The wait below is the worker's stall: barrier skew while teammates
+    // finish a phase, plus idle time between generations. The flight
+    // recorder brackets it as a kBarrier phase so the timeline shows
+    // where a generation's wall time actually went.
+    flight_emit(flight_ring(w), FlightEventType::kPhaseBegin, FlightPhase::kBarrier);
+    Stopwatch idle_sw;
     {
       std::unique_lock lk(phase_mu_);
       phase_cv_.wait(lk, [&] { return phase_seq_ != seen || wk.die.load(std::memory_order_relaxed); });
@@ -134,7 +163,10 @@ void Query::worker_loop(std::size_t w) {
       seen = phase_seq_;
       p = phase_;
     }
+    const double waited = idle_sw.elapsed_seconds();
+    flight_emit(flight_ring(w), FlightEventType::kPhaseEnd, FlightPhase::kBarrier);
     if (p == Phase::kExit) return;
+    wk.phase_wall[static_cast<std::size_t>(FlightPhase::kBarrier)] += waited;
     run_phase_on(w, p);
     {
       std::lock_guard lk(phase_mu_);
@@ -144,6 +176,8 @@ void Query::worker_loop(std::size_t w) {
 }
 
 void Query::run_phase(Phase p) {
+  using observe::FlightEventType;
+  using observe::FlightPhase;
   {
     std::lock_guard lk(phase_mu_);
     phase_ = p;
@@ -152,13 +186,40 @@ void Query::run_phase(Phase p) {
     phase_cv_.notify_all();
   }
   run_phase_on(0, p);
-  std::unique_lock lk(phase_mu_);
-  done_cv_.wait(lk, [&] { return remaining_ == 0; });
+  // Driver-side barrier: wait for the straggling workers to drain. With
+  // a team of one (live_threads_ == 0) the predicate is already true and
+  // the bracket collapses to ~0.
+  flight_emit(0, FlightEventType::kPhaseBegin, FlightPhase::kBarrier);
+  Stopwatch wait_sw;
+  {
+    std::unique_lock lk(phase_mu_);
+    done_cv_.wait(lk, [&] { return remaining_ == 0; });
+  }
+  driver_wall_[static_cast<std::size_t>(FlightPhase::kBarrier)] += wait_sw.elapsed_seconds();
+  flight_emit(0, FlightEventType::kPhaseEnd, FlightPhase::kBarrier);
 }
 
+namespace {
+
+observe::FlightPhase to_flight_phase(std::uint8_t p) {
+  switch (p) {
+    case 1: return observe::FlightPhase::kFetch;    // Phase::kFetch
+    case 2: return observe::FlightPhase::kDecode;   // Phase::kDecode
+    case 3: return observe::FlightPhase::kOperate;  // Phase::kOperate
+    default: return observe::FlightPhase::kNone;
+  }
+}
+
+}  // namespace
+
 void Query::run_phase_on(std::size_t w, Phase p) {
+  using observe::FlightEventType;
   Worker& wk = *workers_[w];
   if (!wk.alive) return;
+  const observe::FlightPhase fp = to_flight_phase(static_cast<std::uint8_t>(p));
+  wk.last_phase_rows = 0;
+  flight_emit(flight_ring(w), FlightEventType::kPhaseBegin, fp);
+  Stopwatch sw;
   try {
     switch (p) {
       case Phase::kFetch: fetch_lanes(w); break;
@@ -166,11 +227,21 @@ void Query::run_phase_on(std::size_t w, Phase p) {
       case Phase::kOperate: operate_lanes(w); break;
       default: break;
     }
-  } catch (...) {
+  } catch (const std::exception& e) {
     // Held, not thrown: the barrier must drain (every worker quiescent)
-    // before the driver's retry path reseeks the members.
+    // before the driver's retry path reseeks the members. The fault
+    // instant still lands on this worker's timeline (interning is a
+    // mutex, but faults are the cold path by definition).
+    if (flight_ != nullptr) {
+      flight_->emit(flight_ring(w), FlightEventType::kFault, fp, 0, flight_->intern(e.what()));
+    }
+    wk.error = std::current_exception();
+  } catch (...) {
+    flight_emit(flight_ring(w), FlightEventType::kFault, fp);
     wk.error = std::current_exception();
   }
+  wk.phase_wall[static_cast<std::size_t>(fp)] += sw.elapsed_seconds();
+  flight_emit(flight_ring(w), FlightEventType::kPhaseEnd, fp, wk.last_phase_rows);
 }
 
 void Query::check_worker_errors() {
@@ -207,8 +278,18 @@ void Query::fetch_lanes(std::size_t w) {
   }
   wk.handoffs.fetch_add(batches.size(), std::memory_order_relaxed);
   wk.rows_fetched.fetch_add(rows, std::memory_order_relaxed);
+  wk.last_phase_rows = rows;
   obs_worker_rows_->inc(w, rows);
-  wk.obs_owned->set(static_cast<double>(wk.member->assigned_partitions().size()));
+  const std::size_t owned = wk.member->assigned_partitions().size();
+  // Ownership change observed through the broker's generation cell: the
+  // flight timeline marks the rebalance on the worker that absorbed (or
+  // lost) partitions.
+  if (wk.last_owned != SIZE_MAX && wk.last_owned != owned) {
+    flight_emit(flight_ring(w), observe::FlightEventType::kRebalance, observe::FlightPhase::kFetch,
+                owned);
+  }
+  wk.last_owned = owned;
+  wk.obs_owned->set(static_cast<double>(owned));
   wk.obs_handoff->set(static_cast<double>(batches.size()));
 }
 
@@ -219,14 +300,20 @@ void Query::decode_lanes(std::size_t w) {
     if (lane.pulled == 0) continue;
     lane.table = decoder_(lane.views.records());
     lane.views.clear();
-    // Lane-local event-time maximum; the driver max-reduces these into
-    // the query watermark before any lane operates, so windowing sees
-    // the same watermark a single-threaded run would.
+    wk.last_phase_rows += lane.table.num_rows();
+    // Lane-local event-time extrema; the driver max-reduces the maxima
+    // into the query watermark before any lane operates (so windowing
+    // sees the same watermark a single-threaded run would), and
+    // min-reduces the minima into the oldest-record end-to-end latency
+    // observed at commit.
     const std::size_t tc = lane.table.schema().index_of(config_.time_column);
     if (tc != sql::Schema::npos) {
       const auto& col = lane.table.column(tc);
       for (std::size_t r = 0; r < lane.table.num_rows(); ++r) {
-        if (!col.is_null(r)) lane.max_ts = std::max(lane.max_ts, col.int_at(r));
+        if (col.is_null(r)) continue;
+        const common::TimePoint t = col.int_at(r);
+        lane.max_ts = std::max(lane.max_ts, t);
+        lane.min_ts = std::min(lane.min_ts, t);
       }
     }
   }
@@ -251,6 +338,7 @@ void Query::operate_lanes(std::size_t w) {
       lane.stage_rows_out[i] += b.table.num_rows();
     }
     lane.table = std::move(b.table);
+    wk.last_phase_rows += lane.table.num_rows();
   }
 }
 
@@ -264,6 +352,7 @@ std::size_t Query::fetch_generation() {
     lane.table = sql::Table{};
     lane.pulled = 0;
     lane.max_ts = INT64_MIN;
+    lane.min_ts = INT64_MAX;
     std::fill(lane.stage_wall.begin(), lane.stage_wall.end(), 0.0);
     std::fill(lane.stage_rows_in.begin(), lane.stage_rows_in.end(), 0);
     std::fill(lane.stage_rows_out.begin(), lane.stage_rows_out.end(), 0);
@@ -324,6 +413,8 @@ sql::Table Query::merge_lanes() {
 }
 
 std::size_t Query::run_once() {
+  using observe::FlightEventType;
+  using observe::FlightPhase;
   Stopwatch batch_sw;
   observe::Span batch_span(batch_span_name_);
   for (pipeline::Sink* s : sinks_) s->begin_batch();
@@ -332,13 +423,20 @@ std::size_t Query::run_once() {
   bool pull_ok = false;
   bool ops_began = false;
   watermark_snapshot_ = watermark_;
+  flight_emit(0, FlightEventType::kMark, FlightPhase::kNone, metrics_.batches, label_generation_);
   try {
     batch_ctx_ = observe::current_context();
     // Fetch phase, retried whole under the "engine.pull" seam: a faulted
     // fetch may have advanced some members partway, so every retry first
     // restores all members to the group's committed offsets.
+    std::uint64_t pull_attempt = 0;
     pulled = retrier_.run(
-        "engine.pull", [&] { return fetch_generation(); }, [&] { seek_all_members(); });
+        "engine.pull", [&] { return fetch_generation(); },
+        [&] {
+          flight_emit(0, FlightEventType::kRetry, FlightPhase::kFetch, ++pull_attempt,
+                      label_query_);
+          seek_all_members();
+        });
     pull_ok = true;
     if (pulled == 0) {
       for (pipeline::Sink* s : sinks_) s->commit_batch();
@@ -381,6 +479,8 @@ std::size_t Query::run_once() {
     // Merge the lanes' stage accounting (one RunningStats sample per
     // generation, summed across lanes — comparable to the single-chain
     // numbers StreamingQuery reports).
+    flight_emit(0, FlightEventType::kPhaseBegin, FlightPhase::kMerge);
+    Stopwatch merge_sw;
     for (std::size_t i = 0; i < metrics_.stages.size(); ++i) {
       double wall = 0.0;
       std::uint64_t in_rows = 0;
@@ -396,21 +496,35 @@ std::size_t Query::run_once() {
       sm.rows_out += out_rows;
     }
 
+    // The oldest event timestamp across lanes: the end-to-end latency
+    // sample this generation contributes at commit. Virtual time only —
+    // deterministic and worker-count invariant (min over lanes is a
+    // global reduction, like the watermark).
+    common::TimePoint batch_min_ts = INT64_MAX;
+    for (const Lane& lane : lanes_) batch_min_ts = std::min(batch_min_ts, lane.min_ts);
+
     sql::Table out = merge_lanes();
+    const std::uint64_t out_rows = out.num_rows();
     if (out.num_rows() > 0) {
       for (pipeline::Sink* s : sinks_) {
         observe::Span sink_span("sink.write");
         s->write(out);
       }
     }
+    driver_wall_[static_cast<std::size_t>(FlightPhase::kMerge)] += merge_sw.elapsed_seconds();
+    flight_emit(0, FlightEventType::kPhaseEnd, FlightPhase::kMerge, out_rows);
 
     // Commit order: sinks first (infallible in-memory bookkeeping), then
     // lane operator state, then the members' offsets. Nothing after the
     // sink writes can throw, so a generation fully lands or fully rolls
     // back.
+    flight_emit(0, FlightEventType::kPhaseBegin, FlightPhase::kCommit);
+    Stopwatch commit_sw;
     for (pipeline::Sink* s : sinks_) s->commit_batch();
     commit_all_lanes();
     commit_all_members();
+    driver_wall_[static_cast<std::size_t>(FlightPhase::kCommit)] += commit_sw.elapsed_seconds();
+    flight_emit(0, FlightEventType::kPhaseEnd, FlightPhase::kCommit, pulled);
     metrics_.rows_ingested += pulled;
     ++metrics_.batches;
     consecutive_failures_ = 0;
@@ -419,11 +533,26 @@ std::size_t Query::run_once() {
     obs_rows_->inc(pulled);
     obs_batch_seconds_->add(batch_sw.elapsed_seconds());
     obs_watermark_->set(static_cast<double>(watermark_));
+    if (batch_min_ts != INT64_MAX) {
+      // Records are stamped with facility time at (staged-)produce; the
+      // gap to the commit instant is the oldest record's e2e latency.
+      obs_e2e_->add(std::max(0.0, static_cast<double>(observe::virtual_now() - batch_min_ts) /
+                                      static_cast<double>(common::kSecond)));
+    }
+    publish_phase_gauges();
     return pulled;
   } catch (const std::exception& e) {
     ++metrics_.failures;
     metrics_.last_error = e.what();
     obs_failures_->inc();
+    // The fault instant lands on the driver ring, and the black box is
+    // flagged for export: a chaos-injected generation failure is exactly
+    // the "seconds before the crash" a flight recorder exists for.
+    if (flight_ != nullptr) {
+      flight_->emit(0, FlightEventType::kFault, FlightPhase::kNone, consecutive_failures_,
+                    flight_->intern(e.what()));
+      flight_->request_dump(std::string("query.error:") + config_.name);
+    }
     if (ops_began) rollback_all_lanes();
     watermark_ = watermark_snapshot_;
     for (pipeline::Sink* s : sinks_) s->rollback_batch();
@@ -444,6 +573,8 @@ std::size_t Query::run_once() {
       ++metrics_.batches_skipped;
       obs_skipped_->inc();
       consecutive_failures_ = 0;
+      flight_emit(0, FlightEventType::kMark, FlightPhase::kNone, metrics_.batches_skipped,
+                  label_dead_letter_);
     } else {
       seek_all_members();  // replay on the next run_once()
     }
@@ -520,6 +651,37 @@ void Query::kill_worker(std::size_t w) {
   wk.member->leave();
   wk.obs_owned->set(0.0);
   wk.obs_handoff->set(0.0);
+  // The departure instant on the driver ring (survivors mark the absorb
+  // side from fetch_lanes when their owned count jumps).
+  flight_emit(0, observe::FlightEventType::kRebalance, observe::FlightPhase::kNone, w,
+              label_query_);
+}
+
+PhaseProfile Query::phase_profile() const {
+  using observe::FlightPhase;
+  PhaseProfile p;
+  for (const auto& wk : workers_) {
+    p.fetch_s += wk->phase_wall[static_cast<std::size_t>(FlightPhase::kFetch)];
+    p.decode_s += wk->phase_wall[static_cast<std::size_t>(FlightPhase::kDecode)];
+    p.operate_s += wk->phase_wall[static_cast<std::size_t>(FlightPhase::kOperate)];
+    p.barrier_s += wk->phase_wall[static_cast<std::size_t>(FlightPhase::kBarrier)];
+  }
+  p.barrier_s += driver_wall_[static_cast<std::size_t>(FlightPhase::kBarrier)];
+  p.merge_s = driver_wall_[static_cast<std::size_t>(FlightPhase::kMerge)];
+  p.commit_s = driver_wall_[static_cast<std::size_t>(FlightPhase::kCommit)];
+  return p;
+}
+
+void Query::publish_phase_gauges() {
+  using observe::FlightPhase;
+  const PhaseProfile p = phase_profile();
+  if (p.accounted_s() <= 0.0) return;
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kFetch)]->set(p.pct(p.fetch_s));
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kDecode)]->set(p.pct(p.decode_s));
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kOperate)]->set(p.pct(p.operate_s));
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kBarrier)]->set(p.pct(p.barrier_s));
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kMerge)]->set(p.pct(p.merge_s));
+  obs_phase_pct_[static_cast<std::size_t>(FlightPhase::kCommit)]->set(p.pct(p.commit_s));
 }
 
 std::vector<WorkerStats> Query::worker_stats() const {
@@ -555,9 +717,18 @@ Engine::Engine(EngineConfig config) : config_(config) {
   obs_rows_ = reg.counter("engine.rows");
   obs_workers_->set(static_cast<double>(workers_));
   obs_queries_->set(0.0);
+  if (config_.flight_capacity > 0) {
+    // One ring per worker slot plus the driver's. Installing globally
+    // lets out-of-band observers (SLO transitions) raise the dump latch
+    // without a dependency edge back into the engine.
+    flight_ = std::make_unique<observe::FlightRecorder>(1 + workers_, config_.flight_capacity);
+    observe::install_flight_recorder(flight_.get());
+  }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (flight_) observe::uninstall_flight_recorder(flight_.get());
+}
 
 Query& Engine::add_query(pipeline::QueryConfig config, SourceSpec spec) {
   if (!spec.broker) throw std::invalid_argument("SourceSpec: broker must be set");
@@ -568,7 +739,7 @@ Query& Engine::add_query(pipeline::QueryConfig config, SourceSpec spec) {
                                 " partitions but the ownership config declares " +
                                 std::to_string(config_.ownership.partitions));
   }
-  queries_.push_back(std::make_unique<Query>(std::move(config), spec, workers_));
+  queries_.push_back(std::make_unique<Query>(std::move(config), spec, workers_, flight_.get()));
   obs_queries_->set(static_cast<double>(queries_.size()));
   return *queries_.back();
 }
@@ -624,6 +795,19 @@ std::uint64_t Engine::run_until_caught_up(std::size_t max_rounds) {
 EngineStats Engine::stats() const {
   std::lock_guard lk(stats_mu_);
   return stats_;
+}
+
+bool Engine::flight_dump_requested() const {
+  return flight_ != nullptr && flight_->dump_requested();
+}
+
+observe::FlightDump Engine::dump_flight(std::string trigger) {
+  if (!flight_) return observe::FlightDump{};
+  std::vector<std::string> ring_names;
+  ring_names.reserve(1 + workers_);
+  ring_names.push_back("driver");
+  for (std::size_t w = 0; w < workers_; ++w) ring_names.push_back("w" + std::to_string(w));
+  return flight_->dump(std::move(trigger), ring_names);
 }
 
 std::vector<std::pair<std::string, WorkerStats>> Engine::worker_info() const {

@@ -34,6 +34,7 @@
 // back every lane and replays identically from committed offsets).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -45,6 +46,7 @@
 #include <vector>
 
 #include "common/faults.hpp"
+#include "observe/flight.hpp"
 #include "observe/metrics.hpp"
 #include "observe/trace.hpp"
 #include "pipeline/operator.hpp"
@@ -81,6 +83,11 @@ struct EngineConfig {
   /// starving downstream queries in a chain).
   std::size_t max_batches_per_round = 64;
   OwnershipConfig ownership;
+  /// Per-ring capacity of the flight recorder (events). The engine keeps
+  /// one ring per worker plus a driver ring; 0 disables recording.
+  /// Recording is out-of-band: committed sink bytes are byte-identical
+  /// with any capacity, including 0 (tests/flight_test.cpp proves it).
+  std::size_t flight_capacity = 4096;
 
   // Fluent construction:
   //   EngineConfig{}.with_workers(4).with_ownership(
@@ -95,6 +102,10 @@ struct EngineConfig {
   }
   EngineConfig& with_ownership(OwnershipConfig o) {
     ownership = o;
+    return *this;
+  }
+  EngineConfig& with_flight(std::size_t capacity_per_ring) {
+    flight_capacity = capacity_per_ring;
     return *this;
   }
 
@@ -131,6 +142,29 @@ struct SourceSpec {
 /// and rebalances never move operator state between lanes.
 using OperatorFactory = std::function<pipeline::OperatorPtr()>;
 
+/// Cumulative wall-seconds per engine phase, aggregated across a query's
+/// workers (fetch/decode/operate/barrier) and its driver (barrier wait
+/// for stragglers, merge, commit). This is the phase attribution behind
+/// the `engine.phase.*_pct` gauges and BENCH_micro_engine.json's
+/// time-share columns: it says WHERE the scaling-efficiency numbers go.
+struct PhaseProfile {
+  double fetch_s = 0.0;
+  double decode_s = 0.0;
+  double operate_s = 0.0;
+  double barrier_s = 0.0;  ///< stall: waiting at generation barriers
+  double merge_s = 0.0;    ///< driver: deterministic merge + sink writes
+  double commit_s = 0.0;   ///< driver: sinks → lanes → offsets commit
+
+  double accounted_s() const {
+    return fetch_s + decode_s + operate_s + barrier_s + merge_s + commit_s;
+  }
+  /// Share of accounted time, in percent (0 when nothing is accounted).
+  double pct(double phase_s) const {
+    const double total = accounted_s();
+    return total > 0.0 ? phase_s / total * 100.0 : 0.0;
+  }
+};
+
 /// Per-worker snapshot for monitoring (owned partitions, handoff depth).
 struct WorkerStats {
   std::size_t worker = 0;
@@ -155,7 +189,8 @@ struct WorkerStats {
 /// kill_worker() and stats accessors are driver-thread calls too.
 class Query {
  public:
-  Query(pipeline::QueryConfig config, const SourceSpec& spec, std::size_t workers);
+  Query(pipeline::QueryConfig config, const SourceSpec& spec, std::size_t workers,
+        observe::FlightRecorder* flight = nullptr);
   ~Query();
 
   Query(const Query&) = delete;
@@ -204,6 +239,10 @@ class Query {
 
   std::vector<WorkerStats> worker_stats() const;
 
+  /// Cumulative per-phase wall time across the team. Driver-thread call
+  /// between generations (same contract as worker_stats()).
+  PhaseProfile phase_profile() const;
+
  private:
   enum class Phase : std::uint8_t { kIdle = 0, kFetch, kDecode, kOperate, kExit };
 
@@ -216,6 +255,7 @@ class Query {
     sql::Table table;            ///< decode/operate-phase handoff
     std::size_t pulled = 0;
     common::TimePoint max_ts = INT64_MIN;
+    common::TimePoint min_ts = INT64_MAX;  ///< oldest event ts (e2e latency)
     /// Ops began this generation — commit/rollback are strictly paired
     /// with begin (an unpaired rollback would restore a stale snapshot).
     bool began = false;
@@ -235,6 +275,12 @@ class Query {
     std::atomic<std::uint64_t> handoffs{0};
     observe::Gauge* obs_owned = nullptr;
     observe::Gauge* obs_handoff = nullptr;
+    // Flight-profiler accounting, worker-owned: written only during a
+    // phase (or, for kBarrier, right after waking), read by the driver
+    // between barriers — the phase_mu_ handshake is the fence.
+    std::array<double, observe::kFlightPhases> phase_wall{};
+    std::uint64_t last_phase_rows = 0;     ///< rows handled in the last phase
+    std::size_t last_owned = SIZE_MAX;     ///< owned-partition count last fetch
   };
 
   // --- generation protocol (driver side) --------------------------------
@@ -257,6 +303,18 @@ class Query {
   void fetch_lanes(std::size_t w);
   void decode_lanes(std::size_t w);
   void operate_lanes(std::size_t w);
+
+  // --- flight recorder / phase profiler ----------------------------------
+  /// Worker w's ring (ring 0 is the driver's). Teams share the engine's
+  /// recorder; queries run one generation at a time, so ring 1+w is only
+  /// ever written by the thread currently running worker w.
+  std::size_t flight_ring(std::size_t w) const { return 1 + w; }
+  void flight_emit(std::size_t ring, observe::FlightEventType type,
+                   observe::FlightPhase phase = observe::FlightPhase::kNone,
+                   std::uint64_t arg = 0, std::uint32_t label = 0) {
+    if (flight_ != nullptr) flight_->emit(ring, type, phase, arg, label);
+  }
+  void publish_phase_gauges();
 
   pipeline::QueryConfig config_;
   stream::Broker* broker_ = nullptr;
@@ -290,12 +348,27 @@ class Query {
   pipeline::FaultPlan faults_;
   std::size_t consecutive_failures_ = 0;
 
+  // Flight recorder (nullable = recording off) + driver-side phase
+  // accounting (barrier wait for stragglers, merge, commit).
+  observe::FlightRecorder* flight_ = nullptr;
+  std::array<double, observe::kFlightPhases> driver_wall_{};
+  std::uint32_t label_query_ = 0;       ///< interned query name
+  std::uint32_t label_generation_ = 0;  ///< interned "generation"
+  std::uint32_t label_dead_letter_ = 0; ///< interned "dead-letter"
+
   observe::Counter* obs_batches_ = nullptr;
   observe::Counter* obs_failures_ = nullptr;
   observe::Counter* obs_skipped_ = nullptr;
   observe::Counter* obs_rows_ = nullptr;
   observe::Histogram* obs_batch_seconds_ = nullptr;
   observe::Gauge* obs_watermark_ = nullptr;
+  /// End-to-end record latency: produce-time event stamp → sink commit,
+  /// in *virtual* seconds (deterministic, worker-count invariant). One
+  /// sample per committed generation: the oldest record's latency.
+  observe::Histogram* obs_e2e_ = nullptr;
+  /// Cumulative per-phase time share (engine.phase.*_pct{query=...}),
+  /// republished after every committed generation.
+  std::array<observe::Gauge*, observe::kFlightPhases> obs_phase_pct_{};
   /// Per-worker fetched-row accounting on the hot path: each worker bumps
   /// its own cache-line slot; scrapes merge (observe::ShardedCounter).
   observe::ShardedCounter* obs_worker_rows_ = nullptr;
@@ -342,9 +415,29 @@ class Engine {
   /// monitor's watch_engine view. Driver-thread call.
   std::vector<std::pair<std::string, WorkerStats>> worker_info() const;
 
+  /// The engine's flight recorder (nullptr when flight_capacity == 0).
+  /// Ring 0 is the driver; ring 1+w is worker w of whichever query's
+  /// team is currently running a generation (queries run sequentially).
+  observe::FlightRecorder* flight() { return flight_.get(); }
+  const observe::FlightRecorder* flight() const { return flight_.get(); }
+
+  /// True when something raised the dump latch (chaos fault surfaced as
+  /// a query error, SLO breach via the installed-recorder hook, ...).
+  bool flight_dump_requested() const;
+
+  /// Snapshot every ring into one ordered timeline. `trigger` defaults
+  /// to a pending dump-request reason (or "explicit"). Driver-thread
+  /// call between generations; returns an empty dump when recording is
+  /// off. Export with observe::flight_to_json / flight_to_chrome_json.
+  observe::FlightDump dump_flight(std::string trigger = {});
+
  private:
   EngineConfig config_;
   std::size_t workers_ = 1;
+  // Declared before queries_ on purpose: queries join their worker
+  // threads in ~Query, and those threads emit flight events until the
+  // very last barrier wake — the recorder must outlive them.
+  std::unique_ptr<observe::FlightRecorder> flight_;
   std::vector<std::unique_ptr<Query>> queries_;
 
   mutable std::mutex stats_mu_;

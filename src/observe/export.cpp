@@ -288,6 +288,100 @@ std::string spans_to_chrome_json(const std::vector<SpanRecord>& spans) {
   return out;
 }
 
+std::string flight_to_json(const FlightDump& d) {
+  std::string out = "{\"flight\":{\"trigger\":\"" + json_escape(d.trigger) + "\"";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), ",\"vt\":%" PRId64 ",\"capacity\":%zu,\"emitted\":%" PRIu64
+                ",\"dropped\":%" PRIu64,
+                d.vt, d.capacity, d.emitted, d.dropped);
+  out += buf;
+  out += ",\"rings\":[";
+  for (std::size_t i = 0; i < d.ring_names.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + json_escape(d.ring_names[i]) + '"';
+  }
+  out += "],\"events\":[";
+  for (std::size_t i = 0; i < d.events.size(); ++i) {
+    const FlightEvent& e = d.events[i];
+    if (i != 0) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"ring\":%u,\"seq\":%" PRIu64 ",\"type\":\"%s\",\"phase\":\"%s\",\"vt\":%" PRId64
+                  ",\"wall_us\":%.3f,\"arg\":%" PRIu64 ",\"label\":\"",
+                  e.ring, e.seq, flight_event_type_name(e.type), flight_phase_name(e.phase), e.vt,
+                  static_cast<double>(e.wall_ns) / 1e3, e.arg);
+    out += buf;
+    out += json_escape(d.label_text(e.label));
+    out += "\"}";
+  }
+  out += "\n]}}\n";
+  return out;
+}
+
+std::string flight_to_chrome_json(const FlightDump& d) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  // One named tid row per ring, spans_to_chrome_json-style (pid 1).
+  for (std::size_t r = 0; r < d.ring_names.size(); ++r) {
+    sep();
+    out += "\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1";
+    std::snprintf(buf, sizeof(buf), ",\"tid\":%zu,\"args\":{\"name\":\"", r);
+    out += buf;
+    out += json_escape(d.ring_names[r]);
+    out += "\"}}";
+  }
+  // Last open begin per (ring, phase); events arrive timeline-ordered,
+  // so per-ring begin/end pairs match in order.
+  std::unordered_map<std::uint64_t, const FlightEvent*> open;
+  auto key_of = [](const FlightEvent& e) {
+    return (static_cast<std::uint64_t>(e.ring) << 8) | static_cast<std::uint64_t>(e.phase);
+  };
+  for (const FlightEvent& e : d.events) {
+    const double ts_us = static_cast<double>(e.wall_ns) / 1e3;
+    switch (e.type) {
+      case FlightEventType::kPhaseBegin: open[key_of(e)] = &e; break;
+      case FlightEventType::kPhaseEnd: {
+        auto it = open.find(key_of(e));
+        const double begin_us = it != open.end() && it->second != nullptr
+                                    ? static_cast<double>(it->second->wall_ns) / 1e3
+                                    : ts_us;
+        const common::TimePoint begin_vt =
+            it != open.end() && it->second != nullptr ? it->second->vt : e.vt;
+        if (it != open.end()) it->second = nullptr;
+        sep();
+        out += "\n  {\"name\":\"" + json_escape(flight_phase_name(e.phase)) +
+               "\",\"cat\":\"flight\",\"ph\":\"X\"";
+        std::snprintf(buf, sizeof(buf),
+                      ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"vt\":%" PRId64
+                      ",\"rows\":%" PRIu64 "}}",
+                      begin_us, std::max(0.0, ts_us - begin_us), e.ring, begin_vt, e.arg);
+        out += buf;
+        break;
+      }
+      default: {
+        // Faults, retries, rebalances, SLO transitions, marks: thread-
+        // scoped instant events so they pin the exact moment on the row.
+        std::string name = d.label_text(e.label);
+        if (name.empty()) name = flight_event_type_name(e.type);
+        sep();
+        out += "\n  {\"name\":\"" + json_escape(name) + "\",\"cat\":\"flight\",\"ph\":\"i\",\"s\":\"t\"";
+        std::snprintf(buf, sizeof(buf),
+                      ",\"ts\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"type\":\"%s\",\"vt\":%" PRId64
+                      ",\"arg\":%" PRIu64 "}}",
+                      ts_us, e.ring, flight_event_type_name(e.type), e.vt, e.arg);
+        out += buf;
+        break;
+      }
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 std::string sparkline(const std::vector<double>& values, std::size_t width) {
   static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
                                   "▅", "▆", "▇", "█"};

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "observe/flight.hpp"
 #include "observe/history.hpp"
 #include "observe/metrics.hpp"
 #include "observe/slo.hpp"
@@ -44,6 +45,21 @@ std::string spans_to_json(const std::vector<SpanRecord>& spans);
 /// on its own track. Remaining tags (and the wall-clock duration) are
 /// carried in `args`.
 std::string spans_to_chrome_json(const std::vector<SpanRecord>& spans);
+
+/// Flight dump as JSON: a `{"flight":{...,"events":[...]}}` document
+/// with one event object per line (fixed key order — the oda_monitor
+/// `--flight` renderer parses it line-by-line). Label ids are resolved
+/// to strings; wall time is exported in fractional microseconds.
+std::string flight_to_json(const FlightDump& d);
+
+/// Flight dump as Chrome trace-event JSON, reusing spans_to_chrome_json
+/// conventions: pid 1, one `tid` row per ring/worker (named via
+/// `thread_name` metadata events), one `ph:"X"` complete event per
+/// begin/end phase pair with `ts`/`dur` in wall microseconds, and
+/// `ph:"i"` thread-scoped instant events for faults, retries,
+/// rebalances, SLO transitions and marks. Virtual time and row counts
+/// ride in `args`.
+std::string flight_to_chrome_json(const FlightDump& d);
 
 /// SLO table: `state name value/crit unit (transitions)`.
 std::string slos_to_text(const SloBook& book);

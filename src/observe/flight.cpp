@@ -1,0 +1,238 @@
+#include "observe/flight.hpp"
+
+#include <algorithm>
+
+namespace oda::observe {
+
+namespace detail {
+std::atomic<FlightRecorder*> g_flight{nullptr};
+}
+
+const char* flight_event_type_name(FlightEventType t) {
+  switch (t) {
+    case FlightEventType::kPhaseBegin: return "phase_begin";
+    case FlightEventType::kPhaseEnd: return "phase_end";
+    case FlightEventType::kFault: return "fault";
+    case FlightEventType::kRetry: return "retry";
+    case FlightEventType::kRebalance: return "rebalance";
+    case FlightEventType::kSlo: return "slo";
+    case FlightEventType::kMark: return "mark";
+  }
+  return "?";
+}
+
+const char* flight_phase_name(FlightPhase p) {
+  switch (p) {
+    case FlightPhase::kNone: return "";
+    case FlightPhase::kFetch: return "fetch";
+    case FlightPhase::kDecode: return "decode";
+    case FlightPhase::kOperate: return "operate";
+    case FlightPhase::kBarrier: return "barrier";
+    case FlightPhase::kMerge: return "merge";
+    case FlightPhase::kCommit: return "commit";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// FlightRing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t pack_meta(FlightEventType type, FlightPhase phase, std::uint32_t label) {
+  return static_cast<std::uint64_t>(type) | (static_cast<std::uint64_t>(phase) << 8) |
+         (static_cast<std::uint64_t>(label) << 32);
+}
+
+}  // namespace
+
+FlightRing::FlightRing(std::size_t capacity)
+    : slots_(round_up_pow2(std::max<std::size_t>(capacity, 2))) {
+  mask_ = slots_.size() - 1;
+}
+
+void FlightRing::emit(FlightEventType type, FlightPhase phase, std::uint32_t label,
+                      std::uint64_t arg, common::TimePoint vt, std::uint64_t wall_ns) {
+  const std::uint64_t ticket = tickets_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& s = slots_[(ticket - 1) & mask_];
+  // Odd state marks the slot in-progress so a concurrent snapshot skips
+  // it; the even publish store releases the payload words.
+  s.state.store(ticket * 2 + 1, std::memory_order_relaxed);
+  s.vt.store(static_cast<std::uint64_t>(vt), std::memory_order_relaxed);
+  s.wall_ns.store(wall_ns, std::memory_order_relaxed);
+  s.meta.store(pack_meta(type, phase, label), std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.state.store(ticket * 2, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    const std::uint64_t st = s.state.load(std::memory_order_acquire);
+    if (st == 0 || (st & 1) != 0) continue;  // empty or mid-write
+    FlightEvent e;
+    e.vt = static_cast<common::TimePoint>(s.vt.load(std::memory_order_relaxed));
+    e.wall_ns = s.wall_ns.load(std::memory_order_relaxed);
+    const std::uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    e.arg = s.arg.load(std::memory_order_relaxed);
+    // Re-check after the payload reads: a writer lapping this slot
+    // mid-read leaves the words inconsistent — drop the slot.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.state.load(std::memory_order_relaxed) != st) continue;
+    e.seq = st / 2;
+    e.type = static_cast<FlightEventType>(meta & 0xff);
+    e.phase = static_cast<FlightPhase>((meta >> 8) & 0xff);
+    e.label = static_cast<std::uint32_t>(meta >> 32);
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::uint64_t FlightRing::dropped() const {
+  const std::uint64_t total = emitted();
+  return total > slots_.size() ? total - slots_.size() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// FlightDump
+// ---------------------------------------------------------------------------
+
+namespace {
+const std::string kEmpty;
+}
+
+const std::string& FlightDump::ring_name(std::uint32_t r) const {
+  return r < ring_names.size() ? ring_names[r] : kEmpty;
+}
+
+const std::string& FlightDump::label_text(std::uint32_t id) const {
+  return id < labels.size() ? labels[id] : kEmpty;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+FlightRecorder::FlightRecorder(std::size_t rings, std::size_t capacity_per_ring)
+    : epoch_(std::chrono::steady_clock::now()) {
+  rings_.reserve(std::max<std::size_t>(rings, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(rings, 1); ++i) {
+    rings_.push_back(std::make_unique<FlightRing>(capacity_per_ring));
+  }
+  labels_.emplace_back();  // id 0 = no label
+}
+
+void FlightRecorder::emit(std::size_t ring, FlightEventType type, FlightPhase phase,
+                          std::uint64_t arg, std::uint32_t label) {
+  const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           epoch_)
+          .count());
+  rings_[ring % rings_.size()]->emit(type, phase, label, arg, virtual_now(), wall_ns);
+}
+
+std::uint32_t FlightRecorder::intern(std::string_view label) {
+  std::lock_guard lk(intern_mu_);
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return static_cast<std::uint32_t>(i);
+  }
+  labels_.emplace_back(label);
+  return static_cast<std::uint32_t>(labels_.size() - 1);
+}
+
+std::string FlightRecorder::label_text(std::uint32_t id) const {
+  std::lock_guard lk(intern_mu_);
+  return id < labels_.size() ? labels_[id] : std::string{};
+}
+
+std::uint64_t FlightRecorder::emitted() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r->emitted();
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r->dropped();
+  return total;
+}
+
+void FlightRecorder::request_dump(std::string_view reason) {
+  {
+    std::lock_guard lk(reason_mu_);
+    if (reason_.empty()) reason_ = std::string(reason);
+  }
+  dump_requested_.store(true, std::memory_order_release);
+}
+
+std::string FlightRecorder::take_dump_reason() {
+  dump_requested_.store(false, std::memory_order_release);
+  std::lock_guard lk(reason_mu_);
+  std::string out = std::move(reason_);
+  reason_.clear();
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    auto events = rings_[r]->snapshot();
+    for (FlightEvent& e : events) e.ring = static_cast<std::uint32_t>(r);
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  // The single ordered timeline: wall clock first (it is monotonic and
+  // shared across threads), ring then per-ring ticket break ties.
+  std::sort(out.begin(), out.end(), [](const FlightEvent& a, const FlightEvent& b) {
+    if (a.wall_ns != b.wall_ns) return a.wall_ns < b.wall_ns;
+    if (a.ring != b.ring) return a.ring < b.ring;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+FlightDump FlightRecorder::dump(std::string trigger, std::vector<std::string> ring_names) {
+  FlightDump d;
+  const std::string pending = take_dump_reason();
+  d.trigger = !trigger.empty() ? std::move(trigger) : (!pending.empty() ? pending : "explicit");
+  d.vt = virtual_now();
+  d.capacity = ring_capacity();
+  d.emitted = emitted();
+  d.dropped = dropped();
+  if (ring_names.size() == rings_.size()) {
+    d.ring_names = std::move(ring_names);
+  } else {
+    for (std::size_t i = 0; i < rings_.size(); ++i) d.ring_names.push_back("ring" + std::to_string(i));
+  }
+  {
+    std::lock_guard lk(intern_mu_);
+    d.labels = labels_;
+  }
+  d.events = snapshot();
+  return d;
+}
+
+void uninstall_flight_recorder(FlightRecorder* r) {
+  FlightRecorder* expected = r;
+  detail::g_flight.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel);
+}
+
+void flight_note_slo(const std::string& name, std::uint8_t from, std::uint8_t to) {
+  FlightRecorder* fr = installed_flight_recorder();
+  if (fr == nullptr) return;
+  const std::uint64_t arg = (static_cast<std::uint64_t>(from) << 8) | to;
+  fr->emit(0, FlightEventType::kSlo, FlightPhase::kNone, arg, fr->intern(name));
+  if (to == 2) fr->request_dump("slo.breach:" + name);  // SloState::kBreached
+}
+
+}  // namespace oda::observe

@@ -1,0 +1,219 @@
+// Flight recorder — the black box the sharded engine carries so a run
+// can explain every stall, every fault, every microsecond after the
+// fact. Per-worker, fixed-capacity ring buffers of compact binary
+// events: phase begin/end (fetch/decode/operate/barrier/merge/commit),
+// row counts, retries, faults, rebalances, SLO transitions. Writers are
+// lock-free (one ticket fetch_add plus a handful of relaxed atomic
+// stores, publish with release); readers snapshot concurrently without
+// stopping the writers and simply skip slots caught mid-write.
+//
+// Recording is strictly out-of-band of the data path: events observe
+// the generation protocol, they never participate in it. Committed sink
+// bytes are byte-identical with the recorder on or off at any worker
+// count — the golden-run invariant extends over this file (see
+// DESIGN.md §13 and tests/flight_test.cpp).
+//
+// Ring lifetime rules:
+//   - Ring count and per-ring capacity are fixed at construction; slots
+//     are overwritten oldest-first once a ring laps (newest events win,
+//     dropped() counts the evictions).
+//   - One ring per engine worker plus one driver ring. Rings are
+//     single-writer by construction in the engine (a lane's worker, or
+//     the driver between barriers); concurrent writers to one ring stay
+//     memory-safe (every slot word is an atomic), a contended slot is
+//     at worst skipped by the snapshot as in-progress.
+//   - Snapshots may run at any time from any thread; they order events
+//     by (wall_ns, ring, seq) into the single timeline a dump exports.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "observe/metrics.hpp"
+
+namespace oda::observe {
+
+enum class FlightEventType : std::uint8_t {
+  kPhaseBegin = 0,  ///< phase entered (arg unused)
+  kPhaseEnd = 1,    ///< phase left (arg = rows handled, when meaningful)
+  kFault = 2,       ///< exception surfaced (label = message)
+  kRetry = 3,       ///< retry seam re-attempt (arg = attempt number)
+  kRebalance = 4,   ///< partition ownership changed (arg = owned count)
+  kSlo = 5,         ///< SLO transition (label = name, arg = from<<8|to)
+  kMark = 6,        ///< free-form marker (label = what, arg = detail)
+};
+const char* flight_event_type_name(FlightEventType t);
+
+enum class FlightPhase : std::uint8_t {
+  kNone = 0,
+  kFetch = 1,
+  kDecode = 2,
+  kOperate = 3,
+  kBarrier = 4,  ///< waiting at the generation barrier (stall time)
+  kMerge = 5,    ///< driver: deterministic merge + sink writes
+  kCommit = 6,   ///< driver: sinks → lanes → offsets commit
+};
+const char* flight_phase_name(FlightPhase p);
+/// Number of distinct FlightPhase values (array sizing).
+inline constexpr std::size_t kFlightPhases = 7;
+
+/// One decoded event, as snapshots and dumps carry it.
+struct FlightEvent {
+  std::uint64_t seq = 0;   ///< per-ring ticket, 1-based (ring-local order)
+  std::uint32_t ring = 0;  ///< which ring emitted it (0 = driver)
+  FlightEventType type = FlightEventType::kMark;
+  FlightPhase phase = FlightPhase::kNone;
+  std::uint32_t label = 0;  ///< interned label id (0 = none)
+  std::uint64_t arg = 0;
+  common::TimePoint vt = 0;   ///< virtual facility time at emit
+  std::uint64_t wall_ns = 0;  ///< wall clock, ns since recorder creation
+};
+
+/// One fixed-capacity event ring. Writers pay one relaxed fetch_add and
+/// five atomic stores; a slot is published with a release store of its
+/// even sequence word, so a concurrent snapshot either sees the whole
+/// event or skips the slot.
+class FlightRing {
+ public:
+  explicit FlightRing(std::size_t capacity);
+
+  FlightRing(const FlightRing&) = delete;
+  FlightRing& operator=(const FlightRing&) = delete;
+
+  void emit(FlightEventType type, FlightPhase phase, std::uint32_t label, std::uint64_t arg,
+            common::TimePoint vt, std::uint64_t wall_ns);
+
+  /// Published events, oldest retained first (ordered by ticket). Safe
+  /// to call concurrently with emit(); in-progress slots are skipped.
+  std::vector<FlightEvent> snapshot() const;
+
+  std::uint64_t emitted() const { return tickets_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  // Slot encoding: state == 0 empty, odd = write in progress, even =
+  // published ticket*2. Payload words are individually atomic so a
+  // concurrent reader never tears a value (and TSan stays quiet).
+  struct Slot {
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<std::uint64_t> vt{0};
+    std::atomic<std::uint64_t> wall_ns{0};
+    std::atomic<std::uint64_t> meta{0};  ///< type | phase<<8 | label<<32
+    std::atomic<std::uint64_t> arg{0};
+  };
+
+  std::vector<Slot> slots_;  ///< power-of-two size
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> tickets_{0};
+};
+
+/// A multi-ring dump: the single ordered timeline plus everything needed
+/// to render it standalone (ring names, resolved label table, trigger).
+struct FlightDump {
+  std::string trigger;       ///< what caused the dump ("explicit", "slo.breach:...", ...)
+  common::TimePoint vt = 0;  ///< virtual time the dump was taken
+  std::size_t capacity = 0;  ///< per-ring slot count
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+  std::vector<std::string> ring_names;  ///< index = FlightEvent::ring
+  std::vector<std::string> labels;      ///< index = FlightEvent::label; [0] = ""
+  std::vector<FlightEvent> events;      ///< ordered by (wall_ns, ring, seq)
+
+  const std::string& ring_name(std::uint32_t r) const;
+  const std::string& label_text(std::uint32_t id) const;
+};
+
+/// The recorder: N rings plus a small interned label table and a
+/// dump-request latch (chaos fault fired, SLO breached, query errored —
+/// anything may raise it; the owner exports when convenient).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t rings, std::size_t capacity_per_ring = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  std::size_t num_rings() const { return rings_.size(); }
+  std::size_t ring_capacity() const { return rings_.empty() ? 0 : rings_.front()->capacity(); }
+
+  /// Stamp and store one event (virtual time from observe::virtual_now,
+  /// wall ns since recorder creation). Hot path: no locks.
+  void emit(std::size_t ring, FlightEventType type, FlightPhase phase = FlightPhase::kNone,
+            std::uint64_t arg = 0, std::uint32_t label = 0);
+
+  /// Intern a label string (mutex; cold path — call once per distinct
+  /// label and cache the id). Returns a stable id >= 1.
+  std::uint32_t intern(std::string_view label);
+  std::string label_text(std::uint32_t id) const;
+
+  std::uint64_t emitted() const;
+  std::uint64_t dropped() const;
+
+  /// Raise the dump latch (idempotent). First reason sticks until taken.
+  void request_dump(std::string_view reason);
+  bool dump_requested() const { return dump_requested_.load(std::memory_order_acquire); }
+  /// Lower the latch and return its reason ("" when it was never raised).
+  std::string take_dump_reason();
+
+  /// All rings merged into one ordered timeline (wall_ns, ring, seq).
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Snapshot + metadata. `trigger` falls back to a pending dump-request
+  /// reason when empty; ring_names default to "ring<i>".
+  FlightDump dump(std::string trigger = {}, std::vector<std::string> ring_names = {});
+
+ private:
+  std::vector<std::unique_ptr<FlightRing>> rings_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex intern_mu_;
+  std::vector<std::string> labels_;  ///< [0] = ""
+
+  std::atomic<bool> dump_requested_{false};
+  std::mutex reason_mu_;
+  std::string reason_;
+};
+
+namespace detail {
+extern std::atomic<FlightRecorder*> g_flight;
+}
+
+/// Process-wide recorder hook (mirrors install_tracer): lets layers that
+/// cannot see the owner — SLO evaluation, chaos observers — drop events
+/// into ring 0. Recording is off unless one is installed.
+inline void install_flight_recorder(FlightRecorder* r) {
+  detail::g_flight.store(r, std::memory_order_release);
+}
+inline FlightRecorder* installed_flight_recorder() {
+  return detail::g_flight.load(std::memory_order_acquire);
+}
+/// Uninstall only if `r` is still the installed recorder (owner dtors).
+void uninstall_flight_recorder(FlightRecorder* r);
+
+/// RAII installation for tests and apps.
+class ScopedFlightRecorder {
+ public:
+  explicit ScopedFlightRecorder(FlightRecorder& r) : r_(&r) { install_flight_recorder(r_); }
+  ~ScopedFlightRecorder() { uninstall_flight_recorder(r_); }
+  ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+  ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+
+ private:
+  FlightRecorder* r_;
+};
+
+/// SLO-transition hook (called by Slo::transition_to): records a kSlo
+/// event on the installed recorder's ring 0, and raises the dump latch
+/// when the transition lands in Breached (SloState 2). No-op when no
+/// recorder is installed.
+void flight_note_slo(const std::string& name, std::uint8_t from, std::uint8_t to);
+
+}  // namespace oda::observe

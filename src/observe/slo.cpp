@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "observe/flight.hpp"
+
 namespace oda::observe {
 
 const char* slo_state_name(SloState s) {
@@ -46,6 +48,9 @@ SloState Slo::update(double value, common::TimePoint now) {
 
 void Slo::transition_to(SloState next, double value, common::TimePoint now) {
   transitions_.push_back({now, state_, next, value});
+  // The flight recorder (when one is installed) keeps SLO transitions on
+  // its timeline; a transition into Breached raises its dump latch.
+  flight_note_slo(spec_.name, static_cast<std::uint8_t>(state_), static_cast<std::uint8_t>(next));
   state_ = next;
 }
 

@@ -144,6 +144,11 @@ class StreamingQuery {
   observe::Counter* obs_rows_ = nullptr;
   observe::Histogram* obs_batch_seconds_ = nullptr;
   observe::Gauge* obs_watermark_ = nullptr;
+  /// End-to-end record latency: produce-time event stamp → sink commit,
+  /// in *virtual* seconds. One sample per committed batch (the oldest
+  /// record's latency) — same series the sharded engine reports.
+  observe::Histogram* obs_e2e_ = nullptr;
+  common::TimePoint batch_min_ts_ = INT64_MAX;  ///< oldest event ts this batch
   std::string batch_span_name_;
   common::TimePoint watermark_ = INT64_MIN;
   common::TimePoint watermark_snapshot_ = INT64_MIN;
