@@ -408,4 +408,92 @@ std::string render_flight(const observe::FlightDump& d, std::size_t tail) {
   return out;
 }
 
+std::string render_serve(const serve::LakeServer& server, const core::AllocationManager& quotas) {
+  const serve::ServeStats s = server.stats();
+  const std::uint64_t lookups = s.cache.hits + s.cache.misses;
+  const double hit_rate =
+      lookups ? 100.0 * static_cast<double>(s.cache.hits) / static_cast<double>(lookups) : 0.0;
+  char buf[256];
+  std::string out = "-- LAKE serving report --\n";
+  std::snprintf(buf, sizeof(buf),
+                "scheduler  depth %zu/%zu  admitted %" PRIu64 "  completed %" PRIu64
+                "  shed %" PRIu64 "\n",
+                s.queue_depth, server.config().max_queue, s.admitted, s.completed, s.shed);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "           queue_rejected %" PRIu64 "  quota_rejected %" PRIu64
+                "  shed_slo %s\n",
+                s.queue_rejected, s.quota_rejected, observe::slo_state_name(s.shed_state));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "cache      hits %" PRIu64 "  misses %" PRIu64 "  hit_rate %.1f%%  stale %" PRIu64
+                "  evictions %" PRIu64 "\n",
+                s.cache.hits, s.cache.misses, hit_rate, s.cache.stale_drops, s.cache.evictions);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "           entries %zu  bytes %zu\n", s.cache.entries,
+                s.cache.bytes);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "plans      rollup_served %" PRIu64 "\n", s.rollup_served);
+  out += buf;
+  out += "projects\n";
+  for (const auto& project : quotas.projects()) {
+    const auto u = quotas.usage(project);
+    const auto it = s.projects.find(project);
+    const serve::ProjectServeStats ps = it == s.projects.end() ? serve::ProjectServeStats{}
+                                                               : it->second;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-10s admitted %-6" PRIu64 " quota_rejected %-6" PRIu64
+                  " slots %.1f/%.1f\n",
+                  project.c_str(), ps.admitted, ps.quota_rejected, u->used.service_slots,
+                  u->granted.service_slots);
+    out += buf;
+  }
+  return out;
+}
+
+std::string serve_report_json(const serve::LakeServer& server,
+                              const core::AllocationManager& quotas) {
+  const serve::ServeStats s = server.stats();
+  std::string out = "{\"scheduler\":{";
+  out += "\"depth\":" + std::to_string(s.queue_depth);
+  out += ",\"max_queue\":" + std::to_string(server.config().max_queue);
+  out += ",\"admitted\":" + std::to_string(s.admitted);
+  out += ",\"completed\":" + std::to_string(s.completed);
+  out += ",\"shed\":" + std::to_string(s.shed);
+  out += ",\"queue_rejected\":" + std::to_string(s.queue_rejected);
+  out += ",\"quota_rejected\":" + std::to_string(s.quota_rejected);
+  out += ",\"shed_slo\":\"";
+  out += observe::slo_state_name(s.shed_state);
+  out += "\"},\"cache\":{";
+  out += "\"hits\":" + std::to_string(s.cache.hits);
+  out += ",\"misses\":" + std::to_string(s.cache.misses);
+  out += ",\"stale_drops\":" + std::to_string(s.cache.stale_drops);
+  out += ",\"evictions\":" + std::to_string(s.cache.evictions);
+  out += ",\"inserts\":" + std::to_string(s.cache.inserts);
+  out += ",\"entries\":" + std::to_string(s.cache.entries);
+  out += ",\"bytes\":" + std::to_string(s.cache.bytes);
+  out += "},\"plans\":{\"rollup_served\":" + std::to_string(s.rollup_served);
+  out += "},\"projects\":[";
+  bool first = true;
+  for (const auto& project : quotas.projects()) {
+    if (!first) out += ',';
+    first = false;
+    const auto u = quotas.usage(project);
+    const auto it = s.projects.find(project);
+    const serve::ProjectServeStats ps = it == s.projects.end() ? serve::ProjectServeStats{}
+                                                               : it->second;
+    char num[64];
+    out += "{\"project\":\"" + observe::json_escape(project) + '"';
+    out += ",\"admitted\":" + std::to_string(ps.admitted);
+    out += ",\"quota_rejected\":" + std::to_string(ps.quota_rejected);
+    std::snprintf(num, sizeof(num), "%.3f", u->used.service_slots);
+    out += ",\"slots_used\":" + std::string(num);
+    std::snprintf(num, sizeof(num), "%.3f", u->granted.service_slots);
+    out += ",\"slots_granted\":" + std::string(num);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace oda::apps

@@ -11,11 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "core/allocations.hpp"
 #include "engine/engine.hpp"
 #include "observe/flight.hpp"
 #include "observe/lag.hpp"
 #include "observe/slo.hpp"
 #include "pipeline/query.hpp"
+#include "serve/server.hpp"
 #include "storage/tiers.hpp"
 #include "stream/broker.hpp"
 
@@ -93,5 +95,13 @@ observe::FlightDump parse_flight_json(const std::string& text);
 /// fault/retry/rebalance counts, then the newest `tail` events of the
 /// merged timeline.
 std::string render_flight(const observe::FlightDump& d, std::size_t tail = 12);
+
+/// The `--serve` console view: scheduler depth and admission outcomes,
+/// result-cache hit/miss/evict/stale counters, plan mix, shed-SLO state,
+/// and per-project quota consumption from the AllocationManager.
+std::string render_serve(const serve::LakeServer& server, const core::AllocationManager& quotas);
+/// Machine-readable flavor (strict JSON; tests/json_check.hpp-clean).
+std::string serve_report_json(const serve::LakeServer& server,
+                              const core::AllocationManager& quotas);
 
 }  // namespace oda::apps

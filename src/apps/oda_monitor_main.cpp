@@ -49,9 +49,92 @@ options:
   --flight-dump <file>   run the demo with a chaos fault injected into
                          the engine mirror, then write the engine's
                          flight recorder as JSON to <file>
+  --serve                LAKE serving demo: a multi-tenant LakeServer
+                         over a synthetic LAKE + rollup rings, driven by
+                         three projects (generous, mixed-priority, and
+                         over-quota), then the serving report: scheduler
+                         depth, per-project quota consumption, cache
+                         hit/miss/evict counters, shed counts; with
+                         --json, the machine-readable flavor
 
 exit status: 0 healthy/degraded, 1 breached, 2 bad usage.
 )";
+
+// The --serve demo: deterministic single-process serving traffic that
+// exercises every admission outcome. Three tenants: "dash" (interactive,
+// hot repeated queries — the cache story), "batch" (half background — the
+// shedding story under a Degraded depth SLO), "greedy" (granted less
+// than one query's cost — the quota story).
+int run_serve_demo(bool json) {
+  oda::storage::TimeSeriesDb db;
+  oda::observe::HistoryStore rollups;
+  for (int n = 0; n < 8; ++n) {
+    const oda::storage::SeriesKey key{"node_power_w", {{"node", "n" + std::to_string(n)}}};
+    const std::string ring = oda::serve::history_series_name(key);
+    for (int i = 0; i < 480; ++i) {  // 2h of 15s cadence
+      const auto t = static_cast<oda::common::TimePoint>(i) * 15 * oda::common::kSecond;
+      const double v = 95.0 + n + (i % 13);
+      db.append(key, t, v);
+      rollups.append(ring, t, v);
+    }
+  }
+
+  oda::core::AllocationManager quotas;
+  quotas.grant("dash", {.node_hours = 0, .storage_gb = 0, .service_slots = 8.0});
+  quotas.grant("batch", {.node_hours = 0, .storage_gb = 0, .service_slots = 4.0});
+  quotas.grant("greedy", {.node_hours = 0, .storage_gb = 0, .service_slots = 0.5});
+
+  oda::observe::set_virtual_now(0);
+  // warn 0.5 < depth 1: every query runs Degraded, so background traffic
+  // sheds deterministically while interactive traffic still serves.
+  oda::serve::LakeServer server(db,
+                                oda::serve::ServeConfig{}
+                                    .with_threads(2)
+                                    .with_max_queue(8)
+                                    .with_shed_depths(0.5, 1e9)
+                                    .with_cache_bytes(1u << 20),
+                                &rollups, &quotas);
+
+  // dash: 10 distinct dashboard panels refreshed 20 times — raw scans
+  // and 1m/10m rollup-plan queries, mostly cache hits after warmup.
+  for (int round = 0; round < 20; ++round) {
+    for (int panel = 0; panel < 10; ++panel) {
+      oda::storage::TsQuery q;
+      q.metric = "node_power_w";
+      if (panel % 2) q.tag_filter = {{"node", "n" + std::to_string(panel % 8)}};
+      q.t0 = 0;
+      q.t1 = 2 * oda::common::kHour;
+      q.step = (panel % 3 == 0) ? oda::common::kMinute
+               : (panel % 3 == 1) ? 10 * oda::common::kMinute
+                                  : 0;
+      server.execute("dash", q);
+    }
+  }
+  // batch: half interactive (served), half background (shed while Degraded).
+  for (int i = 0; i < 50; ++i) {
+    oda::storage::TsQuery q;
+    q.metric = "node_power_w";
+    q.t0 = 0;
+    q.t1 = oda::common::kHour;
+    q.step = oda::common::kMinute;
+    server.execute("batch", q,
+                   (i % 2) ? oda::serve::QueryPriority::kBackground
+                           : oda::serve::QueryPriority::kInteractive);
+  }
+  // greedy: each query costs 1.0 slot against a 0.5-slot grant.
+  for (int i = 0; i < 20; ++i) {
+    oda::storage::TsQuery q;
+    q.metric = "node_power_w";
+    server.execute("greedy", q);
+  }
+
+  if (json) {
+    std::cout << oda::apps::serve_report_json(server, quotas) << "\n";
+  } else {
+    std::cout << oda::apps::render_serve(server, quotas);
+  }
+  return 0;
+}
 
 // Merged p-th quantile of every stream.e2e_latency series in the
 // process registry (one label set per query; summing per-bucket counts
@@ -103,6 +186,7 @@ int main(int argc, char** argv) {
   std::string chrome_path;
   std::string flight_path;
   std::string flight_dump_path;
+  bool serve_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       std::cout << kUsage;
@@ -126,11 +210,17 @@ int main(int argc, char** argv) {
       flight_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
       flight_dump_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_mode = true;
     } else {
       std::cerr << kUsage;
       return 2;
     }
   }
+
+  // Standalone serving demo: no facility simulation, just the LakeServer
+  // front-end over a synthetic LAKE (the read-side mirror of the demo).
+  if (serve_mode) return run_serve_demo(json);
 
   // Standalone flight viewer: no demo run, just parse and render the
   // dump (the post-mortem half of the flight-recorder loop).

@@ -28,10 +28,20 @@ constexpr double to_seconds(Duration d) { return static_cast<double>(d) / static
 constexpr Duration from_seconds(double s) { return static_cast<Duration>(s * static_cast<double>(kSecond)); }
 
 /// Truncate `t` down to a multiple of `bucket` (tumbling-window start).
+/// Saturates at INT64_MIN instead of wrapping: for t near the bottom of
+/// the timeline the floor correction `w - bucket` would overflow (UB), so
+/// the window start clamps to the timeline edge. Queries with
+/// t1 = INT64_MAX and a nonzero step rely on this being well-defined.
 constexpr TimePoint window_start(TimePoint t, Duration bucket) {
   if (bucket <= 0) return t;
   TimePoint w = t / bucket * bucket;
-  if (t < 0 && w > t) w -= bucket;  // floor, not trunc, for negative times
+  if (t < 0 && w > t) {  // floor, not trunc, for negative times
+    if (w >= INT64_MIN + bucket) {
+      w -= bucket;
+    } else {
+      w = INT64_MIN;  // saturate: can't represent the true floor
+    }
+  }
   return w;
 }
 

@@ -1,8 +1,11 @@
 #include "core/allocations.hpp"
 
+#include <algorithm>
+
 namespace oda::core {
 
 void AllocationManager::grant(const std::string& project, const ResourceGrant& add) {
+  std::lock_guard lk(mu_);
   auto& p = projects_[project];
   p.granted.node_hours += add.node_hours;
   p.granted.storage_gb += add.storage_gb;
@@ -10,6 +13,7 @@ void AllocationManager::grant(const std::string& project, const ResourceGrant& a
 }
 
 bool AllocationManager::consume(const std::string& project, const ResourceGrant& amount) {
+  std::lock_guard lk(mu_);
   auto it = projects_.find(project);
   if (it == projects_.end()) return false;
   ProjectUsage& p = it->second;
@@ -22,13 +26,25 @@ bool AllocationManager::consume(const std::string& project, const ResourceGrant&
   return true;
 }
 
+void AllocationManager::release(const std::string& project, const ResourceGrant& amount) {
+  std::lock_guard lk(mu_);
+  auto it = projects_.find(project);
+  if (it == projects_.end()) return;
+  ProjectUsage& p = it->second;
+  p.used.node_hours = std::max(0.0, p.used.node_hours - amount.node_hours);
+  p.used.storage_gb = std::max(0.0, p.used.storage_gb - amount.storage_gb);
+  p.used.service_slots = std::max(0.0, p.used.service_slots - amount.service_slots);
+}
+
 std::optional<ProjectUsage> AllocationManager::usage(const std::string& project) const {
+  std::lock_guard lk(mu_);
   auto it = projects_.find(project);
   if (it == projects_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<std::string> AllocationManager::projects() const {
+  std::lock_guard lk(mu_);
   std::vector<std::string> out;
   out.reserve(projects_.size());
   for (const auto& [name, _] : projects_) out.push_back(name);
@@ -36,6 +52,7 @@ std::vector<std::string> AllocationManager::projects() const {
 }
 
 ResourceGrant AllocationManager::aggregate_utilization() const {
+  std::lock_guard lk(mu_);
   ResourceGrant granted, used;
   for (const auto& [_, p] : projects_) {
     granted.node_hours += p.granted.node_hours;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,10 @@ struct ProjectUsage {
   ResourceGrant used;
 };
 
+/// Thread-safe: the serve layer's QueryScheduler consumes/releases
+/// service slots from concurrent worker threads, so every operation
+/// takes an internal mutex. Grants are doubles; consume/release are
+/// check-then-commit under that lock (no TOCTOU between dimensions).
 class AllocationManager {
  public:
   /// Register or extend a project's grant.
@@ -30,6 +35,11 @@ class AllocationManager {
   /// if any dimension would exceed the grant.
   bool consume(const std::string& project, const ResourceGrant& amount);
 
+  /// Return previously consumed resources (e.g. a finished query's
+  /// service slots). Usage clamps at zero per dimension — releasing more
+  /// than was consumed is a caller bug, not an underflow.
+  void release(const std::string& project, const ResourceGrant& amount);
+
   std::optional<ProjectUsage> usage(const std::string& project) const;
   std::vector<std::string> projects() const;
 
@@ -37,6 +47,7 @@ class AllocationManager {
   ResourceGrant aggregate_utilization() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, ProjectUsage> projects_;
 };
 

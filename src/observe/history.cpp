@@ -1,6 +1,7 @@
 #include "observe/history.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 namespace oda::observe {
@@ -106,7 +107,7 @@ void HistoryStore::roll_into(Ring& ring, common::TimePoint bucket, double value)
 }
 
 void HistoryStore::append(const std::string& series, common::TimePoint t, double value) {
-  std::lock_guard lk(mu_);
+  std::unique_lock lk(mu_);
   Series& s = series_[series];
   ++total_samples_;
   if (s.raw.push(config_.raw_capacity, {t, value, value, value, 1, value})) ++evicted_;
@@ -125,7 +126,7 @@ const HistoryStore::Ring* HistoryStore::ring_for(const Series& s, Resolution res
 
 std::vector<HistoryPoint> HistoryStore::query(const std::string& series, common::TimePoint t0,
                                               common::TimePoint t1, Resolution res) const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   auto it = series_.find(series);
   if (it == series_.end()) return {};
   const Ring* ring = ring_for(it->second, res);
@@ -137,7 +138,7 @@ std::vector<HistoryPoint> HistoryStore::query(const std::string& series, common:
 }
 
 std::vector<double> HistoryStore::recent_values(const std::string& series, std::size_t n) const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   auto it = series_.find(series);
   if (it == series_.end()) return {};
   const auto points = it->second.raw.ordered();
@@ -149,7 +150,7 @@ std::vector<double> HistoryStore::recent_values(const std::string& series, std::
 }
 
 std::optional<HistoryPoint> HistoryStore::latest(const std::string& series) const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   auto it = series_.find(series);
   if (it == series_.end()) return std::nullopt;
   // back() is non-const only because roll_into mutates through it.
@@ -160,7 +161,7 @@ std::optional<HistoryPoint> HistoryStore::latest(const std::string& series) cons
 }
 
 std::vector<std::string> HistoryStore::series_names() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   std::vector<std::string> out;
   out.reserve(series_.size());
   for (const auto& [name, _] : series_) out.push_back(name);
@@ -168,27 +169,27 @@ std::vector<std::string> HistoryStore::series_names() const {
 }
 
 std::size_t HistoryStore::num_series() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   return series_.size();
 }
 
 std::uint64_t HistoryStore::total_samples() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   return total_samples_;
 }
 
 std::uint64_t HistoryStore::evicted_samples() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   return evicted_;
 }
 
 std::uint64_t HistoryStore::late_dropped() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock lk(mu_);
   return late_dropped_;
 }
 
 void HistoryStore::clear() {
-  std::lock_guard lk(mu_);
+  std::unique_lock lk(mu_);
   series_.clear();
   total_samples_ = 0;
   evicted_ = 0;

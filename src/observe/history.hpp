@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -60,9 +60,10 @@ struct HistoryConfig {
   void validate() const;
 };
 
-/// Thread-safe (one mutex — this is the monitor path, not the produce
-/// path). Series appear on first append; eviction is per-series ring
-/// overwrite, oldest first.
+/// Thread-safe: a reader-writer lock — appends (one scraper) take it
+/// exclusive, queries take it shared, so the serving layer's rollup
+/// reads fan out without serializing against each other. Series appear
+/// on first append; eviction is per-series ring overwrite, oldest first.
 class HistoryStore {
  public:
   explicit HistoryStore(HistoryConfig config = {});
@@ -118,7 +119,7 @@ class HistoryStore {
   const Ring* ring_for(const Series& s, Resolution res) const;
 
   HistoryConfig config_;
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;  ///< writers: append/clear; readers: all queries
   std::map<std::string, Series> series_;
   std::uint64_t total_samples_ = 0;
   std::uint64_t evicted_ = 0;

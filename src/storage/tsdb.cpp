@@ -15,43 +15,136 @@ using sql::Schema;
 using sql::Table;
 using sql::Value;
 
+namespace {
+
+// Posting key for one tag pair. 0x1f cannot appear in well-formed tag
+// text, so "k=v" pairs never collide across the separator.
+std::string tag_posting_key(const std::string& k, const std::string& v) {
+  std::string out;
+  out.reserve(k.size() + v.size() + 1);
+  out += k;
+  out += '\x1f';
+  out += v;
+  return out;
+}
+
+void erase_id(std::vector<std::uint32_t>& ids, std::uint32_t id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it != ids.end() && *it == id) ids.erase(it);
+}
+
+}  // namespace
+
 void TimeSeriesDb::append(const SeriesKey& key, TimePoint t, double value) {
   static observe::Counter* appends = observe::default_registry().counter("lake.points.appended");
   appends->inc();
-  std::lock_guard lk(mu_);
-  Series& s = series_[key];
-  if (!s.times.empty() && t < s.times.back()) {
-    // Out-of-order point: insert in place (rare; telemetry is mostly ordered).
-    const auto it = std::upper_bound(s.times.begin(), s.times.end(), t);
-    const auto idx = static_cast<std::size_t>(it - s.times.begin());
-    s.times.insert(it, t);
-    s.values.insert(s.values.begin() + static_cast<std::ptrdiff_t>(idx), value);
+
+  // Fast path: the series exists — find it under the shared catalog lock,
+  // then take only its own writer lock. Appends to distinct series never
+  // contend, and readers of other series are untouched.
+  {
+    std::shared_lock idx(index_mu_);
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      Series& s = *series_[it->second];
+      std::unique_lock lk(s.mu);
+      if (!s.times.empty() && t < s.times.back()) {
+        // Out-of-order point: insert in place (rare; telemetry is mostly ordered).
+        const auto pos = std::upper_bound(s.times.begin(), s.times.end(), t);
+        const auto i = static_cast<std::size_t>(pos - s.times.begin());
+        s.times.insert(pos, t);
+        s.values.insert(s.values.begin() + static_cast<std::ptrdiff_t>(i), value);
+      } else {
+        s.times.push_back(t);
+        s.values.push_back(value);
+      }
+      s.epoch.fetch_add(1, std::memory_order_release);
+      return;
+    }
+  }
+
+  // Slow path: first point of a new series — exclusive catalog lock to
+  // create it and splice its id into the inverted index.
+  std::unique_lock idx(index_mu_);
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Lost the creation race; the series exists now.
+    Series& s = *series_[it->second];
+    std::unique_lock lk(s.mu);
+    const auto pos = std::upper_bound(s.times.begin(), s.times.end(), t);
+    const auto i = static_cast<std::size_t>(pos - s.times.begin());
+    s.times.insert(pos, t);
+    s.values.insert(s.values.begin() + static_cast<std::ptrdiff_t>(i), value);
+    s.epoch.fetch_add(1, std::memory_order_release);
     return;
   }
-  s.times.push_back(t);
-  s.values.push_back(value);
+  const auto id = static_cast<std::uint32_t>(series_.size());
+  auto s = std::make_shared<Series>();
+  s->key = key;
+  s->times.push_back(t);
+  s->values.push_back(value);
+  s->epoch.store(1, std::memory_order_release);
+  series_.push_back(std::move(s));
+  by_key_.emplace(key, id);
+  MetricIndex& mi = metric_index_[key.metric];
+  mi.ids.push_back(id);  // new id is the max so far — stays sorted
+  ++mi.membership_epoch;
+  for (const auto& [k, v] : key.tags) tag_index_[tag_posting_key(k, v)].push_back(id);
 }
 
-bool TimeSeriesDb::matches(const SeriesKey& key, const std::string& metric,
-                           const std::map<std::string, std::string>& tag_filter) const {
-  if (key.metric != metric) return false;
+const TimeSeriesDb::MetricIndex* TimeSeriesDb::metric_index_locked(
+    const std::string& metric) const {
+  const auto it = metric_index_.find(metric);
+  return it == metric_index_.end() ? nullptr : &it->second;
+}
+
+std::vector<TimeSeriesDb::Planned> TimeSeriesDb::plan_locked(
+    const std::string& metric, const std::map<std::string, std::string>& tag_filter) const {
+  const MetricIndex* mi = metric_index_locked(metric);
+  if (mi == nullptr || mi->ids.empty()) return {};
+  // Intersect the metric posting with each tag posting. Tag postings are
+  // exact "k=v" matches, so the intersection IS the subset-match answer.
+  std::vector<std::uint32_t> ids = mi->ids;
+  std::vector<std::uint32_t> next;
   for (const auto& [k, v] : tag_filter) {
-    const auto it = key.tags.find(k);
-    if (it == key.tags.end() || it->second != v) return false;
+    const auto it = tag_index_.find(tag_posting_key(k, v));
+    if (it == tag_index_.end()) return {};
+    next.clear();
+    std::set_intersection(ids.begin(), ids.end(), it->second.begin(), it->second.end(),
+                          std::back_inserter(next));
+    ids.swap(next);
+    if (ids.empty()) return {};
   }
-  return true;
+  std::vector<Planned> out;
+  out.reserve(ids.size());
+  for (const std::uint32_t id : ids) out.push_back({id, series_[id]});
+  std::sort(out.begin(), out.end(),
+            [](const Planned& a, const Planned& b) { return a.series->key < b.series->key; });
+  return out;
 }
 
-Table TimeSeriesDb::query(const TsQuery& q) const {
-  std::lock_guard lk(mu_);
+Table TimeSeriesDb::query(const TsQuery& q, QueryFingerprint* fp) const {
+  // Plan under the shared catalog lock, then release it: the scan below
+  // runs against pinned series objects under their own reader locks, so
+  // appends to unrelated series (and even catalog growth) proceed.
+  std::vector<Planned> matched;
+  std::uint64_t membership = 0;
+  {
+    std::shared_lock idx(index_mu_);
+    matched = plan_locked(q.metric, q.tag_filter);
+    if (const MetricIndex* mi = metric_index_locked(q.metric)) {
+      membership = mi->membership_epoch;
+    }
+  }
+  if (fp != nullptr) {
+    fp->metric_epoch = membership;
+    fp->series.clear();
+    fp->series.reserve(matched.size());
+  }
 
-  // Collect matched series and the union of their tag keys for the schema.
-  std::vector<const std::pair<const SeriesKey, Series>*> matched;
   std::set<std::string> tag_keys;
-  for (const auto& kv : series_) {
-    if (!matches(kv.first, q.metric, q.tag_filter)) continue;
-    matched.push_back(&kv);
-    for (const auto& [k, _] : kv.first.tags) tag_keys.insert(k);
+  for (const auto& p : matched) {
+    for (const auto& [k, _] : p.series->key.tags) tag_keys.insert(k);
   }
 
   Schema schema{{"time", DataType::kInt64}, {"metric", DataType::kString}};
@@ -72,16 +165,28 @@ Table TimeSeriesDb::query(const TsQuery& q) const {
     out.append_row(row);
   };
 
-  for (const auto* kv : matched) {
-    const Series& s = kv->second;
+  for (const auto& p : matched) {
+    const std::shared_ptr<Series>& sp = p.series;
+    const Series& s = *sp;
+    std::shared_lock lk(s.mu);
+    if (fp != nullptr) {
+      // The reader lock excludes writers, so the epoch read here is the
+      // version of exactly the points this scan sees. The id came out of
+      // the plan — re-resolving it through the catalog here would take
+      // index_mu_ inside the series lock, inverting the lock order.
+      fp->series.emplace_back(p.id, s.epoch.load(std::memory_order_acquire));
+    }
+    // Range is inclusive-exclusive: [t0, t1).
     const auto lo = std::lower_bound(s.times.begin(), s.times.end(), q.t0) - s.times.begin();
     const auto hi = std::lower_bound(s.times.begin(), s.times.end(), q.t1) - s.times.begin();
     if (q.step <= 0) {
-      for (auto i = lo; i < hi; ++i) emit(kv->first, s.times[static_cast<std::size_t>(i)],
+      for (auto i = lo; i < hi; ++i) emit(sp->key, s.times[static_cast<std::size_t>(i)],
                                           s.values[static_cast<std::size_t>(i)]);
       continue;
     }
-    // Step-aligned downsampling within the range.
+    // Step-aligned downsampling within the range. Buckets are
+    // epoch-aligned [k*step, (k+1)*step); window_start saturates at the
+    // INT64 timeline edges, so extreme timestamps cannot wrap (UB).
     auto i = lo;
     while (i < hi) {
       const TimePoint bucket = common::window_start(s.times[static_cast<std::size_t>(i)], q.step);
@@ -110,7 +215,7 @@ Table TimeSeriesDb::query(const TsQuery& q) const {
         case AggKind::kLast: r = last; break;
         default: r = sum / static_cast<double>(n); break;  // mean
       }
-      emit(kv->first, bucket, r);
+      emit(sp->key, bucket, r);
     }
   }
   return out;
@@ -118,18 +223,28 @@ Table TimeSeriesDb::query(const TsQuery& q) const {
 
 Table TimeSeriesDb::latest(const std::string& metric,
                            const std::map<std::string, std::string>& tag_filter) const {
-  TsQuery q;
-  q.metric = metric;
-  q.tag_filter = tag_filter;
-  std::lock_guard lk(mu_);
+  std::vector<Planned> matched;
+  {
+    std::shared_lock idx(index_mu_);
+    matched = plan_locked(metric, tag_filter);
+  }
 
+  // Read each series' last point under its reader lock; series emptied by
+  // a racing retention pass simply drop out (as the old scan did).
+  struct Last {
+    const SeriesKey* key;
+    TimePoint t;
+    double v;
+  };
+  std::vector<Last> lasts;
   std::set<std::string> tag_keys;
-  std::vector<const std::pair<const SeriesKey, Series>*> matched;
-  for (const auto& kv : series_) {
-    if (!matches(kv.first, metric, tag_filter)) continue;
-    if (kv.second.times.empty()) continue;
-    matched.push_back(&kv);
-    for (const auto& [k, _] : kv.first.tags) tag_keys.insert(k);
+  lasts.reserve(matched.size());
+  for (const auto& p : matched) {
+    const std::shared_ptr<Series>& sp = p.series;
+    std::shared_lock lk(sp->mu);
+    if (sp->times.empty()) continue;
+    lasts.push_back({&sp->key, sp->times.back(), sp->values.back()});
+    for (const auto& [k, _] : sp->key.tags) tag_keys.insert(k);
   }
 
   Schema schema{{"time", DataType::kInt64}, {"metric", DataType::kString}};
@@ -137,60 +252,119 @@ Table TimeSeriesDb::latest(const std::string& metric,
   schema.add({"value", DataType::kFloat64});
   Table out(schema);
   std::vector<Value> row(schema.size());
-  for (const auto* kv : matched) {
+  for (const Last& l : lasts) {
     std::size_t c = 0;
-    row[c++] = Value(kv->second.times.back());
+    row[c++] = Value(l.t);
     row[c++] = Value(metric);
     for (const auto& k : tag_keys) {
-      const auto it = kv->first.tags.find(k);
-      row[c++] = it == kv->first.tags.end() ? Value::null() : Value(it->second);
+      const auto it = l.key->tags.find(k);
+      row[c++] = it == l.key->tags.end() ? Value::null() : Value(it->second);
     }
-    row[c++] = Value(kv->second.values.back());
+    row[c++] = Value(l.v);
     out.append_row(row);
   }
   return out;
 }
 
+std::vector<SeriesKey> TimeSeriesDb::matched_keys(
+    const std::string& metric, const std::map<std::string, std::string>& tag_filter) const {
+  std::shared_lock idx(index_mu_);
+  std::vector<SeriesKey> out;
+  for (const auto& p : plan_locked(metric, tag_filter)) out.push_back(p.series->key);
+  return out;
+}
+
+QueryFingerprint TimeSeriesDb::fingerprint(
+    const std::string& metric, const std::map<std::string, std::string>& tag_filter) const {
+  std::shared_lock idx(index_mu_);
+  QueryFingerprint fp;
+  if (const MetricIndex* mi = metric_index_locked(metric)) fp.metric_epoch = mi->membership_epoch;
+  for (const auto& p : plan_locked(metric, tag_filter)) {
+    fp.series.emplace_back(p.id, p.series->epoch.load(std::memory_order_acquire));
+  }
+  return fp;
+}
+
+bool TimeSeriesDb::fingerprint_fresh(const std::string& metric,
+                                     const QueryFingerprint& fp) const {
+  std::shared_lock idx(index_mu_);
+  const MetricIndex* mi = metric_index_locked(metric);
+  const std::uint64_t membership = mi == nullptr ? 0 : mi->membership_epoch;
+  if (membership != fp.metric_epoch) return false;
+  for (const auto& [id, epoch] : fp.series) {
+    if (id >= series_.size() || series_[id] == nullptr) return false;
+    if (series_[id]->epoch.load(std::memory_order_acquire) != epoch) return false;
+  }
+  return true;
+}
+
 std::size_t TimeSeriesDb::series_count() const {
-  std::lock_guard lk(mu_);
-  return series_.size();
+  std::shared_lock idx(index_mu_);
+  return by_key_.size();
 }
 
 std::size_t TimeSeriesDb::point_count() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock idx(index_mu_);
   std::size_t n = 0;
-  for (const auto& [_, s] : series_) n += s.times.size();
+  for (const auto& sp : series_) {
+    if (sp == nullptr) continue;
+    std::shared_lock lk(sp->mu);
+    n += sp->times.size();
+  }
   return n;
 }
 
 std::size_t TimeSeriesDb::memory_bytes() const {
-  std::lock_guard lk(mu_);
+  std::shared_lock idx(index_mu_);
   std::size_t b = 0;
-  for (const auto& [k, s] : series_) {
-    b += k.metric.size() + 64;
-    for (const auto& [tk, tv] : k.tags) b += tk.size() + tv.size() + 32;
-    b += s.times.capacity() * sizeof(TimePoint) + s.values.capacity() * sizeof(double);
+  for (const auto& sp : series_) {
+    if (sp == nullptr) continue;
+    std::shared_lock lk(sp->mu);
+    b += sp->key.metric.size() + 64;
+    for (const auto& [tk, tv] : sp->key.tags) b += tk.size() + tv.size() + 32;
+    b += sp->times.capacity() * sizeof(TimePoint) + sp->values.capacity() * sizeof(double);
   }
   return b;
 }
 
 std::size_t TimeSeriesDb::evict_older_than(Duration max_age, TimePoint now) {
-  std::lock_guard lk(mu_);
-  const TimePoint cutoff = now - max_age;
+  // Maintenance path: exclusive catalog lock for the whole pass. In-flight
+  // readers that already planned keep their shared_ptr pins and finish
+  // against whatever trim state each series lock hands them.
+  std::unique_lock idx(index_mu_);
+  // Saturate instead of wrapping when the age window covers the whole
+  // timeline (now - max_age < INT64_MIN is UB on the naive subtraction).
+  const TimePoint cutoff =
+      (max_age >= 0 && now < INT64_MIN + max_age) ? INT64_MIN : now - max_age;
   std::size_t dropped = 0;
-  for (auto it = series_.begin(); it != series_.end();) {
-    Series& s = it->second;
-    const auto keep_from =
-        static_cast<std::size_t>(std::lower_bound(s.times.begin(), s.times.end(), cutoff) - s.times.begin());
-    if (keep_from > 0) {
-      dropped += keep_from;
-      s.times.erase(s.times.begin(), s.times.begin() + static_cast<std::ptrdiff_t>(keep_from));
-      s.values.erase(s.values.begin(), s.values.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  for (std::uint32_t id = 0; id < series_.size(); ++id) {
+    const std::shared_ptr<Series>& sp = series_[id];
+    if (sp == nullptr) continue;
+    bool now_empty = false;
+    {
+      std::unique_lock lk(sp->mu);
+      Series& s = *sp;
+      const auto keep_from = static_cast<std::size_t>(
+          std::lower_bound(s.times.begin(), s.times.end(), cutoff) - s.times.begin());
+      if (keep_from > 0) {
+        dropped += keep_from;
+        s.times.erase(s.times.begin(), s.times.begin() + static_cast<std::ptrdiff_t>(keep_from));
+        s.values.erase(s.values.begin(), s.values.begin() + static_cast<std::ptrdiff_t>(keep_from));
+        s.epoch.fetch_add(1, std::memory_order_release);
+      }
+      now_empty = s.times.empty();
     }
-    if (s.times.empty()) {
-      it = series_.erase(it);
-    } else {
-      ++it;
+    if (now_empty) {
+      const SeriesKey key = sp->key;
+      by_key_.erase(key);
+      MetricIndex& mi = metric_index_[key.metric];
+      erase_id(mi.ids, id);
+      ++mi.membership_epoch;
+      for (const auto& [k, v] : key.tags) {
+        const auto it = tag_index_.find(tag_posting_key(k, v));
+        if (it != tag_index_.end()) erase_id(it->second, id);
+      }
+      series_[id] = nullptr;  // id slot stays; pinned readers keep the object
     }
   }
   return dropped;

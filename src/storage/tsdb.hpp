@@ -2,12 +2,42 @@
 // ElasticSearch role in Sec V-B). An in-memory time-series store with
 // per-series sorted segments, tag filtering, range queries with
 // step-aligned downsampling, and time-based retention.
+//
+// Concurrency (DESIGN.md §14): the store is built for many concurrent
+// dashboard readers racing a scraper's appends. A shared_mutex guards
+// only the series *catalog* (key → id, plus an inverted index:
+// metric → series ids and tag "k=v" → series ids postings, intersected
+// at plan time); each series carries its own shared_mutex, so a query
+// plans under a brief shared catalog lock, then scans each matched
+// series under that series' reader lock while appends to *other* series
+// proceed untouched. Series objects are shared_ptr-owned: retention can
+// prune a series from the catalog while an in-flight reader finishes
+// its scan on the pinned object.
+//
+// Query semantics (regression-locked in storage_tiers_test):
+//   - The time range is inclusive-exclusive: points with t in [t0, t1).
+//   - Downsample buckets are epoch-aligned [k*step, (k+1)*step), NOT
+//     aligned to t0: a query with unaligned t0 can emit a first bucket
+//     stamped before t0, aggregating only the points >= t0. Bucket
+//     arithmetic saturates at the INT64 timeline edges instead of
+//     wrapping (see common::window_start), so t1 = INT64_MAX with a
+//     nonzero step is well-defined.
+//
+// Epochs (the serve-layer cache contract): every append or retention
+// trim bumps the touched series' epoch, and series creation/removal
+// bumps the metric's membership epoch. A QueryFingerprint captured
+// during query() is fresh iff both still match — per-series
+// invalidation-on-append without any global flush.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -24,15 +54,25 @@ struct SeriesKey {
     if (metric != o.metric) return metric < o.metric;
     return tags < o.tags;
   }
+  bool operator==(const SeriesKey& o) const { return metric == o.metric && tags == o.tags; }
 };
 
 struct TsQuery {
   std::string metric;
   std::map<std::string, std::string> tag_filter;  ///< exact-match subset
-  common::TimePoint t0 = 0;
-  common::TimePoint t1 = INT64_MAX;
-  common::Duration step = 0;  ///< 0 = raw points
+  common::TimePoint t0 = 0;                       ///< inclusive
+  common::TimePoint t1 = INT64_MAX;               ///< exclusive
+  common::Duration step = 0;  ///< 0 = raw points; buckets are epoch-aligned
   sql::AggKind agg = sql::AggKind::kMean;
+};
+
+/// Version stamp of a query's matched-series set: the metric's
+/// membership epoch plus each matched series' (id, epoch). Captured by
+/// query(), checked by fingerprint_fresh() — the serve-layer cache's
+/// invalidation-on-append primitive.
+struct QueryFingerprint {
+  std::uint64_t metric_epoch = 0;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> series;  ///< (series id, epoch)
 };
 
 class TimeSeriesDb {
@@ -40,12 +80,28 @@ class TimeSeriesDb {
   void append(const SeriesKey& key, common::TimePoint t, double value);
 
   /// Result schema: (time:int64, metric:string, <tag columns>, value:float64).
-  /// Tag columns are the union of tags across matched series.
-  sql::Table query(const TsQuery& q) const;
+  /// Tag columns are the union of tags across matched series; series are
+  /// emitted in SeriesKey order. When `fp` is non-null it receives the
+  /// matched-series fingerprint as of this scan.
+  sql::Table query(const TsQuery& q, QueryFingerprint* fp = nullptr) const;
 
   /// Latest value per matched series (dashboard "current state" panels).
   sql::Table latest(const std::string& metric,
                     const std::map<std::string, std::string>& tag_filter = {}) const;
+
+  /// Matched series keys in SeriesKey order, without scanning any points
+  /// (plan-only: the serve layer's rollup path uses this to pick history
+  /// ring names).
+  std::vector<SeriesKey> matched_keys(const std::string& metric,
+                                      const std::map<std::string, std::string>& tag_filter) const;
+
+  /// Fingerprint of the current matched-series set, without a scan.
+  QueryFingerprint fingerprint(const std::string& metric,
+                               const std::map<std::string, std::string>& tag_filter) const;
+  /// True iff no append/trim/create/remove has touched the fingerprinted
+  /// set since it was captured. One shared catalog lock + relaxed epoch
+  /// loads — the cache-hit fast path.
+  bool fingerprint_fresh(const std::string& metric, const QueryFingerprint& fp) const;
 
   std::size_t series_count() const;
   std::size_t point_count() const;
@@ -56,14 +112,39 @@ class TimeSeriesDb {
 
  private:
   struct Series {
-    std::vector<common::TimePoint> times;  // non-decreasing (enforced on append)
+    SeriesKey key;
+    mutable std::shared_mutex mu;          ///< guards times/values
+    std::vector<common::TimePoint> times;  ///< non-decreasing (enforced on append)
     std::vector<double> values;
+    std::atomic<std::uint64_t> epoch{0};  ///< bumped on append and trim
   };
-  bool matches(const SeriesKey& key, const std::string& metric,
-               const std::map<std::string, std::string>& tag_filter) const;
+  /// Per-metric slice of the inverted index. Entries persist even when
+  /// their posting empties so membership epochs never restart.
+  struct MetricIndex {
+    std::vector<std::uint32_t> ids;     ///< sorted ascending
+    std::uint64_t membership_epoch = 0; ///< bumped on series create/remove
+  };
 
-  mutable std::mutex mu_;
-  std::map<SeriesKey, Series> series_;
+  /// One planned (pinned) series and the catalog id it was planned
+  /// under. Carrying the id out of the plan keeps the scan free of
+  /// catalog lookups: re-taking index_mu_ while holding a series lock
+  /// would invert the index → series lock order.
+  struct Planned {
+    std::uint32_t id = 0;
+    std::shared_ptr<Series> series;
+  };
+
+  /// Plan: intersect the metric posting with every tag posting; returns
+  /// pinned series sorted by key. Caller must hold index_mu_ (shared).
+  std::vector<Planned> plan_locked(
+      const std::string& metric, const std::map<std::string, std::string>& tag_filter) const;
+  const MetricIndex* metric_index_locked(const std::string& metric) const;
+
+  mutable std::shared_mutex index_mu_;  ///< guards the catalog below
+  std::vector<std::shared_ptr<Series>> series_;  ///< id → series; removed = nullptr
+  std::map<SeriesKey, std::uint32_t> by_key_;
+  std::unordered_map<std::string, MetricIndex> metric_index_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> tag_index_;  ///< "k=v" → ids
 };
 
 }  // namespace oda::storage

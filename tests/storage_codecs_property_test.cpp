@@ -11,7 +11,9 @@
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "common/time.hpp"
 #include "storage/codecs.hpp"
+#include "storage/tsdb.hpp"
 
 namespace oda::storage {
 namespace {
@@ -287,6 +289,80 @@ TEST(CodecsHostileInputTest, HugeDeclaredCountsAreRejectedCheaply) {
   EXPECT_THROW(decode_bools(forged), std::exception);
   EXPECT_THROW(rle_decode(forged), std::exception);
   EXPECT_THROW(lz_decompress(forged), std::exception);
+}
+
+// --- tsdb time-bucket arithmetic (satellite of the serving PR) -------------
+// window_start and TsQuery bucket math must be total over the whole
+// INT64 timeline: saturate, never wrap. Run under -DODA_SANITIZE=undefined
+// for the signed-overflow payoff.
+
+TEST(TsdbBucketPropertyTest, WindowStartFloorsWithoutWrapping) {
+  Rng rng(0x77d1);
+  const std::int64_t interesting_t[] = {
+      INT64_MIN, INT64_MIN + 1, INT64_MIN + 2, -1, 0, 1, INT64_MAX - 1, INT64_MAX};
+  const std::int64_t interesting_b[] = {1, 2, 3, 7, common::kSecond, common::kMinute,
+                                        INT64_MAX / 2, INT64_MAX};
+  auto check = [](std::int64_t t, std::int64_t bucket) {
+    const std::int64_t w = common::window_start(t, bucket);
+    // Floor: never above t.
+    ASSERT_LE(w, t) << "t=" << t << " bucket=" << bucket;
+    // Within one bucket of t (computed in uint64 — t - w can exceed
+    // INT64_MAX when w saturated) unless saturation clipped the floor.
+    const std::uint64_t dist =
+        static_cast<std::uint64_t>(t) - static_cast<std::uint64_t>(w);
+    if (w != INT64_MIN) {
+      ASSERT_LT(dist, static_cast<std::uint64_t>(bucket)) << "t=" << t << " bucket=" << bucket;
+      ASSERT_EQ(w % bucket, 0) << "t=" << t << " bucket=" << bucket;
+    } else {
+      ASSERT_LE(dist, static_cast<std::uint64_t>(bucket)) << "t=" << t << " bucket=" << bucket;
+    }
+  };
+  for (const auto t : interesting_t) {
+    for (const auto b : interesting_b) check(t, b);
+  }
+  for (int it = 0; it < 20000; ++it) {
+    const auto t = static_cast<std::int64_t>(rng.next());
+    const std::int64_t b = 1 + static_cast<std::int64_t>(
+                                   rng.uniform_index(static_cast<std::uint64_t>(INT64_MAX)));
+    check(t, b);
+  }
+}
+
+TEST(TsdbBucketPropertyTest, ExtremeRangeQueriesStayWellDefined) {
+  TimeSeriesDb db;
+  SeriesKey key{"m", {}};
+  const std::int64_t times[] = {INT64_MIN + 2, INT64_MIN / 2, -common::kHour, 0,
+                                common::kHour,  INT64_MAX / 2, INT64_MAX - 2};
+  for (const auto t : times) db.append(key, t, 1.0);
+
+  Rng rng(0x5eed);
+  const std::int64_t edges[] = {INT64_MIN, INT64_MIN + 1, -1, 0, 1, INT64_MAX - 1, INT64_MAX};
+  for (int it = 0; it < 2000; ++it) {
+    TsQuery q;
+    q.metric = "m";
+    q.t0 = (it % 3 == 0) ? edges[rng.uniform_index(7)] : static_cast<std::int64_t>(rng.next());
+    q.t1 = (it % 3 == 1) ? edges[rng.uniform_index(7)] : static_cast<std::int64_t>(rng.next());
+    q.step = (it % 2 == 0)
+                 ? static_cast<std::int64_t>(rng.uniform_index(static_cast<std::uint64_t>(INT64_MAX)))
+                 : INT64_MAX;
+    q.agg = sql::AggKind::kCount;
+    const auto out = db.query(q);  // must not wrap, crash, or hang
+    // Every emitted bucket stamp is a valid floor: <= some in-range point.
+    for (std::size_t r = 0; r < out.num_rows(); ++r) {
+      ASSERT_LT(out.column("time").int_at(r), q.t1);
+    }
+  }
+  // The headline case: open-ended range, nonzero step.
+  TsQuery open;
+  open.metric = "m";
+  open.t0 = INT64_MIN;
+  open.t1 = INT64_MAX;
+  open.step = common::kMinute;
+  open.agg = sql::AggKind::kCount;
+  double total = 0.0;
+  const auto out = db.query(open);
+  for (std::size_t r = 0; r < out.num_rows(); ++r) total += out.column("value").double_at(r);
+  EXPECT_DOUBLE_EQ(total, 7.0);  // every point lands in exactly one bucket
 }
 
 }  // namespace

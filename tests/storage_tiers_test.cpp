@@ -147,6 +147,101 @@ TEST(TsdbTest, EvictionDropsOldPointsAndEmptySeries) {
   EXPECT_EQ(db.point_count(), 1u);
 }
 
+// --- step-alignment regressions (DESIGN.md §14; tsdb.hpp semantics) ---
+// The range is [t0, t1) and downsample buckets are epoch-aligned
+// [k*step, (k+1)*step), NOT t0-aligned. These lock the edges.
+
+TEST(TsdbTest, RangeBoundsAreInclusiveExclusive) {
+  TimeSeriesDb db;
+  SeriesKey key{"m", {}};
+  for (int i = 0; i < 10; ++i) db.append(key, i * kSecond, static_cast<double>(i));
+  TsQuery q;
+  q.metric = "m";
+  q.t0 = 3 * kSecond;
+  q.t1 = 7 * kSecond;
+  const auto t = db.query(q);
+  ASSERT_EQ(t.num_rows(), 4u);  // 3,4,5,6 — the point at t1 is excluded
+  EXPECT_EQ(t.column("time").int_at(0), 3 * kSecond);
+  EXPECT_EQ(t.column("time").int_at(3), 6 * kSecond);
+}
+
+TEST(TsdbTest, UnalignedT0EmitsEpochAlignedFirstBucket) {
+  TimeSeriesDb db;
+  SeriesKey key{"m", {}};
+  for (int i = 0; i < 60; ++i) db.append(key, i * kSecond, 1.0);
+  TsQuery q;
+  q.metric = "m";
+  q.t0 = 15 * kSecond;  // mid-bucket
+  q.t1 = 45 * kSecond;
+  q.step = 30 * kSecond;
+  q.agg = sql::AggKind::kCount;
+  const auto t = db.query(q);
+  ASSERT_EQ(t.num_rows(), 2u);
+  // First bucket is stamped at its epoch-aligned start (0), before t0,
+  // but aggregates only the in-range points 15..29.
+  EXPECT_EQ(t.column("time").int_at(0), 0);
+  EXPECT_DOUBLE_EQ(t.column("value").double_at(0), 15.0);
+  EXPECT_EQ(t.column("time").int_at(1), 30 * kSecond);
+  EXPECT_DOUBLE_EQ(t.column("value").double_at(1), 15.0);
+}
+
+TEST(TsdbTest, EmptyAndInvertedRangesReturnNoRows) {
+  TimeSeriesDb db;
+  SeriesKey key{"m", {}};
+  for (int i = 0; i < 10; ++i) db.append(key, i * kSecond, 1.0);
+  TsQuery q;
+  q.metric = "m";
+  q.t0 = 5 * kSecond;
+  q.t1 = 5 * kSecond;  // empty half-open range
+  EXPECT_EQ(db.query(q).num_rows(), 0u);
+  q.step = kSecond;  // with downsampling too
+  EXPECT_EQ(db.query(q).num_rows(), 0u);
+  q.t0 = 8 * kSecond;
+  q.t1 = 2 * kSecond;  // inverted
+  EXPECT_EQ(db.query(q).num_rows(), 0u);
+  q.t0 = 100 * kSecond;  // entirely past the data
+  q.t1 = 200 * kSecond;
+  EXPECT_EQ(db.query(q).num_rows(), 0u);
+}
+
+TEST(TsdbTest, StepLargerThanRangeYieldsOneBucket) {
+  TimeSeriesDb db;
+  SeriesKey key{"m", {}};
+  for (int i = 0; i < 10; ++i) db.append(key, i * kSecond, static_cast<double>(i));
+  TsQuery q;
+  q.metric = "m";
+  q.t0 = 2 * kSecond;
+  q.t1 = 8 * kSecond;
+  q.step = kHour;  // one bucket swallows the whole range
+  q.agg = sql::AggKind::kCount;
+  const auto t = db.query(q);
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.column("time").int_at(0), 0);        // epoch-aligned start
+  EXPECT_DOUBLE_EQ(t.column("value").double_at(0), 6.0);  // points 2..7 only
+}
+
+TEST(TsdbTest, OpenEndedRangeWithStepClampsInsteadOfWrapping) {
+  TimeSeriesDb db;
+  SeriesKey key{"m", {}};
+  db.append(key, INT64_MIN + 2, 1.0);  // bottom of the timeline
+  db.append(key, 0, 2.0);
+  db.append(key, INT64_MAX - 2, 3.0);  // top of the timeline
+  TsQuery q;
+  q.metric = "m";
+  q.t0 = INT64_MIN;
+  q.t1 = INT64_MAX;  // open-ended
+  q.step = 7 * kSecond;  // deliberately not a divisor of the extremes
+  q.agg = sql::AggKind::kCount;
+  const auto t = db.query(q);
+  ASSERT_EQ(t.num_rows(), 3u);
+  // Bucket stamps must floor (or saturate at INT64_MIN) — never exceed
+  // the point's own time, never wrap positive.
+  EXPECT_LE(t.column("time").int_at(0), INT64_MIN + 2);
+  EXPECT_EQ(t.column("time").int_at(1), 0);
+  EXPECT_LE(t.column("time").int_at(2), INT64_MAX - 2);
+  EXPECT_GT(t.column("time").int_at(2), 0);
+}
+
 TEST(ArchiveTest, RecallLatencyScalesWithSize) {
   TapeArchive tape;
   tape.archive("small", blob(1 << 20), 0);
